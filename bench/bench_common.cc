@@ -1,0 +1,181 @@
+#include "bench_common.h"
+
+#include <iostream>
+
+namespace cdbtune::bench {
+
+ContenderResult RunCdbTune(env::DbInterface& db, const knobs::KnobSpace& space,
+                           const workload::WorkloadSpec& workload,
+                           const Budgets& budgets,
+                           std::unique_ptr<tuner::CdbTuner>* tuner_out) {
+  tuner::CdbTuneOptions options;
+  options.max_offline_steps = budgets.cdbtune_offline_steps;
+  options.online_max_steps = budgets.cdbtune_online_steps;
+  options.seed = budgets.seed;
+  auto tuner = std::make_unique<tuner::CdbTuner>(&db, space, options);
+  auto offline = tuner->OfflineTrain(workload);
+  db.Reset();
+  auto online = tuner->OnlineTune(workload);
+
+  ContenderResult r;
+  r.name = "CDBTune";
+  r.throughput = online.best.throughput;
+  r.latency_p99 = online.best.latency;
+  r.steps = online.steps;
+  r.convergence_iteration = offline.convergence_iteration;
+  // Hand the trained model to callers that reuse it (adaptability sweeps).
+  if (tuner_out != nullptr) *tuner_out = std::move(tuner);
+  return r;
+}
+
+ContenderResult RunOtterTune(env::DbInterface& db,
+                             const knobs::KnobSpace& space,
+                             const workload::WorkloadSpec& workload,
+                             const Budgets& budgets, bool use_dnn) {
+  baselines::OtterTuneOptions options;
+  options.online_steps = budgets.ottertune_online_steps;
+  options.use_dnn = use_dnn;
+  options.seed = budgets.seed + 1;
+  baselines::OtterTune ottertune(&db, space, options);
+  ottertune.CollectSamples(workload, budgets.ottertune_samples);
+  db.Reset();
+  auto result = ottertune.Tune(workload);
+  ContenderResult r;
+  r.name = use_dnn ? "OtterTune-DNN" : "OtterTune";
+  r.throughput = result.best.throughput;
+  r.latency_p99 = result.best.latency;
+  r.steps = result.steps;
+  return r;
+}
+
+ContenderResult RunBestConfig(env::DbInterface& db,
+                              const knobs::KnobSpace& space,
+                              const workload::WorkloadSpec& workload,
+                              const Budgets& budgets) {
+  baselines::BestConfigOptions options;
+  options.budget = budgets.bestconfig_steps;
+  options.seed = budgets.seed + 2;
+  baselines::BestConfig bestconfig(&db, space, options);
+  db.Reset();
+  auto result = bestconfig.Search(workload);
+  ContenderResult r;
+  r.name = "BestConfig";
+  r.throughput = result.best.throughput;
+  r.latency_p99 = result.best.latency;
+  r.steps = result.steps;
+  return r;
+}
+
+ContenderResult RunDba(env::DbInterface& db,
+                       const workload::WorkloadSpec& workload) {
+  db.Reset();
+  auto result = baselines::DbaTuner::TuneOnce(db, workload);
+  ContenderResult r;
+  r.name = "DBA";
+  r.throughput = result.best.throughput;
+  r.latency_p99 = result.best.latency;
+  r.steps = result.steps;
+  return r;
+}
+
+ContenderResult RunDefault(env::DbInterface& db,
+                           const workload::WorkloadSpec& workload) {
+  db.Reset();
+  auto result = db.RunStress(workload, 150.0);
+  ContenderResult r;
+  r.name = "Default";
+  if (result.ok()) {
+    r.throughput = result.value().external.throughput_tps;
+    r.latency_p99 = result.value().external.latency_p99_ms;
+  }
+  return r;
+}
+
+ContenderResult RunCdbDefault(env::DbInterface& db,
+                              const workload::WorkloadSpec& workload) {
+  db.Reset();
+  knobs::Config tpl = baselines::DbaTuner::Recommend(
+      db.registry(), db.hardware(), workload, db.registry().DefaultConfig(),
+      /*knob_budget=*/10);
+  ContenderResult r;
+  r.name = "CDB-default";
+  if (!db.ApplyConfig(tpl).ok()) return r;
+  auto result = db.RunStress(workload, 150.0);
+  if (result.ok()) {
+    r.throughput = result.value().external.throughput_tps;
+    r.latency_p99 = result.value().external.latency_p99_ms;
+  }
+  db.Reset();
+  return r;
+}
+
+void RunKnobCountSweep(const std::string& title,
+                       const workload::WorkloadSpec& workload,
+                       const env::HardwareSpec& hardware,
+                       const std::vector<size_t>& order,
+                       const std::vector<size_t>& counts,
+                       const Budgets& budgets) {
+  util::PrintBanner(std::cout, title);
+  util::TablePrinter thr({"knobs", "CDBTune T", "DBA T", "OtterTune T",
+                          "BestConfig T"});
+  util::TablePrinter lat({"knobs", "CDBTune L99", "DBA L99", "OtterTune L99",
+                          "BestConfig L99"});
+  for (size_t count : counts) {
+    auto db = env::SimulatedCdb::MysqlCdb(hardware, budgets.seed);
+    knobs::KnobSpace space =
+        knobs::KnobSpace::FromOrderPrefix(&db->registry(), order, count);
+
+    Budgets b = budgets;
+    b.seed = budgets.seed + count;
+    ContenderResult cdbtune = RunCdbTune(*db, space, workload, b);
+
+    // DBA restricted to the same subset.
+    db->Reset();
+    knobs::Config rec = baselines::DbaTuner::RecommendSubset(
+        db->registry(), db->hardware(), workload, db->current_config(),
+        space.active_indices());
+    // The Figure 6/7 protocol deploys each contender's recommendation for
+    // the given subset as-is (the paper's DBAs did, which is why their
+    // curve declines once the subset outgrows their rules).
+    ContenderResult dba;
+    dba.name = "DBA";
+    if (db->ApplyConfig(rec).ok()) {
+      auto r = db->RunStress(workload, 150.0);
+      if (r.ok()) {
+        dba.throughput = r.value().external.throughput_tps;
+        dba.latency_p99 = r.value().external.latency_p99_ms;
+      }
+    }
+
+    ContenderResult ottertune = RunOtterTune(*db, space, workload, b);
+    ContenderResult bestconfig = RunBestConfig(*db, space, workload, b);
+
+    thr.AddRow({std::to_string(count),
+                util::TablePrinter::Num(cdbtune.throughput, 1),
+                util::TablePrinter::Num(dba.throughput, 1),
+                util::TablePrinter::Num(ottertune.throughput, 1),
+                util::TablePrinter::Num(bestconfig.throughput, 1)});
+    lat.AddRow({std::to_string(count),
+                util::TablePrinter::Num(cdbtune.latency_p99, 1),
+                util::TablePrinter::Num(dba.latency_p99, 1),
+                util::TablePrinter::Num(ottertune.latency_p99, 1),
+                util::TablePrinter::Num(bestconfig.latency_p99, 1)});
+  }
+  thr.Print(std::cout);
+  lat.Print(std::cout);
+}
+
+void PrintContenders(const std::string& title,
+                     const std::vector<ContenderResult>& rows) {
+  util::PrintBanner(std::cout, title);
+  util::TablePrinter table(
+      {"tuner", "throughput (txn/s)", "99th %-tile (ms)", "steps"});
+  for (const auto& r : rows) {
+    table.AddRow({r.name, util::TablePrinter::Num(r.throughput, 1),
+                  util::TablePrinter::Num(r.latency_p99, 1),
+                  std::to_string(r.steps)});
+  }
+  table.Print(std::cout);
+}
+
+}  // namespace cdbtune::bench

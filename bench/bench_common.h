@@ -1,0 +1,88 @@
+#ifndef CDBTUNE_BENCH_BENCH_COMMON_H_
+#define CDBTUNE_BENCH_BENCH_COMMON_H_
+
+#include <memory>
+#include <string>
+
+#include "baselines/baseline_result.h"
+#include "baselines/bestconfig.h"
+#include "baselines/dba.h"
+#include "baselines/ottertune.h"
+#include "env/simulated_cdb.h"
+#include "tuner/cdbtune.h"
+#include "util/table_printer.h"
+
+namespace cdbtune::bench {
+
+/// Uniform result record for every contender in a comparison table.
+struct ContenderResult {
+  std::string name;
+  double throughput = 0.0;
+  double latency_p99 = 0.0;
+  int steps = 0;
+  /// Steps until the convergence rule fired (CDBTune only; -1 otherwise).
+  int convergence_iteration = -1;
+};
+
+/// Budgets used across the harnesses. These are scaled to what a single
+/// benchmark binary can afford; the *relative* budgets mirror the paper
+/// (CDBTune trains offline once then tunes in 5 steps; OtterTune gets
+/// historical samples plus 11 online steps; BestConfig gets 50 blind
+/// steps; the DBA deploys one rule-based configuration).
+struct Budgets {
+  int cdbtune_offline_steps = 800;
+  int cdbtune_online_steps = 5;
+  int ottertune_samples = 100;
+  int ottertune_online_steps = 11;
+  int bestconfig_steps = 50;
+  uint64_t seed = 17;
+};
+
+/// Runs the full CDBTune lifecycle (offline train on `workload`, reset,
+/// online tune) against `db` and reports the online result.
+ContenderResult RunCdbTune(env::DbInterface& db, const knobs::KnobSpace& space,
+                           const workload::WorkloadSpec& workload,
+                           const Budgets& budgets,
+                           std::unique_ptr<tuner::CdbTuner>* tuner_out = nullptr);
+
+/// Runs OtterTune: collect random samples (its training data), then online
+/// tuning. `use_dnn` switches to the "OtterTune with deep learning" variant.
+ContenderResult RunOtterTune(env::DbInterface& db,
+                             const knobs::KnobSpace& space,
+                             const workload::WorkloadSpec& workload,
+                             const Budgets& budgets, bool use_dnn = false);
+
+ContenderResult RunBestConfig(env::DbInterface& db,
+                              const knobs::KnobSpace& space,
+                              const workload::WorkloadSpec& workload,
+                              const Budgets& budgets);
+
+ContenderResult RunDba(env::DbInterface& db,
+                       const workload::WorkloadSpec& workload);
+
+/// Default-configuration performance (the "MySQL default" bar).
+ContenderResult RunDefault(env::DbInterface& db,
+                           const workload::WorkloadSpec& workload);
+
+/// "CDB default": the cloud provider's shipped template — the DBA rules
+/// applied with a conservative budget (top 10 knobs only).
+ContenderResult RunCdbDefault(env::DbInterface& db,
+                              const workload::WorkloadSpec& workload);
+
+/// Renders a contender table with throughput/p99 columns.
+void PrintContenders(const std::string& title,
+                     const std::vector<ContenderResult>& rows);
+
+/// Shared driver for the Figures 6/7 knob-count sweeps: tunes the first
+/// `count` knobs of `order` (all contenders see the same subset) for each
+/// count in `counts` and prints throughput + latency per contender.
+void RunKnobCountSweep(const std::string& title,
+                       const workload::WorkloadSpec& workload,
+                       const env::HardwareSpec& hardware,
+                       const std::vector<size_t>& order,
+                       const std::vector<size_t>& counts,
+                       const Budgets& budgets);
+
+}  // namespace cdbtune::bench
+
+#endif  // CDBTUNE_BENCH_BENCH_COMMON_H_

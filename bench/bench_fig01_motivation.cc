@@ -1,0 +1,105 @@
+// Reproduces the motivation experiments of Figure 1:
+//  (a)/(b) OtterTune and "OtterTune with deep learning" performance as the
+//          number of training samples grows, vs. the MySQL defaults and a
+//          DBA configuration (paper: both flatten well below the DBA even
+//          with 10x more samples — more data does not fix a pipelined
+//          regression approach).
+//  (c)     number of tunable knobs per CDB catalog version (growing).
+//  (d)     the performance surface over two knobs (non-monotonic, so
+//          gradientless heuristics and humans get trapped).
+#include <iostream>
+
+#include "bench_common.h"
+
+namespace cdbtune::bench {
+namespace {
+
+void RunSampleSweep(const workload::WorkloadSpec& spec, const char* figure) {
+  auto db = env::SimulatedCdb::MysqlCdb(env::CdbA(), 31);
+  auto space = knobs::KnobSpace::AllTunable(&db->registry());
+
+  ContenderResult defaults = RunDefault(*db, spec);
+  ContenderResult dba = RunDba(*db, spec);
+
+  util::PrintBanner(std::cout, std::string(figure) + ": " + spec.name +
+                                   " — tuned throughput vs. #training samples");
+  util::TablePrinter t({"samples", "OtterTune (txn/s)", "OtterTune-DNN (txn/s)",
+                        "MySQL default", "DBA"});
+  for (int samples : {100, 250, 500, 1000, 2000}) {
+    Budgets budgets;
+    budgets.ottertune_samples = samples;
+    budgets.seed = 31 + static_cast<uint64_t>(samples);
+    ContenderResult gp = RunOtterTune(*db, space, spec, budgets, false);
+    ContenderResult dnn = RunOtterTune(*db, space, spec, budgets, true);
+    t.AddRow({std::to_string(samples), util::TablePrinter::Num(gp.throughput, 1),
+              util::TablePrinter::Num(dnn.throughput, 1),
+              util::TablePrinter::Num(defaults.throughput, 1),
+              util::TablePrinter::Num(dba.throughput, 1)});
+  }
+  t.Print(std::cout);
+}
+
+void RunKnobGrowth() {
+  util::PrintBanner(std::cout,
+                    "Figure 1c: tunable knobs per CDB catalog version");
+  util::TablePrinter t({"catalog version", "tunable knobs (cumulative)"});
+  knobs::KnobRegistry reg = knobs::BuildMysqlCatalog();
+  for (const auto& [version, count] : reg.KnobCountByVersion()) {
+    t.AddRow({std::to_string(version) + ".0", std::to_string(count)});
+  }
+  t.Print(std::cout);
+  std::cout << "(Tencent's production CDB grew from ~260 to ~550 knobs over "
+               "versions 1.0-7.0; this catalog reproduces the growth shape "
+               "at the paper's 266-knob tuning scale.)\n";
+}
+
+void RunSurface() {
+  // Two load-bearing knobs swept on a grid; every row shows throughput.
+  auto db = env::SimulatedCdb::MysqlCdb(env::CdbA());
+  const auto& reg = db->registry();
+  auto spec = workload::SysbenchReadWrite();
+  auto bp = *reg.FindIndex("innodb_buffer_pool_size");
+  auto io = *reg.FindIndex("innodb_io_capacity");
+
+  util::PrintBanner(
+      std::cout,
+      "Figure 1d: throughput surface over (buffer pool, io_capacity), "
+      "Sysbench RW, 8 GB RAM / 100 GB disk");
+  std::vector<double> bp_norm{0.1, 0.3, 0.45, 0.55, 0.60, 0.63};
+  std::vector<double> io_norm{0.0, 0.2, 0.4, 0.6, 0.8, 1.0};
+  std::vector<std::string> headers{"bp \\ io_capacity"};
+  for (double n : io_norm) {
+    headers.push_back(util::TablePrinter::Num(
+        knobs::DenormalizeKnobValue(reg.def(io), n), 0));
+  }
+  util::TablePrinter t(headers);
+  for (double bn : bp_norm) {
+    knobs::Config c = reg.DefaultConfig();
+    c[bp] = knobs::DenormalizeKnobValue(reg.def(bp), bn);
+    std::vector<std::string> row{
+        util::TablePrinter::Num(c[bp] / (1024.0 * 1024 * 1024), 2) + " GiB"};
+    for (double n : io_norm) {
+      c[io] = knobs::DenormalizeKnobValue(reg.def(io), n);
+      row.push_back(util::TablePrinter::Num(
+          db->EvaluateNoiseless(c, spec).throughput_tps, 0));
+    }
+    t.AddRow(row);
+  }
+  t.Print(std::cout);
+  std::cout << "(Non-monotonic: a bigger pool helps until memory pressure "
+               "bites — compare the last two rows. io_capacity rises "
+               "monotonically under this mix; under write-heavier load it "
+               "overflushes past its optimum, see bench_fig09.)\n";
+}
+
+}  // namespace
+}  // namespace cdbtune::bench
+
+int main() {
+  cdbtune::bench::RunSampleSweep(cdbtune::workload::Tpch(), "Figure 1a");
+  cdbtune::bench::RunSampleSweep(cdbtune::workload::SysbenchReadWrite(),
+                                 "Figure 1b");
+  cdbtune::bench::RunKnobGrowth();
+  cdbtune::bench::RunSurface();
+  return 0;
+}

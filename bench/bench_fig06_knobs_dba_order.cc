@@ -1,0 +1,25 @@
+// Reproduces Figure 6: performance as the number of tuned knobs grows from
+// 20 to 266, with the knobs sorted by the DBA's importance ranking. All
+// contenders tune the same first-N knobs; the rest stay at defaults.
+//
+// Expected shape (paper): CDBTune best at every count and still improving
+// (or flat) at 266; DBA and OtterTune peak somewhere in the middle and
+// degrade as the unseen dependencies of the long tail defeat rules and GP
+// regression ("the performance of DBA and OtterTune begins to decrease
+// after their recommended knobs exceed a certain number").
+#include "bench_common.h"
+#include "baselines/dba.h"
+
+int main() {
+  using namespace cdbtune;
+  bench::Budgets budgets;
+  budgets.cdbtune_offline_steps = 600;  // Per-count budget; 8 counts total.
+  budgets.seed = 61;
+  knobs::KnobRegistry reg = knobs::BuildMysqlCatalog();
+  std::vector<size_t> order = baselines::DbaTuner::ImportanceOrder(reg);
+  bench::RunKnobCountSweep(
+      "Figure 6: TPC-C on CDB-B, knobs sorted by DBA importance",
+      workload::Tpcc(), env::CdbB(), order, {20, 40, 80, 120, 160, 200, 266},
+      budgets);
+  return 0;
+}

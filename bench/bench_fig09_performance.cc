@@ -1,0 +1,96 @@
+// Reproduces Figure 9 and Table 3: throughput and 99th-percentile latency of
+// CDBTune vs. MySQL default, CDB default, BestConfig, DBA and OtterTune under
+// the Sysbench RW / RO / WO workloads on instance CDB-A, plus the
+// improvement-percentage table. Also prints the Table 1 instance matrix.
+//
+// Expected shape (paper): CDBTune best on all three workloads, largest gap
+// on write-only (+46% throughput over DBA, +128% over BestConfig, +91% over
+// OtterTune); OtterTune inferior to the DBA in most cases; everything beats
+// the shipped defaults.
+#include <iostream>
+
+#include "bench_common.h"
+
+namespace cdbtune::bench {
+namespace {
+
+void PrintTable1() {
+  util::PrintBanner(std::cout, "Table 1: instances and hardware configuration");
+  util::TablePrinter t({"instance", "RAM (GB)", "disk (GB)", "disk type"});
+  for (const auto& hw : {env::CdbA(), env::CdbB(), env::CdbC(), env::CdbD(),
+                         env::CdbE()}) {
+    t.AddRow({hw.name, util::TablePrinter::Num(hw.ram_gb, 0),
+              util::TablePrinter::Num(hw.disk_gb, 0),
+              env::DiskTypeName(hw.disk_type)});
+  }
+  for (const auto& hw : env::CdbX1Variants()) {
+    t.AddRow({hw.name, util::TablePrinter::Num(hw.ram_gb, 0),
+              util::TablePrinter::Num(hw.disk_gb, 0),
+              env::DiskTypeName(hw.disk_type)});
+  }
+  for (const auto& hw : env::CdbX2Variants()) {
+    t.AddRow({hw.name, util::TablePrinter::Num(hw.ram_gb, 0),
+              util::TablePrinter::Num(hw.disk_gb, 0),
+              env::DiskTypeName(hw.disk_type)});
+  }
+  t.Print(std::cout);
+}
+
+void Run() {
+  PrintTable1();
+
+  struct Row {
+    std::string workload;
+    ContenderResult cdbtune, dba, ottertune, bestconfig;
+  };
+  std::vector<Row> table3;
+
+  for (auto type : {workload::WorkloadType::kSysbenchReadWrite,
+                    workload::WorkloadType::kSysbenchReadOnly,
+                    workload::WorkloadType::kSysbenchWriteOnly}) {
+    workload::WorkloadSpec spec = workload::MakeWorkload(type);
+    auto db = env::SimulatedCdb::MysqlCdb(env::CdbA(), 5);
+    auto space = knobs::KnobSpace::AllTunable(&db->registry());
+    Budgets budgets;
+
+    std::vector<ContenderResult> rows;
+    rows.push_back(RunDefault(*db, spec));
+    rows.push_back(RunCdbDefault(*db, spec));
+    rows.push_back(RunBestConfig(*db, space, spec, budgets));
+    rows.push_back(RunDba(*db, spec));
+    rows.push_back(RunOtterTune(*db, space, spec, budgets));
+    rows.push_back(RunCdbTune(*db, space, spec, budgets));
+    PrintContenders("Figure 9: " + spec.name + " on CDB-A", rows);
+
+    table3.push_back({spec.name, rows[5], rows[3], rows[4], rows[2]});
+  }
+
+  util::PrintBanner(std::cout,
+                    "Table 3: CDBTune improvement over BestConfig / DBA / "
+                    "OtterTune (T = throughput up, L = p99 down)");
+  util::TablePrinter t({"workload", "vs BestConfig T", "vs BestConfig L",
+                        "vs DBA T", "vs DBA L", "vs OtterTune T",
+                        "vs OtterTune L"});
+  for (const auto& row : table3) {
+    auto t_up = [&](const ContenderResult& other) {
+      return util::TablePrinter::Pct(
+          row.cdbtune.throughput / other.throughput - 1.0);
+    };
+    auto l_down = [&](const ContenderResult& other) {
+      return util::TablePrinter::Pct(
+          1.0 - row.cdbtune.latency_p99 / other.latency_p99);
+    };
+    t.AddRow({row.workload, t_up(row.bestconfig), l_down(row.bestconfig),
+              t_up(row.dba), l_down(row.dba), t_up(row.ottertune),
+              l_down(row.ottertune)});
+  }
+  t.Print(std::cout);
+}
+
+}  // namespace
+}  // namespace cdbtune::bench
+
+int main() {
+  cdbtune::bench::Run();
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Reproduces Figure 10: adaptability to memory-size changes. A model
+// trained on CDB-A (8 GB RAM, 100 GB disk) under the Sysbench write-only
+// workload tunes CDB-X1 instances with 4/12/32/64/128 GB RAM (cross
+// testing, M_8G->XG) and is compared against a model trained directly on
+// each X1 instance (normal testing, M_XG->XG) plus the baselines.
+//
+// Expected shape (paper): cross-testing is nearly as good as normal
+// testing at every memory size, and both beat OtterTune, BestConfig and
+// the DBA — the model transfers across hardware without retraining.
+#include <iostream>
+
+#include "bench_common.h"
+
+int main() {
+  using namespace cdbtune;
+  auto spec = workload::SysbenchWriteOnly();
+  bench::Budgets budgets;
+  budgets.cdbtune_offline_steps = 700;
+  budgets.seed = 77;
+
+  // Train the transferable model once on CDB-A.
+  auto train_db = env::SimulatedCdb::MysqlCdb(env::CdbA(), budgets.seed);
+  auto space = knobs::KnobSpace::AllTunable(&train_db->registry());
+  std::unique_ptr<tuner::CdbTuner> model;
+  bench::RunCdbTune(*train_db, space, spec, budgets, &model);
+
+  util::PrintBanner(std::cout,
+                    "Figure 10: Sysbench WO, model trained on 8G RAM applied "
+                    "to (X)G RAM instances");
+  util::TablePrinter t({"target", "M_8G->XG T", "M_XG->XG T", "DBA T",
+                        "OtterTune T", "BestConfig T", "M_8G->XG L99",
+                        "M_XG->XG L99"});
+  for (const auto& hw : env::CdbX1Variants()) {
+    // Cross testing: reuse the CDB-A model.
+    auto cross_db = env::SimulatedCdb::MysqlCdb(hw, budgets.seed + 1);
+    model->SetDatabase(cross_db.get());
+    auto cross = model->OnlineTune(spec);
+
+    // Normal testing: train a fresh model on the target instance.
+    auto normal_db = env::SimulatedCdb::MysqlCdb(hw, budgets.seed + 2);
+    bench::Budgets nb = budgets;
+    nb.cdbtune_offline_steps = 500;
+    nb.seed = budgets.seed + static_cast<uint64_t>(hw.ram_gb);
+    bench::ContenderResult normal =
+        bench::RunCdbTune(*normal_db, space, spec, nb);
+
+    auto base_db = env::SimulatedCdb::MysqlCdb(hw, budgets.seed + 3);
+    bench::ContenderResult dba = bench::RunDba(*base_db, spec);
+    bench::Budgets light = budgets;
+    light.ottertune_samples = 60;
+    bench::ContenderResult ot =
+        bench::RunOtterTune(*base_db, space, spec, light);
+    bench::ContenderResult bc =
+        bench::RunBestConfig(*base_db, space, spec, light);
+
+    t.AddRow({hw.name, util::TablePrinter::Num(cross.best.throughput, 1),
+              util::TablePrinter::Num(normal.throughput, 1),
+              util::TablePrinter::Num(dba.throughput, 1),
+              util::TablePrinter::Num(ot.throughput, 1),
+              util::TablePrinter::Num(bc.throughput, 1),
+              util::TablePrinter::Num(cross.best.latency, 1),
+              util::TablePrinter::Num(normal.latency_p99, 1)});
+  }
+  t.Print(std::cout);
+  return 0;
+}

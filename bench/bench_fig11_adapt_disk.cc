@@ -1,0 +1,50 @@
+// Reproduces Figure 11: adaptability to disk-capacity changes. A model
+// trained on CDB-C (12 GB RAM, 200 GB disk) under the Sysbench read-only
+// workload tunes CDB-X2 instances with 32/64/100/256/512 GB disks (cross
+// testing, M_200G->XG) vs. models trained directly on each (normal
+// testing).
+//
+// Expected shape (paper): cross and normal testing nearly coincide at
+// every disk size — disk capacity mainly moves the crash boundary for the
+// redo allocation, which the trained policy respects.
+#include <iostream>
+
+#include "bench_common.h"
+
+int main() {
+  using namespace cdbtune;
+  auto spec = workload::SysbenchReadOnly();
+  bench::Budgets budgets;
+  budgets.cdbtune_offline_steps = 700;
+  budgets.seed = 83;
+
+  auto train_db = env::SimulatedCdb::MysqlCdb(env::CdbC(), budgets.seed);
+  auto space = knobs::KnobSpace::AllTunable(&train_db->registry());
+  std::unique_ptr<tuner::CdbTuner> model;
+  bench::RunCdbTune(*train_db, space, spec, budgets, &model);
+
+  util::PrintBanner(std::cout,
+                    "Figure 11: Sysbench RO, model trained on 200G disk "
+                    "applied to (X)G disk instances");
+  util::TablePrinter t({"target", "M_200G->XG T", "M_XG->XG T",
+                        "M_200G->XG L99", "M_XG->XG L99"});
+  for (const auto& hw : env::CdbX2Variants()) {
+    auto cross_db = env::SimulatedCdb::MysqlCdb(hw, budgets.seed + 1);
+    model->SetDatabase(cross_db.get());
+    auto cross = model->OnlineTune(spec);
+
+    auto normal_db = env::SimulatedCdb::MysqlCdb(hw, budgets.seed + 2);
+    bench::Budgets nb = budgets;
+    nb.cdbtune_offline_steps = 500;
+    nb.seed = budgets.seed + static_cast<uint64_t>(hw.disk_gb);
+    bench::ContenderResult normal =
+        bench::RunCdbTune(*normal_db, space, spec, nb);
+
+    t.AddRow({hw.name, util::TablePrinter::Num(cross.best.throughput, 1),
+              util::TablePrinter::Num(normal.throughput, 1),
+              util::TablePrinter::Num(cross.best.latency, 1),
+              util::TablePrinter::Num(normal.latency_p99, 1)});
+  }
+  t.Print(std::cout);
+  return 0;
+}

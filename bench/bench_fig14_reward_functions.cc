@@ -1,0 +1,72 @@
+// Reproduces Figure 14 (Appendix C.1.1): the reward-function ablation.
+// RF-CDBTune (Eq. 6 + zero-clamp rule) is trained against RF-A (previous
+// step only), RF-B (initial settings only) and RF-C (no zero-clamp) on
+// TPC-C (CDB-C) and Sysbench RW/RO (CDB-A); each run reports iterations to
+// convergence and the performance of the recommended configuration.
+//
+// Expected shape (paper): RF-CDBTune reaches the best performance with
+// fast convergence; RF-A converges slowly (rewards local progress that may
+// sit below the initial settings); RF-B converges fastest but to the worst
+// performance (no guidance for the intermediate process); RF-C performs
+// like RF-A but takes even longer.
+#include <iostream>
+
+#include "bench_common.h"
+
+int main() {
+  using namespace cdbtune;
+  struct Setup {
+    workload::WorkloadSpec spec;
+    env::HardwareSpec hw;
+  };
+  std::vector<Setup> setups = {
+      {workload::Tpcc(), env::CdbC()},
+      {workload::SysbenchReadWrite(), env::CdbA()},
+      {workload::SysbenchReadOnly(), env::CdbA()},
+  };
+  const tuner::RewardFunctionType types[] = {
+      tuner::RewardFunctionType::kPrevOnly,
+      tuner::RewardFunctionType::kInitialOnly,
+      tuner::RewardFunctionType::kNoClamp,
+      tuner::RewardFunctionType::kCdbTune,
+  };
+
+  for (const Setup& setup : setups) {
+    util::PrintBanner(std::cout, "Figure 14: reward functions on " +
+                                     setup.spec.name + " (" + setup.hw.name +
+                                     ")");
+    util::TablePrinter t({"reward function", "steps to 95% of final best",
+                          "throughput (txn/s)", "99th %-tile (ms)"});
+    for (auto type : types) {
+      auto db = env::SimulatedCdb::MysqlCdb(setup.hw, 91);
+      auto space = knobs::KnobSpace::AllTunable(&db->registry());
+      tuner::CdbTuneOptions options;
+      options.max_offline_steps = 450;
+      options.reward_type = type;
+      options.seed = 91;
+      tuner::CdbTuner tuner(db.get(), space, options);
+      auto offline = tuner.OfflineTrain(setup.spec);
+      db->Reset();
+      auto online = tuner.OnlineTune(setup.spec);
+      // Convergence speed: steps until the best-so-far trajectory reached
+      // 95% of the run's final best throughput. (The paper's raw 0.5%-for-
+      // five-steps rule rarely fires under exploration noise at these
+      // budgets; this measures the same "how fast did training settle".)
+      int iterations = offline.iterations;
+      double bar = 0.95 * offline.best.throughput;
+      double best_so_far = 0.0;
+      for (const auto& record : offline.history) {
+        best_so_far = std::max(best_so_far, record.throughput);
+        if (best_so_far >= bar) {
+          iterations = record.step;
+          break;
+        }
+      }
+      t.AddRow({tuner::RewardFunctionTypeName(type), std::to_string(iterations),
+                util::TablePrinter::Num(online.best.throughput, 1),
+                util::TablePrinter::Num(online.best.latency, 1)});
+    }
+    t.Print(std::cout);
+  }
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Reproduces Figure 15 (Appendix C.1.2): the effect of the reward
+// coefficients C_T (throughput) and C_L = 1 - C_T (latency). For each C_T
+// in 0.1..0.9 a model is trained and tuned; throughput and latency are
+// reported as change rates against the C_T = C_L = 0.5 benchmark.
+//
+// Expected shape (paper): throughput rises with C_T, latency worsens; the
+// sensitivity grows past C_T = 0.5.
+#include <iostream>
+
+#include "bench_common.h"
+
+int main() {
+  using namespace cdbtune;
+  auto spec = workload::SysbenchReadWrite();
+
+  // Training variance at a 400-step budget is larger than the coefficient
+  // effect, so each C_T point averages three independently seeded runs.
+  auto run = [&](double ct) {
+    tuner::PerfPoint mean{0.0, 0.0};
+    const uint64_t seeds[] = {97, 101, 103};
+    for (uint64_t seed : seeds) {
+      auto db = env::SimulatedCdb::MysqlCdb(env::CdbA(), seed);
+      auto space = knobs::KnobSpace::AllTunable(&db->registry());
+      tuner::CdbTuneOptions options;
+      options.max_offline_steps = 400;
+      options.throughput_coeff = ct;
+      options.latency_coeff = 1.0 - ct;
+      options.seed = seed;
+      tuner::CdbTuner tuner(db.get(), space, options);
+      tuner.OfflineTrain(spec);
+      db->Reset();
+      auto best = tuner.OnlineTune(spec).best;
+      mean.throughput += best.throughput / 3.0;
+      mean.latency += best.latency / 3.0;
+    }
+    return mean;
+  };
+
+  tuner::PerfPoint benchmark = run(0.5);
+  util::PrintBanner(std::cout,
+                    "Figure 15: throughput/latency change rate vs. C_T "
+                    "(benchmark: C_T = C_L = 0.5)");
+  util::TablePrinter t({"C_T", "mean throughput (txn/s)", "mean 99th %-tile (ms)",
+                        "throughput ratio", "latency ratio"});
+  for (double ct : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+    tuner::PerfPoint p = ct == 0.5 ? benchmark : run(ct);
+    t.AddRow({util::TablePrinter::Num(ct, 1),
+              util::TablePrinter::Num(p.throughput, 1),
+              util::TablePrinter::Num(p.latency, 1),
+              util::TablePrinter::Num(p.throughput / benchmark.throughput, 3),
+              util::TablePrinter::Num(p.latency / benchmark.latency, 3)});
+  }
+  t.Print(std::cout);
+  return 0;
+}

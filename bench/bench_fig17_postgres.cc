@@ -1,0 +1,27 @@
+// Reproduces Figure 17 (Appendix C.3): TPC-C on a Postgres-flavored engine
+// with 169 tunable knobs, instance CDB-D, comparing CDBTune against the
+// Postgres defaults, the CDB template, BestConfig, the DBA and OtterTune.
+//
+// Expected shape (paper): CDBTune wins on both metrics.
+#include "bench_common.h"
+
+int main() {
+  using namespace cdbtune;
+  auto spec = workload::Tpcc();
+  auto db = env::SimulatedCdb::Postgres(env::CdbD(), 107);
+  auto space = knobs::KnobSpace::AllTunable(&db->registry());
+  bench::Budgets budgets;
+  budgets.cdbtune_offline_steps = 600;
+  budgets.seed = 107;
+
+  std::vector<bench::ContenderResult> rows;
+  rows.push_back(bench::RunDefault(*db, spec));
+  rows.push_back(bench::RunCdbDefault(*db, spec));
+  rows.push_back(bench::RunBestConfig(*db, space, spec, budgets));
+  rows.push_back(bench::RunDba(*db, spec));
+  rows.push_back(bench::RunOtterTune(*db, space, spec, budgets));
+  rows.push_back(bench::RunCdbTune(*db, space, spec, budgets));
+  bench::PrintContenders(
+      "Figure 17: TPC-C on Postgres-flavored engine (169 knobs, CDB-D)", rows);
+  return 0;
+}

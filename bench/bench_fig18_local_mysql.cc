@@ -1,0 +1,27 @@
+// Reproduces Figure 18 (Appendix C.3): TPC-C on a locally-hosted MySQL
+// (same knob catalog as the cloud CDB but without the cloud proxy's
+// per-query overhead), instance CDB-C.
+//
+// Expected shape (paper): same ordering as the cloud results — CDBTune
+// best — showing the tuner does not depend on cloud-specific behavior.
+#include "bench_common.h"
+
+int main() {
+  using namespace cdbtune;
+  auto spec = workload::Tpcc();
+  auto db = env::SimulatedCdb::LocalMysql(env::CdbC(), 109);
+  auto space = knobs::KnobSpace::AllTunable(&db->registry());
+  bench::Budgets budgets;
+  budgets.cdbtune_offline_steps = 600;
+  budgets.seed = 109;
+
+  std::vector<bench::ContenderResult> rows;
+  rows.push_back(bench::RunDefault(*db, spec));
+  rows.push_back(bench::RunCdbDefault(*db, spec));
+  rows.push_back(bench::RunBestConfig(*db, space, spec, budgets));
+  rows.push_back(bench::RunDba(*db, spec));
+  rows.push_back(bench::RunOtterTune(*db, space, spec, budgets));
+  rows.push_back(bench::RunCdbTune(*db, space, spec, budgets));
+  bench::PrintContenders("Figure 18: TPC-C on local MySQL (CDB-C)", rows);
+  return 0;
+}

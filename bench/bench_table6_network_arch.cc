@@ -1,0 +1,68 @@
+// Reproduces Table 6 (Appendix C.2): the network-architecture sweep. Actor
+// and critic hidden-layer counts and widths vary while tuning all 266
+// knobs on TPC-C; each variant reports throughput, latency and iterations
+// to convergence.
+//
+// Expected shape (paper): the 4-layer actor (128-128-128-64) with the
+// 256->64 critic trunk is the sweet spot; deeper or wider variants need
+// far more iterations and can overfit (slightly worse performance), which
+// is why Table 5's architecture is the paper's default.
+#include <iostream>
+#include <sstream>
+
+#include "bench_common.h"
+
+int main() {
+  using namespace cdbtune;
+  struct Arch {
+    std::vector<size_t> actor_hidden;
+    std::vector<size_t> critic_hidden;
+  };
+  // Mirrors Table 6's AHL/CHL axis: 3-6 actor layers, narrow/wide.
+  std::vector<Arch> variants = {
+      {{128, 128, 64}, {256, 64}},
+      {{256, 256, 128}, {512, 128}},
+      {{128, 128, 128, 64}, {256, 64}},        // Table 5 default.
+      {{256, 256, 256, 128}, {512, 128}},
+      {{128, 128, 128, 128, 64}, {256, 256, 64}},
+      {{256, 256, 256, 256, 128}, {512, 512, 128}},
+      {{128, 128, 128, 128, 128, 64}, {256, 256, 64}},
+      {{256, 256, 256, 256, 256, 128}, {512, 512, 128}},
+  };
+
+  auto spec = workload::Tpcc();
+  util::PrintBanner(std::cout,
+                    "Table 6: tuning performance by network structure "
+                    "(266 knobs, TPC-C)");
+  util::TablePrinter t({"actor hidden", "critic hidden", "parameters",
+                        "throughput (txn/s)", "99th %-tile (ms)",
+                        "iterations"});
+  for (const Arch& arch : variants) {
+    auto db = env::SimulatedCdb::MysqlCdb(env::CdbB(), 101);
+    auto space = knobs::KnobSpace::AllTunable(&db->registry());
+    tuner::CdbTuneOptions options;
+    options.max_offline_steps = 350;
+    options.seed = 101;
+    options.ddpg.actor_hidden = arch.actor_hidden;
+    options.ddpg.critic_hidden = arch.critic_hidden;
+    tuner::CdbTuner tuner(db.get(), space, options);
+    auto offline = tuner.OfflineTrain(spec);
+    db->Reset();
+    auto online = tuner.OnlineTune(spec);
+    int iterations = offline.convergence_iteration > 0
+                         ? offline.convergence_iteration
+                         : offline.iterations;
+    auto join = [](const std::vector<size_t>& v) {
+      std::ostringstream os;
+      for (size_t i = 0; i < v.size(); ++i) os << (i ? "-" : "") << v[i];
+      return os.str();
+    };
+    t.AddRow({join(arch.actor_hidden), join(arch.critic_hidden),
+              std::to_string(tuner.agent().NumParameters()),
+              util::TablePrinter::Num(online.best.throughput, 1),
+              util::TablePrinter::Num(online.best.latency, 1),
+              std::to_string(iterations)});
+  }
+  t.Print(std::cout);
+  return 0;
+}

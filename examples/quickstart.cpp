@@ -1,0 +1,58 @@
+// Quickstart: tune a cloud database instance end to end in ~50 lines.
+//
+//   $ ./quickstart
+//
+// The flow is the paper's Section 2.1 lifecycle: create an instance, train
+// the standard model offline on a generated workload (cold start), then
+// handle an online tuning request in 5 steps and apply the recommendation.
+#include <cstdio>
+
+#include "env/simulated_cdb.h"
+#include "tuner/cdbtune.h"
+
+int main() {
+  using namespace cdbtune;
+
+  // 1. The tuning target: a simulated cloud MySQL instance with 8 GB RAM
+  //    and a 100 GB SSD (the paper's CDB-A), exposing 266 tunable knobs.
+  auto db = env::SimulatedCdb::MysqlCdb(env::CdbA());
+  std::printf("instance %s: %zu knobs, %.0f GB RAM, %.0f GB disk\n",
+              db->hardware().name.c_str(),
+              db->registry().TunableIndices().size(), db->hardware().ram_gb,
+              db->hardware().disk_gb);
+
+  // 2. Build the tuner over the full tunable knob space.
+  auto space = knobs::KnobSpace::AllTunable(&db->registry());
+  tuner::CdbTuneOptions options;
+  options.max_offline_steps = 400;  // Demo-sized; benches use 800+.
+  tuner::CdbTuner tuner(db.get(), space, options);
+
+  // 3. Offline training: try-and-error on a standard workload.
+  auto workload = workload::SysbenchReadWrite();
+  std::printf("training offline on %s ...\n", workload.name.c_str());
+  auto offline = tuner.OfflineTrain(workload);
+  std::printf("  %d steps, %d crashes punished, best seen %.0f txn/s "
+              "(defaults: %.0f)\n",
+              offline.iterations, offline.crashes, offline.best.throughput,
+              offline.initial.throughput);
+
+  // 4. Online tuning request: five steps of recommend-deploy-measure.
+  db->Reset();  // The "user's" instance arrives with default settings.
+  auto online = tuner.OnlineTune(workload);
+  std::printf("online tuning: %.0f -> %.0f txn/s (%.1fx), p99 %.0f -> %.0f ms "
+              "in %d steps\n",
+              online.initial.throughput, online.best.throughput,
+              online.best.throughput / online.initial.throughput,
+              online.initial.latency, online.best.latency, online.steps);
+
+  // 5. Show the deployable recommendation (knobs that changed).
+  tuner::Recommender recommender(&tuner.space());
+  auto commands = recommender.RenderCommands(
+      online.best_config, db->registry().DefaultConfig());
+  std::printf("recommended configuration (%zu knobs changed), first 10:\n",
+              commands.size());
+  for (size_t i = 0; i < commands.size() && i < 10; ++i) {
+    std::printf("  %s\n", commands[i].c_str());
+  }
+  return 0;
+}

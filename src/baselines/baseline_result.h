@@ -1,0 +1,26 @@
+#ifndef CDBTUNE_BASELINES_BASELINE_RESULT_H_
+#define CDBTUNE_BASELINES_BASELINE_RESULT_H_
+
+#include <vector>
+
+#include "knobs/knob.h"
+#include "tuner/reward.h"
+
+namespace cdbtune::baselines {
+
+/// Common result shape for all baseline tuners (OtterTune, BestConfig, DBA,
+/// random search), mirroring tuner::OnlineTuneResult so benchmark harnesses
+/// can tabulate every contender identically.
+struct BaselineResult {
+  tuner::PerfPoint initial;
+  tuner::PerfPoint best;
+  knobs::Config best_config;
+  int steps = 0;
+  int crashes = 0;
+  /// Throughput observed at each step (0 for crashed steps).
+  std::vector<double> step_throughput;
+};
+
+}  // namespace cdbtune::baselines
+
+#endif  // CDBTUNE_BASELINES_BASELINE_RESULT_H_

@@ -1,0 +1,116 @@
+#include "baselines/bestconfig.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace cdbtune::baselines {
+
+BestConfig::BestConfig(env::DbInterface* db, knobs::KnobSpace space,
+                       BestConfigOptions options)
+    : db_(db),
+      space_(std::move(space)),
+      options_(std::move(options)),
+      rng_(options_.seed) {
+  CDBTUNE_CHECK(db_ != nullptr);
+}
+
+void BestConfig::SetDatabase(env::DbInterface* db) {
+  CDBTUNE_CHECK(db != nullptr);
+  db_ = db;
+}
+
+std::vector<std::vector<double>> BestConfig::DdsSamples(
+    const std::vector<double>& lo, const std::vector<double>& hi, int count) {
+  const size_t dim = space_.action_dim();
+  // Divide: each dimension is split into `count` slices; diverge: slice
+  // order is permuted independently per dimension so the samples cover all
+  // slices of every dimension (Latin hypercube).
+  std::vector<std::vector<double>> samples(
+      static_cast<size_t>(count), std::vector<double>(dim, 0.0));
+  std::vector<size_t> perm(static_cast<size_t>(count));
+  for (size_t d = 0; d < dim; ++d) {
+    for (size_t i = 0; i < perm.size(); ++i) perm[i] = i;
+    rng_.Shuffle(perm);
+    for (int s = 0; s < count; ++s) {
+      double slice = (static_cast<double>(perm[s]) + rng_.Uniform()) /
+                     static_cast<double>(count);
+      samples[s][d] = lo[d] + slice * (hi[d] - lo[d]);
+    }
+  }
+  return samples;
+}
+
+BaselineResult BestConfig::Search(const workload::WorkloadSpec& spec,
+                                  int budget) {
+  if (budget <= 0) budget = options_.budget;
+  BaselineResult out;
+  const knobs::Config base = db_->current_config();
+
+  auto baseline = db_->RunStress(spec, options_.stress_duration_s);
+  if (!baseline.ok()) return out;
+  out.initial.throughput = baseline.value().external.throughput_tps;
+  out.initial.latency = baseline.value().external.latency_p99_ms;
+  out.best = out.initial;
+  out.best_config = base;
+  double best_score = 1.0;
+
+  const size_t dim = space_.action_dim();
+  std::vector<double> lo(dim, 0.0), hi(dim, 1.0);
+  std::vector<double> best_action = space_.ConfigToAction(base);
+  int used = 0;
+
+  while (used < budget) {
+    int round_samples = std::min(options_.samples_per_round, budget - used);
+    auto samples = DdsSamples(lo, hi, round_samples);
+    bool improved = false;
+    for (const auto& action : samples) {
+      ++used;
+      knobs::Config config = space_.ActionToConfig(action, base);
+      if (!db_->ApplyConfig(config).ok()) {
+        ++out.crashes;
+        out.step_throughput.push_back(0.0);
+        continue;
+      }
+      auto result = db_->RunStress(spec, options_.stress_duration_s);
+      if (!result.ok()) return out;
+      double tps = result.value().external.throughput_tps;
+      double lat = result.value().external.latency_p99_ms;
+      out.step_throughput.push_back(tps);
+      double score = 0.5 * (tps / out.initial.throughput) +
+                     0.5 * (out.initial.latency / lat);
+      if (score > best_score) {
+        best_score = score;
+        out.best.throughput = tps;
+        out.best.latency = lat;
+        out.best_config = db_->current_config();
+        best_action = action;
+        improved = true;
+      }
+    }
+    // Recursive bound-and-search: shrink the box around the incumbent; if a
+    // whole round brought no improvement, restart from the full space
+    // (BestConfig's diverge step against local optima).
+    if (improved) {
+      for (size_t d = 0; d < dim; ++d) {
+        double half = 0.5 * (hi[d] - lo[d]) * options_.shrink;
+        lo[d] = std::max(0.0, best_action[d] - half);
+        hi[d] = std::min(1.0, best_action[d] + half);
+      }
+    } else {
+      lo.assign(dim, 0.0);
+      hi.assign(dim, 1.0);
+    }
+  }
+  out.steps = used;
+
+  util::Status final_deploy = db_->ApplyConfig(out.best_config);
+  if (!final_deploy.ok()) {
+    CDBTUNE_LOG(Warning) << "BestConfig final deploy failed: "
+                         << final_deploy.ToString();
+  }
+  return out;
+}
+
+}  // namespace cdbtune::baselines

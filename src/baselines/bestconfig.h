@@ -1,0 +1,56 @@
+#ifndef CDBTUNE_BASELINES_BESTCONFIG_H_
+#define CDBTUNE_BASELINES_BESTCONFIG_H_
+
+#include "baselines/baseline_result.h"
+#include "env/db_interface.h"
+#include "knobs/registry.h"
+#include "util/random.h"
+#include "workload/workload.h"
+
+namespace cdbtune::baselines {
+
+struct BestConfigOptions {
+  /// Total evaluation budget per request (the paper grants it 50 steps).
+  int budget = 50;
+  /// Samples per divide-and-diverge round.
+  int samples_per_round = 10;
+  /// Intervals each dimension is divided into.
+  int divisions = 6;
+  /// Bound shrink factor around the incumbent after each round.
+  double shrink = 0.5;
+  double stress_duration_s = 150.0;
+  uint64_t seed = 29;
+};
+
+/// Reproduction of BestConfig (Zhu et al. 2017): divide-and-diverge
+/// sampling over the normalized configuration space followed by recursive
+/// bound-and-search around the best sample.
+///
+/// Faithful to the original's key limitation the paper highlights: it keeps
+/// no memory across tuning requests — every call to Search starts from
+/// scratch (Section 6: "even if there are two identical cases, it will
+/// search twice").
+class BestConfig {
+ public:
+  BestConfig(env::DbInterface* db, knobs::KnobSpace space,
+             BestConfigOptions options);
+
+  BaselineResult Search(const workload::WorkloadSpec& spec, int budget = -1);
+
+  void SetDatabase(env::DbInterface* db);
+
+ private:
+  /// Latin-hypercube style divide-and-diverge samples within [lo, hi].
+  std::vector<std::vector<double>> DdsSamples(const std::vector<double>& lo,
+                                              const std::vector<double>& hi,
+                                              int count);
+
+  env::DbInterface* db_;  // Not owned.
+  knobs::KnobSpace space_;
+  BestConfigOptions options_;
+  util::Rng rng_;
+};
+
+}  // namespace cdbtune::baselines
+
+#endif  // CDBTUNE_BASELINES_BESTCONFIG_H_

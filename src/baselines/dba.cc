@@ -1,0 +1,254 @@
+#include "baselines/dba.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "util/logging.h"
+
+namespace cdbtune::baselines {
+
+namespace {
+
+constexpr double kMiB = 1024.0 * 1024.0;
+constexpr double kGiB = 1024.0 * kMiB;
+
+/// The knobs a senior MySQL/Postgres/MongoDB DBA reaches for, in the order
+/// they reach for them. Names absent from a given catalog are skipped.
+const char* const kDbaPriorityNames[] = {
+    // MySQL / InnoDB.
+    "innodb_buffer_pool_size", "innodb_log_file_size",
+    "innodb_flush_log_at_trx_commit", "innodb_log_files_in_group",
+    "innodb_io_capacity", "innodb_io_capacity_max", "innodb_read_io_threads",
+    "innodb_write_io_threads", "innodb_page_cleaners", "innodb_purge_threads",
+    "innodb_log_buffer_size", "sync_binlog", "max_connections",
+    "innodb_max_dirty_pages_pct", "innodb_flush_method",
+    "innodb_thread_concurrency", "thread_cache_size", "table_open_cache",
+    "tmp_table_size", "max_heap_table_size", "sort_buffer_size",
+    "join_buffer_size", "read_buffer_size", "read_rnd_buffer_size",
+    "innodb_doublewrite", "innodb_adaptive_hash_index",
+    "innodb_lru_scan_depth", "innodb_change_buffer_max_size",
+    "innodb_flush_neighbors", "innodb_old_blocks_pct",
+    // Postgres.
+    "shared_buffers", "max_wal_size", "synchronous_commit", "work_mem",
+    "effective_cache_size", "wal_buffers", "checkpoint_completion_target",
+    "checkpoint_timeout", "maintenance_work_mem", "bgwriter_lru_maxpages",
+    "bgwriter_delay", "effective_io_concurrency", "temp_buffers",
+    "random_page_cost", "max_parallel_workers",
+    // MongoDB / WiredTiger.
+    "wiredtiger_cache_size", "journal_commit_interval", "read_tickets",
+    "write_tickets", "eviction_threads_max", "eviction_threads_min",
+    "eviction_dirty_trigger", "eviction_dirty_target", "sync_period_secs",
+    "block_compressor",
+};
+
+class RuleContext {
+ public:
+  RuleContext(const knobs::KnobRegistry& registry, knobs::Config* config)
+      : registry_(registry), config_(config) {}
+
+  /// Sets knob `name` to `value` if the knob exists and is within `budget`.
+  void Set(const std::string& name, double value,
+           const std::unordered_set<size_t>& allowed) {
+    auto idx = registry_.FindIndex(name);
+    if (!idx.has_value() || !allowed.count(*idx)) return;
+    (*config_)[*idx] = knobs::SanitizeKnobValue(registry_.def(*idx), value);
+  }
+
+ private:
+  const knobs::KnobRegistry& registry_;
+  knobs::Config* config_;
+};
+
+}  // namespace
+
+std::vector<size_t> DbaTuner::ImportanceOrder(
+    const knobs::KnobRegistry& registry) {
+  std::vector<size_t> order;
+  std::unordered_set<size_t> seen;
+  for (const char* name : kDbaPriorityNames) {
+    auto idx = registry.FindIndex(name);
+    if (idx.has_value() && registry.def(*idx).tunable && !seen.count(*idx)) {
+      order.push_back(*idx);
+      seen.insert(*idx);
+    }
+  }
+  for (size_t i = 0; i < registry.size(); ++i) {
+    if (registry.def(i).tunable && !seen.count(i)) order.push_back(i);
+  }
+  return order;
+}
+
+knobs::Config DbaTuner::Recommend(const knobs::KnobRegistry& registry,
+                                  const env::HardwareSpec& hardware,
+                                  const workload::WorkloadSpec& workload,
+                                  const knobs::Config& base, int knob_budget) {
+  std::vector<size_t> order = ImportanceOrder(registry);
+  if (knob_budget < 0 || knob_budget > static_cast<int>(order.size())) {
+    knob_budget = static_cast<int>(order.size());
+  }
+  return RecommendSubset(
+      registry, hardware, workload, base,
+      std::vector<size_t>(order.begin(), order.begin() + knob_budget));
+}
+
+knobs::Config DbaTuner::RecommendSubset(const knobs::KnobRegistry& registry,
+                                        const env::HardwareSpec& hardware,
+                                        const workload::WorkloadSpec& workload,
+                                        const knobs::Config& base,
+                                        const std::vector<size_t>& allowed_vec) {
+  std::unordered_set<size_t> allowed(allowed_vec.begin(), allowed_vec.end());
+  knobs::Config config = base;
+  RuleContext ctx(registry, &config);
+
+  const double ram = hardware.ram_bytes();
+  const double disk = hardware.disk_bytes();
+  const bool write_heavy = workload.read_fraction < 0.6;
+  const bool olap = workload.sort_heavy_fraction > 0.3;
+  const double cores = static_cast<double>(hardware.cpu_cores);
+
+  double io_capacity;
+  switch (hardware.disk_type) {
+    case env::DiskType::kHdd:
+      io_capacity = 500.0;
+      break;
+    case env::DiskType::kNvm:
+      io_capacity = 20000.0;
+      break;
+    case env::DiskType::kSsd:
+    default:
+      io_capacity = 10000.0;
+      break;
+  }
+
+  // --- MySQL rules ---------------------------------------------------------
+  ctx.Set("innodb_buffer_pool_size", 0.72 * ram, allowed);
+  // Redo sized for write bursts, capped far below the disk-capacity rule.
+  double log_file = write_heavy ? 2.0 * kGiB : 512.0 * kMiB;
+  log_file = std::min(log_file, 0.02 * disk);
+  ctx.Set("innodb_log_file_size", log_file, allowed);
+  ctx.Set("innodb_log_files_in_group", write_heavy ? 4 : 2, allowed);
+  ctx.Set("innodb_log_buffer_size", 64.0 * kMiB, allowed);
+  ctx.Set("innodb_flush_log_at_trx_commit", 1, allowed);  // Never trade safety.
+  ctx.Set("sync_binlog", 1, allowed);
+  ctx.Set("innodb_read_io_threads", std::min(16.0, cores), allowed);
+  ctx.Set("innodb_write_io_threads", std::min(16.0, cores), allowed);
+  ctx.Set("innodb_page_cleaners", write_heavy ? 8 : 4, allowed);
+  ctx.Set("innodb_purge_threads", write_heavy ? 8 : 4, allowed);
+  ctx.Set("innodb_io_capacity", io_capacity, allowed);
+  ctx.Set("innodb_io_capacity_max", 2.0 * io_capacity, allowed);
+  ctx.Set("innodb_max_dirty_pages_pct", 75.0, allowed);
+  ctx.Set("innodb_flush_method", 2, allowed);  // O_DIRECT.
+  ctx.Set("innodb_thread_concurrency", 0, allowed);
+  ctx.Set("max_connections",
+          std::max(500.0, 1.3 * static_cast<double>(workload.client_threads)),
+          allowed);
+  ctx.Set("thread_cache_size", 128, allowed);
+  ctx.Set("table_open_cache", 4000, allowed);
+  ctx.Set("tmp_table_size", olap ? 512.0 * kMiB : 64.0 * kMiB, allowed);
+  ctx.Set("max_heap_table_size", olap ? 512.0 * kMiB : 64.0 * kMiB, allowed);
+  ctx.Set("sort_buffer_size", olap ? 64.0 * kMiB : 1.0 * kMiB, allowed);
+  ctx.Set("join_buffer_size", olap ? 32.0 * kMiB : 1.0 * kMiB, allowed);
+  ctx.Set("read_buffer_size", olap ? 8.0 * kMiB : 256.0 * 1024, allowed);
+  ctx.Set("read_rnd_buffer_size", olap ? 16.0 * kMiB : 512.0 * 1024, allowed);
+  ctx.Set("innodb_doublewrite", 1, allowed);
+  ctx.Set("innodb_adaptive_hash_index", olap ? 0 : 1, allowed);
+  ctx.Set("innodb_lru_scan_depth", write_heavy ? 4096 : 1024, allowed);
+  ctx.Set("innodb_change_buffer_max_size", write_heavy ? 40 : 25, allowed);
+  ctx.Set("innodb_flush_neighbors",
+          hardware.disk_type == env::DiskType::kHdd ? 1 : 0, allowed);
+  ctx.Set("innodb_old_blocks_pct", 37, allowed);
+
+  // --- Postgres rules --------------------------------------------------------
+  ctx.Set("shared_buffers", 0.25 * ram, allowed);  // Classic Postgres lore.
+  ctx.Set("effective_cache_size", 0.70 * ram, allowed);
+  ctx.Set("work_mem", olap ? 128.0 * kMiB : 8.0 * kMiB, allowed);
+  ctx.Set("maintenance_work_mem", 0.05 * ram, allowed);
+  ctx.Set("wal_buffers", 64.0 * kMiB, allowed);
+  ctx.Set("max_wal_size", std::min(16.0 * kGiB, 0.05 * disk), allowed);
+  ctx.Set("checkpoint_completion_target", 0.9, allowed);
+  ctx.Set("checkpoint_timeout", 900, allowed);
+  ctx.Set("synchronous_commit", 3, allowed);  // on.
+  ctx.Set("bgwriter_delay", 50, allowed);
+  ctx.Set("bgwriter_lru_maxpages", 1000, allowed);
+  ctx.Set("effective_io_concurrency",
+          hardware.disk_type == env::DiskType::kHdd ? 2 : 200, allowed);
+  ctx.Set("temp_buffers", olap ? 256.0 * kMiB : 16.0 * kMiB, allowed);
+  ctx.Set("random_page_cost",
+          hardware.disk_type == env::DiskType::kHdd ? 4.0 : 1.1, allowed);
+  ctx.Set("max_parallel_workers", cores, allowed);
+
+  // --- MongoDB rules -----------------------------------------------------------
+  ctx.Set("wiredtiger_cache_size", std::max(1.0 * kGiB, 0.5 * (ram - kGiB)),
+          allowed);
+  ctx.Set("journal_commit_interval", 100, allowed);
+  ctx.Set("read_tickets", 128, allowed);
+  ctx.Set("write_tickets", 128, allowed);
+  ctx.Set("eviction_threads_min", 8, allowed);
+  ctx.Set("eviction_threads_max", 8, allowed);
+  ctx.Set("eviction_dirty_target", 5, allowed);
+  ctx.Set("eviction_dirty_trigger", 20, allowed);
+  ctx.Set("sync_period_secs", 60, allowed);
+  ctx.Set("block_compressor", 1, allowed);  // snappy.
+
+  // --- Beyond the rules: coarse "give it a bit more" heuristics -----------
+  // The DBA has no model for the long tail; within the granted budget they
+  // nudge unknown knobs upward from the default, which is sometimes right
+  // and often not — the source of the Figure 6 plateau/dip.
+  size_t ruled = 0;
+  std::unordered_set<std::string> rule_names;
+  for (const char* n : kDbaPriorityNames) rule_names.insert(n);
+  for (size_t idx : allowed) {
+    const knobs::KnobDef& def = registry.def(idx);
+    if (rule_names.count(def.name)) {
+      ++ruled;
+      continue;
+    }
+    double default_norm = knobs::NormalizeKnobValue(def, def.default_value);
+    double guess_norm = std::clamp(default_norm + 0.18, 0.0, 1.0);
+    config[idx] = knobs::DenormalizeKnobValue(def, guess_norm);
+  }
+  (void)ruled;
+  return registry.Sanitize(config);
+}
+
+BaselineResult DbaTuner::TuneOnce(env::DbInterface& db,
+                                  const workload::WorkloadSpec& workload,
+                                  double stress_duration_s, int knob_budget) {
+  BaselineResult out;
+  auto baseline = db.RunStress(workload, stress_duration_s);
+  if (!baseline.ok()) return out;
+  out.initial.throughput = baseline.value().external.throughput_tps;
+  out.initial.latency = baseline.value().external.latency_p99_ms;
+  out.best = out.initial;
+  out.best_config = db.current_config();
+
+  knobs::Config rec = Recommend(db.registry(), db.hardware(), workload,
+                                db.current_config(), knob_budget);
+  if (!db.ApplyConfig(rec).ok()) {
+    ++out.crashes;  // A DBA would back out; keep the baseline result.
+    return out;
+  }
+  auto result = db.RunStress(workload, stress_duration_s);
+  if (!result.ok()) return out;
+  double tps = result.value().external.throughput_tps;
+  double lat = result.value().external.latency_p99_ms;
+  out.steps = 1;
+  out.step_throughput.push_back(tps);
+  double score =
+      0.5 * (tps / out.initial.throughput) + 0.5 * (out.initial.latency / lat);
+  if (score > 1.0) {
+    out.best.throughput = tps;
+    out.best.latency = lat;
+    out.best_config = rec;
+  } else {
+    // Recommendation did not help; the DBA reverts.
+    util::Status revert = db.ApplyConfig(out.best_config);
+    if (!revert.ok()) {
+      CDBTUNE_LOG(Warning) << "DBA revert failed: " << revert.ToString();
+    }
+  }
+  return out;
+}
+
+}  // namespace cdbtune::baselines

@@ -1,0 +1,65 @@
+#ifndef CDBTUNE_BASELINES_DBA_H_
+#define CDBTUNE_BASELINES_DBA_H_
+
+#include <vector>
+
+#include "baselines/baseline_result.h"
+#include "env/db_interface.h"
+#include "knobs/registry.h"
+#include "workload/workload.h"
+
+namespace cdbtune::baselines {
+
+/// Rule-based tuner standing in for the paper's three Tencent DBA experts
+/// (12 years of MySQL tuning each). The rules encode standard operational
+/// lore:
+///
+///   - buffer pool ~= 70-75% of RAM, bounded away from OOM;
+///   - redo log sized to minutes of write burst, capped well below disk
+///     capacity (the manual's log-vs-disk rule of Section 5.2.3);
+///   - background I/O scaled to the device class and core count;
+///   - durability stays strict (flush_log_at_trx_commit = 1, sync_binlog =
+///     1) — a professional DBA does not trade safety for speed;
+///   - session buffers raised for OLAP, connection limits raised for high
+///     client counts.
+///
+/// DBAs tune the knobs they know; when asked to tune the long tail beyond
+/// their core list (the Figure 6 sweep), they fall back on coarse
+/// rules of thumb, which is where their curve flattens and dips.
+class DbaTuner {
+ public:
+  /// Recommends values for the first `knob_budget` knobs of the DBA's own
+  /// importance order (rules for the core knobs, coarse heuristics beyond),
+  /// leaving the rest at `base` values. knob_budget < 0 tunes the full
+  /// importance order.
+  static knobs::Config Recommend(const knobs::KnobRegistry& registry,
+                                 const env::HardwareSpec& hardware,
+                                 const workload::WorkloadSpec& workload,
+                                 const knobs::Config& base,
+                                 int knob_budget = -1);
+
+  /// Like Recommend, but the DBA may only touch the given knob indices —
+  /// the Figure 7 setting, where the sweep order comes from OtterTune's
+  /// ranking rather than the DBA's own.
+  static knobs::Config RecommendSubset(const knobs::KnobRegistry& registry,
+                                       const env::HardwareSpec& hardware,
+                                       const workload::WorkloadSpec& workload,
+                                       const knobs::Config& base,
+                                       const std::vector<size_t>& allowed);
+
+  /// The DBA's knob importance ranking (Figure 6's order): the core rules
+  /// first, then the remaining tunable knobs in catalog order.
+  static std::vector<size_t> ImportanceOrder(const knobs::KnobRegistry& registry);
+
+  /// Convenience wrapper producing a BaselineResult by deploying the
+  /// recommendation and stress-testing once — the DBA does their analysis
+  /// offline and deploys one configuration.
+  static BaselineResult TuneOnce(env::DbInterface& db,
+                                 const workload::WorkloadSpec& workload,
+                                 double stress_duration_s = 150.0,
+                                 int knob_budget = -1);
+};
+
+}  // namespace cdbtune::baselines
+
+#endif  // CDBTUNE_BASELINES_DBA_H_

@@ -1,0 +1,139 @@
+#include "baselines/gp.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace cdbtune::baselines {
+
+bool CholeskyDecompose(std::vector<double>& a, size_t n) {
+  for (size_t j = 0; j < n; ++j) {
+    double d = a[j * n + j];
+    for (size_t k = 0; k < j; ++k) d -= a[j * n + k] * a[j * n + k];
+    if (d <= 0.0) return false;
+    double diag = std::sqrt(d);
+    a[j * n + j] = diag;
+    for (size_t i = j + 1; i < n; ++i) {
+      double s = a[i * n + j];
+      for (size_t k = 0; k < j; ++k) s -= a[i * n + k] * a[j * n + k];
+      a[i * n + j] = s / diag;
+    }
+    // Zero the strictly-upper part so chol_ is cleanly lower-triangular.
+    for (size_t k = j + 1; k < n; ++k) a[j * n + k] = 0.0;
+  }
+  return true;
+}
+
+namespace {
+
+/// Solves L x = b (forward substitution) for lower-triangular L.
+void ForwardSolve(const std::vector<double>& chol, size_t n,
+                  std::vector<double>& b) {
+  for (size_t i = 0; i < n; ++i) {
+    double s = b[i];
+    for (size_t k = 0; k < i; ++k) s -= chol[i * n + k] * b[k];
+    b[i] = s / chol[i * n + i];
+  }
+}
+
+/// Solves L^T x = b (backward substitution).
+void BackwardSolve(const std::vector<double>& chol, size_t n,
+                   std::vector<double>& b) {
+  for (size_t i = n; i-- > 0;) {
+    double s = b[i];
+    for (size_t k = i + 1; k < n; ++k) s -= chol[k * n + i] * b[k];
+    b[i] = s / chol[i * n + i];
+  }
+}
+
+}  // namespace
+
+GaussianProcess::GaussianProcess() : GaussianProcess(Options()) {}
+
+GaussianProcess::GaussianProcess(Options options) : options_(options) {}
+
+double GaussianProcess::Kernel(const std::vector<double>& a,
+                               const std::vector<double>& b) const {
+  double sq = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    double d = a[i] - b[i];
+    sq += d * d;
+  }
+  return options_.signal_var *
+         std::exp(-sq / (2.0 * options_.length_scale * options_.length_scale));
+}
+
+util::Status GaussianProcess::Fit(
+    const std::vector<std::vector<double>>& inputs,
+    const std::vector<double>& targets) {
+  if (inputs.empty() || inputs.size() != targets.size()) {
+    return util::Status::InvalidArgument("empty or mismatched GP data");
+  }
+  const size_t n = inputs.size();
+  inputs_ = inputs;
+  targets_ = targets;
+  target_mean_ = 0.0;
+  for (double y : targets_) target_mean_ += y;
+  target_mean_ /= static_cast<double>(n);
+
+  chol_.assign(n * n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j <= i; ++j) {
+      double k = Kernel(inputs_[i], inputs_[j]);
+      chol_[i * n + j] = k;
+      chol_[j * n + i] = k;
+    }
+    chol_[i * n + i] += options_.noise_var;
+  }
+  if (!CholeskyDecompose(chol_, n)) {
+    fitted_ = false;
+    return util::Status::Internal("GP kernel matrix not positive definite");
+  }
+  alpha_.assign(n, 0.0);
+  for (size_t i = 0; i < n; ++i) alpha_[i] = targets_[i] - target_mean_;
+  ForwardSolve(chol_, n, alpha_);
+  BackwardSolve(chol_, n, alpha_);
+  fitted_ = true;
+  return util::Status::Ok();
+}
+
+void GaussianProcess::Predict(const std::vector<double>& x, double* mean,
+                              double* variance) const {
+  CDBTUNE_CHECK(fitted_) << "Predict before Fit";
+  const size_t n = inputs_.size();
+  std::vector<double> k_star(n);
+  for (size_t i = 0; i < n; ++i) k_star[i] = Kernel(x, inputs_[i]);
+
+  double m = target_mean_;
+  for (size_t i = 0; i < n; ++i) m += k_star[i] * alpha_[i];
+  if (mean != nullptr) *mean = m;
+
+  if (variance != nullptr) {
+    std::vector<double> v = k_star;
+    ForwardSolve(chol_, n, v);
+    double reduce = 0.0;
+    for (double value : v) reduce += value * value;
+    *variance = std::max(0.0, Kernel(x, x) - reduce);
+  }
+}
+
+double GaussianProcess::Ucb(const std::vector<double>& x, double kappa) const {
+  double mean = 0.0, var = 0.0;
+  Predict(x, &mean, &var);
+  return mean + kappa * std::sqrt(var);
+}
+
+double GaussianProcess::ExpectedImprovement(const std::vector<double>& x,
+                                            double best) const {
+  double mean = 0.0, var = 0.0;
+  Predict(x, &mean, &var);
+  double sd = std::sqrt(var);
+  if (sd < 1e-12) return std::max(0.0, mean - best);
+  double z = (mean - best) / sd;
+  // Standard normal pdf/cdf.
+  double pdf = std::exp(-0.5 * z * z) / std::sqrt(2.0 * M_PI);
+  double cdf = 0.5 * std::erfc(-z / std::sqrt(2.0));
+  return (mean - best) * cdf + sd * pdf;
+}
+
+}  // namespace cdbtune::baselines

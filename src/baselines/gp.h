@@ -1,0 +1,68 @@
+#ifndef CDBTUNE_BASELINES_GP_H_
+#define CDBTUNE_BASELINES_GP_H_
+
+#include <vector>
+
+#include "util/status.h"
+
+namespace cdbtune::baselines {
+
+/// Gaussian Process regression with an RBF kernel — the learning core of
+/// the OtterTune baseline (Van Aken et al. 2017 use GP regression for
+/// config recommendation; Section 5.1.2 of the CDBTune paper:
+/// "OtterTune adopts simple GP regression").
+///
+/// k(x, y) = signal_var * exp(-||x - y||^2 / (2 * length_scale^2))
+/// with observation noise `noise_var` on the diagonal.
+class GaussianProcess {
+ public:
+  struct Options {
+    double length_scale = 0.8;
+    double signal_var = 1.0;
+    double noise_var = 1e-3;
+  };
+
+  GaussianProcess();  // Default options.
+  explicit GaussianProcess(Options options);
+
+  /// Fits the posterior on inputs X (n x d) and targets y (n). Returns an
+  /// error if the kernel matrix is not positive definite (degenerate data).
+  util::Status Fit(const std::vector<std::vector<double>>& inputs,
+                   const std::vector<double>& targets);
+
+  /// Posterior mean and variance at one point. Requires a successful Fit.
+  void Predict(const std::vector<double>& x, double* mean,
+               double* variance) const;
+
+  /// Upper confidence bound mean + kappa * stddev, OtterTune's
+  /// exploration-aware acquisition.
+  double Ucb(const std::vector<double>& x, double kappa) const;
+
+  /// Expected improvement over `best` (for maximization).
+  double ExpectedImprovement(const std::vector<double>& x, double best) const;
+
+  size_t num_samples() const { return inputs_.size(); }
+  bool fitted() const { return fitted_; }
+
+ private:
+  double Kernel(const std::vector<double>& a,
+                const std::vector<double>& b) const;
+
+  Options options_;
+  std::vector<std::vector<double>> inputs_;
+  std::vector<double> targets_;
+  double target_mean_ = 0.0;
+  /// Lower-triangular Cholesky factor of (K + noise I), row-major n x n.
+  std::vector<double> chol_;
+  /// alpha = K^-1 (y - mean).
+  std::vector<double> alpha_;
+  bool fitted_ = false;
+};
+
+/// In-place Cholesky decomposition of a row-major n x n matrix; returns
+/// false if the matrix is not positive definite. Exposed for testing.
+bool CholeskyDecompose(std::vector<double>& a, size_t n);
+
+}  // namespace cdbtune::baselines
+
+#endif  // CDBTUNE_BASELINES_GP_H_

@@ -1,0 +1,110 @@
+#include "baselines/lasso.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/logging.h"
+
+namespace cdbtune::baselines {
+
+Lasso::Lasso() : Lasso(Options()) {}
+
+Lasso::Lasso(Options options) : options_(options) {}
+
+void Lasso::Fit(const std::vector<std::vector<double>>& inputs,
+                const std::vector<double>& targets) {
+  CDBTUNE_CHECK(!inputs.empty() && inputs.size() == targets.size())
+      << "empty or mismatched Lasso data";
+  const size_t n = inputs.size();
+  const size_t d = inputs[0].size();
+
+  // Standardize features; center targets.
+  feature_mean_.assign(d, 0.0);
+  feature_scale_.assign(d, 1.0);
+  for (size_t j = 0; j < d; ++j) {
+    double m = 0.0;
+    for (size_t i = 0; i < n; ++i) m += inputs[i][j];
+    m /= static_cast<double>(n);
+    double v = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      double diff = inputs[i][j] - m;
+      v += diff * diff;
+    }
+    v /= static_cast<double>(n);
+    feature_mean_[j] = m;
+    feature_scale_[j] = v > 1e-12 ? std::sqrt(v) : 1.0;
+  }
+  double y_mean =
+      std::accumulate(targets.begin(), targets.end(), 0.0) / static_cast<double>(n);
+
+  std::vector<std::vector<double>> x(n, std::vector<double>(d));
+  std::vector<double> y(n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < d; ++j) {
+      x[i][j] = (inputs[i][j] - feature_mean_[j]) / feature_scale_[j];
+    }
+    y[i] = targets[i] - y_mean;
+  }
+
+  weights_.assign(d, 0.0);
+  std::vector<double> residual = y;  // y - X w, with w = 0.
+  // Column squared norms for coordinate updates.
+  std::vector<double> col_sq(d, 0.0);
+  for (size_t j = 0; j < d; ++j) {
+    for (size_t i = 0; i < n; ++i) col_sq[j] += x[i][j] * x[i][j];
+  }
+  const double lambda_n = options_.lambda * static_cast<double>(n);
+
+  for (int it = 0; it < options_.max_iterations; ++it) {
+    double max_delta = 0.0;
+    for (size_t j = 0; j < d; ++j) {
+      if (col_sq[j] < 1e-12) continue;
+      // rho = x_j . (residual + w_j x_j)
+      double rho = 0.0;
+      for (size_t i = 0; i < n; ++i) rho += x[i][j] * residual[i];
+      rho += weights_[j] * col_sq[j];
+      // Soft threshold.
+      double w_new;
+      if (rho > lambda_n) {
+        w_new = (rho - lambda_n) / col_sq[j];
+      } else if (rho < -lambda_n) {
+        w_new = (rho + lambda_n) / col_sq[j];
+      } else {
+        w_new = 0.0;
+      }
+      double delta = w_new - weights_[j];
+      if (delta != 0.0) {
+        for (size_t i = 0; i < n; ++i) residual[i] -= delta * x[i][j];
+        weights_[j] = w_new;
+        max_delta = std::max(max_delta, std::fabs(delta));
+      }
+    }
+    if (max_delta < options_.tolerance) break;
+  }
+  // Fold standardization into the intercept for Predict on raw inputs.
+  intercept_ = y_mean;
+  for (size_t j = 0; j < d; ++j) {
+    intercept_ -= weights_[j] * feature_mean_[j] / feature_scale_[j];
+  }
+}
+
+double Lasso::Predict(const std::vector<double>& x) const {
+  CDBTUNE_CHECK(x.size() == weights_.size()) << "feature count mismatch";
+  double y = intercept_;
+  for (size_t j = 0; j < x.size(); ++j) {
+    y += weights_[j] / feature_scale_[j] * x[j];
+  }
+  return y;
+}
+
+std::vector<size_t> Lasso::RankFeatures() const {
+  std::vector<size_t> order(weights_.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [this](size_t a, size_t b) {
+    return std::fabs(weights_[a]) > std::fabs(weights_[b]);
+  });
+  return order;
+}
+
+}  // namespace cdbtune::baselines

@@ -1,0 +1,48 @@
+#ifndef CDBTUNE_BASELINES_LASSO_H_
+#define CDBTUNE_BASELINES_LASSO_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace cdbtune::baselines {
+
+/// L1-regularized linear regression fit by cyclic coordinate descent.
+///
+/// OtterTune's pipeline ranks knobs by importance with Lasso before GP
+/// modeling (the "identify the most impactful knobs" stage); CDBTune's
+/// Figure 7 sweeps knob counts in exactly this OtterTune-produced order.
+class Lasso {
+ public:
+  struct Options {
+    double lambda = 0.01;
+    int max_iterations = 500;
+    double tolerance = 1e-7;
+  };
+
+  Lasso();  // Default options.
+  explicit Lasso(Options options);
+
+  /// Fits y ~ X w + b on standardized copies of the columns. X is n rows of
+  /// d features.
+  void Fit(const std::vector<std::vector<double>>& inputs,
+           const std::vector<double>& targets);
+
+  const std::vector<double>& weights() const { return weights_; }
+  double intercept() const { return intercept_; }
+
+  double Predict(const std::vector<double>& x) const;
+
+  /// Feature indices sorted by |weight| descending — the importance order.
+  std::vector<size_t> RankFeatures() const;
+
+ private:
+  Options options_;
+  std::vector<double> weights_;
+  double intercept_ = 0.0;
+  std::vector<double> feature_mean_;
+  std::vector<double> feature_scale_;
+};
+
+}  // namespace cdbtune::baselines
+
+#endif  // CDBTUNE_BASELINES_LASSO_H_

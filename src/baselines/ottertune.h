@@ -1,0 +1,114 @@
+#ifndef CDBTUNE_BASELINES_OTTERTUNE_H_
+#define CDBTUNE_BASELINES_OTTERTUNE_H_
+
+#include <string>
+#include <vector>
+
+#include "baselines/baseline_result.h"
+#include "baselines/gp.h"
+#include "baselines/lasso.h"
+#include "env/db_interface.h"
+#include "knobs/registry.h"
+#include "util/random.h"
+#include "workload/workload.h"
+
+namespace cdbtune::baselines {
+
+/// One historical tuning observation in OtterTune's repository.
+struct Observation {
+  /// Normalized values of the active knobs.
+  std::vector<double> action;
+  /// Feature vector of the workload that produced it (used for mapping).
+  std::vector<double> workload_features;
+  /// Composite performance score (higher is better), comparable across
+  /// observations of the same workload.
+  double score = 0.0;
+  double throughput = 0.0;
+  double latency = 0.0;
+  std::string workload_name;
+};
+
+/// Extracts the mapping features from a workload spec.
+std::vector<double> WorkloadFeatures(const workload::WorkloadSpec& spec);
+
+struct OtterTuneOptions {
+  /// Online recommendation steps per tuning request (Table 2: 11).
+  int online_steps = 11;
+  /// Candidate configurations scored by the surrogate per step.
+  int candidate_count = 600;
+  /// UCB exploration factor.
+  double ucb_kappa = 1.5;
+  /// GP kernel options. A non-positive length_scale means "auto": it is set
+  /// to 0.35 * sqrt(action_dim) at construction — in a d-dimensional unit
+  /// cube random points sit ~sqrt(d/6) apart, so a fixed small length scale
+  /// would make every observation look uncorrelated and reduce the GP to
+  /// its prior.
+  GaussianProcess::Options gp{.length_scale = 0.0};
+  /// "OtterTune with deep learning" (Figure 1): replaces GP regression with
+  /// an MLP regressor over the same pipeline.
+  bool use_dnn = false;
+  int dnn_epochs = 120;
+  /// GP fitting is O(n^3); past this many observations the surrogate fits
+  /// on a subsample (best-scoring observations plus a random slice), the
+  /// same pruning trade-off the real OtterTune makes to keep GP regression
+  /// tractable as its repository grows.
+  size_t gp_max_samples = 600;
+  double stress_duration_s = 150.0;
+  uint64_t seed = 23;
+};
+
+/// Reproduction of the OtterTune pipeline (Van Aken et al. 2017) as the
+/// paper evaluates it: offline repository of observations -> workload
+/// mapping (nearest historical workload) -> knob ranking (Lasso) -> GP
+/// regression surrogate -> candidate search with UCB -> iterate online.
+///
+/// The pipelined structure — each stage optimized in isolation — is exactly
+/// what CDBTune's end-to-end design replaces (Section 1, limitation 1).
+class OtterTune {
+ public:
+  OtterTune(env::DbInterface* db, knobs::KnobSpace space,
+            OtterTuneOptions options);
+
+  /// Loads one historical observation (accumulated samples + the paper's
+  /// DBA experience data, Section 5 "DBA Data").
+  void AddObservation(Observation observation);
+
+  /// Cold data collection: evaluates `count` random configurations under
+  /// `spec` and stores them as observations. This is the "training data"
+  /// axis of Figures 1a/1b.
+  void CollectSamples(const workload::WorkloadSpec& spec, int count);
+
+  /// Knob importance order from Lasso over the stored observations
+  /// (the ranking used by Figure 7). Indices are into the active knob list.
+  std::vector<size_t> RankKnobs();
+
+  /// One online tuning request: maps the workload, fits the surrogate,
+  /// iterates `online_steps` recommend-deploy-measure rounds and returns
+  /// the best configuration found.
+  BaselineResult Tune(const workload::WorkloadSpec& spec, int steps = -1);
+
+  size_t repository_size() const { return repository_.size(); }
+  void SetDatabase(env::DbInterface* db);
+
+ private:
+  /// Observations of the nearest historical workload (the mapping stage).
+  std::vector<const Observation*> MapWorkload(
+      const std::vector<double>& features) const;
+
+  /// Fits the configured surrogate on (action, score) pairs and returns the
+  /// acquisition value of each candidate.
+  std::vector<double> ScoreCandidates(
+      const std::vector<std::vector<double>>& train_x,
+      const std::vector<double>& train_y,
+      const std::vector<std::vector<double>>& candidates, double best_score);
+
+  env::DbInterface* db_;  // Not owned.
+  knobs::KnobSpace space_;
+  OtterTuneOptions options_;
+  util::Rng rng_;
+  std::vector<Observation> repository_;
+};
+
+}  // namespace cdbtune::baselines
+
+#endif  // CDBTUNE_BASELINES_OTTERTUNE_H_

@@ -1,0 +1,60 @@
+#include "baselines/random_tuner.h"
+
+#include "util/logging.h"
+
+namespace cdbtune::baselines {
+
+RandomTuner::RandomTuner(env::DbInterface* db, knobs::KnobSpace space,
+                         uint64_t seed, double stress_duration_s)
+    : db_(db),
+      space_(std::move(space)),
+      rng_(seed),
+      stress_duration_s_(stress_duration_s) {
+  CDBTUNE_CHECK(db_ != nullptr);
+}
+
+BaselineResult RandomTuner::Search(const workload::WorkloadSpec& spec,
+                                   int budget) {
+  BaselineResult out;
+  const knobs::Config base = db_->current_config();
+  auto baseline = db_->RunStress(spec, stress_duration_s_);
+  if (!baseline.ok()) return out;
+  out.initial.throughput = baseline.value().external.throughput_tps;
+  out.initial.latency = baseline.value().external.latency_p99_ms;
+  out.best = out.initial;
+  out.best_config = base;
+  double best_score = 1.0;
+
+  for (int step = 1; step <= budget; ++step) {
+    std::vector<double> action(space_.action_dim());
+    for (double& a : action) a = rng_.Uniform();
+    knobs::Config config = space_.ActionToConfig(action, base);
+    out.steps = step;
+    if (!db_->ApplyConfig(config).ok()) {
+      ++out.crashes;
+      out.step_throughput.push_back(0.0);
+      continue;
+    }
+    auto result = db_->RunStress(spec, stress_duration_s_);
+    if (!result.ok()) break;
+    double tps = result.value().external.throughput_tps;
+    double lat = result.value().external.latency_p99_ms;
+    out.step_throughput.push_back(tps);
+    double score = 0.5 * (tps / out.initial.throughput) +
+                   0.5 * (out.initial.latency / lat);
+    if (score > best_score) {
+      best_score = score;
+      out.best.throughput = tps;
+      out.best.latency = lat;
+      out.best_config = db_->current_config();
+    }
+  }
+  util::Status final_deploy = db_->ApplyConfig(out.best_config);
+  if (!final_deploy.ok()) {
+    CDBTUNE_LOG(Warning) << "random tuner final deploy failed: "
+                         << final_deploy.ToString();
+  }
+  return out;
+}
+
+}  // namespace cdbtune::baselines

@@ -1,0 +1,30 @@
+#ifndef CDBTUNE_BASELINES_RANDOM_TUNER_H_
+#define CDBTUNE_BASELINES_RANDOM_TUNER_H_
+
+#include "baselines/baseline_result.h"
+#include "env/db_interface.h"
+#include "knobs/registry.h"
+#include "util/random.h"
+#include "workload/workload.h"
+
+namespace cdbtune::baselines {
+
+/// Uniform random search — the sanity floor every learned or engineered
+/// tuner must beat at equal step budget.
+class RandomTuner {
+ public:
+  RandomTuner(env::DbInterface* db, knobs::KnobSpace space, uint64_t seed = 31,
+              double stress_duration_s = 150.0);
+
+  BaselineResult Search(const workload::WorkloadSpec& spec, int budget);
+
+ private:
+  env::DbInterface* db_;  // Not owned.
+  knobs::KnobSpace space_;
+  util::Rng rng_;
+  double stress_duration_s_;
+};
+
+}  // namespace cdbtune::baselines
+
+#endif  // CDBTUNE_BASELINES_RANDOM_TUNER_H_

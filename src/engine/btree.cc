@@ -1,0 +1,358 @@
+#include "engine/btree.h"
+
+#include <cstring>
+
+#include "util/logging.h"
+
+namespace cdbtune::engine {
+
+util::StatusOr<std::unique_ptr<BTree>> BTree::Create(BufferPool* pool) {
+  CDBTUNE_CHECK(pool != nullptr);
+  std::unique_ptr<BTree> tree(new BTree(pool));
+  PageId root_id;
+  auto root = pool->NewPage(&root_id);
+  if (!root.ok()) return root.status();
+  Page::Header h;
+  h.page_id = root_id;
+  h.type = PageType::kBTreeLeaf;
+  h.num_entries = 0;
+  h.next_page = kInvalidPageId;
+  root.value()->set_header(h);
+  pool->UnpinPage(root_id, /*dirty=*/true);
+  tree->root_ = root_id;
+  return tree;
+}
+
+std::unique_ptr<BTree> BTree::Attach(BufferPool* pool, PageId root,
+                                     size_t height, size_t num_entries) {
+  CDBTUNE_CHECK(pool != nullptr);
+  std::unique_ptr<BTree> tree(new BTree(pool));
+  tree->root_ = root;
+  tree->height_ = height;
+  tree->num_entries_ = num_entries;
+  return tree;
+}
+
+size_t BTree::LeafLowerBound(const Page& page, uint64_t key) {
+  size_t lo = 0, hi = page.header().num_entries;
+  while (lo < hi) {
+    size_t mid = (lo + hi) / 2;
+    if (page.LeafKey(mid) < key) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+size_t BTree::InternalLowerSlot(const Page& page, uint64_t key) {
+  // Entry 0 is the sentinel minimum; find the last slot with key <= target.
+  size_t n = page.header().num_entries;
+  CDBTUNE_CHECK(n > 0) << "empty internal page";
+  size_t lo = 0, hi = n - 1;
+  while (lo < hi) {
+    size_t mid = (lo + hi + 1) / 2;
+    if (page.InternalKey(mid) <= key) {
+      lo = mid;
+    } else {
+      hi = mid - 1;
+    }
+  }
+  return lo;
+}
+
+util::StatusOr<PageId> BTree::FindLeaf(uint64_t key,
+                                       std::vector<PathEntry>* path) {
+  PageId current = root_;
+  while (true) {
+    auto page = pool_->FetchPage(current);
+    if (!page.ok()) return page.status();
+    Page::Header h = page.value()->header();
+    if (h.type == PageType::kBTreeLeaf) {
+      pool_->UnpinPage(current, /*dirty=*/false);
+      return current;
+    }
+    size_t slot = InternalLowerSlot(*page.value(), key);
+    PageId child = page.value()->InternalChild(slot);
+    pool_->UnpinPage(current, /*dirty=*/false);
+    if (path != nullptr) path->push_back({current, slot});
+    current = child;
+  }
+}
+
+util::StatusOr<bool> BTree::Get(uint64_t key, char* payload) {
+  auto leaf_id = FindLeaf(key, nullptr);
+  if (!leaf_id.ok()) return leaf_id.status();
+  auto page = pool_->FetchPage(leaf_id.value());
+  if (!page.ok()) return page.status();
+  const Page& leaf = *page.value();
+  size_t slot = LeafLowerBound(leaf, key);
+  bool found =
+      slot < leaf.header().num_entries && leaf.LeafKey(slot) == key;
+  if (found && payload != nullptr) {
+    uint64_t k;
+    leaf.LeafEntry(slot, &k, payload);
+  }
+  pool_->UnpinPage(leaf_id.value(), /*dirty=*/false);
+  return found;
+}
+
+util::StatusOr<bool> BTree::Update(uint64_t key, const char* payload) {
+  auto leaf_id = FindLeaf(key, nullptr);
+  if (!leaf_id.ok()) return leaf_id.status();
+  auto page = pool_->FetchPage(leaf_id.value());
+  if (!page.ok()) return page.status();
+  Page& leaf = *page.value();
+  size_t slot = LeafLowerBound(leaf, key);
+  bool found =
+      slot < leaf.header().num_entries && leaf.LeafKey(slot) == key;
+  if (found) leaf.SetLeafEntry(slot, key, payload);
+  pool_->UnpinPage(leaf_id.value(), /*dirty=*/found);
+  return found;
+}
+
+util::StatusOr<bool> BTree::Delete(uint64_t key) {
+  auto leaf_id = FindLeaf(key, nullptr);
+  if (!leaf_id.ok()) return leaf_id.status();
+  auto page = pool_->FetchPage(leaf_id.value());
+  if (!page.ok()) return page.status();
+  Page& leaf = *page.value();
+  Page::Header h = leaf.header();
+  size_t slot = LeafLowerBound(leaf, key);
+  bool found = slot < h.num_entries && leaf.LeafKey(slot) == key;
+  if (found) {
+    leaf.ShiftLeafEntries(slot + 1, h.num_entries - slot - 1, -1);
+    --h.num_entries;
+    leaf.set_header(h);
+    --num_entries_;
+  }
+  pool_->UnpinPage(leaf_id.value(), /*dirty=*/found);
+  return found;
+}
+
+util::StatusOr<size_t> BTree::Scan(uint64_t start_key, size_t max_rows) {
+  auto leaf_id = FindLeaf(start_key, nullptr);
+  if (!leaf_id.ok()) return leaf_id.status();
+  PageId current = leaf_id.value();
+  size_t visited = 0;
+  char payload[kRecordPayload];
+  bool first = true;
+  while (current != kInvalidPageId && visited < max_rows) {
+    auto page = pool_->FetchPage(current);
+    if (!page.ok()) return page.status();
+    const Page& leaf = *page.value();
+    Page::Header h = leaf.header();
+    size_t slot = first ? LeafLowerBound(leaf, start_key) : 0;
+    first = false;
+    for (; slot < h.num_entries && visited < max_rows; ++slot) {
+      uint64_t k;
+      leaf.LeafEntry(slot, &k, payload);
+      ++visited;
+    }
+    pool_->UnpinPage(current, /*dirty=*/false);
+    current = h.next_page;
+  }
+  return visited;
+}
+
+util::Status BTree::InsertIntoParent(std::vector<PathEntry>& path,
+                                     uint64_t separator, PageId right_id) {
+  if (path.empty()) {
+    // Split reached the root: grow the tree by one level.
+    PageId old_root = root_;
+    PageId new_root_id;
+    auto new_root = pool_->NewPage(&new_root_id);
+    if (!new_root.ok()) return new_root.status();
+    Page::Header h;
+    h.page_id = new_root_id;
+    h.type = PageType::kBTreeInternal;
+    h.num_entries = 2;
+    h.next_page = kInvalidPageId;
+    new_root.value()->set_header(h);
+    new_root.value()->SetInternalEntry(0, 0, old_root);
+    new_root.value()->SetInternalEntry(1, separator, right_id);
+    pool_->UnpinPage(new_root_id, /*dirty=*/true);
+    root_ = new_root_id;
+    ++height_;
+    return util::Status::Ok();
+  }
+
+  PathEntry parent_entry = path.back();
+  path.pop_back();
+  auto page = pool_->FetchPage(parent_entry.page_id);
+  if (!page.ok()) return page.status();
+  Page& parent = *page.value();
+  Page::Header h = parent.header();
+  CDBTUNE_CHECK(h.type == PageType::kBTreeInternal);
+
+  if (h.num_entries < Page::kInternalCapacity) {
+    size_t insert_at = parent_entry.slot + 1;
+    parent.ShiftInternalEntries(insert_at, h.num_entries - insert_at, 1);
+    parent.SetInternalEntry(insert_at, separator, right_id);
+    ++h.num_entries;
+    parent.set_header(h);
+    pool_->UnpinPage(parent_entry.page_id, /*dirty=*/true);
+    return util::Status::Ok();
+  }
+
+  // Parent full: split it, then recurse.
+  PageId new_right_id;
+  auto new_right = pool_->NewPage(&new_right_id);
+  if (!new_right.ok()) {
+    pool_->UnpinPage(parent_entry.page_id, /*dirty=*/false);
+    return new_right.status();
+  }
+  size_t mid = h.num_entries / 2;
+  uint64_t up_key = parent.InternalKey(mid);
+  Page::Header rh;
+  rh.page_id = new_right_id;
+  rh.type = PageType::kBTreeInternal;
+  rh.num_entries = static_cast<uint32_t>(h.num_entries - mid);
+  rh.next_page = kInvalidPageId;
+  for (size_t i = mid; i < h.num_entries; ++i) {
+    new_right.value()->SetInternalEntry(i - mid, parent.InternalKey(i),
+                                        parent.InternalChild(i));
+  }
+  new_right.value()->set_header(rh);
+  h.num_entries = static_cast<uint32_t>(mid);
+  parent.set_header(h);
+
+  // Insert the new separator into whichever half now covers it.
+  Page* target = separator < up_key ? &parent : new_right.value();
+  Page::Header th = target->header();
+  size_t slot = InternalLowerSlot(*target, separator);
+  target->ShiftInternalEntries(slot + 1, th.num_entries - slot - 1, 1);
+  target->SetInternalEntry(slot + 1, separator, right_id);
+  ++th.num_entries;
+  target->set_header(th);
+
+  pool_->UnpinPage(parent_entry.page_id, /*dirty=*/true);
+  pool_->UnpinPage(new_right_id, /*dirty=*/true);
+  return InsertIntoParent(path, up_key, new_right_id);
+}
+
+util::Status BTree::Insert(uint64_t key, const char* payload) {
+  std::vector<PathEntry> path;
+  auto leaf_id = FindLeaf(key, &path);
+  if (!leaf_id.ok()) return leaf_id.status();
+  auto page = pool_->FetchPage(leaf_id.value());
+  if (!page.ok()) return page.status();
+  Page& leaf = *page.value();
+  Page::Header h = leaf.header();
+
+  size_t slot = LeafLowerBound(leaf, key);
+  if (slot < h.num_entries && leaf.LeafKey(slot) == key) {
+    leaf.SetLeafEntry(slot, key, payload);
+    pool_->UnpinPage(leaf_id.value(), /*dirty=*/true);
+    return util::Status::Ok();
+  }
+
+  if (h.num_entries < Page::kLeafCapacity) {
+    leaf.ShiftLeafEntries(slot, h.num_entries - slot, 1);
+    leaf.SetLeafEntry(slot, key, payload);
+    ++h.num_entries;
+    leaf.set_header(h);
+    pool_->UnpinPage(leaf_id.value(), /*dirty=*/true);
+    ++num_entries_;
+    return util::Status::Ok();
+  }
+
+  // Leaf split.
+  PageId right_id;
+  auto right = pool_->NewPage(&right_id);
+  if (!right.ok()) {
+    pool_->UnpinPage(leaf_id.value(), /*dirty=*/false);
+    return right.status();
+  }
+  size_t mid = h.num_entries / 2;
+  Page::Header rh;
+  rh.page_id = right_id;
+  rh.type = PageType::kBTreeLeaf;
+  rh.num_entries = static_cast<uint32_t>(h.num_entries - mid);
+  rh.next_page = h.next_page;
+  char buf[kRecordPayload];
+  for (size_t i = mid; i < h.num_entries; ++i) {
+    uint64_t k;
+    leaf.LeafEntry(i, &k, buf);
+    right.value()->SetLeafEntry(i - mid, k, buf);
+  }
+  right.value()->set_header(rh);
+  h.num_entries = static_cast<uint32_t>(mid);
+  h.next_page = right_id;
+  leaf.set_header(h);
+
+  uint64_t separator = right.value()->LeafKey(0);
+  // Insert the new record into the correct half.
+  Page* target = key < separator ? &leaf : right.value();
+  Page::Header th = target->header();
+  size_t tslot = LeafLowerBound(*target, key);
+  target->ShiftLeafEntries(tslot, th.num_entries - tslot, 1);
+  target->SetLeafEntry(tslot, key, payload);
+  ++th.num_entries;
+  target->set_header(th);
+
+  pool_->UnpinPage(leaf_id.value(), /*dirty=*/true);
+  pool_->UnpinPage(right_id, /*dirty=*/true);
+  ++num_entries_;
+  return InsertIntoParent(path, separator, right_id);
+}
+
+util::Status BTree::CheckInvariants() {
+  // Walk down the leftmost spine to the leaf level, then traverse the leaf
+  // chain verifying global key ordering and per-page sortedness.
+  PageId current = root_;
+  size_t depth = 1;
+  while (true) {
+    auto page = pool_->FetchPage(current);
+    if (!page.ok()) return page.status();
+    Page::Header h = page.value()->header();
+    if (h.type == PageType::kBTreeLeaf) {
+      pool_->UnpinPage(current, /*dirty=*/false);
+      break;
+    }
+    // Internal keys must be strictly increasing after the sentinel.
+    for (size_t i = 2; i < h.num_entries; ++i) {
+      if (page.value()->InternalKey(i - 1) >= page.value()->InternalKey(i)) {
+        pool_->UnpinPage(current, /*dirty=*/false);
+        return util::Status::Internal("internal keys out of order");
+      }
+    }
+    PageId child = page.value()->InternalChild(0);
+    pool_->UnpinPage(current, /*dirty=*/false);
+    current = child;
+    ++depth;
+  }
+  if (depth != height_) {
+    return util::Status::Internal("height bookkeeping mismatch");
+  }
+
+  size_t counted = 0;
+  bool have_prev = false;
+  uint64_t prev = 0;
+  while (current != kInvalidPageId) {
+    auto page = pool_->FetchPage(current);
+    if (!page.ok()) return page.status();
+    Page::Header h = page.value()->header();
+    for (size_t i = 0; i < h.num_entries; ++i) {
+      uint64_t k = page.value()->LeafKey(i);
+      if (have_prev && k <= prev) {
+        pool_->UnpinPage(current, /*dirty=*/false);
+        return util::Status::Internal("leaf keys out of order");
+      }
+      prev = k;
+      have_prev = true;
+      ++counted;
+    }
+    pool_->UnpinPage(current, /*dirty=*/false);
+    current = h.next_page;
+  }
+  if (counted != num_entries_) {
+    return util::Status::Internal("entry count mismatch: tree walk found " +
+                                  std::to_string(counted) + ", expected " +
+                                  std::to_string(num_entries_));
+  }
+  return util::Status::Ok();
+}
+
+}  // namespace cdbtune::engine

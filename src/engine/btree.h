@@ -1,0 +1,81 @@
+#ifndef CDBTUNE_ENGINE_BTREE_H_
+#define CDBTUNE_ENGINE_BTREE_H_
+
+#include <memory>
+#include <vector>
+
+#include "engine/buffer_pool.h"
+#include "util/status.h"
+
+namespace cdbtune::engine {
+
+/// Disk-resident B+Tree with fixed-size records, built on the buffer pool.
+///
+/// Keys are uint64, payloads kRecordPayload bytes. Leaves are chained for
+/// range scans. Concurrency is external (the engine serializes operations
+/// and charges virtual time for parallelism), so no latching here.
+class BTree {
+ public:
+  static util::StatusOr<std::unique_ptr<BTree>> Create(BufferPool* pool);
+
+  /// Re-binds to an existing tree on disk (crash recovery): the root page,
+  /// height and entry count come from the engine's checkpoint metadata.
+  static std::unique_ptr<BTree> Attach(BufferPool* pool, PageId root,
+                                       size_t height, size_t num_entries);
+
+  /// Inserts `key`; overwrites the payload if the key already exists.
+  util::Status Insert(uint64_t key, const char* payload);
+
+  /// Returns true and fills `payload` (if non-null) when found.
+  util::StatusOr<bool> Get(uint64_t key, char* payload);
+
+  /// Overwrites an existing key's payload; returns false if absent.
+  util::StatusOr<bool> Update(uint64_t key, const char* payload);
+
+  /// Removes `key` from its leaf; returns false if absent. Deletion is
+  /// lazy (no rebalancing or page merging) — the common engine trade-off:
+  /// underfull leaves are reclaimed by later inserts, and scans simply
+  /// skip the removed slot.
+  util::StatusOr<bool> Delete(uint64_t key);
+
+  /// Reads up to `max_rows` records with key >= start_key via the leaf
+  /// chain; returns the number visited.
+  util::StatusOr<size_t> Scan(uint64_t start_key, size_t max_rows);
+
+  size_t num_entries() const { return num_entries_; }
+  size_t height() const { return height_; }
+  PageId root() const { return root_; }
+
+  /// Walks the whole tree verifying ordering, separator and chain
+  /// invariants; used by tests.
+  util::Status CheckInvariants();
+
+ private:
+  explicit BTree(BufferPool* pool) : pool_(pool) {}
+
+  /// Descends to the leaf covering `key`, recording the internal path
+  /// (page ids and child slots, root first).
+  struct PathEntry {
+    PageId page_id;
+    size_t slot;
+  };
+  util::StatusOr<PageId> FindLeaf(uint64_t key, std::vector<PathEntry>* path);
+
+  /// Inserts `separator`/`right` into the parent chain after a child split.
+  util::Status InsertIntoParent(std::vector<PathEntry>& path,
+                                uint64_t separator, PageId right_id);
+
+  /// Last slot in an internal page whose key is <= target.
+  static size_t InternalLowerSlot(const Page& page, uint64_t key);
+  /// First slot in a leaf whose key is >= target (== num_entries if none).
+  static size_t LeafLowerBound(const Page& page, uint64_t key);
+
+  BufferPool* pool_;  // Not owned.
+  PageId root_ = kInvalidPageId;
+  size_t num_entries_ = 0;
+  size_t height_ = 1;
+};
+
+}  // namespace cdbtune::engine
+
+#endif  // CDBTUNE_ENGINE_BTREE_H_

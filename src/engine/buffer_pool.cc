@@ -1,0 +1,169 @@
+#include "engine/buffer_pool.h"
+
+#include "util/logging.h"
+
+namespace cdbtune::engine {
+
+namespace {
+/// CPU cost of a buffer-pool hit (hash probe + latch).
+constexpr VirtualNanos kHitCostNs = 250;
+}  // namespace
+
+BufferPool::BufferPool(DiskManager* disk, VirtualClock* clock,
+                       size_t num_frames)
+    : disk_(disk), clock_(clock) {
+  CDBTUNE_CHECK(disk_ != nullptr && clock_ != nullptr);
+  CDBTUNE_CHECK(num_frames > 0) << "buffer pool needs at least one frame";
+  frames_.reserve(num_frames);
+  for (size_t i = 0; i < num_frames; ++i) {
+    frames_.push_back(std::make_unique<Frame>());
+    free_frames_.push_back(num_frames - 1 - i);
+  }
+}
+
+size_t BufferPool::dirty_pages() const {
+  size_t n = 0;
+  for (const auto& f : frames_) {
+    if (f->page_id != kInvalidPageId && f->dirty) ++n;
+  }
+  return n;
+}
+
+util::StatusOr<size_t> BufferPool::GetVictimFrame() {
+  if (!free_frames_.empty()) {
+    size_t idx = free_frames_.back();
+    free_frames_.pop_back();
+    return idx;
+  }
+  if (lru_.empty()) {
+    return util::Status::FailedPrecondition("all buffer frames pinned");
+  }
+  size_t idx = lru_.front();
+  lru_.pop_front();
+  Frame& frame = *frames_[idx];
+  frame.in_lru = false;
+  CDBTUNE_CHECK(frame.pin_count == 0) << "pinned frame on LRU list";
+  if (frame.dirty) {
+    CDBTUNE_RETURN_IF_ERROR(disk_->WritePage(frame.page_id, frame.page.raw()));
+    ++pages_flushed_;
+  }
+  table_.erase(frame.page_id);
+  ++evictions_;
+  frame.page_id = kInvalidPageId;
+  frame.dirty = false;
+  return idx;
+}
+
+util::StatusOr<Page*> BufferPool::FetchPage(PageId page_id) {
+  clock_->Advance(kHitCostNs);
+  auto it = table_.find(page_id);
+  if (it != table_.end()) {
+    ++hits_;
+    Frame& frame = *frames_[it->second];
+    if (frame.in_lru) {
+      lru_.erase(frame.lru_pos);
+      frame.in_lru = false;
+    }
+    ++frame.pin_count;
+    return &frame.page;
+  }
+  ++misses_;
+  auto victim = GetVictimFrame();
+  if (!victim.ok()) return victim.status();
+  size_t idx = victim.value();
+  Frame& frame = *frames_[idx];
+  CDBTUNE_RETURN_IF_ERROR(disk_->ReadPage(page_id, frame.page.raw()));
+  frame.page_id = page_id;
+  frame.pin_count = 1;
+  frame.dirty = false;
+  table_[page_id] = idx;
+  return &frame.page;
+}
+
+util::StatusOr<Page*> BufferPool::NewPage(PageId* page_id) {
+  auto allocated = disk_->AllocatePage();
+  if (!allocated.ok()) return allocated.status();
+  auto victim = GetVictimFrame();
+  if (!victim.ok()) return victim.status();
+  size_t idx = victim.value();
+  Frame& frame = *frames_[idx];
+  frame.page = Page();
+  frame.page_id = allocated.value();
+  frame.pin_count = 1;
+  frame.dirty = true;
+  table_[frame.page_id] = idx;
+  *page_id = frame.page_id;
+  return &frame.page;
+}
+
+void BufferPool::UnpinPage(PageId page_id, bool dirty) {
+  auto it = table_.find(page_id);
+  CDBTUNE_CHECK(it != table_.end()) << "unpin of uncached page " << page_id;
+  Frame& frame = *frames_[it->second];
+  CDBTUNE_CHECK(frame.pin_count > 0) << "unpin of unpinned page " << page_id;
+  frame.dirty = frame.dirty || dirty;
+  if (--frame.pin_count == 0) {
+    frame.lru_pos = lru_.insert(lru_.end(), it->second);
+    frame.in_lru = true;
+  }
+}
+
+size_t BufferPool::FlushSome(size_t budget) {
+  size_t flushed = 0;
+  for (size_t idx : lru_) {
+    if (flushed >= budget) break;
+    Frame& frame = *frames_[idx];
+    if (frame.page_id == kInvalidPageId || !frame.dirty) continue;
+    if (!disk_->WritePage(frame.page_id, frame.page.raw()).ok()) break;
+    frame.dirty = false;
+    ++pages_flushed_;
+    ++flushed;
+  }
+  return flushed;
+}
+
+util::Status BufferPool::FlushAll() {
+  for (auto& frame_ptr : frames_) {
+    Frame& frame = *frame_ptr;
+    if (frame.page_id == kInvalidPageId || !frame.dirty) continue;
+    CDBTUNE_RETURN_IF_ERROR(disk_->WritePage(frame.page_id, frame.page.raw()));
+    frame.dirty = false;
+    ++pages_flushed_;
+  }
+  return util::Status::Ok();
+}
+
+void BufferPool::DropAll() {
+  size_t num_frames = frames_.size();
+  frames_.clear();
+  free_frames_.clear();
+  table_.clear();
+  lru_.clear();
+  frames_.reserve(num_frames);
+  for (size_t i = 0; i < num_frames; ++i) {
+    frames_.push_back(std::make_unique<Frame>());
+    free_frames_.push_back(num_frames - 1 - i);
+  }
+}
+
+util::Status BufferPool::Resize(size_t num_frames) {
+  CDBTUNE_CHECK(num_frames > 0) << "buffer pool needs at least one frame";
+  for (const auto& frame : frames_) {
+    if (frame->pin_count > 0) {
+      return util::Status::FailedPrecondition("cannot resize with pinned pages");
+    }
+  }
+  CDBTUNE_RETURN_IF_ERROR(FlushAll());
+  frames_.clear();
+  free_frames_.clear();
+  table_.clear();
+  lru_.clear();
+  frames_.reserve(num_frames);
+  for (size_t i = 0; i < num_frames; ++i) {
+    frames_.push_back(std::make_unique<Frame>());
+    free_frames_.push_back(num_frames - 1 - i);
+  }
+  return util::Status::Ok();
+}
+
+}  // namespace cdbtune::engine

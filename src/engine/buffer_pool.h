@@ -1,0 +1,89 @@
+#ifndef CDBTUNE_ENGINE_BUFFER_POOL_H_
+#define CDBTUNE_ENGINE_BUFFER_POOL_H_
+
+#include <list>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "engine/disk_manager.h"
+#include "engine/page.h"
+#include "util/status.h"
+
+namespace cdbtune::engine {
+
+/// LRU buffer pool over the virtual-time disk.
+///
+/// FetchPage returns a pinned frame (memory-access cost only on hit, device
+/// cost on miss); UnpinPage releases it, marking dirty when modified.
+/// Dirty pages are written back on eviction, by the background-flush hook
+/// (FlushSome — driven by the engine's io-capacity budget), or at
+/// checkpoints (FlushAll). Resizing re-creates the frame array, like
+/// restarting a server with a new innodb_buffer_pool_size.
+class BufferPool {
+ public:
+  BufferPool(DiskManager* disk, VirtualClock* clock, size_t num_frames);
+
+  /// Pins the page, loading it from disk if absent. Fails when every frame
+  /// is pinned.
+  util::StatusOr<Page*> FetchPage(PageId page_id);
+
+  /// Allocates a new page on disk and pins it.
+  util::StatusOr<Page*> NewPage(PageId* page_id);
+
+  void UnpinPage(PageId page_id, bool dirty);
+
+  /// Writes back up to `budget` dirty pages in LRU order (cleaner thread
+  /// work). Returns pages flushed.
+  size_t FlushSome(size_t budget);
+
+  /// Checkpoint: writes back every dirty page.
+  util::Status FlushAll();
+
+  /// Drops all cached frames (after FlushAll), e.g., on resize.
+  util::Status Resize(size_t num_frames);
+
+  /// Crash simulation: discards every cached frame WITHOUT writing dirty
+  /// pages back — the in-memory state an engine loses when it dies.
+  void DropAll();
+
+  size_t num_frames() const { return frames_.size(); }
+  size_t pages_cached() const { return table_.size(); }
+  size_t dirty_pages() const;
+
+  // Cumulative counters.
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+  uint64_t evictions() const { return evictions_; }
+  uint64_t pages_flushed() const { return pages_flushed_; }
+
+ private:
+  struct Frame {
+    Page page;
+    PageId page_id = kInvalidPageId;
+    int pin_count = 0;
+    bool dirty = false;
+    /// Position in lru_ when unpinned.
+    std::list<size_t>::iterator lru_pos;
+    bool in_lru = false;
+  };
+
+  /// Picks a victim frame (free or LRU-unpinned), writing it back if dirty.
+  util::StatusOr<size_t> GetVictimFrame();
+
+  DiskManager* disk_;    // Not owned.
+  VirtualClock* clock_;  // Not owned.
+  std::vector<std::unique_ptr<Frame>> frames_;
+  std::vector<size_t> free_frames_;
+  std::unordered_map<PageId, size_t> table_;
+  /// Unpinned frames in LRU order (front = least recent).
+  std::list<size_t> lru_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  uint64_t evictions_ = 0;
+  uint64_t pages_flushed_ = 0;
+};
+
+}  // namespace cdbtune::engine
+
+#endif  // CDBTUNE_ENGINE_BUFFER_POOL_H_

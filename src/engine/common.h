@@ -1,0 +1,38 @@
+#ifndef CDBTUNE_ENGINE_COMMON_H_
+#define CDBTUNE_ENGINE_COMMON_H_
+
+#include <cstdint>
+
+namespace cdbtune::engine {
+
+using PageId = uint32_t;
+inline constexpr PageId kInvalidPageId = 0xFFFFFFFF;
+
+/// Fixed page size of the mini engine (InnoDB's default).
+inline constexpr size_t kPageSize = 16 * 1024;
+
+/// Fixed-size records: 8-byte key + payload.
+inline constexpr size_t kRecordPayload = 104;
+inline constexpr size_t kRecordSize = 8 + kRecordPayload;
+
+/// Nanoseconds-resolution virtual timestamp.
+using VirtualNanos = uint64_t;
+
+/// Deterministic virtual clock. The mini engine executes real data-structure
+/// work (hash lookups, page splits, log appends) but charges device and CPU
+/// latencies here instead of sleeping, so a "150-second" stress test takes
+/// milliseconds of wall time and produces identical numbers on every run.
+class VirtualClock {
+ public:
+  VirtualNanos now() const { return now_ns_; }
+  void Advance(VirtualNanos delta_ns) { now_ns_ += delta_ns; }
+  double seconds() const { return static_cast<double>(now_ns_) * 1e-9; }
+  void Reset() { now_ns_ = 0; }
+
+ private:
+  VirtualNanos now_ns_ = 0;
+};
+
+}  // namespace cdbtune::engine
+
+#endif  // CDBTUNE_ENGINE_COMMON_H_

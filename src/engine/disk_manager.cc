@@ -1,0 +1,95 @@
+#include "engine/disk_manager.h"
+
+#include "util/logging.h"
+
+namespace cdbtune::engine {
+
+DiskTimings TimingsFor(env::DiskType type) {
+  switch (type) {
+    case env::DiskType::kHdd:
+      return {8'000'000, 8'000'000, 12'000'000, 110'000};
+    case env::DiskType::kSsd:
+      return {120'000, 80'000, 400'000, 33'000};
+    case env::DiskType::kNvm:
+      return {20'000, 20'000, 50'000, 8'000};
+  }
+  return {120'000, 80'000, 400'000, 33'000};
+}
+
+DiskManager::DiskManager(VirtualClock* clock, env::DiskType type,
+                         uint64_t capacity_bytes)
+    : clock_(clock), timings_(TimingsFor(type)), capacity_bytes_(capacity_bytes) {
+  CDBTUNE_CHECK(clock_ != nullptr);
+}
+
+uint64_t DiskManager::used_bytes() const {
+  return static_cast<uint64_t>(pages_.size()) * kPageSize + log_reserved_bytes_;
+}
+
+util::StatusOr<PageId> DiskManager::AllocatePage() {
+  if (used_bytes() + kPageSize > capacity_bytes_) {
+    return util::Status::OutOfRange("disk full: cannot allocate page");
+  }
+  pages_.emplace_back(kPageSize, 0);
+  return static_cast<PageId>(pages_.size() - 1);
+}
+
+util::Status DiskManager::ReadPage(PageId page_id, char* out) {
+  if (page_id >= pages_.size()) {
+    return util::Status::NotFound("read of unallocated page " +
+                                  std::to_string(page_id));
+  }
+  bool sequential =
+      last_read_page_ != kInvalidPageId && page_id == last_read_page_ + 1;
+  clock_->Advance(sequential ? timings_.sequential_read_ns
+                             : timings_.random_read_ns);
+  last_read_page_ = page_id;
+  ++reads_issued_;
+  std::memcpy(out, pages_[page_id].data(), kPageSize);
+  return util::Status::Ok();
+}
+
+util::Status DiskManager::WritePage(PageId page_id, const char* data) {
+  if (page_id >= pages_.size()) {
+    return util::Status::NotFound("write of unallocated page " +
+                                  std::to_string(page_id));
+  }
+  clock_->Advance(timings_.random_write_ns);
+  ++writes_issued_;
+  std::memcpy(pages_[page_id].data(), data, kPageSize);
+  return util::Status::Ok();
+}
+
+util::Status DiskManager::ReserveLogBytes(uint64_t bytes) {
+  if (used_bytes() + bytes > capacity_bytes_) {
+    return util::Status::OutOfRange(
+        "disk full: redo log allocation does not fit");
+  }
+  log_reserved_bytes_ += bytes;
+  return util::Status::Ok();
+}
+
+void DiskManager::ReleaseLogBytes(uint64_t bytes) {
+  CDBTUNE_CHECK(bytes <= log_reserved_bytes_) << "releasing unreserved log";
+  log_reserved_bytes_ -= bytes;
+}
+
+void DiskManager::MarkCheckpoint() { checkpoint_pages_ = pages_; }
+
+void DiskManager::RevertToCheckpoint() {
+  pages_ = checkpoint_pages_;
+  last_read_page_ = kInvalidPageId;
+}
+
+void DiskManager::Fsync() {
+  clock_->Advance(timings_.fsync_ns);
+  ++fsyncs_issued_;
+}
+
+void DiskManager::AppendLog(uint64_t bytes) {
+  // Sequential append: charge proportional to 4K blocks at sequential cost.
+  uint64_t blocks = (bytes + 4095) / 4096;
+  clock_->Advance(blocks * (timings_.sequential_read_ns / 2 + 1));
+}
+
+}  // namespace cdbtune::engine

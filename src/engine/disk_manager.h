@@ -1,0 +1,87 @@
+#ifndef CDBTUNE_ENGINE_DISK_MANAGER_H_
+#define CDBTUNE_ENGINE_DISK_MANAGER_H_
+
+#include <cstring>
+#include <unordered_map>
+#include <vector>
+
+#include "engine/common.h"
+#include "env/instance.h"
+#include "util/status.h"
+
+namespace cdbtune::engine {
+
+/// Device timing used by the virtual-time disk.
+struct DiskTimings {
+  VirtualNanos random_read_ns;
+  VirtualNanos random_write_ns;
+  VirtualNanos fsync_ns;
+  /// Per-page cost when the access continues a sequential run.
+  VirtualNanos sequential_read_ns;
+};
+
+DiskTimings TimingsFor(env::DiskType type);
+
+/// Page store with virtual-time I/O accounting.
+///
+/// Contents live in memory (this is a simulator substrate), but every page
+/// read/write charges realistic device latency to the shared VirtualClock —
+/// with a sequential-access discount mirroring real devices — and fsyncs
+/// charge flush latency. Capacity is enforced against the instance's disk
+/// size, which is what makes oversized redo-log configurations actually
+/// fail (Section 5.2.3's crash rule) rather than being screened by an
+/// ad-hoc check.
+class DiskManager {
+ public:
+  DiskManager(VirtualClock* clock, env::DiskType type, uint64_t capacity_bytes);
+
+  /// Allocates a fresh zeroed page; fails when the disk is full.
+  util::StatusOr<PageId> AllocatePage();
+
+  util::Status ReadPage(PageId page_id, char* out);
+  util::Status WritePage(PageId page_id, const char* data);
+
+  /// Reserves raw byte capacity (redo log files); fails when it does not
+  /// fit alongside the data pages.
+  util::Status ReserveLogBytes(uint64_t bytes);
+  void ReleaseLogBytes(uint64_t bytes);
+
+  /// Charges one device flush.
+  void Fsync();
+
+  /// Charges sequential log-append cost for `bytes` (the logical record
+  /// contents live in the Wal object).
+  void AppendLog(uint64_t bytes);
+
+  /// Captures the current page store as the crash-consistent checkpoint
+  /// image (WiredTiger-style atomic checkpoint). RevertToCheckpoint
+  /// restores it, discarding every page write and allocation since — the
+  /// disk state an engine crash exposes.
+  void MarkCheckpoint();
+  void RevertToCheckpoint();
+
+  uint64_t used_bytes() const;
+  uint64_t capacity_bytes() const { return capacity_bytes_; }
+  size_t num_pages() const { return pages_.size(); }
+
+  // Cumulative I/O counters (for the engine's metrics).
+  uint64_t reads_issued() const { return reads_issued_; }
+  uint64_t writes_issued() const { return writes_issued_; }
+  uint64_t fsyncs_issued() const { return fsyncs_issued_; }
+
+ private:
+  VirtualClock* clock_;  // Not owned.
+  DiskTimings timings_;
+  uint64_t capacity_bytes_;
+  uint64_t log_reserved_bytes_ = 0;
+  std::vector<std::vector<char>> pages_;
+  std::vector<std::vector<char>> checkpoint_pages_;
+  PageId last_read_page_ = kInvalidPageId;
+  uint64_t reads_issued_ = 0;
+  uint64_t writes_issued_ = 0;
+  uint64_t fsyncs_issued_ = 0;
+};
+
+}  // namespace cdbtune::engine
+
+#endif  // CDBTUNE_ENGINE_DISK_MANAGER_H_

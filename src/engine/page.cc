@@ -1,0 +1,65 @@
+#include "engine/page.h"
+
+#include "util/logging.h"
+
+namespace cdbtune::engine {
+
+uint64_t Page::LeafKey(size_t slot) const {
+  CDBTUNE_CHECK(slot < kLeafCapacity) << "leaf slot out of range";
+  uint64_t key;
+  std::memcpy(&key, LeafSlot(slot), sizeof(key));
+  return key;
+}
+
+void Page::LeafEntry(size_t slot, uint64_t* key, char* payload) const {
+  CDBTUNE_CHECK(slot < kLeafCapacity) << "leaf slot out of range";
+  std::memcpy(key, LeafSlot(slot), sizeof(*key));
+  if (payload != nullptr) {
+    std::memcpy(payload, LeafSlot(slot) + 8, kRecordPayload);
+  }
+}
+
+void Page::SetLeafEntry(size_t slot, uint64_t key, const char* payload) {
+  CDBTUNE_CHECK(slot < kLeafCapacity) << "leaf slot out of range";
+  std::memcpy(LeafSlot(slot), &key, sizeof(key));
+  if (payload != nullptr) {
+    std::memcpy(LeafSlot(slot) + 8, payload, kRecordPayload);
+  }
+}
+
+uint64_t Page::InternalKey(size_t slot) const {
+  CDBTUNE_CHECK(slot < kInternalCapacity) << "internal slot out of range";
+  uint64_t key;
+  std::memcpy(&key, InternalSlot(slot), sizeof(key));
+  return key;
+}
+
+PageId Page::InternalChild(size_t slot) const {
+  CDBTUNE_CHECK(slot < kInternalCapacity) << "internal slot out of range";
+  PageId child;
+  std::memcpy(&child, InternalSlot(slot) + 8, sizeof(child));
+  return child;
+}
+
+void Page::SetInternalEntry(size_t slot, uint64_t key, PageId child) {
+  CDBTUNE_CHECK(slot < kInternalCapacity) << "internal slot out of range";
+  std::memcpy(InternalSlot(slot), &key, sizeof(key));
+  std::memcpy(InternalSlot(slot) + 8, &child, sizeof(child));
+}
+
+void Page::ShiftLeafEntries(size_t from, size_t count, int shift) {
+  if (count == 0 || shift == 0) return;
+  size_t dst = from + static_cast<size_t>(shift);
+  CDBTUNE_CHECK(dst + count <= kLeafCapacity) << "leaf shift overflow";
+  std::memmove(LeafSlot(dst), LeafSlot(from), count * kLeafEntrySize);
+}
+
+void Page::ShiftInternalEntries(size_t from, size_t count, int shift) {
+  if (count == 0 || shift == 0) return;
+  size_t dst = from + static_cast<size_t>(shift);
+  CDBTUNE_CHECK(dst + count <= kInternalCapacity) << "internal shift overflow";
+  std::memmove(InternalSlot(dst), InternalSlot(from),
+               count * kInternalEntrySize);
+}
+
+}  // namespace cdbtune::engine

@@ -1,0 +1,92 @@
+#ifndef CDBTUNE_ENGINE_PAGE_H_
+#define CDBTUNE_ENGINE_PAGE_H_
+
+#include <cstdint>
+#include <cstring>
+
+#include "engine/common.h"
+
+namespace cdbtune::engine {
+
+enum class PageType : uint8_t {
+  kInvalid = 0,
+  kBTreeLeaf = 1,
+  kBTreeInternal = 2,
+};
+
+/// On-"disk" page layout: a 32-byte header followed by type-specific
+/// payload, all within one kPageSize buffer. Accessors memcpy in and out of
+/// the raw bytes — the page is genuinely a byte array, as in a real engine.
+class Page {
+ public:
+  struct Header {
+    PageId page_id = kInvalidPageId;
+    PageType type = PageType::kInvalid;
+    uint8_t padding[3] = {0, 0, 0};
+    uint32_t num_entries = 0;
+    /// Leaf chain for range scans; internal pages store the leftmost child.
+    PageId next_page = kInvalidPageId;
+    uint64_t last_modified_lsn = 0;
+  };
+  static_assert(sizeof(Header) <= 32, "header must fit the reserved area");
+
+  static constexpr size_t kHeaderSize = 32;
+  static constexpr size_t kPayloadSize = kPageSize - kHeaderSize;
+
+  /// Leaf entries: key (8B) + payload; internal entries: key (8B) +
+  /// child PageId (4B).
+  static constexpr size_t kLeafEntrySize = kRecordSize;
+  static constexpr size_t kInternalEntrySize = 8 + sizeof(PageId);
+  static constexpr size_t kLeafCapacity = kPayloadSize / kLeafEntrySize;
+  static constexpr size_t kInternalCapacity =
+      kPayloadSize / kInternalEntrySize;
+
+  Page() { std::memset(data_, 0, kPageSize); }
+
+  Header header() const {
+    Header h;
+    std::memcpy(&h, data_, sizeof(Header));
+    return h;
+  }
+  void set_header(const Header& h) { std::memcpy(data_, &h, sizeof(Header)); }
+
+  char* raw() { return data_; }
+  const char* raw() const { return data_; }
+
+  // --- Leaf entry accessors ---------------------------------------------
+  uint64_t LeafKey(size_t slot) const;
+  void LeafEntry(size_t slot, uint64_t* key, char* payload) const;
+  void SetLeafEntry(size_t slot, uint64_t key, const char* payload);
+
+  // --- Internal entry accessors -------------------------------------------
+  /// Internal entry i holds (separator_key_i, child_i): child_i covers keys
+  /// >= separator_key_i (entry 0's separator is a sentinel minimum).
+  uint64_t InternalKey(size_t slot) const;
+  PageId InternalChild(size_t slot) const;
+  void SetInternalEntry(size_t slot, uint64_t key, PageId child);
+
+  /// memmoves entries [from, num_entries) by `shift` slots (for insert /
+  /// delete in sorted order). Caller updates num_entries.
+  void ShiftLeafEntries(size_t from, size_t count, int shift);
+  void ShiftInternalEntries(size_t from, size_t count, int shift);
+
+ private:
+  char* LeafSlot(size_t slot) {
+    return data_ + kHeaderSize + slot * kLeafEntrySize;
+  }
+  const char* LeafSlot(size_t slot) const {
+    return data_ + kHeaderSize + slot * kLeafEntrySize;
+  }
+  char* InternalSlot(size_t slot) {
+    return data_ + kHeaderSize + slot * kInternalEntrySize;
+  }
+  const char* InternalSlot(size_t slot) const {
+    return data_ + kHeaderSize + slot * kInternalEntrySize;
+  }
+
+  char data_[kPageSize];
+};
+
+}  // namespace cdbtune::engine
+
+#endif  // CDBTUNE_ENGINE_PAGE_H_

@@ -1,0 +1,132 @@
+#ifndef CDBTUNE_ENGINE_WAL_H_
+#define CDBTUNE_ENGINE_WAL_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "engine/common.h"
+#include "engine/disk_manager.h"
+#include "util/status.h"
+
+namespace cdbtune::engine {
+
+/// Redo durability policy, mirroring innodb_flush_log_at_trx_commit.
+enum class WalFlushPolicy {
+  kLazy = 0,           // Buffer in memory; background flush ~once a second.
+  kFsyncPerCommit = 1, // Write + fsync at every commit (group committed).
+  kWritePerCommit = 2, // Write to the OS at commit; fsync lazily.
+};
+
+/// One logical redo record: enough to re-apply a row modification during
+/// crash recovery.
+struct RedoRecord {
+  uint64_t lsn = 0;
+  uint64_t key = 0;
+  bool is_insert = false;  // false = update in place.
+  char payload[kRecordPayload] = {};
+};
+
+struct WalOptions {
+  uint64_t file_size_bytes = 48ull * 1024 * 1024;
+  uint32_t files_in_group = 2;
+  uint64_t log_buffer_bytes = 16ull * 1024 * 1024;
+  WalFlushPolicy flush_policy = WalFlushPolicy::kFsyncPerCommit;
+  /// Concurrent committers sharing one fsync (group commit).
+  uint32_t group_commit_size = 8;
+  /// Fraction of total capacity that forces a checkpoint.
+  double checkpoint_fill = 0.8;
+};
+
+/// Write-ahead log on the virtual-time disk: N rotating files whose byte
+/// capacity is reserved on the disk up front (so an oversized configuration
+/// genuinely fails to start — the paper's crash scenario), a log buffer
+/// that spills when full, commit-time durability per policy, a checkpoint
+/// trigger when the group fills, and enough retained redo content to
+/// support crash recovery:
+///
+///   - records up to durable_lsn() survive a crash (they were fsynced);
+///   - the buffer pool calls MakeDurableUpTo before writing out a dirty
+///     page (the WAL-before-data rule), so on-disk pages never contain
+///     updates the log could lose.
+class Wal {
+ public:
+  /// Fails with kOutOfRange when the group's reservation exceeds the disk.
+  static util::StatusOr<std::unique_ptr<Wal>> Create(DiskManager* disk,
+                                                     VirtualClock* clock,
+                                                     WalOptions options);
+  ~Wal();
+
+  Wal(const Wal&) = delete;
+  Wal& operator=(const Wal&) = delete;
+
+  /// Appends one redo record of `bytes` without content (metadata-only
+  /// traffic: index maintenance, purge, ...); spills the buffer when full.
+  void Append(uint64_t bytes);
+
+  /// Appends a content-carrying redo record (row modification) that
+  /// recovery can replay. Returns the record's LSN.
+  uint64_t AppendRecord(uint64_t key, bool is_insert, const char* payload,
+                        uint64_t bytes);
+
+  /// Commit-time durability work per policy. Returns the LSN made durable
+  /// so far (commits beyond it are still volatile under lazy policies).
+  uint64_t Commit();
+
+  /// Forces every record with lsn <= `lsn` to stable storage (used by the
+  /// buffer pool before writing a page whose newest change is `lsn`).
+  void MakeDurableUpTo(uint64_t lsn);
+
+  /// True when accumulated redo since the last checkpoint exceeds the fill
+  /// threshold; the engine must flush the buffer pool and call
+  /// CheckpointComplete (the stall small redo logs cause).
+  bool NeedsCheckpoint() const;
+  void CheckpointComplete();
+
+  /// Records with checkpoint_lsn < lsn <= durable_lsn, in LSN order —
+  /// exactly what crash recovery must replay.
+  std::vector<RedoRecord> RecoverableRecords() const;
+
+  uint64_t capacity_bytes() const {
+    return options_.file_size_bytes * options_.files_in_group;
+  }
+  uint64_t lsn() const { return lsn_; }
+  uint64_t durable_lsn() const { return durable_lsn_; }
+  uint64_t checkpoint_lsn() const { return checkpoint_lsn_; }
+  uint64_t bytes_since_checkpoint() const { return bytes_since_checkpoint_; }
+
+  // Cumulative counters.
+  uint64_t log_writes() const { return log_writes_; }
+  uint64_t log_waits() const { return log_waits_; }
+  uint64_t fsyncs() const { return fsyncs_; }
+  uint64_t checkpoints() const { return checkpoints_; }
+
+ private:
+  Wal(DiskManager* disk, VirtualClock* clock, WalOptions options);
+
+  void FlushBuffer();
+  void Fsync();
+
+  DiskManager* disk_;    // Not owned.
+  VirtualClock* clock_;  // Not owned.
+  WalOptions options_;
+  uint64_t lsn_ = 0;
+  uint64_t durable_lsn_ = 0;
+  uint64_t checkpoint_lsn_ = 0;
+  uint64_t bytes_since_checkpoint_ = 0;
+  uint64_t buffered_bytes_ = 0;
+  /// LSN of the newest record already written to the OS (survives an
+  /// engine crash only once fsynced -> durable_lsn_).
+  uint64_t written_lsn_ = 0;
+  uint64_t commits_since_fsync_ = 0;
+  uint64_t log_writes_ = 0;
+  uint64_t log_waits_ = 0;
+  uint64_t fsyncs_ = 0;
+  uint64_t checkpoints_ = 0;
+  /// Content-carrying records since the last checkpoint, LSN-ordered.
+  std::vector<RedoRecord> records_;
+};
+
+}  // namespace cdbtune::engine
+
+#endif  // CDBTUNE_ENGINE_WAL_H_

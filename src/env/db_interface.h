@@ -1,0 +1,53 @@
+#ifndef CDBTUNE_ENV_DB_INTERFACE_H_
+#define CDBTUNE_ENV_DB_INTERFACE_H_
+
+#include "env/instance.h"
+#include "env/metrics.h"
+#include "knobs/registry.h"
+#include "util/status.h"
+#include "workload/workload.h"
+
+namespace cdbtune::env {
+
+/// The tuning target: a database instance that can accept a configuration,
+/// run a stress test, and report its metrics. This is the RL "environment"
+/// of Figure 3.
+///
+/// Two implementations exist: SimulatedCdb (closed-form performance model,
+/// microseconds per stress test — used for training loops and benchmark
+/// sweeps) and engine::MiniCdb (a real page/buffer-pool/WAL/B+Tree storage
+/// engine executing the operations on a virtual-time disk). Tuners only see
+/// this interface, so anything demonstrated on the simulator also runs
+/// against the real engine.
+class DbInterface {
+ public:
+  virtual ~DbInterface() = default;
+
+  /// The knob catalog this engine understands.
+  virtual const knobs::KnobRegistry& registry() const = 0;
+
+  virtual const HardwareSpec& hardware() const = 0;
+
+  /// Applies a full raw configuration (values are sanitized to each knob's
+  /// domain). Returns StatusCode::kCrashed when the configuration takes the
+  /// instance down — e.g., redo logs exceeding disk capacity (Section
+  /// 5.2.3) or buffer allocations exceeding physical memory. After a crash
+  /// the instance restarts with its previous healthy configuration.
+  virtual util::Status ApplyConfig(const knobs::Config& config) = 0;
+
+  virtual const knobs::Config& current_config() const = 0;
+
+  /// Stress-tests the instance under `spec` for `duration_s` seconds
+  /// (paper: ~150 s per step) and returns bracketing metric snapshots plus
+  /// aggregated external metrics.
+  virtual util::StatusOr<StressResult> RunStress(
+      const workload::WorkloadSpec& spec, double duration_s) = 0;
+
+  /// Restores the default configuration and clears counters, as after a
+  /// fresh instance provisioning.
+  virtual void Reset() = 0;
+};
+
+}  // namespace cdbtune::env
+
+#endif  // CDBTUNE_ENV_DB_INTERFACE_H_

@@ -1,0 +1,52 @@
+#include "env/instance.h"
+
+namespace cdbtune::env {
+
+const char* DiskTypeName(DiskType type) {
+  switch (type) {
+    case DiskType::kHdd:
+      return "HDD";
+    case DiskType::kSsd:
+      return "SSD";
+    case DiskType::kNvm:
+      return "NVM";
+  }
+  return "?";
+}
+
+HardwareSpec MakeInstance(std::string name, double ram_gb, double disk_gb,
+                          DiskType disk, int cores) {
+  HardwareSpec hw;
+  hw.name = std::move(name);
+  hw.ram_gb = ram_gb;
+  hw.disk_gb = disk_gb;
+  hw.disk_type = disk;
+  hw.cpu_cores = cores;
+  return hw;
+}
+
+HardwareSpec CdbA() { return MakeInstance("CDB-A", 8, 100); }
+HardwareSpec CdbB() { return MakeInstance("CDB-B", 12, 100); }
+HardwareSpec CdbC() { return MakeInstance("CDB-C", 12, 200); }
+HardwareSpec CdbD() { return MakeInstance("CDB-D", 16, 200); }
+HardwareSpec CdbE() { return MakeInstance("CDB-E", 32, 300); }
+
+std::vector<HardwareSpec> CdbX1Variants() {
+  std::vector<HardwareSpec> out;
+  for (double ram : {4.0, 12.0, 32.0, 64.0, 128.0}) {
+    out.push_back(MakeInstance("CDB-X1/" + std::to_string(static_cast<int>(ram)) + "G",
+                               ram, 100));
+  }
+  return out;
+}
+
+std::vector<HardwareSpec> CdbX2Variants() {
+  std::vector<HardwareSpec> out;
+  for (double disk : {32.0, 64.0, 100.0, 256.0, 512.0}) {
+    out.push_back(MakeInstance("CDB-X2/" + std::to_string(static_cast<int>(disk)) + "G",
+                               12, disk));
+  }
+  return out;
+}
+
+}  // namespace cdbtune::env

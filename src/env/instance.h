@@ -1,0 +1,47 @@
+#ifndef CDBTUNE_ENV_INSTANCE_H_
+#define CDBTUNE_ENV_INSTANCE_H_
+
+#include <string>
+#include <vector>
+
+namespace cdbtune::env {
+
+/// Storage device class; drives the I/O latency constants of the
+/// performance model. Section 5.3 mentions SSD and NVM experiments.
+enum class DiskType { kHdd, kSsd, kNvm };
+
+const char* DiskTypeName(DiskType type);
+
+/// Hardware shape of one cloud database instance (paper Table 1). The
+/// paper's instances differ mainly in memory size and disk capacity.
+struct HardwareSpec {
+  std::string name;
+  double ram_gb = 8.0;
+  double disk_gb = 100.0;
+  int cpu_cores = 12;  // The evaluation host: 12-core 4 GHz.
+  DiskType disk_type = DiskType::kSsd;
+
+  double ram_bytes() const { return ram_gb * 1024.0 * 1024.0 * 1024.0; }
+  double disk_bytes() const { return disk_gb * 1024.0 * 1024.0 * 1024.0; }
+};
+
+/// Table 1 presets.
+HardwareSpec CdbA();  // 8 GB RAM, 100 GB disk
+HardwareSpec CdbB();  // 12 GB RAM, 100 GB disk
+HardwareSpec CdbC();  // 12 GB RAM, 200 GB disk
+HardwareSpec CdbD();  // 16 GB RAM, 200 GB disk
+HardwareSpec CdbE();  // 32 GB RAM, 300 GB disk
+
+/// CDB-X1: (4, 12, 32, 64, 128) GB RAM, 100 GB disk — Figure 10 sweep.
+std::vector<HardwareSpec> CdbX1Variants();
+
+/// CDB-X2: 12 GB RAM, (32, 64, 100, 256, 512) GB disk — Figure 11 sweep.
+std::vector<HardwareSpec> CdbX2Variants();
+
+/// Custom instance, for adaptability sweeps.
+HardwareSpec MakeInstance(std::string name, double ram_gb, double disk_gb,
+                          DiskType disk = DiskType::kSsd, int cores = 12);
+
+}  // namespace cdbtune::env
+
+#endif  // CDBTUNE_ENV_INSTANCE_H_

@@ -1,0 +1,539 @@
+#include "env/perf_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <unordered_set>
+
+#include "util/logging.h"
+
+namespace cdbtune::env {
+
+namespace {
+
+constexpr double kMiB = 1024.0 * 1024.0;
+
+/// FNV-1a hash of a string, mapped to [0, 1). Deterministic across runs and
+/// platforms — the long-tail knob surface must be stable.
+double Hash01(const std::string& s) {
+  uint64_t h = 1469598103934665603ULL;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  // Use the top 53 bits for a clean double mantissa.
+  return static_cast<double>(h >> 11) / 9007199254740992.0;
+}
+
+double ReadKnob(const knobs::KnobRegistry& reg, const knobs::Config& config,
+                const std::string& name, double fallback) {
+  auto idx = reg.FindIndex(name);
+  if (!idx.has_value()) return fallback;
+  return config[*idx];
+}
+
+/// Soft minimum of positive bottleneck candidates using a p-norm; close to
+/// min() but smooth, so the tuning surface has usable gradients.
+double SoftMin(std::initializer_list<double> values, double p = 4.0) {
+  double acc = 0.0;
+  for (double v : values) {
+    CDBTUNE_CHECK(v > 0.0) << "bottleneck candidate must be positive";
+    acc += std::pow(v, -p);
+  }
+  return std::pow(acc, -1.0 / p);
+}
+
+}  // namespace
+
+DeviceProfile DeviceFor(DiskType type) {
+  switch (type) {
+    case DiskType::kHdd:
+      return {8.0, 8.0, 12.0, 200.0, 150.0};
+    case DiskType::kSsd:
+      return {0.12, 0.08, 0.40, 30000.0, 500.0};
+    case DiskType::kNvm:
+      return {0.02, 0.02, 0.05, 300000.0, 2000.0};
+  }
+  return {0.12, 0.08, 0.40, 30000.0, 500.0};
+}
+
+MinorKnobSurface::MinorKnobSurface(const knobs::KnobRegistry& registry,
+                                   const std::vector<std::string>& core_names,
+                                   double span)
+    : registry_(&registry), span_(span), weight_sum_(0.0) {
+  std::unordered_set<std::string> core(core_names.begin(), core_names.end());
+  std::vector<size_t> minor;
+  for (size_t i = 0; i < registry.size(); ++i) {
+    const auto& def = registry.def(i);
+    if (!def.tunable || core.count(def.name) > 0) continue;
+    minor.push_back(i);
+  }
+  terms_.reserve(minor.size());
+  for (size_t k = 0; k < minor.size(); ++k) {
+    Term t;
+    t.index = minor[k];
+    const auto& def = registry.def(t.index);
+    const std::string& name = def.name;
+    // Optima are anchored near the shipped default (engine defaults are
+    // sane) with a hashed offset that leaves real tuning headroom. Blanket
+    // "turn everything up" guesses therefore hurt on average, while a
+    // learner can still harvest the per-knob offsets.
+    double default_norm = knobs::NormalizeKnobValue(def, def.default_value);
+    t.optimum = std::clamp(0.55 * default_norm + 0.45 * Hash01(name + "/opt"),
+                           0.05, 0.95);
+    double w = Hash01(name + "/w");
+    t.weight = w * w;  // Squared: most knobs barely matter, a few do.
+    // Pair each knob with a pseudo-random partner for a sparse interaction
+    // structure ("unseen dependencies between knobs", Section 1).
+    size_t partner_pos =
+        static_cast<size_t>(Hash01(name + "/pair") * static_cast<double>(minor.size()));
+    t.partner = minor[std::min(partner_pos, minor.size() - 1)];
+    t.pair_weight = (Hash01(name + "/pw") - 0.5) * 0.8 * t.weight;
+    weight_sum_ += t.weight;
+    terms_.push_back(t);
+  }
+  if (weight_sum_ <= 0.0) weight_sum_ = 1.0;
+}
+
+double MinorKnobSurface::Evaluate(const knobs::Config& config) const {
+  CDBTUNE_CHECK(config.size() == registry_->size()) << "config size mismatch";
+  double acc = 0.0;
+  for (const Term& t : terms_) {
+    double x = knobs::NormalizeKnobValue(registry_->def(t.index),
+                                         config[t.index]);
+    double d = x - t.optimum;
+    // Peak +w at the knob's preferred value, fading to -w at distance ~0.7.
+    acc += t.weight * (1.0 - 4.0 * d * d);
+    double y = knobs::NormalizeKnobValue(registry_->def(t.partner),
+                                         config[t.partner]);
+    acc += t.pair_weight * (x - 0.5) * (y - 0.5) * 4.0;
+  }
+  // Normalize so a perfectly tuned tail yields ~(1 + span) and a fully
+  // mis-tuned tail ~(1 - span).
+  double normalized = acc / weight_sum_;  // in roughly [-1.3, 1.0]
+  return 1.0 + span_ * std::clamp(normalized, -1.4, 1.0);
+}
+
+PerfOutcome EvaluatePerformance(const ModelInputs& in, const HardwareSpec& hw,
+                                const workload::WorkloadSpec& w,
+                                double base_cpu_us) {
+  const DeviceProfile dev = DeviceFor(hw.disk_type);
+  PerfOutcome out;
+
+  const double ram = hw.ram_bytes();
+  const double threads = static_cast<double>(w.client_threads);
+  const double row_bytes = 200.0;
+  const double page_bytes = 16.0 * 1024.0;
+  const double rows_per_page = page_bytes / row_bytes;
+
+  // --- Memory accounting & swap pressure --------------------------------
+  const double conn = std::min(threads, std::max(1.0, in.max_connections));
+  const double session_mem =
+      conn * (in.session_mem_bytes +
+              w.sort_heavy_fraction * 0.5 * in.sort_mem_bytes);
+  const double committed =
+      in.buffer_pool_bytes + in.log_buffer_bytes + session_mem + 256.0 * kMiB;
+  const double pressure = committed / ram;
+  out.swap_penalty = pressure <= 0.85
+                         ? 1.0
+                         : 1.0 + 14.0 * (pressure - 0.85) * (pressure - 0.85);
+
+  // --- Buffer pool hit rate ----------------------------------------------
+  const double working_set = std::max(64.0 * kMiB, w.working_set_gb * 1024.0 * kMiB);
+  const double usable_pool = std::min(in.buffer_pool_bytes, 0.95 * ram);
+  const double fill_ratio = std::min(1.0, usable_pool / working_set);
+  const double skew_boost = std::max(0.25, 1.0 - 0.75 * w.access_skew);
+  out.buffer_hit_rate =
+      std::min(0.998, std::pow(fill_ratio, skew_boost) * 0.998);
+  const double miss = 1.0 - out.buffer_hit_rate;
+
+  // --- Operation mix per transaction --------------------------------------
+  const double ops = std::max(1.0, w.ops_per_txn);
+  const double reads = ops * w.read_fraction;
+  const double scans = reads * w.scan_fraction;
+  const double points = reads - scans;
+  const double writes = ops * (1.0 - w.read_fraction);
+  const double pages_per_scan = w.scan_length / rows_per_page + 1.0;
+
+  // --- Admission ----------------------------------------------------------
+  double admitted = conn;
+  if (in.thread_limit > 0.0) {
+    admitted = std::min(admitted, in.thread_limit);
+  }
+  admitted = std::max(1.0, admitted);
+  out.effective_concurrency = conn;
+  out.admitted_threads = admitted;
+
+  // --- Lock contention (skewed writes on shared rows) ---------------------
+  const double write_share = writes / ops;
+  const double rho = std::min(
+      0.95, write_share * (0.15 + 0.85 * w.access_skew) * admitted /
+                (admitted + 150.0));
+  out.lock_contention = rho;
+  const double lock_factor = 1.0 + 2.0 * rho * rho;
+
+  // --- Sort / temp-table behaviour (OLAP pressure) -------------------------
+  const double sort_need = w.scan_length * row_bytes * 1.5;
+  double sort_cpu_mult = 1.0;
+  double sort_extra_io_ms = 0.0;
+  bool spills = false;
+  if (w.sort_heavy_fraction > 0.0 && in.sort_mem_bytes < sort_need) {
+    spills = true;
+    double passes = std::log2(std::max(2.0, sort_need / in.sort_mem_bytes));
+    sort_cpu_mult = 1.0 + 0.35 * passes;
+    // Each merge pass spills and re-reads the run at sequential bandwidth.
+    sort_extra_io_ms =
+        passes * (sort_need / kMiB) / dev.seq_bandwidth_mb_s * 1000.0 * 0.5;
+  }
+  if (w.sort_heavy_fraction > 0.0 && in.tmp_mem_bytes < sort_need) {
+    sort_extra_io_ms += (sort_need / kMiB) / dev.seq_bandwidth_mb_s * 1000.0 * 0.3;
+  }
+
+  // --- Per-transaction CPU cost (ms) ---------------------------------------
+  const double cpu_point_ms = base_cpu_us / 1000.0;
+  const double cpu_scan_ms =
+      (base_cpu_us / 1000.0) +
+      w.scan_length * 0.0006 * (1.0 + w.sort_heavy_fraction * (sort_cpu_mult - 1.0));
+  const double cpu_write_ms = base_cpu_us / 1000.0 * 1.2;
+  const double txn_cpu_ms = points * cpu_point_ms + scans * cpu_scan_ms +
+                            writes * cpu_write_ms + 0.03;
+
+  // --- Foreground I/O cost (ms, single thread view) ------------------------
+  // I/O threads help until they exceed what the cores can service; beyond
+  // ~1.5x cores the context-switch overhead erodes the gain (one of the
+  // non-monotonicities behind Figure 1d).
+  const double thread_sweet_spot = 1.5 * static_cast<double>(hw.cpu_cores);
+  const double io_boost = std::max(
+      0.6, 1.0 + 0.45 * std::log2(std::max(1.0, in.read_io_threads)) -
+               0.10 * std::max(0.0, in.read_io_threads - thread_sweet_spot));
+  const double prefetch_gain = 1.0 + 1.5 * in.prefetch;
+  const double point_io_ms = points * miss * dev.read_latency_ms;
+  const double scan_io_ms = scans * pages_per_scan * miss *
+                            dev.read_latency_ms / prefetch_gain;
+  // Writes must read the target page before modifying it, so the buffer
+  // pool matters for write workloads too (the paper observes CDBTune
+  // enlarging the pool under write-only load, Section 5.2.3).
+  const double write_read_io_ms = writes * miss * dev.read_latency_ms;
+  // Group commit amortizes the fsync across concurrently committing threads.
+  const double group = std::clamp(admitted * 0.25, 1.0, 32.0);
+  const double commit_io_ms = in.durability_cost * dev.fsync_latency_ms / group;
+  const double txn_io_ms =
+      point_io_ms + scan_io_ms + write_read_io_ms + commit_io_ms +
+      w.sort_heavy_fraction * sort_extra_io_ms;
+
+  const double txn_service_ms = (txn_cpu_ms + txn_io_ms) * lock_factor;
+
+  // --- Bottleneck candidates (transactions per second) --------------------
+  // CPU: threads blocked on I/O release cores, so CPU demand is just the
+  // CPU portion of the service time.
+  const double tps_cpu =
+      1000.0 * static_cast<double>(hw.cpu_cores) / txn_cpu_ms * 0.9;
+  // Device IOPS: random reads plus eventual page flushes. The doublewrite
+  // buffer adds ~30% (its second copy is one large sequential write, not a
+  // doubling); write combining collapses ~40% of page flushes.
+  const double flush_ios_per_txn =
+      writes * 0.6 * (in.doublewrite ? 1.3 : 1.0);
+  const double read_ios_per_txn =
+      (points + writes) * miss + scans * pages_per_scan * miss / prefetch_gain;
+  const double fsyncs_per_txn = in.durability_cost / group;
+  const double ios_per_txn = std::max(
+      0.05, read_ios_per_txn / io_boost + flush_ios_per_txn + fsyncs_per_txn);
+  const double tps_io = dev.iops / ios_per_txn;
+  // Concurrency: admitted threads each run transactions serially.
+  const double tps_conc = 1000.0 * admitted / std::max(0.05, txn_service_ms);
+
+  double tps = SoftMin({tps_cpu, tps_io, tps_conc});
+
+  // --- Write-rate dependent stalls (two damped fixed-point rounds) --------
+  const double redo_bytes_per_txn = writes * 320.0 + 60.0;
+  double checkpoint_factor = 1.0;
+  double flush_factor = 1.0;
+  double overflush_factor = 1.0;
+  for (int round = 0; round < 2; ++round) {
+    const double stalled_tps =
+        tps / (checkpoint_factor * flush_factor * overflush_factor);
+    // Checkpoint pressure: small redo logs force frequent sharp
+    // checkpoints. fill_s = seconds to fill the whole redo allocation.
+    const double write_bytes_s = stalled_tps * redo_bytes_per_txn;
+    const double fill_s = in.log_total_bytes / std::max(1.0, write_bytes_s);
+    checkpoint_factor =
+        1.0 + write_share * 1.4 / (1.0 + (fill_s / 40.0) * (fill_s / 40.0));
+    // Background flushing: dirty pages produced vs io_capacity granted to
+    // the cleaners. Higher max_dirty gives headroom; very low values
+    // overflush.
+    const double d = std::clamp(in.max_dirty_pct / 100.0, 0.0, 1.0);
+    const double dirty_headroom = 0.55 + 0.95 * d - 0.60 * d * d;
+    const double cleaner_gain =
+        (0.5 + 0.5 * std::min(in.cleaner_threads, 8.0) / 8.0) *
+        (0.7 + 0.3 * std::min(in.write_io_threads, 16.0) / 16.0);
+    const double flush_capacity = std::max(
+        20.0, in.io_capacity * cleaner_gain * dirty_headroom);
+    const double dirty_rate = stalled_tps * writes * 0.6;
+    const double overload = dirty_rate / flush_capacity;
+    flush_factor =
+        overload <= 1.0 ? 1.0 : 1.0 + write_share * std::min(3.0, overload - 1.0);
+    // The overflushing trap: an io_capacity budget far above the dirty-page
+    // production rate makes the cleaners write pages before write-combining
+    // can collapse them, inflating physical writes. Up to ~4x headroom is
+    // free; beyond that the penalty grows with the log of the excess. This
+    // gives io_capacity an interior optimum for write workloads instead of
+    // "always max it".
+    if (writes > 0.0 && dirty_rate > 1.0) {
+      double excess = in.io_capacity / std::max(50.0, 4.0 * dirty_rate);
+      overflush_factor =
+          1.0 + 0.30 * write_share *
+                    std::clamp(std::log10(std::max(1.0, excess)), 0.0, 1.5);
+    }
+  }
+  out.checkpoint_penalty = checkpoint_factor;
+
+  // Log buffer too small for the commit burst rate causes log waits.
+  const double log_bytes_per_s = tps * redo_bytes_per_txn;
+  const double log_buffer_need = log_bytes_per_s * 0.05;
+  double log_wait_factor = 1.0;
+  if (in.log_buffer_bytes < log_buffer_need) {
+    log_wait_factor =
+        1.0 + 0.25 * std::log2(std::max(2.0, log_buffer_need / in.log_buffer_bytes));
+    out.log_wait_rate = tps * writes * 0.2;
+  }
+
+  // Clients beyond max_connections retry and partially fail.
+  double conn_factor = 1.0;
+  if (conn < threads) {
+    conn_factor = 0.75 + 0.25 * conn / threads;
+  }
+
+  tps = tps * conn_factor * in.minor_factor /
+        (checkpoint_factor * flush_factor * overflush_factor *
+         out.swap_penalty * log_wait_factor);
+  tps = std::max(1.0, tps);
+  out.throughput_tps = tps;
+
+  // --- Latency -------------------------------------------------------------
+  // All offered clients sit in the system (Little's law), whether admitted
+  // or queued; the tail grows with contention and stall severity.
+  const double in_system = std::max(1.0, threads * 0.8);
+  out.latency_mean_ms = in_system * 1000.0 / tps;
+  // Tail variance grows with how many threads actually run concurrently:
+  // admission throttling (innodb_thread_concurrency) trades throughput for
+  // a tighter tail — the C_T/C_L trade-off of Appendix C.1.2.
+  const double tail_stretch = 1.6 + 1.6 * rho +
+                              1.2 * (admitted / (admitted + 120.0)) +
+                              0.9 * (checkpoint_factor - 1.0) +
+                              0.8 * (flush_factor - 1.0) +
+                              0.5 * (out.swap_penalty - 1.0);
+  out.latency_p99_ms = out.latency_mean_ms * tail_stretch;
+
+  // --- Metric rates ---------------------------------------------------------
+  out.read_request_rate = tps * (points + scans * w.scan_length);
+  out.physical_read_rate = tps * read_ios_per_txn;
+  out.write_request_rate = tps * writes;
+  out.page_flush_rate = tps * flush_ios_per_txn;
+  out.log_write_rate = tps * writes * 0.5 + tps;
+  out.fsync_rate = tps * fsyncs_per_txn;
+  out.lock_wait_rate = tps * rho * 0.5;
+  out.dirty_page_fraction =
+      std::clamp((in.max_dirty_pct / 100.0) *
+                     std::min(1.0, flush_factor - 0.4) +
+                     0.05,
+                 0.02, 0.95);
+  out.tmp_disk_table_rate =
+      spills ? tps * w.sort_heavy_fraction * 0.8 : 0.0;
+  out.sort_merge_rate = spills ? tps * w.sort_heavy_fraction * 1.6 : 0.0;
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Engine profiles
+// ---------------------------------------------------------------------------
+
+namespace {
+
+ModelInputs ExtractMysql(const knobs::KnobRegistry& reg,
+                         const knobs::Config& c) {
+  ModelInputs in;
+  in.buffer_pool_bytes = ReadKnob(reg, c, "innodb_buffer_pool_size", in.buffer_pool_bytes);
+  double log_file = ReadKnob(reg, c, "innodb_log_file_size", 48.0 * kMiB);
+  double log_group = ReadKnob(reg, c, "innodb_log_files_in_group", 2.0);
+  in.log_total_bytes = log_file * log_group;
+  in.log_buffer_bytes = ReadKnob(reg, c, "innodb_log_buffer_size", in.log_buffer_bytes);
+  // innodb_flush_log_at_trx_commit: 1 = fsync per commit, 2 = write + lazy
+  // fsync, 0 = fully lazy. sync_binlog adds a second stream of fsyncs.
+  double flush_policy = ReadKnob(reg, c, "innodb_flush_log_at_trx_commit", 1.0);
+  double durability = flush_policy == 1.0 ? 1.0 : (flush_policy == 2.0 ? 0.25 : 0.06);
+  double sync_binlog = ReadKnob(reg, c, "sync_binlog", 1.0);
+  if (sync_binlog > 0.0) durability += 0.8 / sync_binlog;
+  in.durability_cost = durability;
+  in.read_io_threads = ReadKnob(reg, c, "innodb_read_io_threads", 4.0);
+  in.write_io_threads = ReadKnob(reg, c, "innodb_write_io_threads", 4.0);
+  in.cleaner_threads = ReadKnob(reg, c, "innodb_page_cleaners", 1.0) +
+                       0.5 * ReadKnob(reg, c, "innodb_purge_threads", 1.0);
+  in.io_capacity = ReadKnob(reg, c, "innodb_io_capacity", 200.0) * 0.7 +
+                   ReadKnob(reg, c, "innodb_io_capacity_max", 2000.0) * 0.3;
+  in.max_dirty_pct = ReadKnob(reg, c, "innodb_max_dirty_pages_pct", 75.0);
+  in.thread_limit = ReadKnob(reg, c, "innodb_thread_concurrency", 0.0);
+  in.max_connections = ReadKnob(reg, c, "max_connections", 151.0);
+  in.sort_mem_bytes = ReadKnob(reg, c, "sort_buffer_size", 256.0 * 1024.0) +
+                      0.5 * ReadKnob(reg, c, "join_buffer_size", 256.0 * 1024.0);
+  in.tmp_mem_bytes = std::min(ReadKnob(reg, c, "tmp_table_size", 16.0 * kMiB),
+                              ReadKnob(reg, c, "max_heap_table_size", 16.0 * kMiB));
+  in.session_mem_bytes = ReadKnob(reg, c, "read_buffer_size", 128.0 * 1024.0) +
+                         ReadKnob(reg, c, "read_rnd_buffer_size", 256.0 * 1024.0) +
+                         ReadKnob(reg, c, "thread_stack", 256.0 * 1024.0);
+  double threshold = ReadKnob(reg, c, "innodb_read_ahead_threshold", 56.0);
+  double random_ra = ReadKnob(reg, c, "innodb_random_read_ahead", 0.0);
+  in.prefetch = std::clamp((64.0 - threshold) / 64.0 + 0.2 * random_ra, 0.0, 1.0);
+  in.doublewrite = ReadKnob(reg, c, "innodb_doublewrite", 1.0) >= 0.5;
+  return in;
+}
+
+std::vector<std::string> MysqlCoreKnobs() {
+  return {
+      "innodb_buffer_pool_size", "innodb_log_file_size",
+      "innodb_log_files_in_group", "innodb_log_buffer_size",
+      "innodb_flush_log_at_trx_commit", "sync_binlog",
+      "innodb_read_io_threads", "innodb_write_io_threads",
+      "innodb_page_cleaners", "innodb_purge_threads", "innodb_io_capacity",
+      "innodb_io_capacity_max", "innodb_max_dirty_pages_pct",
+      "innodb_thread_concurrency", "max_connections", "sort_buffer_size",
+      "join_buffer_size", "tmp_table_size", "max_heap_table_size",
+      "read_buffer_size", "read_rnd_buffer_size", "thread_stack",
+      "innodb_read_ahead_threshold", "innodb_random_read_ahead",
+      "innodb_doublewrite",
+  };
+}
+
+ModelInputs ExtractPostgres(const knobs::KnobRegistry& reg,
+                            const knobs::Config& c) {
+  ModelInputs in;
+  in.buffer_pool_bytes = ReadKnob(reg, c, "shared_buffers", 128.0 * kMiB);
+  in.log_total_bytes = ReadKnob(reg, c, "max_wal_size", 1024.0 * kMiB);
+  in.log_buffer_bytes = ReadKnob(reg, c, "wal_buffers", 16.0 * kMiB);
+  double sync_commit = ReadKnob(reg, c, "synchronous_commit", 3.0);
+  double fsync_on = ReadKnob(reg, c, "fsync", 1.0);
+  double durability = sync_commit >= 3.0 ? 1.0
+                      : sync_commit >= 2.0 ? 0.7
+                      : sync_commit >= 1.0 ? 0.5
+                                           : 0.06;
+  if (fsync_on < 0.5) durability = 0.04;
+  double commit_delay = ReadKnob(reg, c, "commit_delay", 0.0);
+  if (commit_delay > 0.0) durability *= 0.8;  // explicit group commit
+  in.durability_cost = durability;
+  in.read_io_threads = 1.0 + ReadKnob(reg, c, "effective_io_concurrency", 1.0) / 8.0;
+  in.write_io_threads = ReadKnob(reg, c, "max_worker_processes", 8.0) / 2.0;
+  in.cleaner_threads =
+      1.0 + 400.0 / std::max(10.0, ReadKnob(reg, c, "bgwriter_delay", 200.0));
+  in.io_capacity = ReadKnob(reg, c, "bgwriter_lru_maxpages", 100.0) *
+                   (1000.0 / std::max(10.0, ReadKnob(reg, c, "bgwriter_delay", 200.0))) *
+                   std::max(0.5, ReadKnob(reg, c, "bgwriter_lru_multiplier", 2.0) / 2.0);
+  // checkpoint_completion_target spreads checkpoint I/O: acts like dirty
+  // headroom.
+  in.max_dirty_pct =
+      40.0 + 55.0 * ReadKnob(reg, c, "checkpoint_completion_target", 0.5);
+  in.thread_limit = 0.0;
+  in.max_connections = ReadKnob(reg, c, "max_connections", 100.0);
+  in.sort_mem_bytes = ReadKnob(reg, c, "work_mem", 4.0 * kMiB);
+  in.tmp_mem_bytes = ReadKnob(reg, c, "temp_buffers", 8.0 * kMiB);
+  in.session_mem_bytes = 512.0 * 1024.0 + 0.1 * in.sort_mem_bytes;
+  in.prefetch =
+      std::clamp(ReadKnob(reg, c, "effective_io_concurrency", 1.0) / 64.0, 0.0, 1.0);
+  in.doublewrite = ReadKnob(reg, c, "full_page_writes", 1.0) >= 0.5;
+  return in;
+}
+
+std::vector<std::string> PostgresCoreKnobs() {
+  return {
+      "shared_buffers", "max_wal_size", "wal_buffers", "synchronous_commit",
+      "fsync", "commit_delay", "effective_io_concurrency",
+      "max_worker_processes", "bgwriter_delay", "bgwriter_lru_maxpages",
+      "bgwriter_lru_multiplier", "checkpoint_completion_target",
+      "max_connections", "work_mem", "temp_buffers", "full_page_writes",
+  };
+}
+
+ModelInputs ExtractMongo(const knobs::KnobRegistry& reg,
+                         const knobs::Config& c) {
+  ModelInputs in;
+  in.buffer_pool_bytes = ReadKnob(reg, c, "wiredtiger_cache_size", 1024.0 * kMiB);
+  // WiredTiger journals continuously; sync_period + journal interval play
+  // the redo-capacity role.
+  in.log_total_bytes =
+      ReadKnob(reg, c, "sync_period_secs", 60.0) * 48.0 * kMiB;
+  in.log_buffer_bytes = 32.0 * kMiB;
+  double interval_ms = ReadKnob(reg, c, "journal_commit_interval", 100.0);
+  in.durability_cost = std::clamp(30.0 / std::max(1.0, interval_ms), 0.02, 1.0);
+  in.read_io_threads = ReadKnob(reg, c, "read_tickets", 128.0) / 32.0;
+  in.write_io_threads = ReadKnob(reg, c, "write_tickets", 128.0) / 32.0;
+  in.cleaner_threads =
+      0.5 * (ReadKnob(reg, c, "eviction_threads_min", 4.0) +
+             ReadKnob(reg, c, "eviction_threads_max", 4.0));
+  in.io_capacity = 400.0 * in.cleaner_threads;
+  // Eviction triggers behave like the dirty-page headroom: a wide gap
+  // between target and trigger absorbs bursts.
+  double target = ReadKnob(reg, c, "eviction_dirty_target", 5.0);
+  double trigger = ReadKnob(reg, c, "eviction_dirty_trigger", 20.0);
+  in.max_dirty_pct = std::clamp(0.5 * (target + trigger) * 2.0, 1.0, 99.0);
+  in.thread_limit = ReadKnob(reg, c, "read_tickets", 128.0) +
+                    ReadKnob(reg, c, "write_tickets", 128.0);
+  in.max_connections = ReadKnob(reg, c, "wt_session_max", 20000.0);
+  in.sort_mem_bytes = ReadKnob(reg, c, "internal_query_exec_yield_bytes", 10.0 * kMiB);
+  in.tmp_mem_bytes = ReadKnob(reg, c, "plan_cache_size", 32.0 * kMiB);
+  in.session_mem_bytes = 256.0 * 1024.0;
+  in.prefetch = 0.3;
+  in.doublewrite = false;  // WiredTiger's COW checkpoints need no doublewrite.
+  return in;
+}
+
+std::vector<std::string> MongoCoreKnobs() {
+  return {
+      "wiredtiger_cache_size", "sync_period_secs", "journal_commit_interval",
+      "read_tickets", "write_tickets", "eviction_threads_min",
+      "eviction_threads_max", "eviction_dirty_target",
+      "eviction_dirty_trigger", "wt_session_max",
+      "internal_query_exec_yield_bytes", "plan_cache_size",
+  };
+}
+
+}  // namespace
+
+EngineProfile MysqlCdbProfile() {
+  EngineProfile p;
+  p.name = "CDB(MySQL)";
+  p.extract = ExtractMysql;
+  p.core_knob_names = MysqlCoreKnobs();
+  p.base_cpu_us = 55.0;  // Cloud proxy adds per-query overhead.
+  p.minor_knob_span = 0.18;
+  p.log_disk_crash_fraction = 0.30;
+  return p;
+}
+
+EngineProfile LocalMysqlProfile() {
+  EngineProfile p = MysqlCdbProfile();
+  p.name = "LocalMySQL";
+  p.base_cpu_us = 42.0;  // No cloud network hop.
+  return p;
+}
+
+EngineProfile PostgresProfile() {
+  EngineProfile p;
+  p.name = "Postgres";
+  p.extract = ExtractPostgres;
+  p.core_knob_names = PostgresCoreKnobs();
+  p.base_cpu_us = 48.0;
+  p.minor_knob_span = 0.15;
+  p.log_disk_crash_fraction = 0.30;
+  return p;
+}
+
+EngineProfile MongoProfile() {
+  EngineProfile p;
+  p.name = "MongoDB";
+  p.extract = ExtractMongo;
+  p.core_knob_names = MongoCoreKnobs();
+  p.base_cpu_us = 38.0;  // Document point ops are cheaper than SQL.
+  p.minor_knob_span = 0.15;
+  p.log_disk_crash_fraction = 0.30;
+  return p;
+}
+
+}  // namespace cdbtune::env

@@ -1,0 +1,156 @@
+#ifndef CDBTUNE_ENV_PERF_MODEL_H_
+#define CDBTUNE_ENV_PERF_MODEL_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "env/instance.h"
+#include "env/metrics.h"
+#include "knobs/registry.h"
+#include "workload/workload.h"
+
+namespace cdbtune::env {
+
+/// The engine-neutral "role" values the performance model consumes. Each
+/// engine profile extracts these from its own knob names (e.g.,
+/// innodb_buffer_pool_size vs. shared_buffers vs. wiredtiger_cache_size),
+/// which is what lets one model serve the MySQL/Postgres/MongoDB
+/// experiments of Appendix C.3.
+struct ModelInputs {
+  double buffer_pool_bytes = 128.0 * 1024 * 1024;
+  double log_total_bytes = 96.0 * 1024 * 1024;
+  double log_buffer_bytes = 16.0 * 1024 * 1024;
+  /// Expected fsync fraction charged to each commit (1 = fsync every
+  /// commit, 0.05 = effectively asynchronous).
+  double durability_cost = 1.0;
+  double read_io_threads = 4.0;
+  double write_io_threads = 4.0;
+  double cleaner_threads = 1.0;
+  double io_capacity = 200.0;
+  double max_dirty_pct = 75.0;
+  /// 0 = unlimited admission.
+  double thread_limit = 0.0;
+  double max_connections = 151.0;
+  double sort_mem_bytes = 256.0 * 1024;
+  double tmp_mem_bytes = 16.0 * 1024 * 1024;
+  /// Per-connection fixed memory overhead.
+  double session_mem_bytes = 512.0 * 1024;
+  /// 0..1, how aggressively sequential prefetch is configured.
+  double prefetch = 0.5;
+  bool doublewrite = true;
+  /// Multiplicative performance contribution of the long-tail knobs,
+  /// centered on 1.0.
+  double minor_factor = 1.0;
+};
+
+/// Closed-form performance outcome of one configuration under one workload
+/// on one hardware shape.
+struct PerfOutcome {
+  double throughput_tps = 0.0;
+  double latency_mean_ms = 0.0;
+  double latency_p99_ms = 0.0;
+
+  // Model internals surfaced as metric rates (per second unless noted).
+  double buffer_hit_rate = 0.0;
+  double effective_concurrency = 0.0;
+  double admitted_threads = 0.0;
+  double dirty_page_fraction = 0.0;
+  double read_request_rate = 0.0;
+  double physical_read_rate = 0.0;
+  double write_request_rate = 0.0;
+  double page_flush_rate = 0.0;
+  double log_write_rate = 0.0;
+  double fsync_rate = 0.0;
+  double log_wait_rate = 0.0;
+  double lock_wait_rate = 0.0;
+  double lock_contention = 0.0;  // rho in [0, 1).
+  double tmp_disk_table_rate = 0.0;
+  double sort_merge_rate = 0.0;
+  double checkpoint_penalty = 1.0;  // >= 1, write-cost multiplier.
+  double swap_penalty = 1.0;        // >= 1.
+};
+
+/// Device timing constants by disk class.
+struct DeviceProfile {
+  double read_latency_ms;
+  double write_latency_ms;
+  double fsync_latency_ms;
+  double iops;
+  double seq_bandwidth_mb_s;
+};
+
+DeviceProfile DeviceFor(DiskType type);
+
+/// How one engine flavor maps its knob catalog to ModelInputs, plus its
+/// base cost constants.
+struct EngineProfile {
+  std::string name;
+  /// Extracts role values from a raw config.
+  std::function<ModelInputs(const knobs::KnobRegistry&, const knobs::Config&)>
+      extract;
+  /// Knob names consumed by `extract`; all remaining tunable knobs
+  /// contribute through the deterministic long-tail surface.
+  std::vector<std::string> core_knob_names;
+  /// Base CPU microseconds for one point operation (includes parse/plan
+  /// and network handling; higher for remote cloud instances).
+  double base_cpu_us = 55.0;
+  /// Scale of the long-tail knob surface (max total throughput swing).
+  double minor_knob_span = 0.18;
+  /// Fraction of disk a redo/journal allocation may reach before the
+  /// instance fails to start (the crash rule of Section 5.2.3).
+  double log_disk_crash_fraction = 0.30;
+};
+
+/// Profile factories for the four engines evaluated in the paper.
+EngineProfile MysqlCdbProfile();    // Tencent-CDB-flavored MySQL (Section 5).
+EngineProfile LocalMysqlProfile();  // Local MySQL (Figure 18): no cloud proxy.
+EngineProfile PostgresProfile();    // Figure 17.
+EngineProfile MongoProfile();       // Figure 16.
+
+/// Deterministic long-tail knob surface. Precomputes, per non-core tunable
+/// knob, a preferred normalized value and a small weight (both hashed from
+/// the knob name) plus sparse pairwise interactions; Evaluate() returns a
+/// multiplicative factor around 1.0. This is what makes the 266-dim space
+/// genuinely high-dimensional and non-separable (Figure 1d) while staying
+/// reproducible.
+class MinorKnobSurface {
+ public:
+  MinorKnobSurface(const knobs::KnobRegistry& registry,
+                   const std::vector<std::string>& core_knob_names,
+                   double span);
+
+  double Evaluate(const knobs::Config& config) const;
+
+  size_t num_minor_knobs() const { return terms_.size(); }
+
+ private:
+  struct Term {
+    size_t index;         // knob index in the registry
+    double optimum;       // preferred normalized value
+    double weight;        // contribution scale
+    size_t partner;       // knob index for the pairwise interaction
+    double pair_weight;   // interaction scale
+  };
+  const knobs::KnobRegistry* registry_;
+  std::vector<Term> terms_;
+  double span_;
+  double weight_sum_;
+};
+
+/// The analytic DBMS performance model shared by all engine profiles.
+///
+/// Given role inputs, hardware and a workload it computes throughput, mean
+/// and tail latency, and the internal-metric rates, using standard
+/// bottleneck analysis: CPU bound, device IOPS bound and
+/// concurrency/service-time bound combined with a soft minimum, degraded by
+/// checkpoint stalls (small redo), flush-capacity stalls (dirty pages
+/// outrunning background writers), lock contention (skewed writes) and
+/// memory overcommit (swapping).
+PerfOutcome EvaluatePerformance(const ModelInputs& in, const HardwareSpec& hw,
+                                const workload::WorkloadSpec& w,
+                                double base_cpu_us);
+
+}  // namespace cdbtune::env
+
+#endif  // CDBTUNE_ENV_PERF_MODEL_H_

@@ -1,0 +1,30 @@
+#ifndef CDBTUNE_KNOBS_CATALOGS_H_
+#define CDBTUNE_KNOBS_CATALOGS_H_
+
+#include "knobs/registry.h"
+
+namespace cdbtune::knobs {
+
+/// Target tunable-knob counts, matching the paper: 266 for the MySQL-based
+/// CDB (Section 5.2), 169 for Postgres and 232 for MongoDB (Appendix C.3).
+inline constexpr size_t kMysqlTunableKnobs = 266;
+inline constexpr size_t kPostgresTunableKnobs = 169;
+inline constexpr size_t kMongoTunableKnobs = 232;
+
+/// MySQL/InnoDB-flavored catalog used by the CDB environments. The
+/// performance-critical knobs carry their real MySQL names, ranges and
+/// defaults; the long tail of minor server variables is filled with
+/// clearly-marked `reserved_*` stand-ins so the action space has the
+/// paper's exact dimensionality (266 tunable) without inventing fake
+/// semantics for hundreds of variables.
+KnobRegistry BuildMysqlCatalog();
+
+/// Postgres-flavored catalog (169 tunable knobs) for Figure 17.
+KnobRegistry BuildPostgresCatalog();
+
+/// MongoDB/WiredTiger-flavored catalog (232 tunable knobs) for Figure 16.
+KnobRegistry BuildMongoCatalog();
+
+}  // namespace cdbtune::knobs
+
+#endif  // CDBTUNE_KNOBS_CATALOGS_H_

@@ -1,0 +1,62 @@
+#include "knobs/knob.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace cdbtune::knobs {
+
+namespace {
+// Log scaling shifts by 1 so ranges that start at 0 stay finite.
+double LogMap(double x) { return std::log1p(x); }
+double LogUnmap(double y) { return std::expm1(y); }
+}  // namespace
+
+double NormalizeKnobValue(const KnobDef& def, double raw) {
+  double lo = def.min_value;
+  double hi = def.max_value;
+  CDBTUNE_CHECK(hi > lo) << "degenerate range for knob " << def.name;
+  double clamped = std::clamp(raw, lo, hi);
+  if (def.scale == KnobScale::kLog) {
+    CDBTUNE_CHECK(lo >= 0.0) << "log-scaled knob with negative range: "
+                             << def.name;
+    return (LogMap(clamped) - LogMap(lo)) / (LogMap(hi) - LogMap(lo));
+  }
+  return (clamped - lo) / (hi - lo);
+}
+
+double DenormalizeKnobValue(const KnobDef& def, double normalized) {
+  double t = std::clamp(normalized, 0.0, 1.0);
+  double lo = def.min_value;
+  double hi = def.max_value;
+  double raw;
+  if (def.scale == KnobScale::kLog) {
+    raw = LogUnmap(LogMap(lo) + t * (LogMap(hi) - LogMap(lo)));
+  } else {
+    raw = lo + t * (hi - lo);
+  }
+  return SanitizeKnobValue(def, raw);
+}
+
+double SanitizeKnobValue(const KnobDef& def, double raw) {
+  double clamped = std::clamp(raw, def.min_value, def.max_value);
+  switch (def.type) {
+    case KnobType::kDouble:
+      return clamped;
+    case KnobType::kInteger:
+      return std::round(clamped);
+    case KnobType::kBoolean:
+      return clamped >= 0.5 ? 1.0 : 0.0;
+    case KnobType::kEnum: {
+      double snapped = std::round(clamped);
+      double max_index =
+          static_cast<double>(def.enum_values.empty() ? 0
+                                                      : def.enum_values.size() - 1);
+      return std::clamp(snapped, 0.0, max_index);
+    }
+  }
+  return clamped;
+}
+
+}  // namespace cdbtune::knobs

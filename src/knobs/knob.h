@@ -1,0 +1,64 @@
+#ifndef CDBTUNE_KNOBS_KNOB_H_
+#define CDBTUNE_KNOBS_KNOB_H_
+
+#include <string>
+#include <vector>
+
+namespace cdbtune::knobs {
+
+/// Value domain of a configuration knob.
+enum class KnobType {
+  kInteger,  // e.g., innodb_read_io_threads
+  kDouble,   // e.g., innodb_max_dirty_pages_pct
+  kBoolean,  // e.g., innodb_doublewrite (0/1)
+  kEnum,     // e.g., innodb_flush_method (value = index into enum_values)
+};
+
+/// How a knob's range is traversed when mapping to/from the normalized
+/// [0, 1] action space. Byte-size knobs span 5-6 orders of magnitude
+/// (128KB .. 64GB); mapping them logarithmically gives the RL agent a
+/// well-conditioned axis instead of one where 99% of the range is "huge".
+enum class KnobScale {
+  kLinear,
+  kLog,
+};
+
+/// Static description of one tunable server variable.
+///
+/// Ranges are the safe tunable window, not the engine's absolute limits;
+/// knobs the DBA black-lists (path names, dangerous toggles, Section 5.2)
+/// carry tunable = false and are never exposed to a tuner.
+struct KnobDef {
+  std::string name;
+  KnobType type = KnobType::kInteger;
+  KnobScale scale = KnobScale::kLinear;
+  double min_value = 0.0;
+  double max_value = 1.0;
+  double default_value = 0.0;
+  /// Labels for kEnum knobs; the raw value is an index into this list.
+  std::vector<std::string> enum_values;
+  /// First catalog version that shipped this knob (drives the Figure 1c
+  /// knob-growth series).
+  int introduced_version = 1;
+  bool tunable = true;
+  std::string description;
+};
+
+/// A full raw configuration: one value per knob, aligned with the owning
+/// KnobRegistry's index order. Values are in native units (bytes, counts,
+/// percentages, enum indices).
+using Config = std::vector<double>;
+
+/// Maps a raw knob value into [0, 1] according to the knob's range/scale.
+double NormalizeKnobValue(const KnobDef& def, double raw);
+
+/// Inverse of NormalizeKnobValue; snaps integers/booleans/enums to legal
+/// discrete values and clamps to [min, max].
+double DenormalizeKnobValue(const KnobDef& def, double normalized);
+
+/// Clamps + discretizes a raw value to the knob's legal domain.
+double SanitizeKnobValue(const KnobDef& def, double raw);
+
+}  // namespace cdbtune::knobs
+
+#endif  // CDBTUNE_KNOBS_KNOB_H_

@@ -1,0 +1,142 @@
+#include "knobs/registry.h"
+
+#include <algorithm>
+#include <map>
+
+#include "util/logging.h"
+
+namespace cdbtune::knobs {
+
+KnobRegistry::KnobRegistry(std::vector<KnobDef> defs) : defs_(std::move(defs)) {
+  for (size_t i = 0; i < defs_.size(); ++i) {
+    auto [it, inserted] = index_by_name_.emplace(defs_[i].name, i);
+    CDBTUNE_CHECK(inserted) << "duplicate knob name: " << defs_[i].name;
+  }
+}
+
+std::optional<size_t> KnobRegistry::FindIndex(const std::string& name) const {
+  auto it = index_by_name_.find(name);
+  if (it == index_by_name_.end()) return std::nullopt;
+  return it->second;
+}
+
+Config KnobRegistry::DefaultConfig() const {
+  Config config(defs_.size());
+  for (size_t i = 0; i < defs_.size(); ++i) config[i] = defs_[i].default_value;
+  return config;
+}
+
+Config KnobRegistry::Sanitize(const Config& raw) const {
+  CDBTUNE_CHECK(raw.size() == defs_.size()) << "config size mismatch";
+  Config out(raw.size());
+  for (size_t i = 0; i < raw.size(); ++i) {
+    out[i] = SanitizeKnobValue(defs_[i], raw[i]);
+  }
+  return out;
+}
+
+std::vector<double> KnobRegistry::Normalize(const Config& raw) const {
+  CDBTUNE_CHECK(raw.size() == defs_.size()) << "config size mismatch";
+  std::vector<double> out(raw.size());
+  for (size_t i = 0; i < raw.size(); ++i) {
+    out[i] = NormalizeKnobValue(defs_[i], raw[i]);
+  }
+  return out;
+}
+
+Config KnobRegistry::Denormalize(const std::vector<double>& normalized) const {
+  CDBTUNE_CHECK(normalized.size() == defs_.size()) << "vector size mismatch";
+  Config out(normalized.size());
+  for (size_t i = 0; i < normalized.size(); ++i) {
+    out[i] = DenormalizeKnobValue(defs_[i], normalized[i]);
+  }
+  return out;
+}
+
+std::vector<size_t> KnobRegistry::TunableIndices() const {
+  std::vector<size_t> out;
+  out.reserve(defs_.size());
+  for (size_t i = 0; i < defs_.size(); ++i) {
+    if (defs_[i].tunable) out.push_back(i);
+  }
+  return out;
+}
+
+std::vector<std::pair<int, size_t>> KnobRegistry::KnobCountByVersion() const {
+  std::map<int, size_t> introduced;
+  for (const auto& def : defs_) ++introduced[def.introduced_version];
+  std::vector<std::pair<int, size_t>> out;
+  size_t cumulative = 0;
+  for (const auto& [version, count] : introduced) {
+    cumulative += count;
+    out.emplace_back(version, cumulative);
+  }
+  return out;
+}
+
+util::Status KnobRegistry::Validate() const {
+  for (const auto& def : defs_) {
+    if (def.max_value <= def.min_value) {
+      return util::Status::InvalidArgument("degenerate range: " + def.name);
+    }
+    if (def.default_value < def.min_value ||
+        def.default_value > def.max_value) {
+      return util::Status::InvalidArgument("default out of range: " + def.name);
+    }
+    if (def.type == KnobType::kEnum && def.enum_values.size() < 2) {
+      return util::Status::InvalidArgument("enum without values: " + def.name);
+    }
+    if (def.scale == KnobScale::kLog && def.min_value < 0.0) {
+      return util::Status::InvalidArgument("negative log range: " + def.name);
+    }
+  }
+  return util::Status::Ok();
+}
+
+KnobSpace::KnobSpace(const KnobRegistry* registry,
+                     std::vector<size_t> active_indices)
+    : registry_(registry), active_(std::move(active_indices)) {
+  CDBTUNE_CHECK(registry_ != nullptr);
+  for (size_t idx : active_) {
+    CDBTUNE_CHECK(idx < registry_->size()) << "active index out of range";
+    CDBTUNE_CHECK(registry_->def(idx).tunable)
+        << "black-listed knob in action space: " << registry_->def(idx).name;
+  }
+}
+
+KnobSpace KnobSpace::AllTunable(const KnobRegistry* registry) {
+  return KnobSpace(registry, registry->TunableIndices());
+}
+
+KnobSpace KnobSpace::FromOrderPrefix(const KnobRegistry* registry,
+                                     const std::vector<size_t>& order,
+                                     size_t count) {
+  CDBTUNE_CHECK(count <= order.size()) << "prefix longer than order";
+  std::vector<size_t> active(order.begin(),
+                             order.begin() + static_cast<long>(count));
+  return KnobSpace(registry, std::move(active));
+}
+
+Config KnobSpace::ActionToConfig(const std::vector<double>& action,
+                                 const Config& base) const {
+  CDBTUNE_CHECK(action.size() == active_.size()) << "action size mismatch";
+  CDBTUNE_CHECK(base.size() == registry_->size()) << "base config mismatch";
+  Config out = base;
+  for (size_t i = 0; i < active_.size(); ++i) {
+    size_t idx = active_[i];
+    out[idx] = DenormalizeKnobValue(registry_->def(idx), action[i]);
+  }
+  return out;
+}
+
+std::vector<double> KnobSpace::ConfigToAction(const Config& config) const {
+  CDBTUNE_CHECK(config.size() == registry_->size()) << "config size mismatch";
+  std::vector<double> action(active_.size());
+  for (size_t i = 0; i < active_.size(); ++i) {
+    size_t idx = active_[i];
+    action[i] = NormalizeKnobValue(registry_->def(idx), config[idx]);
+  }
+  return action;
+}
+
+}  // namespace cdbtune::knobs

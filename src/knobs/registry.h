@@ -1,0 +1,91 @@
+#ifndef CDBTUNE_KNOBS_REGISTRY_H_
+#define CDBTUNE_KNOBS_REGISTRY_H_
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "knobs/knob.h"
+#include "util/status.h"
+
+namespace cdbtune::knobs {
+
+/// Ordered catalog of a database engine's knobs plus name lookup, default
+/// configuration, and vector normalization.
+///
+/// A registry describes one engine flavor (MySQL-like CDB, Postgres-like,
+/// MongoDB-like); it is immutable after construction and shared by
+/// environments, tuners and benchmarks.
+class KnobRegistry {
+ public:
+  KnobRegistry() = default;
+  explicit KnobRegistry(std::vector<KnobDef> defs);
+
+  size_t size() const { return defs_.size(); }
+  const KnobDef& def(size_t index) const { return defs_[index]; }
+  const std::vector<KnobDef>& defs() const { return defs_; }
+
+  /// Index of `name`, or nullopt when absent.
+  std::optional<size_t> FindIndex(const std::string& name) const;
+
+  /// The engine's shipped defaults ("MySQL default" bar in Figure 9).
+  Config DefaultConfig() const;
+
+  /// Clamps and discretizes every entry to its knob's legal domain.
+  Config Sanitize(const Config& raw) const;
+
+  /// Element-wise [0,1] encoding of a raw config (and back).
+  std::vector<double> Normalize(const Config& raw) const;
+  Config Denormalize(const std::vector<double>& normalized) const;
+
+  /// Indices of all knobs with tunable == true, in catalog order.
+  std::vector<size_t> TunableIndices() const;
+
+  /// Cumulative number of knobs introduced by each catalog version
+  /// (version -> count), the series behind Figure 1c.
+  std::vector<std::pair<int, size_t>> KnobCountByVersion() const;
+
+  util::Status Validate() const;
+
+ private:
+  std::vector<KnobDef> defs_;
+  std::unordered_map<std::string, size_t> index_by_name_;
+};
+
+/// The subset of a registry a tuner actually controls: the paper's
+/// experiments sweep 20..266 knobs (Figures 6-8), holding the rest at their
+/// current values. KnobSpace translates between the tuner's normalized
+/// action vector (one entry per *active* knob) and a full raw Config.
+class KnobSpace {
+ public:
+  KnobSpace(const KnobRegistry* registry, std::vector<size_t> active_indices);
+
+  /// Convenience: all tunable knobs active.
+  static KnobSpace AllTunable(const KnobRegistry* registry);
+
+  /// The first `count` knobs of `order` become active. Used to reproduce the
+  /// increasing-number-of-knobs sweeps.
+  static KnobSpace FromOrderPrefix(const KnobRegistry* registry,
+                                   const std::vector<size_t>& order,
+                                   size_t count);
+
+  size_t action_dim() const { return active_.size(); }
+  const KnobRegistry& registry() const { return *registry_; }
+  const std::vector<size_t>& active_indices() const { return active_; }
+
+  /// Overlays the normalized action onto `base`, touching only active knobs.
+  Config ActionToConfig(const std::vector<double>& action,
+                        const Config& base) const;
+
+  /// Extracts the normalized values of the active knobs from a full config.
+  std::vector<double> ConfigToAction(const Config& config) const;
+
+ private:
+  const KnobRegistry* registry_;  // Not owned.
+  std::vector<size_t> active_;
+};
+
+}  // namespace cdbtune::knobs
+
+#endif  // CDBTUNE_KNOBS_REGISTRY_H_

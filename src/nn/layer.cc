@@ -1,0 +1,328 @@
+#include "nn/layer.h"
+
+#include <cmath>
+#include <istream>
+#include <ostream>
+
+#include "util/logging.h"
+
+namespace cdbtune::nn {
+
+namespace {
+
+void SaveMatrix(std::ostream& os, const Matrix& m) {
+  os << m.rows() << " " << m.cols() << "\n";
+  os.precision(17);
+  for (size_t r = 0; r < m.rows(); ++r) {
+    for (size_t c = 0; c < m.cols(); ++c) {
+      os << m.at(r, c) << (c + 1 == m.cols() ? "" : " ");
+    }
+    os << "\n";
+  }
+}
+
+Matrix LoadMatrix(std::istream& is) {
+  size_t rows = 0, cols = 0;
+  is >> rows >> cols;
+  CDBTUNE_CHECK(is.good()) << "malformed matrix header in model file";
+  Matrix m(rows, cols);
+  for (size_t r = 0; r < rows; ++r) {
+    for (size_t c = 0; c < cols; ++c) {
+      is >> m.at(r, c);
+    }
+  }
+  CDBTUNE_CHECK(!is.fail()) << "malformed matrix body in model file";
+  return m;
+}
+
+}  // namespace
+
+void Layer::SaveState(std::ostream& os) const {
+  for (Parameter* p : const_cast<Layer*>(this)->Params()) {
+    SaveMatrix(os, p->value);
+  }
+}
+
+void Layer::LoadState(std::istream& is) {
+  for (Parameter* p : Params()) {
+    Matrix loaded = LoadMatrix(is);
+    CDBTUNE_CHECK(loaded.SameShape(p->value))
+        << "model file shape mismatch for " << p->name;
+    p->value = std::move(loaded);
+  }
+}
+
+Linear::Linear(size_t in_features, size_t out_features, util::Rng& rng,
+               InitScheme init) {
+  Matrix w;
+  switch (init) {
+    case InitScheme::kUniform01:
+      w = Matrix::RandomUniform(in_features, out_features, -0.1, 0.1, rng);
+      break;
+    case InitScheme::kGaussian001:
+      w = Matrix::RandomGaussian(in_features, out_features, 0.0, 0.01, rng);
+      break;
+    case InitScheme::kXavierUniform: {
+      double bound =
+          std::sqrt(6.0 / static_cast<double>(in_features + out_features));
+      w = Matrix::RandomUniform(in_features, out_features, -bound, bound, rng);
+      break;
+    }
+  }
+  weight_ = Parameter(std::move(w), "weight");
+  bias_ = Parameter(Matrix(1, out_features), "bias");
+}
+
+Matrix Linear::Forward(const Matrix& input, bool /*training*/) {
+  input_cache_ = input;
+  Matrix out = input.MatMul(weight_.value);
+  out.AddRowBroadcast(bias_.value);
+  return out;
+}
+
+Matrix Linear::Backward(const Matrix& grad_output) {
+  CDBTUNE_CHECK(!input_cache_.empty()) << "Backward before Forward";
+  weight_.grad.AddInPlace(input_cache_.Transposed().MatMul(grad_output));
+  bias_.grad.AddInPlace(grad_output.SumRows());
+  return grad_output.MatMul(weight_.value.Transposed());
+}
+
+Matrix Relu::Forward(const Matrix& input, bool /*training*/) {
+  input_cache_ = input;
+  return input.Map([](double x) { return x > 0.0 ? x : 0.0; });
+}
+
+Matrix Relu::Backward(const Matrix& grad_output) {
+  Matrix grad = grad_output;
+  for (size_t r = 0; r < grad.rows(); ++r) {
+    for (size_t c = 0; c < grad.cols(); ++c) {
+      if (input_cache_.at(r, c) <= 0.0) grad.at(r, c) = 0.0;
+    }
+  }
+  return grad;
+}
+
+Matrix LeakyRelu::Forward(const Matrix& input, bool /*training*/) {
+  input_cache_ = input;
+  const double slope = slope_;
+  return input.Map([slope](double x) { return x > 0.0 ? x : slope * x; });
+}
+
+Matrix LeakyRelu::Backward(const Matrix& grad_output) {
+  Matrix grad = grad_output;
+  for (size_t r = 0; r < grad.rows(); ++r) {
+    for (size_t c = 0; c < grad.cols(); ++c) {
+      if (input_cache_.at(r, c) <= 0.0) grad.at(r, c) *= slope_;
+    }
+  }
+  return grad;
+}
+
+Matrix Tanh::Forward(const Matrix& input, bool /*training*/) {
+  output_cache_ = input.Map([](double x) { return std::tanh(x); });
+  return output_cache_;
+}
+
+Matrix Tanh::Backward(const Matrix& grad_output) {
+  Matrix grad = grad_output;
+  for (size_t r = 0; r < grad.rows(); ++r) {
+    for (size_t c = 0; c < grad.cols(); ++c) {
+      double y = output_cache_.at(r, c);
+      grad.at(r, c) *= 1.0 - y * y;
+    }
+  }
+  return grad;
+}
+
+Matrix Sigmoid::Forward(const Matrix& input, bool /*training*/) {
+  output_cache_ = input.Map([](double x) { return 1.0 / (1.0 + std::exp(-x)); });
+  return output_cache_;
+}
+
+Matrix Sigmoid::Backward(const Matrix& grad_output) {
+  Matrix grad = grad_output;
+  for (size_t r = 0; r < grad.rows(); ++r) {
+    for (size_t c = 0; c < grad.cols(); ++c) {
+      double y = output_cache_.at(r, c);
+      grad.at(r, c) *= y * (1.0 - y);
+    }
+  }
+  return grad;
+}
+
+BatchNorm::BatchNorm(size_t features, double momentum, double epsilon)
+    : momentum_(momentum),
+      epsilon_(epsilon),
+      gamma_(Matrix(1, features, 1.0), "gamma"),
+      beta_(Matrix(1, features, 0.0), "beta"),
+      running_mean_(1, features, 0.0),
+      running_var_(1, features, 1.0) {}
+
+Matrix BatchNorm::Forward(const Matrix& input, bool training) {
+  const size_t n = input.rows();
+  const size_t f = input.cols();
+  CDBTUNE_CHECK(f == gamma_.value.cols())
+      << "BatchNorm feature mismatch: " << f << " vs " << gamma_.value.cols();
+
+  Matrix mean(1, f);
+  Matrix var(1, f);
+  if (training && n > 1) {
+    mean = input.MeanRows();
+    for (size_t r = 0; r < n; ++r) {
+      for (size_t c = 0; c < f; ++c) {
+        double d = input.at(r, c) - mean.at(0, c);
+        var.at(0, c) += d * d;
+      }
+    }
+    var.Scale(1.0 / static_cast<double>(n));
+    // Update running statistics (exponential moving average).
+    for (size_t c = 0; c < f; ++c) {
+      running_mean_.at(0, c) = (1.0 - momentum_) * running_mean_.at(0, c) +
+                               momentum_ * mean.at(0, c);
+      running_var_.at(0, c) =
+          (1.0 - momentum_) * running_var_.at(0, c) + momentum_ * var.at(0, c);
+    }
+  } else {
+    mean = running_mean_;
+    var = running_var_;
+  }
+
+  std_inv_ = Matrix(1, f);
+  for (size_t c = 0; c < f; ++c) {
+    std_inv_.at(0, c) = 1.0 / std::sqrt(var.at(0, c) + epsilon_);
+  }
+
+  x_hat_ = Matrix(n, f);
+  Matrix out(n, f);
+  for (size_t r = 0; r < n; ++r) {
+    for (size_t c = 0; c < f; ++c) {
+      double xh = (input.at(r, c) - mean.at(0, c)) * std_inv_.at(0, c);
+      x_hat_.at(r, c) = xh;
+      out.at(r, c) = gamma_.value.at(0, c) * xh + beta_.value.at(0, c);
+    }
+  }
+  // In eval mode (or batch of one) the backward pass treats mean/var as
+  // constants, which the cached x_hat_/std_inv_ already encode.
+  training_backward_ = training && n > 1;
+  return out;
+}
+
+Matrix BatchNorm::Backward(const Matrix& grad_output) {
+  const size_t n = grad_output.rows();
+  const size_t f = grad_output.cols();
+  CDBTUNE_CHECK(x_hat_.rows() == n && x_hat_.cols() == f)
+      << "BatchNorm Backward shape mismatch";
+
+  // Parameter gradients.
+  for (size_t r = 0; r < n; ++r) {
+    for (size_t c = 0; c < f; ++c) {
+      gamma_.grad.at(0, c) += grad_output.at(r, c) * x_hat_.at(r, c);
+      beta_.grad.at(0, c) += grad_output.at(r, c);
+    }
+  }
+
+  Matrix grad_in(n, f);
+  if (!training_backward_) {
+    // Eval statistics are constants: dx = g * gamma * std_inv.
+    for (size_t r = 0; r < n; ++r) {
+      for (size_t c = 0; c < f; ++c) {
+        grad_in.at(r, c) =
+            grad_output.at(r, c) * gamma_.value.at(0, c) * std_inv_.at(0, c);
+      }
+    }
+    return grad_in;
+  }
+
+  // Standard batch-norm backward: for each feature c,
+  // dx = (gamma * std_inv / n) * (n*g - sum(g) - x_hat * sum(g*x_hat)).
+  for (size_t c = 0; c < f; ++c) {
+    double sum_g = 0.0;
+    double sum_gx = 0.0;
+    for (size_t r = 0; r < n; ++r) {
+      sum_g += grad_output.at(r, c);
+      sum_gx += grad_output.at(r, c) * x_hat_.at(r, c);
+    }
+    double scale = gamma_.value.at(0, c) * std_inv_.at(0, c) /
+                   static_cast<double>(n);
+    for (size_t r = 0; r < n; ++r) {
+      grad_in.at(r, c) =
+          scale * (static_cast<double>(n) * grad_output.at(r, c) - sum_g -
+                   x_hat_.at(r, c) * sum_gx);
+    }
+  }
+  return grad_in;
+}
+
+void BatchNorm::SaveState(std::ostream& os) const {
+  Layer::SaveState(os);
+  SaveMatrix(os, running_mean_);
+  SaveMatrix(os, running_var_);
+}
+
+void BatchNorm::LoadState(std::istream& is) {
+  Layer::LoadState(is);
+  running_mean_ = LoadMatrix(is);
+  running_var_ = LoadMatrix(is);
+}
+
+ParallelLinear::ParallelLinear(size_t left_in, size_t left_out,
+                               size_t right_in, size_t right_out,
+                               util::Rng& rng, InitScheme init)
+    : left_in_(left_in),
+      left_out_(left_out),
+      left_(left_in, left_out, rng, init),
+      right_(right_in, right_out, rng, init) {}
+
+Matrix ParallelLinear::Forward(const Matrix& input, bool training) {
+  Matrix left_x, right_x;
+  input.SplitCols(left_in_, &left_x, &right_x);
+  Matrix left_y = left_.Forward(left_x, training);
+  Matrix right_y = right_.Forward(right_x, training);
+  return left_y.ConcatCols(right_y);
+}
+
+Matrix ParallelLinear::Backward(const Matrix& grad_output) {
+  Matrix left_g, right_g;
+  grad_output.SplitCols(left_out_, &left_g, &right_g);
+  Matrix left_dx = left_.Backward(left_g);
+  Matrix right_dx = right_.Backward(right_g);
+  return left_dx.ConcatCols(right_dx);
+}
+
+std::vector<Parameter*> ParallelLinear::Params() {
+  std::vector<Parameter*> out = left_.Params();
+  for (Parameter* p : right_.Params()) out.push_back(p);
+  return out;
+}
+
+Dropout::Dropout(double rate, util::Rng& rng) : rate_(rate), rng_(&rng) {
+  CDBTUNE_CHECK(rate >= 0.0 && rate < 1.0) << "dropout rate out of range";
+}
+
+Matrix Dropout::Forward(const Matrix& input, bool training) {
+  if (!training || rate_ == 0.0) {
+    mask_valid_ = false;
+    return input;
+  }
+  const double keep = 1.0 - rate_;
+  mask_ = Matrix(input.rows(), input.cols());
+  Matrix out = input;
+  for (size_t r = 0; r < input.rows(); ++r) {
+    for (size_t c = 0; c < input.cols(); ++c) {
+      double m = rng_->Bernoulli(keep) ? 1.0 / keep : 0.0;
+      mask_.at(r, c) = m;
+      out.at(r, c) *= m;
+    }
+  }
+  mask_valid_ = true;
+  return out;
+}
+
+Matrix Dropout::Backward(const Matrix& grad_output) {
+  if (!mask_valid_) return grad_output;
+  Matrix grad = grad_output;
+  grad.MulInPlace(mask_);
+  return grad;
+}
+
+}  // namespace cdbtune::nn

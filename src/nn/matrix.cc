@@ -1,0 +1,207 @@
+#include "nn/matrix.h"
+
+#include <cmath>
+#include <ostream>
+
+#include "util/logging.h"
+
+namespace cdbtune::nn {
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<double>> rows)
+    : rows_(rows.size()), cols_(rows.size() > 0 ? rows.begin()->size() : 0) {
+  data_.reserve(rows_ * cols_);
+  for (const auto& row : rows) {
+    CDBTUNE_CHECK(row.size() == cols_) << "ragged initializer list";
+    data_.insert(data_.end(), row.begin(), row.end());
+  }
+}
+
+Matrix Matrix::RowVector(const std::vector<double>& values) {
+  Matrix m(1, values.size());
+  for (size_t i = 0; i < values.size(); ++i) m.data_[i] = values[i];
+  return m;
+}
+
+Matrix Matrix::RandomUniform(size_t rows, size_t cols, double lo, double hi,
+                             util::Rng& rng) {
+  Matrix m(rows, cols);
+  for (double& v : m.data_) v = rng.Uniform(lo, hi);
+  return m;
+}
+
+Matrix Matrix::RandomGaussian(size_t rows, size_t cols, double mean,
+                              double stddev, util::Rng& rng) {
+  Matrix m(rows, cols);
+  for (double& v : m.data_) v = rng.Gaussian(mean, stddev);
+  return m;
+}
+
+std::vector<double> Matrix::Row(size_t r) const {
+  CDBTUNE_CHECK(r < rows_) << "row index " << r << " out of " << rows_;
+  return std::vector<double>(data_.begin() + static_cast<long>(r * cols_),
+                             data_.begin() + static_cast<long>((r + 1) * cols_));
+}
+
+void Matrix::SetRow(size_t r, const std::vector<double>& values) {
+  CDBTUNE_CHECK(r < rows_) << "row index " << r << " out of " << rows_;
+  CDBTUNE_CHECK(values.size() == cols_) << "row width mismatch";
+  for (size_t c = 0; c < cols_; ++c) data_[r * cols_ + c] = values[c];
+}
+
+Matrix Matrix::MatMul(const Matrix& other) const {
+  CDBTUNE_CHECK(cols_ == other.rows_)
+      << "matmul shape mismatch: " << rows_ << "x" << cols_ << " * "
+      << other.rows_ << "x" << other.cols_;
+  Matrix out(rows_, other.cols_);
+  const size_t n = rows_, k = cols_, m = other.cols_;
+  for (size_t i = 0; i < n; ++i) {
+    const double* a_row = data_.data() + i * k;
+    double* o_row = out.data_.data() + i * m;
+    for (size_t p = 0; p < k; ++p) {
+      const double a = a_row[p];
+      if (a == 0.0) continue;
+      const double* b_row = other.data_.data() + p * m;
+      for (size_t j = 0; j < m; ++j) o_row[j] += a * b_row[j];
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::Transposed() const {
+  Matrix out(cols_, rows_);
+  for (size_t r = 0; r < rows_; ++r) {
+    for (size_t c = 0; c < cols_; ++c) out.data_[c * rows_ + r] = at(r, c);
+  }
+  return out;
+}
+
+Matrix& Matrix::AddInPlace(const Matrix& other) {
+  CDBTUNE_CHECK(SameShape(other)) << "add shape mismatch";
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::SubInPlace(const Matrix& other) {
+  CDBTUNE_CHECK(SameShape(other)) << "sub shape mismatch";
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::MulInPlace(const Matrix& other) {
+  CDBTUNE_CHECK(SameShape(other)) << "hadamard shape mismatch";
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] *= other.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::Scale(double factor) {
+  for (double& v : data_) v *= factor;
+  return *this;
+}
+
+Matrix& Matrix::AddScalar(double value) {
+  for (double& v : data_) v += value;
+  return *this;
+}
+
+Matrix& Matrix::AddRowBroadcast(const Matrix& row) {
+  CDBTUNE_CHECK(row.rows_ == 1 && row.cols_ == cols_)
+      << "broadcast row must be 1x" << cols_;
+  for (size_t r = 0; r < rows_; ++r) {
+    for (size_t c = 0; c < cols_; ++c) data_[r * cols_ + c] += row.data_[c];
+  }
+  return *this;
+}
+
+Matrix Matrix::Map(const std::function<double(double)>& fn) const {
+  Matrix out(rows_, cols_);
+  for (size_t i = 0; i < data_.size(); ++i) out.data_[i] = fn(data_[i]);
+  return out;
+}
+
+Matrix Matrix::SumRows() const {
+  Matrix out(1, cols_);
+  for (size_t r = 0; r < rows_; ++r) {
+    for (size_t c = 0; c < cols_; ++c) out.data_[c] += data_[r * cols_ + c];
+  }
+  return out;
+}
+
+Matrix Matrix::MeanRows() const {
+  Matrix out = SumRows();
+  if (rows_ > 0) out.Scale(1.0 / static_cast<double>(rows_));
+  return out;
+}
+
+double Matrix::Sum() const {
+  double s = 0.0;
+  for (double v : data_) s += v;
+  return s;
+}
+
+double Matrix::MeanSquare() const {
+  if (data_.empty()) return 0.0;
+  double s = 0.0;
+  for (double v : data_) s += v * v;
+  return s / static_cast<double>(data_.size());
+}
+
+double Matrix::AbsMax() const {
+  double m = 0.0;
+  for (double v : data_) m = std::max(m, std::fabs(v));
+  return m;
+}
+
+Matrix Matrix::ConcatCols(const Matrix& other) const {
+  CDBTUNE_CHECK(rows_ == other.rows_) << "concat row mismatch";
+  Matrix out(rows_, cols_ + other.cols_);
+  for (size_t r = 0; r < rows_; ++r) {
+    for (size_t c = 0; c < cols_; ++c) out.at(r, c) = at(r, c);
+    for (size_t c = 0; c < other.cols_; ++c) {
+      out.at(r, cols_ + c) = other.at(r, c);
+    }
+  }
+  return out;
+}
+
+void Matrix::SplitCols(size_t split, Matrix* left, Matrix* right) const {
+  CDBTUNE_CHECK(split <= cols_) << "split beyond width";
+  *left = Matrix(rows_, split);
+  *right = Matrix(rows_, cols_ - split);
+  for (size_t r = 0; r < rows_; ++r) {
+    for (size_t c = 0; c < split; ++c) left->at(r, c) = at(r, c);
+    for (size_t c = split; c < cols_; ++c) right->at(r, c - split) = at(r, c);
+  }
+}
+
+std::ostream& operator<<(std::ostream& os, const Matrix& m) {
+  os << "Matrix(" << m.rows_ << "x" << m.cols_ << ")";
+  if (m.size() <= 64) {
+    os << " [";
+    for (size_t r = 0; r < m.rows_; ++r) {
+      os << (r == 0 ? "[" : ", [");
+      for (size_t c = 0; c < m.cols_; ++c) {
+        os << (c == 0 ? "" : ", ") << m.at(r, c);
+      }
+      os << "]";
+    }
+    os << "]";
+  }
+  return os;
+}
+
+Matrix operator+(Matrix lhs, const Matrix& rhs) {
+  lhs.AddInPlace(rhs);
+  return lhs;
+}
+
+Matrix operator-(Matrix lhs, const Matrix& rhs) {
+  lhs.SubInPlace(rhs);
+  return lhs;
+}
+
+Matrix operator*(Matrix lhs, double factor) {
+  lhs.Scale(factor);
+  return lhs;
+}
+
+}  // namespace cdbtune::nn

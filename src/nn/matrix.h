@@ -1,0 +1,114 @@
+#ifndef CDBTUNE_NN_MATRIX_H_
+#define CDBTUNE_NN_MATRIX_H_
+
+#include <cstddef>
+#include <functional>
+#include <initializer_list>
+#include <iosfwd>
+#include <vector>
+
+#include "util/random.h"
+
+namespace cdbtune::nn {
+
+/// Dense row-major 2D matrix of doubles — the only tensor type the NN
+/// library needs. A batch of N state vectors of dimension D is an N x D
+/// matrix; a Linear layer's weight is in_features x out_features.
+///
+/// Sized for this project's networks (layers of at most a few hundred
+/// units), so the implementation favors clarity: no SIMD intrinsics, but a
+/// cache-friendly ikj matmul loop.
+class Matrix {
+ public:
+  Matrix() : rows_(0), cols_(0) {}
+  Matrix(size_t rows, size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  /// Builds from nested initializer lists: Matrix m = {{1, 2}, {3, 4}};
+  Matrix(std::initializer_list<std::initializer_list<double>> rows);
+
+  /// Wraps a single vector as a 1 x N row matrix.
+  static Matrix RowVector(const std::vector<double>& values);
+
+  /// Fills with IID draws. Used for weight init (paper Table 4: weights
+  /// Uniform(-0.1, 0.1), learnable critic params Normal(0, 0.01)).
+  static Matrix RandomUniform(size_t rows, size_t cols, double lo, double hi,
+                              util::Rng& rng);
+  static Matrix RandomGaussian(size_t rows, size_t cols, double mean,
+                               double stddev, util::Rng& rng);
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  double& at(size_t r, size_t c) { return data_[r * cols_ + c]; }
+  double at(size_t r, size_t c) const { return data_[r * cols_ + c]; }
+
+  double* data() { return data_.data(); }
+  const double* data() const { return data_.data(); }
+
+  /// Extracts row `r` as a plain vector (e.g., one action from a batch).
+  std::vector<double> Row(size_t r) const;
+  void SetRow(size_t r, const std::vector<double>& values);
+
+  // --- Linear algebra ---------------------------------------------------
+
+  /// Matrix product this(NxK) * other(KxM) -> NxM.
+  Matrix MatMul(const Matrix& other) const;
+  Matrix Transposed() const;
+
+  // --- Elementwise ------------------------------------------------------
+
+  Matrix& AddInPlace(const Matrix& other);
+  Matrix& SubInPlace(const Matrix& other);
+  Matrix& MulInPlace(const Matrix& other);  // Hadamard product.
+  Matrix& Scale(double factor);
+  Matrix& AddScalar(double value);
+
+  /// Adds a 1 x cols row (bias broadcast) to every row.
+  Matrix& AddRowBroadcast(const Matrix& row);
+
+  /// Returns a new matrix with `fn` applied to every element.
+  Matrix Map(const std::function<double(double)>& fn) const;
+
+  // --- Reductions -------------------------------------------------------
+
+  /// Column sums as a 1 x cols matrix (bias gradients).
+  Matrix SumRows() const;
+  /// Column means as a 1 x cols matrix.
+  Matrix MeanRows() const;
+  double Sum() const;
+  /// Mean of squared elements; the core of the MSE loss.
+  double MeanSquare() const;
+  /// Largest |element|; used by gradient-explosion guards in tests.
+  double AbsMax() const;
+
+  // --- Structure --------------------------------------------------------
+
+  /// Horizontal concatenation [this | other]; rows must match. Used by the
+  /// DDPG critic to merge state and action trunks (Table 5 step 2).
+  Matrix ConcatCols(const Matrix& other) const;
+  /// Splits columns [0, split) and [split, cols) into two matrices.
+  void SplitCols(size_t split, Matrix* left, Matrix* right) const;
+
+  bool SameShape(const Matrix& other) const {
+    return rows_ == other.rows_ && cols_ == other.cols_;
+  }
+
+  friend std::ostream& operator<<(std::ostream& os, const Matrix& m);
+
+ private:
+  size_t rows_;
+  size_t cols_;
+  std::vector<double> data_;
+};
+
+/// Out-of-place convenience arithmetic.
+Matrix operator+(Matrix lhs, const Matrix& rhs);
+Matrix operator-(Matrix lhs, const Matrix& rhs);
+Matrix operator*(Matrix lhs, double factor);
+
+}  // namespace cdbtune::nn
+
+#endif  // CDBTUNE_NN_MATRIX_H_

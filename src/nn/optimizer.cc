@@ -1,0 +1,85 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace cdbtune::nn {
+
+void Optimizer::ClipGradNorm(double max_norm) {
+  CDBTUNE_CHECK(max_norm > 0.0) << "max_norm must be positive";
+  double sq = 0.0;
+  for (Parameter* p : params_) {
+    const Matrix& g = p->grad;
+    for (size_t r = 0; r < g.rows(); ++r) {
+      for (size_t c = 0; c < g.cols(); ++c) sq += g.at(r, c) * g.at(r, c);
+    }
+  }
+  double norm = std::sqrt(sq);
+  if (norm <= max_norm || norm == 0.0) return;
+  double scale = max_norm / norm;
+  for (Parameter* p : params_) p->grad.Scale(scale);
+}
+
+Sgd::Sgd(std::vector<Parameter*> params, double learning_rate, double momentum)
+    : Optimizer(std::move(params)), momentum_(momentum) {
+  learning_rate_ = learning_rate;
+  velocity_.reserve(params_.size());
+  for (Parameter* p : params_) {
+    velocity_.emplace_back(p->value.rows(), p->value.cols());
+  }
+}
+
+void Sgd::Step() {
+  for (size_t i = 0; i < params_.size(); ++i) {
+    Matrix& value = params_[i]->value;
+    const Matrix& grad = params_[i]->grad;
+    Matrix& vel = velocity_[i];
+    for (size_t r = 0; r < value.rows(); ++r) {
+      for (size_t c = 0; c < value.cols(); ++c) {
+        double v = momentum_ * vel.at(r, c) - learning_rate_ * grad.at(r, c);
+        vel.at(r, c) = v;
+        value.at(r, c) += v;
+      }
+    }
+  }
+}
+
+Adam::Adam(std::vector<Parameter*> params, double learning_rate, double beta1,
+           double beta2, double epsilon)
+    : Optimizer(std::move(params)),
+      beta1_(beta1),
+      beta2_(beta2),
+      epsilon_(epsilon) {
+  learning_rate_ = learning_rate;
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (Parameter* p : params_) {
+    m_.emplace_back(p->value.rows(), p->value.cols());
+    v_.emplace_back(p->value.rows(), p->value.cols());
+  }
+}
+
+void Adam::Step() {
+  ++step_;
+  const double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(step_));
+  const double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(step_));
+  for (size_t i = 0; i < params_.size(); ++i) {
+    Matrix& value = params_[i]->value;
+    const Matrix& grad = params_[i]->grad;
+    Matrix& m = m_[i];
+    Matrix& v = v_[i];
+    for (size_t r = 0; r < value.rows(); ++r) {
+      for (size_t c = 0; c < value.cols(); ++c) {
+        double g = grad.at(r, c);
+        m.at(r, c) = beta1_ * m.at(r, c) + (1.0 - beta1_) * g;
+        v.at(r, c) = beta2_ * v.at(r, c) + (1.0 - beta2_) * g * g;
+        double m_hat = m.at(r, c) / bc1;
+        double v_hat = v.at(r, c) / bc2;
+        value.at(r, c) -= learning_rate_ * m_hat / (std::sqrt(v_hat) + epsilon_);
+      }
+    }
+  }
+}
+
+}  // namespace cdbtune::nn

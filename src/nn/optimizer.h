@@ -1,0 +1,68 @@
+#ifndef CDBTUNE_NN_OPTIMIZER_H_
+#define CDBTUNE_NN_OPTIMIZER_H_
+
+#include <vector>
+
+#include "nn/layer.h"
+
+namespace cdbtune::nn {
+
+/// Gradient-descent optimizer over a fixed list of parameters. The list is
+/// bound at construction (typically `network.Params()`); parameters must
+/// outlive the optimizer.
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<Parameter*> params)
+      : params_(std::move(params)) {}
+  virtual ~Optimizer() = default;
+
+  /// Applies one update using the gradients currently accumulated in each
+  /// parameter, then leaves gradients untouched (call ZeroGrad separately).
+  virtual void Step() = 0;
+
+  /// Clips the global gradient norm to `max_norm` before Step(); guards the
+  /// critic against reward spikes (e.g., the large negative crash reward in
+  /// Section 5.2.3).
+  void ClipGradNorm(double max_norm);
+
+  void set_learning_rate(double lr) { learning_rate_ = lr; }
+  double learning_rate() const { return learning_rate_; }
+
+ protected:
+  std::vector<Parameter*> params_;
+  double learning_rate_ = 1e-3;  // Paper Table 4: alpha = 0.001.
+};
+
+/// Plain SGD with optional classical momentum.
+class Sgd : public Optimizer {
+ public:
+  Sgd(std::vector<Parameter*> params, double learning_rate,
+      double momentum = 0.0);
+
+  void Step() override;
+
+ private:
+  double momentum_;
+  std::vector<Matrix> velocity_;
+};
+
+/// Adam (Kingma & Ba) with bias correction.
+class Adam : public Optimizer {
+ public:
+  Adam(std::vector<Parameter*> params, double learning_rate,
+       double beta1 = 0.9, double beta2 = 0.999, double epsilon = 1e-8);
+
+  void Step() override;
+
+ private:
+  double beta1_;
+  double beta2_;
+  double epsilon_;
+  long step_ = 0;
+  std::vector<Matrix> m_;
+  std::vector<Matrix> v_;
+};
+
+}  // namespace cdbtune::nn
+
+#endif  // CDBTUNE_NN_OPTIMIZER_H_

@@ -1,0 +1,131 @@
+#include "nn/sequential.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace cdbtune::nn {
+
+Sequential& Sequential::Add(std::unique_ptr<Layer> layer) {
+  layers_.push_back(std::move(layer));
+  return *this;
+}
+
+Matrix Sequential::Forward(const Matrix& input, bool training) {
+  Matrix x = input;
+  for (auto& layer : layers_) x = layer->Forward(x, training);
+  return x;
+}
+
+Matrix Sequential::Backward(const Matrix& grad_output) {
+  Matrix g = grad_output;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
+    g = (*it)->Backward(g);
+  }
+  return g;
+}
+
+std::vector<Parameter*> Sequential::Params() {
+  std::vector<Parameter*> out;
+  for (auto& layer : layers_) {
+    for (Parameter* p : layer->Params()) out.push_back(p);
+  }
+  return out;
+}
+
+void Sequential::ZeroGrad() {
+  for (Parameter* p : Params()) p->ZeroGrad();
+}
+
+size_t Sequential::NumParameters() {
+  size_t n = 0;
+  for (Parameter* p : Params()) n += p->value.size();
+  return n;
+}
+
+void Sequential::CopyParamsFrom(Sequential& other) {
+  auto dst = Params();
+  auto src = other.Params();
+  CDBTUNE_CHECK(dst.size() == src.size()) << "architecture mismatch in copy";
+  for (size_t i = 0; i < dst.size(); ++i) {
+    CDBTUNE_CHECK(dst[i]->value.SameShape(src[i]->value))
+        << "parameter shape mismatch at index " << i;
+    dst[i]->value = src[i]->value;
+  }
+}
+
+void Sequential::CopyStateFrom(const Sequential& other) {
+  std::stringstream buffer;
+  other.Save(buffer);
+  Load(buffer);
+}
+
+void Sequential::SoftUpdateFrom(Sequential& source, double tau) {
+  auto dst = Params();
+  auto src = source.Params();
+  CDBTUNE_CHECK(dst.size() == src.size()) << "architecture mismatch in update";
+  for (size_t i = 0; i < dst.size(); ++i) {
+    Matrix& d = dst[i]->value;
+    const Matrix& s = src[i]->value;
+    CDBTUNE_CHECK(d.SameShape(s)) << "parameter shape mismatch at index " << i;
+    for (size_t r = 0; r < d.rows(); ++r) {
+      for (size_t c = 0; c < d.cols(); ++c) {
+        d.at(r, c) = tau * s.at(r, c) + (1.0 - tau) * d.at(r, c);
+      }
+    }
+  }
+}
+
+void Sequential::Save(std::ostream& os) const {
+  os << "cdbtune-model-v1 " << layers_.size() << "\n";
+  for (const auto& layer : layers_) {
+    os << layer->Name() << "\n";
+    layer->SaveState(os);
+  }
+}
+
+util::Status Sequential::SaveToFile(const std::string& path) const {
+  std::ofstream os(path);
+  if (!os.good()) return util::Status::Internal("cannot open " + path);
+  Save(os);
+  if (!os.good()) return util::Status::Internal("write failed: " + path);
+  return util::Status::Ok();
+}
+
+void Sequential::Load(std::istream& is) {
+  std::string magic;
+  size_t count = 0;
+  is >> magic >> count;
+  CDBTUNE_CHECK(magic == "cdbtune-model-v1") << "bad model file magic";
+  CDBTUNE_CHECK(count == layers_.size())
+      << "model file has " << count << " layers, network has "
+      << layers_.size();
+  for (auto& layer : layers_) {
+    std::string name;
+    is >> name;
+    CDBTUNE_CHECK(name == layer->Name())
+        << "layer type mismatch: file " << name << " vs " << layer->Name();
+    layer->LoadState(is);
+  }
+}
+
+util::Status Sequential::LoadFromFile(const std::string& path) {
+  std::ifstream is(path);
+  if (!is.good()) return util::Status::NotFound("cannot open " + path);
+  Load(is);
+  return util::Status::Ok();
+}
+
+double MseLoss(const Matrix& prediction, const Matrix& target, Matrix* grad) {
+  CDBTUNE_CHECK(prediction.SameShape(target)) << "MSE shape mismatch";
+  Matrix diff = prediction - target;
+  double loss = diff.MeanSquare();
+  if (grad != nullptr) {
+    *grad = diff;
+    grad->Scale(2.0 / static_cast<double>(diff.size()));
+  }
+  return loss;
+}
+
+}  // namespace cdbtune::nn

@@ -1,0 +1,79 @@
+#ifndef CDBTUNE_NN_SEQUENTIAL_H_
+#define CDBTUNE_NN_SEQUENTIAL_H_
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/layer.h"
+#include "util/status.h"
+
+namespace cdbtune::nn {
+
+/// An ordered stack of layers trained with explicit backprop.
+///
+/// Sequential also provides the parameter-space operations DDPG needs on
+/// whole networks: hard copy (target-net init) and Polyak soft update
+/// (theta' <- tau*theta + (1-tau)*theta').
+class Sequential {
+ public:
+  Sequential() = default;
+
+  // Networks own their layers and are not copyable; clone via architecture
+  // rebuild + CopyParamsFrom where needed.
+  Sequential(const Sequential&) = delete;
+  Sequential& operator=(const Sequential&) = delete;
+  Sequential(Sequential&&) = default;
+  Sequential& operator=(Sequential&&) = default;
+
+  /// Appends a layer; returns *this for fluent construction.
+  Sequential& Add(std::unique_ptr<Layer> layer);
+
+  /// Runs all layers in order. `training` is forwarded to each layer.
+  Matrix Forward(const Matrix& input, bool training);
+
+  /// Backpropagates dLoss/dOutput through the stack, accumulating parameter
+  /// gradients; returns dLoss/dInput.
+  Matrix Backward(const Matrix& grad_output);
+
+  /// All learnable parameters in layer order.
+  std::vector<Parameter*> Params();
+
+  void ZeroGrad();
+
+  size_t num_layers() const { return layers_.size(); }
+  Layer& layer(size_t i) { return *layers_[i]; }
+
+  /// Total scalar parameter count (reported by the bench harnesses).
+  size_t NumParameters();
+
+  /// Copies every parameter value from `other`. Architectures must match.
+  /// Internal buffers (BatchNorm running statistics) are NOT copied; use
+  /// CopyStateFrom for a bit-exact clone.
+  void CopyParamsFrom(Sequential& other);
+
+  /// Copies parameters AND internal buffers via the serialization path, so
+  /// the copy behaves identically in eval mode.
+  void CopyStateFrom(const Sequential& other);
+
+  /// Polyak averaging toward `source`: p <- tau * p_source + (1-tau) * p.
+  void SoftUpdateFrom(Sequential& source, double tau);
+
+  /// Serializes all layer state (parameters + buffers) to a stream / file.
+  void Save(std::ostream& os) const;
+  util::Status SaveToFile(const std::string& path) const;
+  void Load(std::istream& is);
+  util::Status LoadFromFile(const std::string& path);
+
+ private:
+  std::vector<std::unique_ptr<Layer>> layers_;
+};
+
+/// Mean squared error loss over all elements of (prediction - target).
+/// `grad` receives dLoss/dPrediction (same shape as prediction).
+double MseLoss(const Matrix& prediction, const Matrix& target, Matrix* grad);
+
+}  // namespace cdbtune::nn
+
+#endif  // CDBTUNE_NN_SEQUENTIAL_H_

@@ -1,0 +1,237 @@
+#include "rl/ddpg.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace cdbtune::rl {
+
+using nn::Matrix;
+
+DdpgAgent::DdpgAgent(DdpgOptions options)
+    : options_(std::move(options)),
+      rng_(options_.seed),
+      actor_(BuildActor()),
+      critic_(BuildCritic()),
+      actor_target_(BuildActor()),
+      critic_target_(BuildCritic()),
+      noise_(options_.action_dim, options_.noise_theta, options_.noise_sigma,
+             util::Rng(options_.seed ^ 0x9E3779B97F4A7C15ULL)) {
+  actor_target_.CopyParamsFrom(actor_);
+  critic_target_.CopyParamsFrom(critic_);
+  actor_opt_ = std::make_unique<nn::Adam>(actor_.Params(), options_.actor_lr);
+  critic_opt_ =
+      std::make_unique<nn::Adam>(critic_.Params(), options_.critic_lr);
+  if (options_.prioritized_replay) {
+    replay_ = std::make_unique<PrioritizedReplay>(options_.replay_capacity);
+  } else {
+    replay_ = std::make_unique<UniformReplay>(options_.replay_capacity);
+  }
+}
+
+nn::Sequential DdpgAgent::BuildActor() {
+  // Paper Table 5 (actor): Input 63 -> FC 128 -> LeakyReLU(0.2) ->
+  // BatchNorm -> FC 128 -> Tanh -> Dropout(0.3) -> FC 128 -> Tanh ->
+  // FC 64 -> Tanh -> Output #Knobs (sigmoid squash into the normalized
+  // knob cube).
+  nn::Sequential net;
+  CDBTUNE_CHECK(!options_.actor_hidden.empty()) << "actor needs hidden layers";
+  size_t in = options_.state_dim;
+  for (size_t i = 0; i < options_.actor_hidden.size(); ++i) {
+    size_t out = options_.actor_hidden[i];
+    net.Add(std::make_unique<nn::Linear>(in, out, rng_));
+    if (i == 0) {
+      net.Add(std::make_unique<nn::LeakyRelu>(options_.leaky_slope));
+      net.Add(std::make_unique<nn::BatchNorm>(out));
+    } else {
+      net.Add(std::make_unique<nn::Tanh>());
+      if (i == 1 && options_.dropout_rate > 0.0) {
+        net.Add(std::make_unique<nn::Dropout>(options_.dropout_rate, rng_));
+      }
+    }
+    in = out;
+  }
+  net.Add(std::make_unique<nn::Linear>(in, options_.action_dim, rng_));
+  net.Add(std::make_unique<nn::Sigmoid>());
+  return net;
+}
+
+nn::Sequential DdpgAgent::BuildCritic() {
+  // Paper Table 5 (critic): Input (#Knobs + 63) -> Parallel FC (128 + 128)
+  // -> FC 256 -> LeakyReLU(0.2) -> BatchNorm -> FC -> Dropout(0.3) ->
+  // FC 64 -> Tanh -> Output 1. Critic learnable parameters initialize
+  // Normal(0, 0.01) per Table 4.
+  nn::Sequential net;
+  net.Add(std::make_unique<nn::ParallelLinear>(
+      options_.state_dim, options_.critic_embed, options_.action_dim,
+      options_.critic_embed, rng_, nn::InitScheme::kGaussian001));
+  size_t in = 2 * options_.critic_embed;
+  for (size_t i = 0; i < options_.critic_hidden.size(); ++i) {
+    size_t out = options_.critic_hidden[i];
+    net.Add(std::make_unique<nn::Linear>(in, out, rng_,
+                                         nn::InitScheme::kGaussian001));
+    if (i == 0) {
+      net.Add(std::make_unique<nn::LeakyRelu>(options_.leaky_slope));
+      net.Add(std::make_unique<nn::BatchNorm>(out));
+      if (options_.dropout_rate > 0.0) {
+        net.Add(std::make_unique<nn::Dropout>(options_.dropout_rate, rng_));
+      }
+    } else {
+      net.Add(std::make_unique<nn::Tanh>());
+    }
+    in = out;
+  }
+  net.Add(
+      std::make_unique<nn::Linear>(in, 1, rng_, nn::InitScheme::kGaussian001));
+  return net;
+}
+
+Matrix DdpgAgent::CriticInput(const Matrix& states, const Matrix& actions) {
+  return states.ConcatCols(actions);
+}
+
+std::vector<double> DdpgAgent::SelectAction(const std::vector<double>& state,
+                                            bool explore) {
+  CDBTUNE_CHECK(state.size() == options_.state_dim) << "state dim mismatch";
+  Matrix s = Matrix::RowVector(state);
+  Matrix a = actor_.Forward(s, /*training=*/false);
+  std::vector<double> action = a.Row(0);
+  if (explore) {
+    std::vector<double> n = noise_.Sample();
+    for (size_t i = 0; i < action.size(); ++i) {
+      action[i] = std::clamp(action[i] + n[i], 0.0, 1.0);
+    }
+  }
+  return action;
+}
+
+void DdpgAgent::Observe(Transition transition) {
+  CDBTUNE_CHECK(transition.state.size() == options_.state_dim);
+  CDBTUNE_CHECK(transition.action.size() == options_.action_dim);
+  CDBTUNE_CHECK(transition.next_state.size() == options_.state_dim);
+  replay_->Add(std::move(transition));
+}
+
+TrainStats DdpgAgent::TrainStep() {
+  TrainStats stats;
+  const size_t batch = options_.batch_size;
+  if (replay_->size() < batch) return stats;
+
+  SampleBatch sample = replay_->Sample(batch, rng_);
+  Matrix states(batch, options_.state_dim);
+  Matrix actions(batch, options_.action_dim);
+  Matrix next_states(batch, options_.state_dim);
+  std::vector<double> rewards(batch);
+  std::vector<bool> terminal(batch);
+  for (size_t i = 0; i < batch; ++i) {
+    const Transition& t = *sample.items[i];
+    states.SetRow(i, t.state);
+    actions.SetRow(i, t.action);
+    next_states.SetRow(i, t.next_state);
+    rewards[i] = t.reward;
+    terminal[i] = t.terminal;
+  }
+
+  // ---- Critic update (Algorithm 1, steps 2-6) ---------------------------
+  // y_i = r_i + gamma * Q'(s_{i+1}, mu'(s_{i+1})).
+  Matrix next_actions = actor_target_.Forward(next_states, /*training=*/false);
+  Matrix next_q = critic_target_.Forward(CriticInput(next_states, next_actions),
+                                         /*training=*/false);
+  Matrix targets(batch, 1);
+  for (size_t i = 0; i < batch; ++i) {
+    double bootstrap = terminal[i] ? 0.0 : options_.gamma * next_q.at(i, 0);
+    targets.at(i, 0) = rewards[i] + bootstrap;
+  }
+
+  critic_.ZeroGrad();
+  Matrix q = critic_.Forward(CriticInput(states, actions), /*training=*/true);
+  // Importance-weighted MSE: grad_i = 2 * w_i * (q_i - y_i) / batch.
+  Matrix grad(batch, 1);
+  double loss = 0.0;
+  std::vector<double> td_errors(batch);
+  for (size_t i = 0; i < batch; ++i) {
+    double diff = q.at(i, 0) - targets.at(i, 0);
+    td_errors[i] = diff;
+    double w = sample.weights[i];
+    loss += w * diff * diff;
+    grad.at(i, 0) = 2.0 * w * diff / static_cast<double>(batch);
+  }
+  loss /= static_cast<double>(batch);
+  critic_.Backward(grad);
+  critic_opt_->ClipGradNorm(options_.grad_clip);
+  critic_opt_->Step();
+  replay_->UpdatePriorities(sample.indices, td_errors);
+
+  // ---- Actor update (Algorithm 1, step 7) -------------------------------
+  // Maximize Q(s, mu(s)): push -dQ/da through the actor.
+  actor_.ZeroGrad();
+  critic_.ZeroGrad();  // Reuse critic for gradients only; discard its grads.
+  Matrix policy_actions = actor_.Forward(states, /*training=*/true);
+  Matrix policy_q = critic_.Forward(CriticInput(states, policy_actions),
+                                    /*training=*/false);
+  Matrix dq(batch, 1, -1.0 / static_cast<double>(batch));
+  Matrix grad_input = critic_.Backward(dq);
+  Matrix grad_states, grad_actions;
+  grad_input.SplitCols(options_.state_dim, &grad_states, &grad_actions);
+  actor_.Backward(grad_actions);
+  critic_.ZeroGrad();  // Drop the critic grads produced by the actor pass.
+  actor_opt_->ClipGradNorm(options_.grad_clip);
+  actor_opt_->Step();
+
+  // ---- Target networks ---------------------------------------------------
+  actor_target_.SoftUpdateFrom(actor_, options_.tau);
+  critic_target_.SoftUpdateFrom(critic_, options_.tau);
+
+  stats.critic_loss = loss;
+  stats.actor_objective = policy_q.MeanRows().at(0, 0);
+  double td_abs = 0.0;
+  for (double e : td_errors) td_abs += std::fabs(e);
+  stats.mean_td_error = td_abs / static_cast<double>(batch);
+  return stats;
+}
+
+void DdpgAgent::DecayNoise() {
+  if (noise_.sigma() > options_.min_noise_sigma) {
+    noise_.Decay(options_.noise_decay);
+  }
+}
+
+void DdpgAgent::ResetNoise() { noise_.Reset(); }
+
+double DdpgAgent::EstimateQ(const std::vector<double>& state,
+                            const std::vector<double>& action) {
+  Matrix s = Matrix::RowVector(state);
+  Matrix a = Matrix::RowVector(action);
+  Matrix q = critic_.Forward(CriticInput(s, a), /*training=*/false);
+  return q.at(0, 0);
+}
+
+util::Status DdpgAgent::Save(const std::string& prefix) const {
+  CDBTUNE_RETURN_IF_ERROR(actor_.SaveToFile(prefix + ".actor"));
+  CDBTUNE_RETURN_IF_ERROR(critic_.SaveToFile(prefix + ".critic"));
+  return util::Status::Ok();
+}
+
+util::Status DdpgAgent::Load(const std::string& prefix) {
+  CDBTUNE_RETURN_IF_ERROR(actor_.LoadFromFile(prefix + ".actor"));
+  CDBTUNE_RETURN_IF_ERROR(critic_.LoadFromFile(prefix + ".critic"));
+  actor_target_.CopyParamsFrom(actor_);
+  critic_target_.CopyParamsFrom(critic_);
+  return util::Status::Ok();
+}
+
+void DdpgAgent::CloneWeightsFrom(DdpgAgent& other) {
+  // Full-state copy: BatchNorm running statistics must come along or the
+  // clone's eval-mode policy would differ from the source's.
+  actor_.CopyStateFrom(other.actor_);
+  critic_.CopyStateFrom(other.critic_);
+  actor_target_.CopyStateFrom(other.actor_target_);
+  critic_target_.CopyStateFrom(other.critic_target_);
+}
+
+size_t DdpgAgent::NumParameters() {
+  return actor_.NumParameters() + critic_.NumParameters();
+}
+
+}  // namespace cdbtune::rl

@@ -1,0 +1,124 @@
+#ifndef CDBTUNE_RL_DDPG_H_
+#define CDBTUNE_RL_DDPG_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/optimizer.h"
+#include "nn/sequential.h"
+#include "rl/noise.h"
+#include "rl/replay.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace cdbtune::rl {
+
+/// Hyperparameters and architecture of the DDPG agent. Defaults follow the
+/// paper: Table 4 (alpha = 0.001, gamma = 0.99, weights U(-0.1, 0.1)) and
+/// Table 5 (actor 128-128-128-64 with LeakyReLU(0.2)/BatchNorm/Tanh/
+/// Dropout(0.3); critic parallel 128+128 -> 256 -> 64 -> 1). The width
+/// fields exist so the Table 6 network-architecture sweep can rebuild
+/// variants.
+struct DdpgOptions {
+  size_t state_dim = 63;
+  size_t action_dim = 266;
+
+  /// Hidden widths of the actor after the input layer. The last entry feeds
+  /// the #Knobs output layer.
+  std::vector<size_t> actor_hidden = {128, 128, 128, 64};
+  /// Width of each parallel embedding in the critic (state and action).
+  size_t critic_embed = 128;
+  /// Trunk widths after the concatenated embeddings.
+  std::vector<size_t> critic_hidden = {256, 64};
+
+  double actor_lr = 1e-4;
+  double critic_lr = 1e-3;  // Paper Table 4: alpha = 0.001.
+  double gamma = 0.99;
+  /// Polyak factor for target networks.
+  double tau = 0.01;
+  size_t batch_size = 32;
+  size_t replay_capacity = 100000;
+  bool prioritized_replay = true;
+  double dropout_rate = 0.3;
+  double leaky_slope = 0.2;
+  /// Exploration noise (Ornstein-Uhlenbeck) and its per-step decay.
+  double noise_sigma = 0.20;
+  double noise_theta = 0.15;
+  double noise_decay = 0.996;
+  double min_noise_sigma = 0.02;
+  double grad_clip = 5.0;
+  uint64_t seed = 7;
+};
+
+/// Diagnostics from one optimization step.
+struct TrainStats {
+  double critic_loss = 0.0;
+  double actor_objective = 0.0;  // mean Q of the actor's actions.
+  double mean_td_error = 0.0;
+};
+
+/// Deep Deterministic Policy Gradient agent (Section 4.1, Algorithm 1).
+///
+/// Actions live in [0, 1]^action_dim — the normalized knob space; the
+/// caller (KnobSpace) maps them to raw configurations. States are the
+/// processed 63-metric vectors from the metrics collector.
+class DdpgAgent {
+ public:
+  explicit DdpgAgent(DdpgOptions options);
+
+  /// Deterministic policy output mu(s), optionally with exploration noise,
+  /// clipped to [0, 1].
+  std::vector<double> SelectAction(const std::vector<double>& state,
+                                   bool explore);
+
+  /// Stores a transition in replay memory.
+  void Observe(Transition transition);
+
+  /// One minibatch update of critic and actor plus target soft-updates
+  /// (steps 1-7 of the paper's Algorithm 1). No-op (returns zeros) until the
+  /// replay holds at least one batch.
+  TrainStats TrainStep();
+
+  /// Anneals exploration; call once per environment step.
+  void DecayNoise();
+  void ResetNoise();
+
+  size_t replay_size() const { return replay_->size(); }
+  const DdpgOptions& options() const { return options_; }
+
+  /// Critic estimate Q(s, a); exposed for tests and diagnostics.
+  double EstimateQ(const std::vector<double>& state,
+                   const std::vector<double>& action);
+
+  util::Status Save(const std::string& path_prefix) const;
+  util::Status Load(const std::string& path_prefix);
+
+  /// Hard-copies another agent's network weights (used to clone a trained
+  /// standard model before online fine-tuning, Section 2.1.2).
+  void CloneWeightsFrom(DdpgAgent& other);
+
+  /// Total learnable parameters across actor + critic (Table 6 reporting).
+  size_t NumParameters();
+
+ private:
+  nn::Sequential BuildActor();
+  nn::Sequential BuildCritic();
+  nn::Matrix CriticInput(const nn::Matrix& states, const nn::Matrix& actions);
+
+  DdpgOptions options_;
+  util::Rng rng_;
+
+  nn::Sequential actor_;
+  nn::Sequential critic_;
+  nn::Sequential actor_target_;
+  nn::Sequential critic_target_;
+  std::unique_ptr<nn::Adam> actor_opt_;
+  std::unique_ptr<nn::Adam> critic_opt_;
+  std::unique_ptr<ReplayBuffer> replay_;
+  OrnsteinUhlenbeckNoise noise_;
+};
+
+}  // namespace cdbtune::rl
+
+#endif  // CDBTUNE_RL_DDPG_H_

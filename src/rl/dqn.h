@@ -1,0 +1,74 @@
+#ifndef CDBTUNE_RL_DQN_H_
+#define CDBTUNE_RL_DQN_H_
+
+#include <memory>
+#include <vector>
+
+#include "nn/optimizer.h"
+#include "nn/sequential.h"
+#include "rl/replay.h"
+#include "util/random.h"
+
+namespace cdbtune::rl {
+
+/// Deep Q-Network baseline (Appendix B.3).
+///
+/// DQN needs a discrete action set, so for knob tuning each action nudges
+/// exactly one knob up or down by a fixed step in normalized space (plus a
+/// no-op): |A| = 2 * num_knobs + 1. This is precisely the limitation the
+/// paper describes — the per-step expressiveness collapses as knob count
+/// grows, and the benchmarks show DDPG dominating it.
+struct DqnOptions {
+  size_t state_dim = 63;
+  size_t num_knobs = 16;
+  double knob_step = 0.1;  // normalized-space increment per action.
+  std::vector<size_t> hidden = {128, 64};
+  double learning_rate = 1e-3;
+  double gamma = 0.99;
+  double epsilon = 1.0;
+  double epsilon_decay = 0.995;
+  double epsilon_min = 0.05;
+  size_t batch_size = 32;
+  size_t replay_capacity = 50000;
+  size_t target_sync_every = 50;
+  uint64_t seed = 11;
+};
+
+class DqnAgent {
+ public:
+  explicit DqnAgent(DqnOptions options);
+
+  size_t num_actions() const { return 2 * options_.num_knobs + 1; }
+
+  /// Epsilon-greedy action index.
+  size_t SelectAction(const std::vector<double>& state, bool explore);
+
+  /// Applies discrete action `action` to a normalized knob vector.
+  std::vector<double> ApplyAction(const std::vector<double>& knobs,
+                                  size_t action) const;
+
+  /// Transition's `action` holds the single action index in element 0.
+  void Observe(Transition transition);
+
+  /// One minibatch Q-learning update; syncs the target net periodically.
+  double TrainStep();
+
+  void DecayEpsilon();
+  double epsilon() const { return options_.epsilon; }
+  size_t replay_size() const { return replay_->size(); }
+
+ private:
+  nn::Sequential BuildNet();
+
+  DqnOptions options_;
+  util::Rng rng_;
+  nn::Sequential q_net_;
+  nn::Sequential target_net_;
+  std::unique_ptr<nn::Adam> opt_;
+  std::unique_ptr<UniformReplay> replay_;
+  size_t steps_ = 0;
+};
+
+}  // namespace cdbtune::rl
+
+#endif  // CDBTUNE_RL_DQN_H_

@@ -1,0 +1,41 @@
+#include "rl/noise.h"
+
+namespace cdbtune::rl {
+
+OrnsteinUhlenbeckNoise::OrnsteinUhlenbeckNoise(size_t dim, double theta,
+                                               double sigma, util::Rng rng)
+    : theta_(theta),
+      sigma_(sigma),
+      initial_sigma_(sigma),
+      rng_(rng),
+      state_(dim, 0.0) {}
+
+std::vector<double> OrnsteinUhlenbeckNoise::Sample() {
+  for (double& x : state_) {
+    x += theta_ * (0.0 - x) + sigma_ * rng_.Gaussian();
+  }
+  return state_;
+}
+
+void OrnsteinUhlenbeckNoise::Decay(double factor) { sigma_ *= factor; }
+
+void OrnsteinUhlenbeckNoise::Reset() {
+  sigma_ = initial_sigma_;
+  for (double& x : state_) x = 0.0;
+}
+
+GaussianActionNoise::GaussianActionNoise(size_t dim, double sigma,
+                                         util::Rng rng)
+    : dim_(dim), sigma_(sigma), initial_sigma_(sigma), rng_(rng) {}
+
+std::vector<double> GaussianActionNoise::Sample() {
+  std::vector<double> out(dim_);
+  for (double& x : out) x = sigma_ * rng_.Gaussian();
+  return out;
+}
+
+void GaussianActionNoise::Decay(double factor) { sigma_ *= factor; }
+
+void GaussianActionNoise::Reset() { sigma_ = initial_sigma_; }
+
+}  // namespace cdbtune::rl

@@ -1,0 +1,68 @@
+#ifndef CDBTUNE_RL_NOISE_H_
+#define CDBTUNE_RL_NOISE_H_
+
+#include <vector>
+
+#include "util/random.h"
+
+namespace cdbtune::rl {
+
+/// Exploration noise added to the actor's deterministic action — the
+/// "try-and-error" of the paper. Both processes decay over training so the
+/// agent moves from exploration to exploitation.
+class ActionNoise {
+ public:
+  virtual ~ActionNoise() = default;
+
+  /// Returns one noise vector and advances the process.
+  virtual std::vector<double> Sample() = 0;
+
+  /// Multiplies the noise scale (called once per episode/step to anneal).
+  virtual void Decay(double factor) = 0;
+
+  virtual void Reset() = 0;
+};
+
+/// Ornstein-Uhlenbeck process, the standard DDPG exploration noise:
+/// temporally correlated, which suits knob tuning where consecutive steps
+/// should probe nearby configurations.
+class OrnsteinUhlenbeckNoise : public ActionNoise {
+ public:
+  OrnsteinUhlenbeckNoise(size_t dim, double theta, double sigma,
+                         util::Rng rng);
+
+  std::vector<double> Sample() override;
+  void Decay(double factor) override;
+  void Reset() override;
+
+  double sigma() const { return sigma_; }
+
+ private:
+  double theta_;
+  double sigma_;
+  double initial_sigma_;
+  util::Rng rng_;
+  std::vector<double> state_;
+};
+
+/// IID Gaussian noise; simpler alternative used in ablations.
+class GaussianActionNoise : public ActionNoise {
+ public:
+  GaussianActionNoise(size_t dim, double sigma, util::Rng rng);
+
+  std::vector<double> Sample() override;
+  void Decay(double factor) override;
+  void Reset() override;
+
+  double sigma() const { return sigma_; }
+
+ private:
+  size_t dim_;
+  double sigma_;
+  double initial_sigma_;
+  util::Rng rng_;
+};
+
+}  // namespace cdbtune::rl
+
+#endif  // CDBTUNE_RL_NOISE_H_

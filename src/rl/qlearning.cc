@@ -1,0 +1,96 @@
+#include "rl/qlearning.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace cdbtune::rl {
+
+QLearningAgent::QLearningAgent(size_t num_states, size_t num_actions,
+                               double alpha, double gamma, double epsilon,
+                               uint64_t seed)
+    : num_states_(num_states),
+      num_actions_(num_actions),
+      alpha_(alpha),
+      gamma_(gamma),
+      epsilon_(epsilon),
+      rng_(seed),
+      table_(num_states * num_actions, 0.0) {
+  CDBTUNE_CHECK(num_states > 0 && num_actions > 0) << "empty Q-table";
+}
+
+size_t QLearningAgent::SelectAction(size_t state, bool explore) {
+  CDBTUNE_CHECK(state < num_states_) << "state out of range";
+  if (explore && rng_.Bernoulli(epsilon_)) {
+    return static_cast<size_t>(
+        rng_.UniformInt(0, static_cast<int64_t>(num_actions_) - 1));
+  }
+  const double* row = &table_[state * num_actions_];
+  size_t best = 0;
+  for (size_t a = 1; a < num_actions_; ++a) {
+    if (row[a] > row[best]) best = a;
+  }
+  return best;
+}
+
+void QLearningAgent::Update(size_t state, size_t action, double reward,
+                            size_t next_state, bool terminal) {
+  CDBTUNE_CHECK(state < num_states_ && next_state < num_states_);
+  CDBTUNE_CHECK(action < num_actions_);
+  double max_next = 0.0;
+  if (!terminal) {
+    const double* row = &table_[next_state * num_actions_];
+    max_next = *std::max_element(row, row + num_actions_);
+  }
+  double& q = table_[state * num_actions_ + action];
+  q += alpha_ * (reward + gamma_ * max_next - q);
+}
+
+double QLearningAgent::q(size_t state, size_t action) const {
+  return table_[state * num_actions_ + action];
+}
+
+void QLearningAgent::DecayEpsilon(double factor, double floor) {
+  epsilon_ = std::max(floor, epsilon_ * factor);
+}
+
+GridDiscretizer::GridDiscretizer(size_t dim, size_t bins)
+    : dim_(dim), bins_(bins) {
+  CDBTUNE_CHECK(dim > 0 && bins > 0) << "degenerate grid";
+  // Guard against silent overflow: bins^dim must fit in size_t comfortably.
+  double cells = std::pow(static_cast<double>(bins), static_cast<double>(dim));
+  CDBTUNE_CHECK(cells < 1e12) << "grid too large: " << cells
+                              << " cells — this is the Q-table explosion";
+}
+
+size_t GridDiscretizer::NumCells() const {
+  size_t cells = 1;
+  for (size_t i = 0; i < dim_; ++i) cells *= bins_;
+  return cells;
+}
+
+size_t GridDiscretizer::Encode(const std::vector<double>& x) const {
+  CDBTUNE_CHECK(x.size() == dim_) << "dimension mismatch";
+  size_t index = 0;
+  for (size_t i = 0; i < dim_; ++i) {
+    double clamped = std::clamp(x[i], 0.0, 1.0);
+    size_t bin = std::min(bins_ - 1, static_cast<size_t>(clamped *
+                                                         static_cast<double>(bins_)));
+    index = index * bins_ + bin;
+  }
+  return index;
+}
+
+std::vector<double> GridDiscretizer::Decode(size_t index) const {
+  CDBTUNE_CHECK(index < NumCells()) << "cell index out of range";
+  std::vector<double> x(dim_);
+  for (size_t i = dim_; i-- > 0;) {
+    size_t bin = index % bins_;
+    index /= bins_;
+    x[i] = (static_cast<double>(bin) + 0.5) / static_cast<double>(bins_);
+  }
+  return x;
+}
+
+}  // namespace cdbtune::rl

@@ -1,0 +1,67 @@
+#ifndef CDBTUNE_RL_QLEARNING_H_
+#define CDBTUNE_RL_QLEARNING_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "util/random.h"
+
+namespace cdbtune::rl {
+
+/// Classic tabular Q-learning (Section 3.3, Eq. 1).
+///
+/// Included as the paper's didactic baseline: it only works when both state
+/// and action spaces are small and discrete, which is exactly why it cannot
+/// tune 63 continuous metrics x 266 continuous knobs (the paper's 100^63
+/// state-count argument). The benchmarks use it on a deliberately tiny
+/// discretized sub-problem.
+class QLearningAgent {
+ public:
+  QLearningAgent(size_t num_states, size_t num_actions, double alpha,
+                 double gamma, double epsilon, uint64_t seed = 13);
+
+  /// Epsilon-greedy over the Q-table row for `state`.
+  size_t SelectAction(size_t state, bool explore);
+
+  /// Bellman update:
+  /// Q(s,a) += alpha * (r + gamma * max_a' Q(s',a') - Q(s,a)).
+  void Update(size_t state, size_t action, double reward, size_t next_state,
+              bool terminal);
+
+  double q(size_t state, size_t action) const;
+  size_t num_states() const { return num_states_; }
+  size_t num_actions() const { return num_actions_; }
+
+  void DecayEpsilon(double factor, double floor);
+  double epsilon() const { return epsilon_; }
+
+ private:
+  size_t num_states_;
+  size_t num_actions_;
+  double alpha_;
+  double gamma_;
+  double epsilon_;
+  util::Rng rng_;
+  std::vector<double> table_;  // num_states x num_actions, row-major.
+};
+
+/// Uniform grid discretizer mapping a continuous vector in [0,1]^dim to a
+/// single table index with `bins` cells per dimension. Table size grows as
+/// bins^dim — the combinatorial explosion the paper describes.
+class GridDiscretizer {
+ public:
+  GridDiscretizer(size_t dim, size_t bins);
+
+  size_t NumCells() const;
+  size_t Encode(const std::vector<double>& x) const;
+  /// Center of the cell `index`, for inverse mapping.
+  std::vector<double> Decode(size_t index) const;
+
+ private:
+  size_t dim_;
+  size_t bins_;
+};
+
+}  // namespace cdbtune::rl
+
+#endif  // CDBTUNE_RL_QLEARNING_H_

@@ -1,0 +1,130 @@
+#include "rl/replay.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace cdbtune::rl {
+
+void ReplayBuffer::UpdatePriorities(const std::vector<size_t>&,
+                                    const std::vector<double>&) {}
+
+UniformReplay::UniformReplay(size_t capacity) : capacity_(capacity) {
+  CDBTUNE_CHECK(capacity > 0) << "replay capacity must be positive";
+  items_.reserve(capacity);
+}
+
+void UniformReplay::Add(Transition transition) {
+  if (items_.size() < capacity_) {
+    items_.push_back(std::move(transition));
+  } else {
+    items_[next_] = std::move(transition);
+  }
+  next_ = (next_ + 1) % capacity_;
+}
+
+SampleBatch UniformReplay::Sample(size_t batch_size, util::Rng& rng) {
+  CDBTUNE_CHECK(!items_.empty()) << "sampling from empty replay";
+  SampleBatch batch;
+  batch.indices.reserve(batch_size);
+  batch.items.reserve(batch_size);
+  batch.weights.assign(batch_size, 1.0);
+  for (size_t i = 0; i < batch_size; ++i) {
+    size_t idx = static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(items_.size()) - 1));
+    batch.indices.push_back(idx);
+    batch.items.push_back(&items_[idx]);
+  }
+  return batch;
+}
+
+PrioritizedReplay::PrioritizedReplay(size_t capacity, double alpha,
+                                     double beta)
+    : capacity_(capacity), alpha_(alpha), beta_(beta) {
+  CDBTUNE_CHECK(capacity > 0) << "replay capacity must be positive";
+  items_.resize(capacity);
+  leaf_base_ = 1;
+  while (leaf_base_ < capacity_) leaf_base_ <<= 1;
+  tree_.assign(2 * leaf_base_, 0.0);
+}
+
+double PrioritizedReplay::TotalPriority() const { return tree_[1]; }
+
+void PrioritizedReplay::SetPriority(size_t slot, double priority) {
+  CDBTUNE_CHECK(slot < capacity_) << "slot out of range";
+  size_t node = leaf_base_ + slot;
+  tree_[node] = priority;
+  for (node >>= 1; node >= 1; node >>= 1) {
+    tree_[node] = tree_[2 * node] + tree_[2 * node + 1];
+    if (node == 1) break;
+  }
+}
+
+size_t PrioritizedReplay::FindSlot(double mass) const {
+  size_t node = 1;
+  while (node < leaf_base_) {
+    size_t left = 2 * node;
+    if (mass <= tree_[left] || tree_[left + 1] <= 0.0) {
+      node = left;
+      mass = std::min(mass, tree_[left]);
+    } else {
+      mass -= tree_[left];
+      node = left + 1;
+    }
+  }
+  return node - leaf_base_;
+}
+
+void PrioritizedReplay::Add(Transition transition) {
+  items_[next_] = std::move(transition);
+  // New samples enter with the current max priority so they are seen at
+  // least once before their TD error is known.
+  SetPriority(next_, std::pow(max_priority_, alpha_));
+  next_ = (next_ + 1) % capacity_;
+  size_ = std::min(size_ + 1, capacity_);
+}
+
+SampleBatch PrioritizedReplay::Sample(size_t batch_size, util::Rng& rng) {
+  CDBTUNE_CHECK(size_ > 0) << "sampling from empty replay";
+  CDBTUNE_CHECK(TotalPriority() > 0.0) << "degenerate priorities";
+  SampleBatch batch;
+  batch.indices.reserve(batch_size);
+  batch.items.reserve(batch_size);
+  batch.weights.reserve(batch_size);
+
+  const double total = TotalPriority();
+  const double n = static_cast<double>(size_);
+  double max_weight = 0.0;
+  // Stratified sampling: one draw per equal-mass segment.
+  for (size_t i = 0; i < batch_size; ++i) {
+    double lo = total * static_cast<double>(i) / static_cast<double>(batch_size);
+    double hi =
+        total * static_cast<double>(i + 1) / static_cast<double>(batch_size);
+    size_t slot = FindSlot(rng.Uniform(lo, hi));
+    slot = std::min(slot, size_ - 1);
+    batch.indices.push_back(slot);
+    batch.items.push_back(&items_[slot]);
+    double p = tree_[leaf_base_ + slot] / total;
+    double w = std::pow(n * std::max(p, 1e-12), -beta_);
+    batch.weights.push_back(w);
+    max_weight = std::max(max_weight, w);
+  }
+  if (max_weight > 0.0) {
+    for (double& w : batch.weights) w /= max_weight;
+  }
+  return batch;
+}
+
+void PrioritizedReplay::UpdatePriorities(const std::vector<size_t>& indices,
+                                         const std::vector<double>& td_errors) {
+  CDBTUNE_CHECK(indices.size() == td_errors.size()) << "size mismatch";
+  constexpr double kEpsilon = 1e-3;
+  for (size_t i = 0; i < indices.size(); ++i) {
+    double priority = std::fabs(td_errors[i]) + kEpsilon;
+    max_priority_ = std::max(max_priority_, priority);
+    SetPriority(indices[i], std::pow(priority, alpha_));
+  }
+}
+
+}  // namespace cdbtune::rl

@@ -1,0 +1,109 @@
+#ifndef CDBTUNE_RL_REPLAY_H_
+#define CDBTUNE_RL_REPLAY_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "util/random.h"
+
+namespace cdbtune::rl {
+
+/// One experience tuple (s_t, a_t, r_t, s_{t+1}) — the paper's "transition"
+/// stored in the experience replay memory (Section 2.2.4).
+struct Transition {
+  std::vector<double> state;
+  std::vector<double> action;
+  double reward = 0.0;
+  std::vector<double> next_state;
+  /// True when the episode ended here (instance crash / tuning session
+  /// terminated); the bootstrap term is dropped for terminal transitions.
+  bool terminal = false;
+};
+
+/// A minibatch sampled from replay: item pointers stay valid until the next
+/// Add() call on the owning buffer.
+struct SampleBatch {
+  std::vector<size_t> indices;
+  std::vector<const Transition*> items;
+  /// Importance-sampling weights (all 1.0 for uniform replay).
+  std::vector<double> weights;
+};
+
+/// Experience replay memory. Random minibatch sampling breaks the temporal
+/// correlation of tuning trajectories (Section 2.1.2: "randomly extract
+/// some batches of samples each time ... to eliminate the correlations
+/// between samples").
+class ReplayBuffer {
+ public:
+  virtual ~ReplayBuffer() = default;
+
+  virtual void Add(Transition transition) = 0;
+  virtual SampleBatch Sample(size_t batch_size, util::Rng& rng) = 0;
+
+  /// For prioritized replay: refreshes priorities with fresh |TD errors|.
+  /// No-op for uniform replay.
+  virtual void UpdatePriorities(const std::vector<size_t>& indices,
+                                const std::vector<double>& td_errors);
+
+  virtual size_t size() const = 0;
+  virtual size_t capacity() const = 0;
+};
+
+/// Fixed-capacity ring buffer with uniform sampling.
+class UniformReplay : public ReplayBuffer {
+ public:
+  explicit UniformReplay(size_t capacity);
+
+  void Add(Transition transition) override;
+  SampleBatch Sample(size_t batch_size, util::Rng& rng) override;
+  size_t size() const override { return items_.size(); }
+  size_t capacity() const override { return capacity_; }
+
+ private:
+  size_t capacity_;
+  size_t next_ = 0;
+  std::vector<Transition> items_;
+};
+
+/// Proportional prioritized experience replay (Schaul et al. [38], cited in
+/// Section 5.1 as doubling convergence speed). Priorities are |TD error| ^
+/// alpha over a sum-tree; Sample returns importance weights
+/// (N * P(i))^-beta normalized by the batch max.
+class PrioritizedReplay : public ReplayBuffer {
+ public:
+  PrioritizedReplay(size_t capacity, double alpha = 0.6, double beta = 0.4);
+
+  void Add(Transition transition) override;
+  SampleBatch Sample(size_t batch_size, util::Rng& rng) override;
+  void UpdatePriorities(const std::vector<size_t>& indices,
+                        const std::vector<double>& td_errors) override;
+  size_t size() const override { return size_; }
+  size_t capacity() const override { return capacity_; }
+
+  /// Anneals beta toward 1 as training progresses.
+  void set_beta(double beta) { beta_ = beta; }
+  double beta() const { return beta_; }
+
+  /// Sum of all priorities (exposed for tests).
+  double TotalPriority() const;
+
+ private:
+  void SetPriority(size_t slot, double priority);
+  size_t FindSlot(double mass) const;
+
+  size_t capacity_;
+  double alpha_;
+  double beta_;
+  double max_priority_ = 1.0;
+  size_t next_ = 0;
+  size_t size_ = 0;
+  std::vector<Transition> items_;
+  /// Binary sum-tree: tree_[1] is the root; leaves start at capacity_
+  /// (capacity_ rounded up to a power of two).
+  size_t leaf_base_;
+  std::vector<double> tree_;
+};
+
+}  // namespace cdbtune::rl
+
+#endif  // CDBTUNE_RL_REPLAY_H_

@@ -1,0 +1,54 @@
+#include "tuner/controller.h"
+
+#include "util/logging.h"
+
+namespace cdbtune::tuner {
+
+TuningController::TuningController(env::DbInterface* db,
+                                   CdbTuneOptions options)
+    : db_(db) {
+  CDBTUNE_CHECK(db_ != nullptr);
+  tuner_ = std::make_unique<CdbTuner>(
+      db_, knobs::KnobSpace::AllTunable(&db_->registry()), std::move(options));
+}
+
+RequestSummary TuningController::Summarize(
+    const std::string& kind, const std::string& workload_name,
+    const PerfPoint& initial, const PerfPoint& best, int steps,
+    const knobs::Config& best_config) const {
+  RequestSummary s;
+  s.kind = kind;
+  s.workload = workload_name;
+  s.initial_throughput = initial.throughput;
+  s.best_throughput = best.throughput;
+  s.initial_latency_p99 = initial.latency;
+  s.best_latency_p99 = best.latency;
+  s.steps = steps;
+  Recommender recommender(&tuner_->space());
+  s.commands =
+      recommender.RenderCommands(best_config, db_->registry().DefaultConfig());
+  return s;
+}
+
+RequestSummary TuningController::HandleTrainingRequest(
+    const workload::WorkloadSpec& workload) {
+  OfflineTrainResult result = tuner_->OfflineTrain(workload);
+  return Summarize("train", workload.name, result.initial, result.best,
+                   result.iterations, result.best_config);
+}
+
+RequestSummary TuningController::HandleTuningRequest(
+    const workload::WorkloadSpec& workload) {
+  OnlineTuneResult result = tuner_->OnlineTune(workload);
+  return Summarize("tune", workload.name, result.initial, result.best,
+                   result.steps, result.best_config);
+}
+
+RequestSummary TuningController::HandleTuningRequest(
+    const workload::Trace& trace) {
+  // Replaying a captured trace stresses the instance with the same
+  // operation mix the user generated; the trace's spec carries that mix.
+  return HandleTuningRequest(trace.spec);
+}
+
+}  // namespace cdbtune::tuner

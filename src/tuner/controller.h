@@ -1,0 +1,62 @@
+#ifndef CDBTUNE_TUNER_CONTROLLER_H_
+#define CDBTUNE_TUNER_CONTROLLER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tuner/cdbtune.h"
+#include "workload/generator.h"
+
+namespace cdbtune::tuner {
+
+/// Summary handed back to the client after a request completes.
+struct RequestSummary {
+  std::string kind;  // "train" or "tune"
+  std::string workload;
+  double initial_throughput = 0.0;
+  double best_throughput = 0.0;
+  double initial_latency_p99 = 0.0;
+  double best_latency_p99 = 0.0;
+  int steps = 0;
+  /// The SET GLOBAL command list that realizes the recommendation.
+  std::vector<std::string> commands;
+};
+
+/// The controller of Figure 2: accepts training requests (from the DBA) and
+/// tuning requests (from users), drives the workload generator / replayer,
+/// the tuner and the recommender, and returns deployable recommendations.
+///
+/// This is the entry point the examples use; benchmark harnesses drive
+/// CdbTuner directly for finer control.
+class TuningController {
+ public:
+  TuningController(env::DbInterface* db, CdbTuneOptions options);
+
+  /// DBA-initiated offline training on a standard workload (cold start).
+  RequestSummary HandleTrainingRequest(const workload::WorkloadSpec& workload);
+
+  /// User-initiated tuning request against their live workload.
+  RequestSummary HandleTuningRequest(const workload::WorkloadSpec& workload);
+
+  /// User-initiated tuning request where the controller replays a captured
+  /// trace of the user's real operations (Section 2.2.1's replay mechanism).
+  /// The trace's spec drives the stress tests.
+  RequestSummary HandleTuningRequest(const workload::Trace& trace);
+
+  CdbTuner& tuner() { return *tuner_; }
+  env::DbInterface& db() { return *db_; }
+
+ private:
+  RequestSummary Summarize(const std::string& kind,
+                           const std::string& workload_name,
+                           const PerfPoint& initial, const PerfPoint& best,
+                           int steps, const knobs::Config& best_config) const;
+
+  env::DbInterface* db_;  // Not owned.
+  std::unique_ptr<CdbTuner> tuner_;
+};
+
+}  // namespace cdbtune::tuner
+
+#endif  // CDBTUNE_TUNER_CONTROLLER_H_

@@ -1,0 +1,23 @@
+#include "tuner/memory_pool.h"
+
+namespace cdbtune::tuner {
+
+void MemoryPool::Add(Experience experience) {
+  experiences_.push_back(std::move(experience));
+}
+
+void MemoryPool::FeedInto(rl::ReplayBuffer& buffer) const {
+  for (const Experience& e : experiences_) {
+    buffer.Add(e.transition);
+  }
+}
+
+size_t MemoryPool::user_request_count() const {
+  size_t n = 0;
+  for (const Experience& e : experiences_) {
+    if (e.from_user_request) ++n;
+  }
+  return n;
+}
+
+}  // namespace cdbtune::tuner

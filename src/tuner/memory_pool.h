@@ -1,0 +1,52 @@
+#ifndef CDBTUNE_TUNER_MEMORY_POOL_H_
+#define CDBTUNE_TUNER_MEMORY_POOL_H_
+
+#include <string>
+#include <vector>
+
+#include "rl/replay.h"
+
+namespace cdbtune::tuner {
+
+/// One fully-annotated tuning experience, as the paper's Memory Pool stores
+/// it (Section 2.2.4): the RL transition plus the provenance needed for
+/// incremental training and analysis.
+struct Experience {
+  rl::Transition transition;
+  std::string workload_name;
+  std::string instance_name;
+  /// True when this sample came from an online user request rather than
+  /// offline cold-start training (Section 2.1.1, Incremental Training).
+  bool from_user_request = false;
+  double throughput = 0.0;
+  double latency = 0.0;
+};
+
+/// Append-only experience store that outlives individual agents. The DDPG
+/// agent keeps its own sampling structure (sum-tree); the pool is the
+/// durable record that can re-seed a fresh agent — e.g., when the Table 6
+/// benchmark rebuilds networks of different shapes over the same data, or
+/// when user feedback is folded back in.
+class MemoryPool {
+ public:
+  void Add(Experience experience);
+
+  size_t size() const { return experiences_.size(); }
+  const Experience& at(size_t i) const { return experiences_[i]; }
+
+  /// Replays every stored transition into `buffer` (cheapest way to warm up
+  /// a new agent from accumulated history).
+  void FeedInto(rl::ReplayBuffer& buffer) const;
+
+  /// Number of experiences contributed by online user requests.
+  size_t user_request_count() const;
+
+  void Clear() { experiences_.clear(); }
+
+ private:
+  std::vector<Experience> experiences_;
+};
+
+}  // namespace cdbtune::tuner
+
+#endif  // CDBTUNE_TUNER_MEMORY_POOL_H_

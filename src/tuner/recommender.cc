@@ -1,0 +1,47 @@
+#include "tuner/recommender.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "util/logging.h"
+
+namespace cdbtune::tuner {
+
+Recommender::Recommender(const knobs::KnobSpace* space) : space_(space) {
+  CDBTUNE_CHECK(space_ != nullptr);
+}
+
+knobs::Config Recommender::BuildConfig(const std::vector<double>& action,
+                                       const knobs::Config& base) const {
+  return space_->ActionToConfig(action, base);
+}
+
+std::vector<std::string> Recommender::RenderCommands(
+    const knobs::Config& config, const knobs::Config& base) const {
+  const knobs::KnobRegistry& reg = space_->registry();
+  std::vector<std::string> commands;
+  for (size_t idx : space_->active_indices()) {
+    if (config[idx] == base[idx]) continue;
+    const knobs::KnobDef& def = reg.def(idx);
+    std::string value;
+    if (def.type == knobs::KnobType::kEnum &&
+        static_cast<size_t>(def.max_value) < def.enum_values.size()) {
+      value = def.enum_values[static_cast<size_t>(config[idx])];
+    } else if (def.type == knobs::KnobType::kDouble) {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.4f", config[idx]);
+      value = buf;
+    } else {
+      value = std::to_string(static_cast<long long>(config[idx]));
+    }
+    commands.push_back("SET GLOBAL " + def.name + " = " + value + ";");
+  }
+  return commands;
+}
+
+util::Status Recommender::Deploy(env::DbInterface& db,
+                                 const knobs::Config& config) const {
+  return db.ApplyConfig(config);
+}
+
+}  // namespace cdbtune::tuner

@@ -1,0 +1,41 @@
+#ifndef CDBTUNE_TUNER_RECOMMENDER_H_
+#define CDBTUNE_TUNER_RECOMMENDER_H_
+
+#include <string>
+#include <vector>
+
+#include "env/db_interface.h"
+#include "knobs/registry.h"
+#include "util/status.h"
+
+namespace cdbtune::tuner {
+
+/// Turns a normalized action into a deployable configuration and pushes it
+/// to the database (Figure 2's "Recommender", Section 2.2.3).
+class Recommender {
+ public:
+  explicit Recommender(const knobs::KnobSpace* space);
+
+  /// Maps the agent's [0,1]^K action onto `base`, touching only the active
+  /// knobs.
+  knobs::Config BuildConfig(const std::vector<double>& action,
+                            const knobs::Config& base) const;
+
+  /// Renders the "SET GLOBAL knob = value" command list a real controller
+  /// would execute — only for knobs whose value differs from `base`.
+  std::vector<std::string> RenderCommands(const knobs::Config& config,
+                                          const knobs::Config& base) const;
+
+  /// Deploys `config` on the instance. Propagates kCrashed verbatim so the
+  /// caller can issue the crash penalty reward.
+  util::Status Deploy(env::DbInterface& db, const knobs::Config& config) const;
+
+  const knobs::KnobSpace& space() const { return *space_; }
+
+ private:
+  const knobs::KnobSpace* space_;  // Not owned.
+};
+
+}  // namespace cdbtune::tuner
+
+#endif  // CDBTUNE_TUNER_RECOMMENDER_H_

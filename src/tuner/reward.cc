@@ -1,0 +1,88 @@
+#include "tuner/reward.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace cdbtune::tuner {
+
+const char* RewardFunctionTypeName(RewardFunctionType type) {
+  switch (type) {
+    case RewardFunctionType::kCdbTune:
+      return "RF-CDBTune";
+    case RewardFunctionType::kPrevOnly:
+      return "RF-A";
+    case RewardFunctionType::kInitialOnly:
+      return "RF-B";
+    case RewardFunctionType::kNoClamp:
+      return "RF-C";
+  }
+  return "?";
+}
+
+RewardFunction::RewardFunction(RewardFunctionType type, double throughput_coeff,
+                               double latency_coeff)
+    : type_(type), ct_(throughput_coeff), cl_(latency_coeff) {
+  CDBTUNE_CHECK(std::fabs(ct_ + cl_ - 1.0) < 1e-9)
+      << "C_T + C_L must equal 1 (Eq. 7), got " << ct_ + cl_;
+}
+
+void RewardFunction::SetInitial(const PerfPoint& initial) {
+  CDBTUNE_CHECK(initial.throughput > 0.0 && initial.latency > 0.0)
+      << "initial performance must be positive";
+  initial_ = initial;
+  has_initial_ = true;
+}
+
+double RewardFunction::MetricReward(double delta0, double delta_prev,
+                                    bool clamp_regression) {
+  // Eq. (6):
+  //   r = ((1 + d0)^2 - 1) * |1 + dp|        if d0 > 0
+  //   r = -((1 - d0)^2 - 1) * |1 - dp|       if d0 <= 0
+  double r;
+  if (delta0 > 0.0) {
+    r = ((1.0 + delta0) * (1.0 + delta0) - 1.0) * std::fabs(1.0 + delta_prev);
+    // "When the result is positive and delta_{t->t-1} is negative, we set
+    // r = 0" — the tuning direction is globally right but locally wrong.
+    if (clamp_regression && delta_prev < 0.0) r = 0.0;
+  } else {
+    r = -((1.0 - delta0) * (1.0 - delta0) - 1.0) * std::fabs(1.0 - delta_prev);
+  }
+  return r;
+}
+
+double RewardFunction::Compute(const PerfPoint& prev,
+                               const PerfPoint& curr) const {
+  CDBTUNE_CHECK(has_initial_) << "SetInitial must be called before Compute";
+  CDBTUNE_CHECK(prev.throughput > 0.0 && prev.latency > 0.0)
+      << "previous performance must be positive";
+  CDBTUNE_CHECK(curr.throughput > 0.0 && curr.latency > 0.0)
+      << "current performance must be positive";
+
+  // Eq. (4): throughput deltas (higher is better).
+  double dt0 = (curr.throughput - initial_.throughput) / initial_.throughput;
+  double dtp = (curr.throughput - prev.throughput) / prev.throughput;
+  // Eq. (5): latency deltas (sign-flipped so improvement is positive).
+  double dl0 = (-curr.latency + initial_.latency) / initial_.latency;
+  double dlp = (-curr.latency + prev.latency) / prev.latency;
+
+  switch (type_) {
+    case RewardFunctionType::kPrevOnly:
+      dt0 = dtp;
+      dl0 = dlp;
+      break;
+    case RewardFunctionType::kInitialOnly:
+      dtp = dt0;
+      dlp = dl0;
+      break;
+    case RewardFunctionType::kCdbTune:
+    case RewardFunctionType::kNoClamp:
+      break;
+  }
+  const bool clamp = type_ == RewardFunctionType::kCdbTune;
+  double rt = MetricReward(dt0, dtp, clamp);
+  double rl = MetricReward(dl0, dlp, clamp);
+  return ct_ * rt + cl_ * rl;
+}
+
+}  // namespace cdbtune::tuner

@@ -1,0 +1,72 @@
+#ifndef CDBTUNE_TUNER_REWARD_H_
+#define CDBTUNE_TUNER_REWARD_H_
+
+#include <string>
+
+namespace cdbtune::tuner {
+
+/// External performance at one tuning step.
+struct PerfPoint {
+  double throughput = 0.0;   // txn/sec, higher is better.
+  double latency = 0.0;      // 99th-percentile ms, lower is better.
+};
+
+/// The reward designs compared in Appendix C.1.1.
+enum class RewardFunctionType {
+  /// The paper's design (Section 4.2): blends performance change vs. the
+  /// previous step and vs. the initial configuration, and clamps the reward
+  /// to zero when overall progress is positive but the last step regressed.
+  kCdbTune,
+  /// RF-A: compares only against the previous step.
+  kPrevOnly,
+  /// RF-B: compares only against the initial settings.
+  kInitialOnly,
+  /// RF-C: like CDBTune but without the zero-clamp rule.
+  kNoClamp,
+};
+
+const char* RewardFunctionTypeName(RewardFunctionType type);
+
+/// Computes the scalar reward of Eqs. (4)-(7).
+///
+/// Throughput and latency each produce a sub-reward via Eq. (6); the total
+/// is C_T * r_T + C_L * r_L with C_T + C_L = 1 (Eq. 7, user-settable per
+/// Appendix C.1.2). A crashed instance yields `crash_reward()` regardless
+/// of type (Section 5.2.3: "give a large negative reward (e.g., -100) for
+/// punishment").
+class RewardFunction {
+ public:
+  explicit RewardFunction(RewardFunctionType type = RewardFunctionType::kCdbTune,
+                          double throughput_coeff = 0.5,
+                          double latency_coeff = 0.5);
+
+  /// Fixes the t=0 baseline (performance under the initial configuration).
+  void SetInitial(const PerfPoint& initial);
+  const PerfPoint& initial() const { return initial_; }
+  bool has_initial() const { return has_initial_; }
+
+  /// Reward for moving from `prev` (time t-1) to `curr` (time t).
+  double Compute(const PerfPoint& prev, const PerfPoint& curr) const;
+
+  double crash_reward() const { return -100.0; }
+
+  RewardFunctionType type() const { return type_; }
+  double throughput_coeff() const { return ct_; }
+  double latency_coeff() const { return cl_; }
+
+  /// Eq. (6) for one metric, exposed for direct unit testing:
+  /// `delta0` = rate of change vs. initial, `delta_prev` = vs. previous.
+  static double MetricReward(double delta0, double delta_prev,
+                             bool clamp_regression);
+
+ private:
+  RewardFunctionType type_;
+  double ct_;
+  double cl_;
+  PerfPoint initial_;
+  bool has_initial_ = false;
+};
+
+}  // namespace cdbtune::tuner
+
+#endif  // CDBTUNE_TUNER_REWARD_H_

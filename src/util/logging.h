@@ -1,0 +1,71 @@
+#ifndef CDBTUNE_UTIL_LOGGING_H_
+#define CDBTUNE_UTIL_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace cdbtune::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the global minimum level; messages below it are dropped.
+/// Defaults to kInfo. Thread-compatible (set once at startup).
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal_logging {
+
+/// Stream-style log line that emits on destruction. Not for direct use;
+/// see the CDBTUNE_LOG / CDBTUNE_CHECK macros below.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line, bool fatal = false);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  bool fatal_;
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+/// Swallows the streamed expression when a log statement is disabled.
+struct NullStream {
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal_logging
+}  // namespace cdbtune::util
+
+#define CDBTUNE_LOG(level)                                             \
+  ::cdbtune::util::internal_logging::LogMessage(                       \
+      ::cdbtune::util::LogLevel::k##level, __FILE__, __LINE__)         \
+      .stream()
+
+/// Aborts the process with a diagnostic when `condition` is false. Used for
+/// programmer errors (violated invariants), never for recoverable errors —
+/// those return Status.
+#define CDBTUNE_CHECK(condition)                                          \
+  if (!(condition))                                                       \
+  ::cdbtune::util::internal_logging::LogMessage(                          \
+      ::cdbtune::util::LogLevel::kError, __FILE__, __LINE__, /*fatal=*/true) \
+          .stream()                                                       \
+      << "Check failed: " #condition " "
+
+#define CDBTUNE_CHECK_OK(expr)                                       \
+  do {                                                               \
+    ::cdbtune::util::Status _s = (expr);                             \
+    CDBTUNE_CHECK(_s.ok()) << _s.ToString();                         \
+  } while (false)
+
+#endif  // CDBTUNE_UTIL_LOGGING_H_

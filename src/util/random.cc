@@ -1,0 +1,42 @@
+#include "util/random.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "util/logging.h"
+
+namespace cdbtune::util {
+
+int64_t Rng::Zipf(int64_t n, double theta) {
+  CDBTUNE_CHECK(n > 0) << "Zipf needs a positive population, got " << n;
+  CDBTUNE_CHECK(theta > 0.0 && theta < 1.0)
+      << "Zipf skew must be in (0,1), got " << theta;
+  double u = Uniform(0.0, 1.0);
+  double rank = static_cast<double>(n) * std::pow(u, 1.0 / (1.0 - theta));
+  int64_t r = static_cast<int64_t>(rank);
+  return std::min(r, n - 1);
+}
+
+std::vector<size_t> Rng::SampleWithoutReplacement(size_t n, size_t k) {
+  CDBTUNE_CHECK(k <= n) << "cannot sample " << k << " from " << n;
+  // For dense requests, shuffle a full index vector; for sparse ones use
+  // rejection sampling to avoid O(n) work.
+  if (k * 3 >= n) {
+    std::vector<size_t> all(n);
+    for (size_t i = 0; i < n; ++i) all[i] = i;
+    Shuffle(all);
+    all.resize(k);
+    return all;
+  }
+  std::unordered_set<size_t> seen;
+  std::vector<size_t> out;
+  out.reserve(k);
+  while (out.size() < k) {
+    size_t idx = static_cast<size_t>(UniformInt(0, static_cast<int64_t>(n) - 1));
+    if (seen.insert(idx).second) out.push_back(idx);
+  }
+  return out;
+}
+
+}  // namespace cdbtune::util

@@ -1,0 +1,121 @@
+#ifndef CDBTUNE_UTIL_STATUS_H_
+#define CDBTUNE_UTIL_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace cdbtune::util {
+
+/// Error categories used across the library. Modeled after the small set of
+/// conditions a tuning system actually distinguishes: user error
+/// (kInvalidArgument), missing entities (kNotFound), engine-side failures
+/// (kInternal), the database instance crashing under a bad configuration
+/// (kCrashed, see Section 5.2.3 of the paper), and unimplemented paths.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kFailedPrecondition,
+  kInternal,
+  kCrashed,
+  kUnimplemented,
+};
+
+/// Returns a stable human-readable name for `code` ("OK", "CRASHED", ...).
+const char* StatusCodeToString(StatusCode code);
+
+/// A lightweight success-or-error result, used instead of exceptions.
+///
+/// Functions that can fail return `Status` (or `StatusOr<T>`), and callers
+/// are expected to check `ok()` before proceeding. The class is cheap to
+/// copy in the common OK case (empty message string).
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Crashed(std::string msg) {
+    return Status(StatusCode::kCrashed, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Renders "CODE: message" for logs and test failure output.
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Either a value of type `T` or an error `Status`. Never holds both.
+///
+/// Usage:
+///   StatusOr<Config> cfg = ParseConfig(text);
+///   if (!cfg.ok()) return cfg.status();
+///   Use(cfg.value());
+template <typename T>
+class StatusOr {
+ public:
+  /// Constructs from a value (implicit so `return value;` works).
+  StatusOr(T value) : payload_(std::move(value)) {}  // NOLINT
+  /// Constructs from a non-OK status (implicit so `return status;` works).
+  StatusOr(Status status) : payload_(std::move(status)) {}  // NOLINT
+
+  bool ok() const { return std::holds_alternative<T>(payload_); }
+
+  /// Returns the error status, or OK when a value is held.
+  Status status() const {
+    if (ok()) return Status::Ok();
+    return std::get<Status>(payload_);
+  }
+
+  /// Precondition: ok(). Accessing the value of an error aborts.
+  const T& value() const& { return std::get<T>(payload_); }
+  T& value() & { return std::get<T>(payload_); }
+  T&& value() && { return std::get<T>(std::move(payload_)); }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<Status, T> payload_;
+};
+
+}  // namespace cdbtune::util
+
+/// Propagates a non-OK Status from an expression to the caller.
+#define CDBTUNE_RETURN_IF_ERROR(expr)                   \
+  do {                                                  \
+    ::cdbtune::util::Status _status = (expr);           \
+    if (!_status.ok()) return _status;                  \
+  } while (false)
+
+#endif  // CDBTUNE_UTIL_STATUS_H_

@@ -1,0 +1,44 @@
+#ifndef CDBTUNE_UTIL_TABLE_PRINTER_H_
+#define CDBTUNE_UTIL_TABLE_PRINTER_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace cdbtune::util {
+
+/// Renders aligned ASCII tables for the benchmark harnesses, which print the
+/// same rows/series the paper's tables and figures report.
+///
+///   TablePrinter t({"knobs", "throughput", "latency"});
+///   t.AddRow({"20", "712.4", "5031.0"});
+///   t.Print(std::cout);
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  void AddRow(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with `precision` digits after the point.
+  static std::string Num(double value, int precision = 2);
+  static std::string Pct(double fraction, int precision = 2);
+
+  void Print(std::ostream& os) const;
+
+  /// Comma-separated form, convenient for re-plotting outside the harness.
+  void PrintCsv(std::ostream& os) const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Prints a section banner so multi-experiment bench binaries read clearly:
+/// === Figure 9: Sysbench RW ===
+void PrintBanner(std::ostream& os, const std::string& title);
+
+}  // namespace cdbtune::util
+
+#endif  // CDBTUNE_UTIL_TABLE_PRINTER_H_

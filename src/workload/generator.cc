@@ -1,0 +1,98 @@
+#include "workload/generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace cdbtune::workload {
+
+OperationGenerator::OperationGenerator(const WorkloadSpec& spec,
+                                       uint64_t key_space, util::Rng rng)
+    : spec_(spec),
+      key_space_(key_space),
+      rng_(rng),
+      ops_left_in_txn_(0.0),
+      next_insert_key_(key_space) {
+  CDBTUNE_CHECK(key_space_ > 0) << "empty key space";
+}
+
+uint64_t OperationGenerator::PickKey() {
+  // The working set restricts accesses to a hot prefix of the key space;
+  // skew concentrates them further toward low ranks within that prefix.
+  double hot_fraction = 1.0;
+  if (spec_.data_size_gb > 0.0) {
+    hot_fraction =
+        std::clamp(spec_.working_set_gb / spec_.data_size_gb, 0.0, 1.0);
+  }
+  uint64_t hot_keys = std::max<uint64_t>(
+      1, static_cast<uint64_t>(hot_fraction * static_cast<double>(key_space_)));
+  if (spec_.access_skew > 0.0) {
+    return static_cast<uint64_t>(
+        rng_.Zipf(static_cast<int64_t>(hot_keys), spec_.access_skew));
+  }
+  return static_cast<uint64_t>(
+      rng_.UniformInt(0, static_cast<int64_t>(hot_keys) - 1));
+}
+
+Operation OperationGenerator::Next() {
+  if (ops_left_in_txn_ <= 0.0) {
+    // Transaction lengths vary around the spec mean so commit points are
+    // irregular, as in the real benchmark drivers. Rounding keeps the mean
+    // honest for single-op transactions (YCSB, TPC-H).
+    ops_left_in_txn_ = std::max(
+        1.0, std::round(rng_.Gaussian(spec_.ops_per_txn,
+                                      spec_.ops_per_txn * 0.25)));
+  }
+  ops_left_in_txn_ -= 1.0;
+
+  Operation op;
+  op.commit_after = ops_left_in_txn_ <= 0.0;
+  if (rng_.Bernoulli(spec_.read_fraction)) {
+    if (rng_.Bernoulli(spec_.scan_fraction)) {
+      op.kind = Operation::Kind::kRangeScan;
+      op.key = PickKey();
+      double len = std::max(1.0, rng_.Gaussian(spec_.scan_length,
+                                               spec_.scan_length * 0.2));
+      op.scan_rows = static_cast<uint32_t>(
+          std::min<double>(len, static_cast<double>(key_space_)));
+    } else {
+      op.kind = Operation::Kind::kPointRead;
+      op.key = PickKey();
+    }
+  } else {
+    if (rng_.Bernoulli(spec_.insert_fraction)) {
+      op.kind = Operation::Kind::kInsert;
+      op.key = next_insert_key_++;
+    } else {
+      op.kind = Operation::Kind::kUpdate;
+      op.key = PickKey();
+    }
+  }
+  return op;
+}
+
+Trace RecordTrace(OperationGenerator& generator, size_t count) {
+  Trace trace;
+  trace.spec = generator.spec();
+  trace.spec.type = WorkloadType::kReplay;
+  trace.key_space = generator.key_space();
+  trace.operations.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    trace.operations.push_back(generator.Next());
+  }
+  return trace;
+}
+
+TraceReplayer::TraceReplayer(const Trace* trace) : trace_(trace) {
+  CDBTUNE_CHECK(trace_ != nullptr);
+  CDBTUNE_CHECK(!trace_->operations.empty()) << "cannot replay empty trace";
+}
+
+Operation TraceReplayer::Next() {
+  Operation op = trace_->operations[position_];
+  position_ = (position_ + 1) % trace_->operations.size();
+  return op;
+}
+
+}  // namespace cdbtune::workload

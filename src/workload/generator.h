@@ -1,0 +1,79 @@
+#ifndef CDBTUNE_WORKLOAD_GENERATOR_H_
+#define CDBTUNE_WORKLOAD_GENERATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/random.h"
+#include "workload/workload.h"
+
+namespace cdbtune::workload {
+
+/// One database operation as executed by the mini storage engine.
+struct Operation {
+  enum class Kind { kPointRead, kRangeScan, kUpdate, kInsert };
+
+  Kind kind = Kind::kPointRead;
+  /// Primary key targeted (for inserts: a fresh key suggestion).
+  uint64_t key = 0;
+  /// Rows touched for kRangeScan.
+  uint32_t scan_rows = 0;
+  /// True when this operation closes its transaction (commit point).
+  bool commit_after = false;
+};
+
+/// Streams operations matching a WorkloadSpec's mix, key-access skew and
+/// transaction cadence. This is the "workload generator" box of Figure 2:
+/// the same component performs standard stress testing (fresh generation)
+/// and user-workload replay (via RecordingGenerator + TraceReplayer).
+class OperationGenerator {
+ public:
+  /// `key_space` is the number of rows the target database holds.
+  OperationGenerator(const WorkloadSpec& spec, uint64_t key_space,
+                     util::Rng rng);
+
+  /// Produces the next operation in the stream.
+  Operation Next();
+
+  uint64_t key_space() const { return key_space_; }
+  const WorkloadSpec& spec() const { return spec_; }
+
+ private:
+  uint64_t PickKey();
+
+  WorkloadSpec spec_;
+  uint64_t key_space_;
+  util::Rng rng_;
+  double ops_left_in_txn_;
+  uint64_t next_insert_key_;
+};
+
+/// Captured user workload: a finite operation trace plus the spec it was
+/// generated under. Section 2.2.1 — "collect the user's SQL records in a
+/// period of time and then execute them under the same environment".
+struct Trace {
+  WorkloadSpec spec;
+  uint64_t key_space = 0;
+  std::vector<Operation> operations;
+};
+
+/// Records `count` operations from a generator into a replayable trace.
+Trace RecordTrace(OperationGenerator& generator, size_t count);
+
+/// Re-issues a recorded trace, looping when the consumer outruns it.
+class TraceReplayer {
+ public:
+  explicit TraceReplayer(const Trace* trace);
+
+  Operation Next();
+  size_t position() const { return position_; }
+  void Reset() { position_ = 0; }
+
+ private:
+  const Trace* trace_;  // Not owned.
+  size_t position_ = 0;
+};
+
+}  // namespace cdbtune::workload
+
+#endif  // CDBTUNE_WORKLOAD_GENERATOR_H_

@@ -1,0 +1,174 @@
+#include "workload/workload.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace cdbtune::workload {
+
+const char* WorkloadTypeName(WorkloadType type) {
+  switch (type) {
+    case WorkloadType::kSysbenchReadOnly:
+      return "Sysbench-RO";
+    case WorkloadType::kSysbenchWriteOnly:
+      return "Sysbench-WO";
+    case WorkloadType::kSysbenchReadWrite:
+      return "Sysbench-RW";
+    case WorkloadType::kTpcc:
+      return "TPC-C";
+    case WorkloadType::kTpch:
+      return "TPC-H";
+    case WorkloadType::kYcsb:
+      return "YCSB";
+    case WorkloadType::kReplay:
+      return "Replay";
+  }
+  return "Unknown";
+}
+
+double WorkloadSpec::DistanceTo(const WorkloadSpec& other) const {
+  // Euclidean distance over the normalized feature vector. Sizes are
+  // compared on a log scale; concurrency likewise (32 vs 64 threads is a
+  // small difference, 32 vs 1500 a large one).
+  auto log_ratio = [](double a, double b) {
+    return std::log((a + 1.0) / (b + 1.0));
+  };
+  double d = 0.0;
+  double diffs[] = {
+      read_fraction - other.read_fraction,
+      scan_fraction - other.scan_fraction,
+      insert_fraction - other.insert_fraction,
+      access_skew - other.access_skew,
+      sort_heavy_fraction - other.sort_heavy_fraction,
+      0.3 * log_ratio(working_set_gb, other.working_set_gb),
+      0.3 * log_ratio(data_size_gb, other.data_size_gb),
+      0.2 * log_ratio(static_cast<double>(client_threads),
+                      static_cast<double>(other.client_threads)),
+      0.2 * log_ratio(ops_per_txn, other.ops_per_txn),
+  };
+  for (double x : diffs) d += x * x;
+  return std::sqrt(d);
+}
+
+WorkloadSpec SysbenchReadOnly() {
+  WorkloadSpec w;
+  w.type = WorkloadType::kSysbenchReadOnly;
+  w.name = "Sysbench-RO";
+  w.read_fraction = 1.0;
+  w.scan_fraction = 0.30;  // oltp_read_only mixes point selects and ranges.
+  w.scan_length = 100.0;
+  w.insert_fraction = 0.0;
+  w.data_size_gb = 8.5;
+  w.working_set_gb = 8.5;
+  w.access_skew = 0.0;
+  w.client_threads = 1500;
+  w.ops_per_txn = 14.0;  // 10 point selects + 4 range queries per txn.
+  w.sort_heavy_fraction = 0.05;
+  return w;
+}
+
+WorkloadSpec SysbenchWriteOnly() {
+  WorkloadSpec w;
+  w.type = WorkloadType::kSysbenchWriteOnly;
+  w.name = "Sysbench-WO";
+  w.read_fraction = 0.0;
+  w.scan_fraction = 0.0;
+  w.insert_fraction = 0.25;  // index/non-index updates, delete+insert pairs.
+  w.data_size_gb = 8.5;
+  w.working_set_gb = 8.5;
+  w.access_skew = 0.0;
+  w.client_threads = 1500;
+  w.ops_per_txn = 4.0;
+  w.sort_heavy_fraction = 0.0;
+  return w;
+}
+
+WorkloadSpec SysbenchReadWrite() {
+  WorkloadSpec w;
+  w.type = WorkloadType::kSysbenchReadWrite;
+  w.name = "Sysbench-RW";
+  w.read_fraction = 0.75;  // oltp_read_write: 14 reads, 4 writes, approx.
+  w.scan_fraction = 0.25;
+  w.scan_length = 100.0;
+  w.insert_fraction = 0.25;
+  w.data_size_gb = 8.5;
+  w.working_set_gb = 8.5;
+  w.access_skew = 0.0;
+  w.client_threads = 1500;
+  w.ops_per_txn = 18.0;
+  w.sort_heavy_fraction = 0.05;
+  return w;
+}
+
+WorkloadSpec Tpcc() {
+  WorkloadSpec w;
+  w.type = WorkloadType::kTpcc;
+  w.name = "TPC-C";
+  w.read_fraction = 0.65;  // NewOrder/Payment dominate; mixed read/write.
+  w.scan_fraction = 0.12;  // OrderStatus and StockLevel scans.
+  w.scan_length = 20.0;
+  w.insert_fraction = 0.45;
+  w.data_size_gb = 12.8;  // 200 warehouses.
+  w.working_set_gb = 9.0;  // hot districts/customers.
+  w.access_skew = 0.45;
+  w.client_threads = 32;
+  w.ops_per_txn = 30.0;
+  w.sort_heavy_fraction = 0.02;
+  return w;
+}
+
+WorkloadSpec Tpch() {
+  WorkloadSpec w;
+  w.type = WorkloadType::kTpch;
+  w.name = "TPC-H";
+  w.read_fraction = 1.0;
+  w.scan_fraction = 0.95;
+  w.scan_length = 50000.0;
+  w.insert_fraction = 0.0;
+  w.data_size_gb = 16.0;
+  w.working_set_gb = 16.0;
+  w.access_skew = 0.0;
+  w.client_threads = 8;
+  w.ops_per_txn = 1.0;
+  w.sort_heavy_fraction = 0.80;
+  return w;
+}
+
+WorkloadSpec Ycsb() {
+  WorkloadSpec w;
+  w.type = WorkloadType::kYcsb;
+  w.name = "YCSB";
+  w.read_fraction = 0.5;  // workload A: 50% read / 50% update.
+  w.scan_fraction = 0.0;
+  w.insert_fraction = 0.0;
+  w.data_size_gb = 35.0;
+  w.working_set_gb = 6.0;  // zipfian hot set.
+  w.access_skew = 0.85;
+  w.client_threads = 50;
+  w.ops_per_txn = 1.0;
+  w.sort_heavy_fraction = 0.0;
+  return w;
+}
+
+WorkloadSpec MakeWorkload(WorkloadType type) {
+  switch (type) {
+    case WorkloadType::kSysbenchReadOnly:
+      return SysbenchReadOnly();
+    case WorkloadType::kSysbenchWriteOnly:
+      return SysbenchWriteOnly();
+    case WorkloadType::kSysbenchReadWrite:
+      return SysbenchReadWrite();
+    case WorkloadType::kTpcc:
+      return Tpcc();
+    case WorkloadType::kTpch:
+      return Tpch();
+    case WorkloadType::kYcsb:
+      return Ycsb();
+    case WorkloadType::kReplay:
+      break;
+  }
+  CDBTUNE_CHECK(false) << "no factory for workload type";
+  return WorkloadSpec{};
+}
+
+}  // namespace cdbtune::workload

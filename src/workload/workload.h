@@ -1,0 +1,84 @@
+#ifndef CDBTUNE_WORKLOAD_WORKLOAD_H_
+#define CDBTUNE_WORKLOAD_WORKLOAD_H_
+
+#include <string>
+
+namespace cdbtune::workload {
+
+/// The six benchmark workload families used in the paper's evaluation
+/// (Section 5, "Workload"), plus replayed user traces (Section 2.2.1).
+enum class WorkloadType {
+  kSysbenchReadOnly,
+  kSysbenchWriteOnly,
+  kSysbenchReadWrite,
+  kTpcc,
+  kTpch,
+  kYcsb,
+  kReplay,
+};
+
+const char* WorkloadTypeName(WorkloadType type);
+
+/// Parametric description of a query workload.
+///
+/// Two consumers: (1) the operation-level generator that drives the mini
+/// storage engine with actual reads/writes/scans, and (2) the analytic CDB
+/// model, which needs exactly these aggregate features (mix, skew, working
+/// set, concurrency) to compute a throughput/latency response.
+struct WorkloadSpec {
+  WorkloadType type = WorkloadType::kSysbenchReadWrite;
+  std::string name;
+
+  /// Fraction of operations that read (0 = pure write, 1 = read only).
+  double read_fraction = 0.5;
+  /// Of the reads, fraction that are range scans rather than point lookups.
+  double scan_fraction = 0.0;
+  /// Average rows touched by one range scan.
+  double scan_length = 100.0;
+  /// Of the writes, fraction that insert new rows (vs. update in place).
+  double insert_fraction = 0.1;
+
+  /// Total resident data and the hot subset the workload actually touches.
+  double data_size_gb = 8.5;
+  double working_set_gb = 8.5;
+
+  /// Zipfian skew theta in [0, 1): 0 = uniform access.
+  double access_skew = 0.0;
+
+  /// Offered concurrency (Sysbench --threads, TPC-C connections, ...).
+  int client_threads = 32;
+
+  /// Mean operations per transaction (commit boundary cadence).
+  double ops_per_txn = 1.0;
+
+  /// Fraction of queries that need large sort/join memory (OLAP pressure on
+  /// sort_buffer_size / join_buffer_size-class knobs).
+  double sort_heavy_fraction = 0.0;
+
+  /// Returns true when the two specs describe a similar load; used by the
+  /// OtterTune-style workload mapping stage.
+  double DistanceTo(const WorkloadSpec& other) const;
+};
+
+/// Factory functions with the paper's published setups.
+
+/// Sysbench: 16 tables x 200K rows (~8.5 GB), 1500 client threads.
+WorkloadSpec SysbenchReadOnly();
+WorkloadSpec SysbenchWriteOnly();
+WorkloadSpec SysbenchReadWrite();
+
+/// TPC-C: 200 warehouses (~12.8 GB), 32 connections, OLTP mix.
+WorkloadSpec Tpcc();
+
+/// TPC-H: ~16 GB, scan/sort heavy OLAP.
+WorkloadSpec Tpch();
+
+/// YCSB: ~35 GB, 50 threads, zipfian-skewed 50/50 read-update mix.
+WorkloadSpec Ycsb();
+
+/// Returns the factory output for `type` (kReplay is invalid here).
+WorkloadSpec MakeWorkload(WorkloadType type);
+
+}  // namespace cdbtune::workload
+
+#endif  // CDBTUNE_WORKLOAD_WORKLOAD_H_

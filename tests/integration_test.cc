@@ -1,0 +1,122 @@
+#include "gtest/gtest.h"
+#include "baselines/dba.h"
+#include "engine/mini_cdb.h"
+#include "env/simulated_cdb.h"
+#include "tuner/cdbtune.h"
+#include "tuner/controller.h"
+
+namespace cdbtune {
+namespace {
+
+// End-to-end checks that cross module boundaries: the tuner stack against
+// both environment implementations, model transfer across hardware, and
+// engine-profile coverage. These are deliberately small (tens of steps);
+// the full-budget versions live in bench/.
+
+tuner::CdbTuneOptions SmallOptions(uint64_t seed) {
+  tuner::CdbTuneOptions o;
+  o.max_offline_steps = 50;
+  o.steps_per_episode = 10;
+  o.seed = seed;
+  return o;
+}
+
+TEST(IntegrationTest, TunerImprovesSimulatedCdb) {
+  auto db = env::SimulatedCdb::MysqlCdb(env::CdbA(), 41);
+  auto space = knobs::KnobSpace::AllTunable(&db->registry());
+  tuner::CdbTuner tuner(db.get(), space, SmallOptions(41));
+  auto offline = tuner.OfflineTrain(workload::SysbenchReadWrite());
+  // Even a tiny training budget finds something better than the defaults on
+  // this surface.
+  EXPECT_GT(offline.best.throughput, offline.initial.throughput);
+  db->Reset();
+  auto online = tuner.OnlineTune(workload::SysbenchReadWrite());
+  EXPECT_GT(online.best.throughput, online.initial.throughput);
+}
+
+TEST(IntegrationTest, TunerDrivesRealMiniEngine) {
+  // The same CdbTuner, pointed at the actually-executing storage engine.
+  engine::MiniCdbOptions options;
+  options.table_rows = 20000;
+  engine::MiniCdb db(env::CdbA(), options);
+  auto space = knobs::KnobSpace::AllTunable(&db.registry());
+  tuner::CdbTuneOptions topt = SmallOptions(42);
+  topt.max_offline_steps = 12;  // Real execution: keep the budget tiny.
+  topt.steps_per_episode = 6;
+  tuner::CdbTuner tuner(&db, space, topt);
+  auto offline = tuner.OfflineTrain(workload::SysbenchReadWrite());
+  EXPECT_EQ(offline.iterations, 12);
+  EXPECT_GT(offline.initial.throughput, 0.0);
+  EXPECT_GE(offline.best.throughput, offline.initial.throughput);
+  db.Reset();
+  auto online = tuner.OnlineTune(workload::SysbenchReadWrite(), 3);
+  EXPECT_GE(online.best.throughput, online.initial.throughput * 0.99);
+}
+
+TEST(IntegrationTest, ModelTransfersAcrossMemorySizes) {
+  // Figure 10's setup in miniature: train on 8 GB, tune on 32 GB.
+  auto train_db = env::SimulatedCdb::MysqlCdb(env::CdbA(), 43);
+  auto space = knobs::KnobSpace::AllTunable(&train_db->registry());
+  tuner::CdbTuner tuner(train_db.get(), space, SmallOptions(43));
+  tuner.OfflineTrain(workload::SysbenchWriteOnly());
+
+  auto big = env::MakeInstance("CDB-X1/32G", 32, 100);
+  auto tune_db = env::SimulatedCdb::MysqlCdb(big, 44);
+  tuner.SetDatabase(tune_db.get());
+  auto cross = tuner.OnlineTune(workload::SysbenchWriteOnly());
+  EXPECT_GE(cross.best.throughput, cross.initial.throughput);
+}
+
+TEST(IntegrationTest, ModelTransfersAcrossWorkloads) {
+  // Figure 12's setup in miniature: train on RW, tune TPC-C.
+  auto db = env::SimulatedCdb::MysqlCdb(env::CdbC(), 45);
+  auto space = knobs::KnobSpace::AllTunable(&db->registry());
+  tuner::CdbTuner tuner(db.get(), space, SmallOptions(45));
+  tuner.OfflineTrain(workload::SysbenchReadWrite());
+  db->Reset();
+  auto cross = tuner.OnlineTune(workload::Tpcc());
+  EXPECT_GE(cross.best.throughput, cross.initial.throughput * 0.99);
+}
+
+TEST(IntegrationTest, AllEngineProfilesTunable) {
+  struct Case {
+    std::unique_ptr<env::SimulatedCdb> db;
+    workload::WorkloadSpec workload;
+  };
+  std::vector<Case> cases;
+  cases.push_back({env::SimulatedCdb::Postgres(env::CdbD(), 46),
+                   workload::Tpcc()});
+  cases.push_back({env::SimulatedCdb::Mongo(env::CdbE(), 47),
+                   workload::Ycsb()});
+  cases.push_back({env::SimulatedCdb::LocalMysql(env::CdbC(), 48),
+                   workload::Tpcc()});
+  for (auto& c : cases) {
+    auto space = knobs::KnobSpace::AllTunable(&c.db->registry());
+    tuner::CdbTuner tuner(c.db.get(), space, SmallOptions(49));
+    auto result = tuner.OfflineTrain(c.workload);
+    EXPECT_GT(result.best.throughput, result.initial.throughput)
+        << c.db->profile().name;
+  }
+}
+
+TEST(IntegrationTest, DbaBeatsDefaultsOnMiniEngine) {
+  engine::MiniCdbOptions options;
+  options.table_rows = 20000;
+  engine::MiniCdb db(env::CdbA(), options);
+  auto result = baselines::DbaTuner::TuneOnce(db, workload::SysbenchReadOnly());
+  EXPECT_GT(result.best.throughput, result.initial.throughput);
+}
+
+TEST(IntegrationTest, MemoryPoolAccumulatesAcrossPhases) {
+  auto db = env::SimulatedCdb::MysqlCdb(env::CdbA(), 50);
+  tuner::TuningController controller(db.get(), SmallOptions(50));
+  controller.HandleTrainingRequest(workload::SysbenchReadWrite());
+  size_t after_training = controller.tuner().memory_pool().size();
+  db->Reset();
+  controller.HandleTuningRequest(workload::SysbenchReadWrite());
+  EXPECT_GT(controller.tuner().memory_pool().size(), after_training);
+  EXPECT_GT(controller.tuner().memory_pool().user_request_count(), 0u);
+}
+
+}  // namespace
+}  // namespace cdbtune

@@ -1,0 +1,267 @@
+#include <cmath>
+
+#include "gtest/gtest.h"
+#include "knobs/catalogs.h"
+#include "knobs/knob.h"
+#include "knobs/registry.h"
+
+namespace cdbtune::knobs {
+namespace {
+
+KnobDef MakeIntKnob(double min, double max, double def,
+                    KnobScale scale = KnobScale::kLinear) {
+  KnobDef k;
+  k.name = "test_knob";
+  k.type = KnobType::kInteger;
+  k.scale = scale;
+  k.min_value = min;
+  k.max_value = max;
+  k.default_value = def;
+  return k;
+}
+
+TEST(KnobValueTest, LinearNormalizeEndpoints) {
+  KnobDef k = MakeIntKnob(10, 110, 10);
+  EXPECT_DOUBLE_EQ(NormalizeKnobValue(k, 10), 0.0);
+  EXPECT_DOUBLE_EQ(NormalizeKnobValue(k, 110), 1.0);
+  EXPECT_DOUBLE_EQ(NormalizeKnobValue(k, 60), 0.5);
+}
+
+TEST(KnobValueTest, NormalizeClampsOutOfRange) {
+  KnobDef k = MakeIntKnob(0, 100, 50);
+  EXPECT_DOUBLE_EQ(NormalizeKnobValue(k, -5), 0.0);
+  EXPECT_DOUBLE_EQ(NormalizeKnobValue(k, 105), 1.0);
+}
+
+TEST(KnobValueTest, LogScaleMidpointIsGeometricMean) {
+  KnobDef k = MakeIntKnob(1024, 1024.0 * 1024 * 1024, 1024, KnobScale::kLog);
+  double mid = DenormalizeKnobValue(k, 0.5);
+  // Midpoint of a log scale sits near sqrt(min*max).
+  double geo = std::sqrt(1024.0 * 1024.0 * 1024 * 1024);
+  EXPECT_NEAR(std::log(mid), std::log(geo), 0.05);
+}
+
+TEST(KnobValueTest, DenormalizeSnapsDiscreteTypes) {
+  KnobDef b = MakeIntKnob(0, 1, 0);
+  b.type = KnobType::kBoolean;
+  EXPECT_DOUBLE_EQ(DenormalizeKnobValue(b, 0.7), 1.0);
+  EXPECT_DOUBLE_EQ(DenormalizeKnobValue(b, 0.3), 0.0);
+
+  KnobDef e = MakeIntKnob(0, 2, 0);
+  e.type = KnobType::kEnum;
+  e.enum_values = {"a", "b", "c"};
+  EXPECT_DOUBLE_EQ(DenormalizeKnobValue(e, 0.5), 1.0);
+  EXPECT_DOUBLE_EQ(DenormalizeKnobValue(e, 0.99), 2.0);
+}
+
+TEST(KnobValueTest, SanitizeClampsAndRounds) {
+  KnobDef k = MakeIntKnob(0, 10, 5);
+  EXPECT_DOUBLE_EQ(SanitizeKnobValue(k, 3.6), 4.0);
+  EXPECT_DOUBLE_EQ(SanitizeKnobValue(k, -1.0), 0.0);
+  EXPECT_DOUBLE_EQ(SanitizeKnobValue(k, 99.0), 10.0);
+  KnobDef d = k;
+  d.type = KnobType::kDouble;
+  EXPECT_DOUBLE_EQ(SanitizeKnobValue(d, 3.6), 3.6);
+}
+
+// Property: round-trip through normalize/denormalize is idempotent for every
+// knob in every catalog (the second pass must be exact because values are
+// already snapped to the legal domain).
+class CatalogRoundTripTest : public ::testing::TestWithParam<const char*> {
+ protected:
+  KnobRegistry BuildCatalog() const {
+    std::string which = GetParam();
+    if (which == "mysql") return BuildMysqlCatalog();
+    if (which == "postgres") return BuildPostgresCatalog();
+    return BuildMongoCatalog();
+  }
+};
+
+TEST_P(CatalogRoundTripTest, NormalizeDenormalizeIdempotent) {
+  KnobRegistry reg = BuildCatalog();
+  for (size_t i = 0; i < reg.size(); ++i) {
+    const KnobDef& def = reg.def(i);
+    for (double t : {0.0, 0.1, 0.33, 0.5, 0.77, 1.0}) {
+      double raw = DenormalizeKnobValue(def, t);
+      EXPECT_GE(raw, def.min_value) << def.name;
+      EXPECT_LE(raw, def.max_value) << def.name;
+      double t2 = NormalizeKnobValue(def, raw);
+      double raw2 = DenormalizeKnobValue(def, t2);
+      EXPECT_NEAR(raw, raw2, std::max(1e-9, 1e-9 * std::fabs(raw)))
+          << def.name << " at t=" << t;
+    }
+  }
+}
+
+TEST_P(CatalogRoundTripTest, DefaultsAreValid) {
+  KnobRegistry reg = BuildCatalog();
+  EXPECT_TRUE(reg.Validate().ok());
+  Config defaults = reg.DefaultConfig();
+  Config sanitized = reg.Sanitize(defaults);
+  for (size_t i = 0; i < reg.size(); ++i) {
+    EXPECT_DOUBLE_EQ(defaults[i], sanitized[i]) << reg.def(i).name;
+  }
+}
+
+TEST_P(CatalogRoundTripTest, VectorEncodingRoundTrip) {
+  KnobRegistry reg = BuildCatalog();
+  Config defaults = reg.DefaultConfig();
+  std::vector<double> normalized = reg.Normalize(defaults);
+  for (double v : normalized) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0);
+  }
+  Config back = reg.Denormalize(normalized);
+  for (size_t i = 0; i < reg.size(); ++i) {
+    EXPECT_NEAR(back[i], defaults[i],
+                std::max(1e-6, 1e-9 * std::fabs(defaults[i])))
+        << reg.def(i).name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCatalogs, CatalogRoundTripTest,
+                         ::testing::Values("mysql", "postgres", "mongo"));
+
+TEST(CatalogTest, TunableCountsMatchPaper) {
+  EXPECT_EQ(BuildMysqlCatalog().TunableIndices().size(), kMysqlTunableKnobs);
+  EXPECT_EQ(BuildPostgresCatalog().TunableIndices().size(),
+            kPostgresTunableKnobs);
+  EXPECT_EQ(BuildMongoCatalog().TunableIndices().size(), kMongoTunableKnobs);
+}
+
+TEST(CatalogTest, MysqlHasBlacklistedKnobs) {
+  KnobRegistry reg = BuildMysqlCatalog();
+  auto port = reg.FindIndex("port");
+  ASSERT_TRUE(port.has_value());
+  EXPECT_FALSE(reg.def(*port).tunable);
+  // Blacklisted knobs never appear in the tunable set.
+  for (size_t idx : reg.TunableIndices()) {
+    EXPECT_TRUE(reg.def(idx).tunable);
+  }
+}
+
+TEST(CatalogTest, CoreKnobsPresentWithRealDefaults) {
+  KnobRegistry reg = BuildMysqlCatalog();
+  auto bp = reg.FindIndex("innodb_buffer_pool_size");
+  ASSERT_TRUE(bp.has_value());
+  EXPECT_DOUBLE_EQ(reg.def(*bp).default_value, 128.0 * 1024 * 1024);
+  auto flush = reg.FindIndex("innodb_flush_log_at_trx_commit");
+  ASSERT_TRUE(flush.has_value());
+  EXPECT_EQ(reg.def(*flush).type, KnobType::kEnum);
+  EXPECT_DOUBLE_EQ(reg.def(*flush).default_value, 1.0);
+}
+
+TEST(CatalogTest, KnobCountGrowsByVersion) {
+  KnobRegistry reg = BuildMysqlCatalog();
+  auto counts = reg.KnobCountByVersion();
+  ASSERT_GE(counts.size(), 3u);
+  for (size_t i = 1; i < counts.size(); ++i) {
+    EXPECT_GT(counts[i].first, counts[i - 1].first);
+    EXPECT_GT(counts[i].second, counts[i - 1].second);
+  }
+  // The newest version exposes the full catalog.
+  EXPECT_EQ(counts.back().second, reg.size());
+}
+
+TEST(CatalogTest, AllCatalogsGrowAcrossVersions) {
+  for (auto build : {BuildPostgresCatalog, BuildMongoCatalog}) {
+    KnobRegistry reg = build();
+    auto counts = reg.KnobCountByVersion();
+    ASSERT_GE(counts.size(), 2u);
+    for (size_t i = 1; i < counts.size(); ++i) {
+      EXPECT_GT(counts[i].second, counts[i - 1].second);
+    }
+  }
+}
+
+TEST(CatalogTest, LogScaledKnobsNeverNegative) {
+  for (auto build :
+       {BuildMysqlCatalog, BuildPostgresCatalog, BuildMongoCatalog}) {
+    KnobRegistry reg = build();
+    for (size_t i = 0; i < reg.size(); ++i) {
+      if (reg.def(i).scale == KnobScale::kLog) {
+        EXPECT_GE(reg.def(i).min_value, 0.0) << reg.def(i).name;
+      }
+    }
+  }
+}
+
+TEST(CatalogTest, EnumKnobsHaveConsistentBounds) {
+  KnobRegistry reg = BuildMysqlCatalog();
+  for (size_t i = 0; i < reg.size(); ++i) {
+    const KnobDef& def = reg.def(i);
+    if (def.type == KnobType::kEnum) {
+      EXPECT_DOUBLE_EQ(def.min_value, 0.0) << def.name;
+      EXPECT_DOUBLE_EQ(def.max_value,
+                       static_cast<double>(def.enum_values.size() - 1))
+          << def.name;
+    }
+  }
+}
+
+TEST(RegistryTest, FindIndexAndDuplicateCheck) {
+  KnobRegistry reg = BuildMysqlCatalog();
+  EXPECT_TRUE(reg.FindIndex("innodb_buffer_pool_size").has_value());
+  EXPECT_FALSE(reg.FindIndex("does_not_exist").has_value());
+}
+
+TEST(RegistryTest, ValidateRejectsBadDefs) {
+  KnobDef bad = MakeIntKnob(10, 10, 10);  // Degenerate range.
+  bad.name = "bad";
+  // Construction is fine; Validate flags it.
+  KnobRegistry reg({bad});
+  EXPECT_FALSE(reg.Validate().ok());
+}
+
+TEST(KnobSpaceTest, AllTunableExcludesBlacklist) {
+  KnobRegistry reg = BuildMysqlCatalog();
+  KnobSpace space = KnobSpace::AllTunable(&reg);
+  EXPECT_EQ(space.action_dim(), kMysqlTunableKnobs);
+}
+
+TEST(KnobSpaceTest, ActionOverlaysOnlyActiveKnobs) {
+  KnobRegistry reg = BuildMysqlCatalog();
+  auto bp = *reg.FindIndex("innodb_buffer_pool_size");
+  auto log_size = *reg.FindIndex("innodb_log_file_size");
+  KnobSpace space(&reg, {bp, log_size});
+  EXPECT_EQ(space.action_dim(), 2u);
+
+  Config base = reg.DefaultConfig();
+  Config out = space.ActionToConfig({1.0, 0.0}, base);
+  EXPECT_DOUBLE_EQ(out[bp], reg.def(bp).max_value);
+  EXPECT_DOUBLE_EQ(out[log_size], reg.def(log_size).min_value);
+  // Everything else untouched.
+  for (size_t i = 0; i < reg.size(); ++i) {
+    if (i != bp && i != log_size) EXPECT_DOUBLE_EQ(out[i], base[i]);
+  }
+}
+
+TEST(KnobSpaceTest, ConfigToActionInverse) {
+  KnobRegistry reg = BuildMysqlCatalog();
+  KnobSpace space = KnobSpace::AllTunable(&reg);
+  Config base = reg.DefaultConfig();
+  std::vector<double> action(space.action_dim(), 0.42);
+  Config config = space.ActionToConfig(action, base);
+  std::vector<double> recovered = space.ConfigToAction(config);
+  Config config2 = space.ActionToConfig(recovered, base);
+  for (size_t i = 0; i < config.size(); ++i) {
+    EXPECT_NEAR(config[i], config2[i], 1e-6 + 1e-9 * std::fabs(config[i]));
+  }
+}
+
+TEST(KnobSpaceTest, FromOrderPrefix) {
+  KnobRegistry reg = BuildMysqlCatalog();
+  auto order = reg.TunableIndices();
+  KnobSpace space = KnobSpace::FromOrderPrefix(&reg, order, 20);
+  EXPECT_EQ(space.action_dim(), 20u);
+  EXPECT_EQ(space.active_indices()[0], order[0]);
+}
+
+TEST(KnobSpaceDeathTest, RejectsBlacklistedKnob) {
+  KnobRegistry reg = BuildMysqlCatalog();
+  auto port = *reg.FindIndex("port");
+  EXPECT_DEATH(KnobSpace(&reg, {port}), "black-listed");
+}
+
+}  // namespace
+}  // namespace cdbtune::knobs

@@ -1,0 +1,160 @@
+#include <sstream>
+
+#include "gtest/gtest.h"
+#include "nn/matrix.h"
+#include "util/random.h"
+
+namespace cdbtune::nn {
+namespace {
+
+TEST(MatrixTest, ConstructionAndAccess) {
+  Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_EQ(m.size(), 6u);
+  EXPECT_DOUBLE_EQ(m.at(1, 2), 1.5);
+  m.at(0, 1) = -2.0;
+  EXPECT_DOUBLE_EQ(m.at(0, 1), -2.0);
+}
+
+TEST(MatrixTest, InitializerList) {
+  Matrix m = {{1, 2, 3}, {4, 5, 6}};
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_DOUBLE_EQ(m.at(1, 0), 4.0);
+}
+
+TEST(MatrixTest, RowVectorAndRowRoundTrip) {
+  std::vector<double> v{1.0, 2.0, 3.0};
+  Matrix m = Matrix::RowVector(v);
+  EXPECT_EQ(m.rows(), 1u);
+  EXPECT_EQ(m.Row(0), v);
+  m.SetRow(0, {4.0, 5.0, 6.0});
+  EXPECT_DOUBLE_EQ(m.at(0, 2), 6.0);
+}
+
+TEST(MatrixTest, MatMulKnownResult) {
+  Matrix a = {{1, 2}, {3, 4}};
+  Matrix b = {{5, 6}, {7, 8}};
+  Matrix c = a.MatMul(b);
+  EXPECT_DOUBLE_EQ(c.at(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ(c.at(0, 1), 22.0);
+  EXPECT_DOUBLE_EQ(c.at(1, 0), 43.0);
+  EXPECT_DOUBLE_EQ(c.at(1, 1), 50.0);
+}
+
+TEST(MatrixTest, MatMulNonSquare) {
+  Matrix a(2, 3, 1.0);
+  Matrix b(3, 4, 2.0);
+  Matrix c = a.MatMul(b);
+  EXPECT_EQ(c.rows(), 2u);
+  EXPECT_EQ(c.cols(), 4u);
+  EXPECT_DOUBLE_EQ(c.at(0, 0), 6.0);
+}
+
+TEST(MatrixTest, MatMulAssociatesWithTranspose) {
+  util::Rng rng(1);
+  Matrix a = Matrix::RandomGaussian(3, 5, 0.0, 1.0, rng);
+  Matrix b = Matrix::RandomGaussian(5, 2, 0.0, 1.0, rng);
+  Matrix ab_t = a.MatMul(b).Transposed();
+  Matrix bt_at = b.Transposed().MatMul(a.Transposed());
+  ASSERT_TRUE(ab_t.SameShape(bt_at));
+  for (size_t r = 0; r < ab_t.rows(); ++r) {
+    for (size_t c = 0; c < ab_t.cols(); ++c) {
+      EXPECT_NEAR(ab_t.at(r, c), bt_at.at(r, c), 1e-12);
+    }
+  }
+}
+
+TEST(MatrixTest, TransposedTwiceIsIdentity) {
+  util::Rng rng(2);
+  Matrix a = Matrix::RandomUniform(4, 7, -1, 1, rng);
+  Matrix b = a.Transposed().Transposed();
+  for (size_t r = 0; r < a.rows(); ++r) {
+    for (size_t c = 0; c < a.cols(); ++c) {
+      EXPECT_DOUBLE_EQ(a.at(r, c), b.at(r, c));
+    }
+  }
+}
+
+TEST(MatrixTest, ElementwiseOps) {
+  Matrix a = {{1, 2}, {3, 4}};
+  Matrix b = {{10, 20}, {30, 40}};
+  Matrix sum = a + b;
+  EXPECT_DOUBLE_EQ(sum.at(1, 1), 44.0);
+  Matrix diff = b - a;
+  EXPECT_DOUBLE_EQ(diff.at(0, 0), 9.0);
+  Matrix scaled = a * 2.0;
+  EXPECT_DOUBLE_EQ(scaled.at(1, 0), 6.0);
+  a.MulInPlace(b);
+  EXPECT_DOUBLE_EQ(a.at(0, 1), 40.0);
+}
+
+TEST(MatrixTest, AddRowBroadcast) {
+  Matrix m(2, 3, 1.0);
+  Matrix row = Matrix::RowVector({1, 2, 3});
+  m.AddRowBroadcast(row);
+  EXPECT_DOUBLE_EQ(m.at(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(m.at(1, 2), 4.0);
+}
+
+TEST(MatrixTest, MapAppliesFunction) {
+  Matrix m = {{-1, 4}};
+  Matrix sq = m.Map([](double x) { return x * x; });
+  EXPECT_DOUBLE_EQ(sq.at(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(sq.at(0, 1), 16.0);
+}
+
+TEST(MatrixTest, Reductions) {
+  Matrix m = {{1, 2}, {3, 4}};
+  Matrix sums = m.SumRows();
+  EXPECT_DOUBLE_EQ(sums.at(0, 0), 4.0);
+  EXPECT_DOUBLE_EQ(sums.at(0, 1), 6.0);
+  Matrix means = m.MeanRows();
+  EXPECT_DOUBLE_EQ(means.at(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(m.Sum(), 10.0);
+  EXPECT_DOUBLE_EQ(m.MeanSquare(), (1 + 4 + 9 + 16) / 4.0);
+  Matrix neg = {{-5, 2}};
+  EXPECT_DOUBLE_EQ(neg.AbsMax(), 5.0);
+}
+
+TEST(MatrixTest, ConcatSplitRoundTrip) {
+  Matrix left = {{1, 2}, {5, 6}};
+  Matrix right = {{3, 4}, {7, 8}};
+  Matrix joined = left.ConcatCols(right);
+  EXPECT_EQ(joined.cols(), 4u);
+  EXPECT_DOUBLE_EQ(joined.at(1, 3), 8.0);
+  Matrix l2, r2;
+  joined.SplitCols(2, &l2, &r2);
+  for (size_t r = 0; r < 2; ++r) {
+    for (size_t c = 0; c < 2; ++c) {
+      EXPECT_DOUBLE_EQ(l2.at(r, c), left.at(r, c));
+      EXPECT_DOUBLE_EQ(r2.at(r, c), right.at(r, c));
+    }
+  }
+}
+
+TEST(MatrixTest, RandomInitBounds) {
+  util::Rng rng(3);
+  Matrix u = Matrix::RandomUniform(10, 10, -0.1, 0.1, rng);
+  EXPECT_LE(u.AbsMax(), 0.1);
+  Matrix g = Matrix::RandomGaussian(50, 50, 0.0, 0.01, rng);
+  EXPECT_LT(g.AbsMax(), 0.1);  // 10 sigma.
+}
+
+TEST(MatrixTest, StreamOperatorSummarizes) {
+  Matrix m = {{1, 2}};
+  std::ostringstream os;
+  os << m;
+  EXPECT_NE(os.str().find("1x2"), std::string::npos);
+}
+
+TEST(MatrixDeathTest, ShapeMismatchChecks) {
+  Matrix a(2, 3);
+  Matrix b(3, 3);
+  EXPECT_DEATH(a.AddInPlace(b), "shape mismatch");
+  EXPECT_DEATH(a.MatMul(a), "matmul shape mismatch");
+}
+
+}  // namespace
+}  // namespace cdbtune::nn

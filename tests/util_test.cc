@@ -1,0 +1,304 @@
+#include <cmath>
+#include <sstream>
+
+#include "gtest/gtest.h"
+#include "util/logging.h"
+#include "util/random.h"
+#include "util/stats.h"
+#include "util/status.h"
+#include "util/table_printer.h"
+
+namespace cdbtune::util {
+namespace {
+
+// --- Status ----------------------------------------------------------------
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::Crashed("log too big");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kCrashed);
+  EXPECT_EQ(s.message(), "log too big");
+  EXPECT_EQ(s.ToString(), "CRASHED: log too big");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (StatusCode code :
+       {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kNotFound,
+        StatusCode::kOutOfRange, StatusCode::kFailedPrecondition,
+        StatusCode::kInternal, StatusCode::kCrashed,
+        StatusCode::kUnimplemented}) {
+    EXPECT_STRNE(StatusCodeToString(code), "UNKNOWN");
+  }
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> v = 42;
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 42);
+  EXPECT_TRUE(v.status().ok());
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> v = Status::NotFound("missing");
+  ASSERT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kNotFound);
+}
+
+TEST(StatusOrTest, MoveOnlyValue) {
+  StatusOr<std::unique_ptr<int>> v = std::make_unique<int>(7);
+  ASSERT_TRUE(v.ok());
+  std::unique_ptr<int> owned = std::move(v).value();
+  EXPECT_EQ(*owned, 7);
+}
+
+Status FailFast() { return Status::Internal("boom"); }
+Status Chained() {
+  CDBTUNE_RETURN_IF_ERROR(FailFast());
+  return Status::Ok();
+}
+
+TEST(StatusTest, ReturnIfErrorPropagates) {
+  EXPECT_EQ(Chained().code(), StatusCode::kInternal);
+}
+
+// --- Rng ---------------------------------------------------------------------
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.Uniform(), b.Uniform());
+  }
+}
+
+TEST(RngTest, UniformRespectsBounds) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    double x = rng.Uniform(2.0, 3.0);
+    EXPECT_GE(x, 2.0);
+    EXPECT_LT(x, 3.0);
+  }
+}
+
+TEST(RngTest, UniformIntInclusive) {
+  Rng rng(2);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    int64_t x = rng.UniformInt(0, 3);
+    EXPECT_GE(x, 0);
+    EXPECT_LE(x, 3);
+    saw_lo |= x == 0;
+    saw_hi |= x == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(3);
+  RunningStat stat;
+  for (int i = 0; i < 20000; ++i) stat.Add(rng.Gaussian(5.0, 2.0));
+  EXPECT_NEAR(stat.mean(), 5.0, 0.1);
+  EXPECT_NEAR(stat.stddev(), 2.0, 0.1);
+}
+
+TEST(RngTest, ZipfInRangeAndSkewed) {
+  Rng rng(4);
+  int64_t n = 1000;
+  int head = 0;
+  for (int i = 0; i < 10000; ++i) {
+    int64_t r = rng.Zipf(n, 0.9);
+    ASSERT_GE(r, 0);
+    ASSERT_LT(r, n);
+    if (r < n / 10) ++head;
+  }
+  // With strong skew the top decile should absorb well over half the mass.
+  EXPECT_GT(head, 6000);
+}
+
+TEST(RngTest, SampleWithoutReplacementDistinct) {
+  Rng rng(5);
+  for (size_t k : {0ul, 1ul, 10ul, 99ul, 100ul}) {
+    auto sample = rng.SampleWithoutReplacement(100, k);
+    EXPECT_EQ(sample.size(), k);
+    std::set<size_t> unique(sample.begin(), sample.end());
+    EXPECT_EQ(unique.size(), k);
+    for (size_t idx : sample) EXPECT_LT(idx, 100u);
+  }
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(6);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto original = v;
+  rng.Shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, original);
+}
+
+TEST(RngTest, ForkedStreamsDiffer) {
+  Rng a(7);
+  Rng b = a.Fork();
+  int same = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (a.UniformInt(0, 1000000) == b.UniformInt(0, 1000000)) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+// --- Stats ---------------------------------------------------------------------
+
+TEST(RunningStatTest, MatchesDirectComputation) {
+  std::vector<double> xs{1.0, 2.0, 4.0, 8.0, 16.0};
+  RunningStat stat;
+  for (double x : xs) stat.Add(x);
+  double mean = (1 + 2 + 4 + 8 + 16) / 5.0;
+  double var = 0;
+  for (double x : xs) var += (x - mean) * (x - mean);
+  var /= 5.0;
+  EXPECT_DOUBLE_EQ(stat.mean(), mean);
+  EXPECT_NEAR(stat.variance(), var, 1e-12);
+  EXPECT_EQ(stat.count(), 5u);
+  EXPECT_DOUBLE_EQ(stat.min(), 1.0);
+  EXPECT_DOUBLE_EQ(stat.max(), 16.0);
+}
+
+TEST(RunningStatTest, EmptyAndSingle) {
+  RunningStat stat;
+  EXPECT_EQ(stat.mean(), 0.0);
+  EXPECT_EQ(stat.variance(), 0.0);
+  stat.Add(3.0);
+  EXPECT_DOUBLE_EQ(stat.mean(), 3.0);
+  EXPECT_EQ(stat.variance(), 0.0);
+}
+
+TEST(RunningStatTest, ResetClears) {
+  RunningStat stat;
+  stat.Add(1.0);
+  stat.Reset();
+  EXPECT_EQ(stat.count(), 0u);
+  EXPECT_EQ(stat.mean(), 0.0);
+}
+
+TEST(PercentileTest, ExactQuantiles) {
+  PercentileTracker t;
+  for (int i = 1; i <= 100; ++i) t.Add(i);
+  EXPECT_DOUBLE_EQ(t.Percentile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(t.Percentile(1.0), 100.0);
+  EXPECT_NEAR(t.Percentile(0.5), 50.5, 1e-9);
+  EXPECT_NEAR(t.Percentile(0.99), 99.01, 1e-9);
+  EXPECT_NEAR(t.mean(), 50.5, 1e-9);
+}
+
+TEST(PercentileTest, UnsortedInputHandled) {
+  PercentileTracker t;
+  t.AddAll({5.0, 1.0, 3.0, 2.0, 4.0});
+  EXPECT_DOUBLE_EQ(t.Percentile(0.5), 3.0);
+}
+
+TEST(PercentileTest, EmptyReturnsZero) {
+  PercentileTracker t;
+  EXPECT_EQ(t.Percentile(0.99), 0.0);
+  EXPECT_EQ(t.mean(), 0.0);
+}
+
+TEST(PercentileTest, InterleavedAddAndQuery) {
+  PercentileTracker t;
+  t.Add(10.0);
+  EXPECT_DOUBLE_EQ(t.Percentile(0.5), 10.0);
+  t.Add(20.0);
+  EXPECT_DOUBLE_EQ(t.Percentile(1.0), 20.0);
+}
+
+TEST(StandardizerTest, TransformsToZeroMeanUnitVariance) {
+  VectorStandardizer st(2);
+  Rng rng(8);
+  for (int i = 0; i < 5000; ++i) {
+    st.Observe({rng.Gaussian(10.0, 3.0), rng.Gaussian(-5.0, 0.5)});
+  }
+  RunningStat s0, s1;
+  for (int i = 0; i < 2000; ++i) {
+    auto z = st.Transform({rng.Gaussian(10.0, 3.0), rng.Gaussian(-5.0, 0.5)});
+    s0.Add(z[0]);
+    s1.Add(z[1]);
+  }
+  EXPECT_NEAR(s0.mean(), 0.0, 0.1);
+  EXPECT_NEAR(s0.stddev(), 1.0, 0.1);
+  EXPECT_NEAR(s1.mean(), 0.0, 0.1);
+  EXPECT_NEAR(s1.stddev(), 1.0, 0.1);
+}
+
+TEST(StandardizerTest, ConstantDimensionStaysFinite) {
+  VectorStandardizer st(1);
+  for (int i = 0; i < 10; ++i) st.Observe({7.0});
+  auto z = st.Transform({7.0});
+  EXPECT_TRUE(std::isfinite(z[0]));
+  EXPECT_NEAR(z[0], 0.0, 1e-9);
+}
+
+TEST(EmaTest, FirstValuePassesThrough) {
+  Ema ema(0.5);
+  EXPECT_FALSE(ema.initialized());
+  EXPECT_DOUBLE_EQ(ema.Add(10.0), 10.0);
+  EXPECT_TRUE(ema.initialized());
+}
+
+TEST(EmaTest, ConvergesToConstant) {
+  Ema ema(0.3);
+  ema.Add(0.0);
+  for (int i = 0; i < 100; ++i) ema.Add(5.0);
+  EXPECT_NEAR(ema.value(), 5.0, 1e-6);
+}
+
+// --- TablePrinter -----------------------------------------------------------
+
+TEST(TablePrinterTest, RendersAlignedTable) {
+  TablePrinter t({"name", "tps"});
+  t.AddRow({"CDBTune", "1234.5"});
+  t.AddRow({"DBA", "99.0"});
+  std::ostringstream os;
+  t.Print(os);
+  std::string out = os.str();
+  EXPECT_NE(out.find("CDBTune"), std::string::npos);
+  EXPECT_NE(out.find("1234.5"), std::string::npos);
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST(TablePrinterTest, CsvOutput) {
+  TablePrinter t({"a", "b"});
+  t.AddRow({"1", "2"});
+  std::ostringstream os;
+  t.PrintCsv(os);
+  EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(TablePrinterTest, NumberFormatting) {
+  EXPECT_EQ(TablePrinter::Num(3.14159, 2), "3.14");
+  EXPECT_EQ(TablePrinter::Num(2.0, 0), "2");
+  EXPECT_EQ(TablePrinter::Pct(0.685, 1), "+68.5%");
+  EXPECT_EQ(TablePrinter::Pct(-0.12, 0), "-12%");
+}
+
+// --- Logging -------------------------------------------------------------------
+
+TEST(LoggingTest, LevelFiltering) {
+  LogLevel old_level = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  // A filtered message must not crash (output is discarded).
+  CDBTUNE_LOG(Info) << "this should be dropped";
+  SetLogLevel(old_level);
+}
+
+TEST(LoggingDeathTest, CheckFailureAborts) {
+  EXPECT_DEATH({ CDBTUNE_CHECK(1 == 2) << "impossible"; }, "Check failed");
+}
+
+}  // namespace
+}  // namespace cdbtune::util

@@ -1,0 +1,180 @@
+#include "gtest/gtest.h"
+#include "workload/generator.h"
+#include "workload/workload.h"
+
+namespace cdbtune::workload {
+namespace {
+
+TEST(WorkloadSpecTest, FactoriesMatchPaperSetups) {
+  WorkloadSpec ro = SysbenchReadOnly();
+  EXPECT_DOUBLE_EQ(ro.read_fraction, 1.0);
+  EXPECT_EQ(ro.client_threads, 1500);  // Paper: 1500 Sysbench threads.
+  EXPECT_NEAR(ro.data_size_gb, 8.5, 1e-9);
+
+  WorkloadSpec wo = SysbenchWriteOnly();
+  EXPECT_DOUBLE_EQ(wo.read_fraction, 0.0);
+
+  WorkloadSpec tpcc = Tpcc();
+  EXPECT_EQ(tpcc.client_threads, 32);  // Paper: 32 connections.
+  EXPECT_NEAR(tpcc.data_size_gb, 12.8, 1e-9);
+
+  WorkloadSpec tpch = Tpch();
+  EXPECT_GT(tpch.sort_heavy_fraction, 0.5);
+  EXPECT_NEAR(tpch.data_size_gb, 16.0, 1e-9);
+
+  WorkloadSpec ycsb = Ycsb();
+  EXPECT_EQ(ycsb.client_threads, 50);  // Paper: 50 YCSB threads.
+  EXPECT_GT(ycsb.access_skew, 0.5);
+  EXPECT_NEAR(ycsb.data_size_gb, 35.0, 1e-9);
+}
+
+TEST(WorkloadSpecTest, NamesAreStable) {
+  EXPECT_STREQ(WorkloadTypeName(WorkloadType::kSysbenchReadWrite),
+               "Sysbench-RW");
+  EXPECT_STREQ(WorkloadTypeName(WorkloadType::kTpcc), "TPC-C");
+  EXPECT_EQ(MakeWorkload(WorkloadType::kYcsb).name, "YCSB");
+}
+
+TEST(WorkloadSpecTest, DistanceIsZeroToSelfAndSymmetric) {
+  WorkloadSpec a = SysbenchReadWrite();
+  WorkloadSpec b = Tpch();
+  EXPECT_DOUBLE_EQ(a.DistanceTo(a), 0.0);
+  EXPECT_NEAR(a.DistanceTo(b), b.DistanceTo(a), 1e-12);
+  EXPECT_GT(a.DistanceTo(b), 0.0);
+}
+
+TEST(WorkloadSpecTest, SimilarWorkloadsAreCloser) {
+  WorkloadSpec rw = SysbenchReadWrite();
+  WorkloadSpec ro = SysbenchReadOnly();
+  WorkloadSpec tpch = Tpch();
+  // RW is closer to RO (same scale OLTP) than to TPC-H (OLAP).
+  EXPECT_LT(rw.DistanceTo(ro), rw.DistanceTo(tpch));
+}
+
+class GeneratorMixTest : public ::testing::TestWithParam<WorkloadType> {};
+
+TEST_P(GeneratorMixTest, OperationMixMatchesSpec) {
+  WorkloadSpec spec = MakeWorkload(GetParam());
+  OperationGenerator gen(spec, 1'000'000, util::Rng(7));
+  int reads = 0, scans = 0, writes = 0, inserts = 0, commits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    Operation op = gen.Next();
+    switch (op.kind) {
+      case Operation::Kind::kPointRead:
+        ++reads;
+        break;
+      case Operation::Kind::kRangeScan:
+        ++reads;
+        ++scans;
+        break;
+      case Operation::Kind::kUpdate:
+        ++writes;
+        break;
+      case Operation::Kind::kInsert:
+        ++writes;
+        ++inserts;
+        break;
+    }
+    if (op.commit_after) ++commits;
+  }
+  double read_frac = static_cast<double>(reads) / n;
+  EXPECT_NEAR(read_frac, spec.read_fraction, 0.03) << spec.name;
+  if (reads > 500) {
+    EXPECT_NEAR(static_cast<double>(scans) / reads, spec.scan_fraction, 0.03)
+        << spec.name;
+  }
+  if (writes > 500) {
+    EXPECT_NEAR(static_cast<double>(inserts) / writes, spec.insert_fraction,
+                0.04)
+        << spec.name;
+  }
+  // Commits should appear roughly every ops_per_txn operations.
+  double ops_per_txn = static_cast<double>(n) / std::max(1, commits);
+  EXPECT_NEAR(ops_per_txn, spec.ops_per_txn, spec.ops_per_txn * 0.35)
+      << spec.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloads, GeneratorMixTest,
+    ::testing::Values(WorkloadType::kSysbenchReadOnly,
+                      WorkloadType::kSysbenchWriteOnly,
+                      WorkloadType::kSysbenchReadWrite, WorkloadType::kTpcc,
+                      WorkloadType::kTpch, WorkloadType::kYcsb));
+
+TEST(GeneratorTest, KeysStayInHotSet) {
+  WorkloadSpec spec = Ycsb();  // working set 6 of 35 GB.
+  const uint64_t key_space = 100000;
+  OperationGenerator gen(spec, key_space, util::Rng(9));
+  uint64_t hot_bound = static_cast<uint64_t>(
+      key_space * (spec.working_set_gb / spec.data_size_gb));
+  for (int i = 0; i < 5000; ++i) {
+    Operation op = gen.Next();
+    if (op.kind == Operation::Kind::kPointRead ||
+        op.kind == Operation::Kind::kUpdate) {
+      EXPECT_LT(op.key, hot_bound + 1);
+    }
+  }
+}
+
+TEST(GeneratorTest, SkewConcentratesAccesses) {
+  WorkloadSpec spec = Ycsb();
+  OperationGenerator gen(spec, 100000, util::Rng(10));
+  int head = 0, total = 0;
+  for (int i = 0; i < 20000; ++i) {
+    Operation op = gen.Next();
+    if (op.kind != Operation::Kind::kInsert) {
+      ++total;
+      if (op.key < 2000) ++head;
+    }
+  }
+  // Zipf(0.85) concentrates far more than the uniform 2000/~17000 share.
+  EXPECT_GT(static_cast<double>(head) / total, 0.3);
+}
+
+TEST(GeneratorTest, InsertKeysAreFreshAndMonotonic) {
+  WorkloadSpec spec = SysbenchWriteOnly();
+  OperationGenerator gen(spec, 1000, util::Rng(11));
+  uint64_t last = 0;
+  bool first = true;
+  for (int i = 0; i < 5000; ++i) {
+    Operation op = gen.Next();
+    if (op.kind == Operation::Kind::kInsert) {
+      EXPECT_GE(op.key, 1000u);  // Beyond the existing key space.
+      if (!first) EXPECT_GT(op.key, last);
+      last = op.key;
+      first = false;
+    }
+  }
+  EXPECT_FALSE(first) << "write-only workload generated no inserts";
+}
+
+TEST(TraceTest, RecordAndReplayReproducesExactly) {
+  WorkloadSpec spec = SysbenchReadWrite();
+  OperationGenerator gen(spec, 5000, util::Rng(12));
+  Trace trace = RecordTrace(gen, 100);
+  EXPECT_EQ(trace.operations.size(), 100u);
+  EXPECT_EQ(trace.spec.type, WorkloadType::kReplay);
+
+  TraceReplayer replay(&trace);
+  for (int lap = 0; lap < 2; ++lap) {
+    for (size_t i = 0; i < trace.operations.size(); ++i) {
+      Operation op = replay.Next();
+      EXPECT_EQ(op.key, trace.operations[i].key);
+      EXPECT_EQ(static_cast<int>(op.kind),
+                static_cast<int>(trace.operations[i].kind));
+    }
+  }
+}
+
+TEST(TraceTest, ReplayerWrapsAround) {
+  WorkloadSpec spec = SysbenchReadOnly();
+  OperationGenerator gen(spec, 100, util::Rng(13));
+  Trace trace = RecordTrace(gen, 7);
+  TraceReplayer replay(&trace);
+  for (int i = 0; i < 7; ++i) replay.Next();
+  EXPECT_EQ(replay.position(), 0u);
+}
+
+}  // namespace
+}  // namespace cdbtune::workload
