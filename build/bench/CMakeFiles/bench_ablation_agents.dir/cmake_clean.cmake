@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_agents.dir/bench_ablation_agents.cc.o"
+  "CMakeFiles/bench_ablation_agents.dir/bench_ablation_agents.cc.o.d"
+  "bench_ablation_agents"
+  "bench_ablation_agents.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_agents.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig07_knobs_ottertune_order.
+# This may be replaced when dependencies are built.

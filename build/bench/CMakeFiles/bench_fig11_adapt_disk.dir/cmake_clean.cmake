@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_adapt_disk.dir/bench_fig11_adapt_disk.cc.o"
+  "CMakeFiles/bench_fig11_adapt_disk.dir/bench_fig11_adapt_disk.cc.o.d"
+  "bench_fig11_adapt_disk"
+  "bench_fig11_adapt_disk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_adapt_disk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

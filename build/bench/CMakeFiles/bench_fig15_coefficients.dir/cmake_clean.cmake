@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15_coefficients.dir/bench_fig15_coefficients.cc.o"
+  "CMakeFiles/bench_fig15_coefficients.dir/bench_fig15_coefficients.cc.o.d"
+  "bench_fig15_coefficients"
+  "bench_fig15_coefficients.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_coefficients.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

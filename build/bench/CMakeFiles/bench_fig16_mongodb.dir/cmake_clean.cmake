@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig16_mongodb.dir/bench_fig16_mongodb.cc.o"
+  "CMakeFiles/bench_fig16_mongodb.dir/bench_fig16_mongodb.cc.o.d"
+  "bench_fig16_mongodb"
+  "bench_fig16_mongodb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_mongodb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig17_postgres.dir/bench_fig17_postgres.cc.o"
+  "CMakeFiles/bench_fig17_postgres.dir/bench_fig17_postgres.cc.o.d"
+  "bench_fig17_postgres"
+  "bench_fig17_postgres.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig17_postgres.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig18_local_mysql.dir/bench_fig18_local_mysql.cc.o"
+  "CMakeFiles/bench_fig18_local_mysql.dir/bench_fig18_local_mysql.cc.o.d"
+  "bench_fig18_local_mysql"
+  "bench_fig18_local_mysql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig18_local_mysql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_network_arch.dir/bench_table6_network_arch.cc.o"
+  "CMakeFiles/bench_table6_network_arch.dir/bench_table6_network_arch.cc.o.d"
+  "bench_table6_network_arch"
+  "bench_table6_network_arch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_network_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

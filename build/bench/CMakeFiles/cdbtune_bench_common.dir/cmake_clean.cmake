@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdbtune_bench_common.dir/bench_common.cc.o"
+  "CMakeFiles/cdbtune_bench_common.dir/bench_common.cc.o.d"
+  "libcdbtune_bench_common.a"
+  "libcdbtune_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdbtune_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdbtune_cli.dir/cdbtune_cli.cpp.o"
+  "CMakeFiles/cdbtune_cli.dir/cdbtune_cli.cpp.o.d"
+  "cdbtune_cli"
+  "cdbtune_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdbtune_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hardware_migration.dir/hardware_migration.cpp.o"
+  "CMakeFiles/hardware_migration.dir/hardware_migration.cpp.o.d"
+  "hardware_migration"
+  "hardware_migration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hardware_migration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tune_mini_engine.dir/tune_mini_engine.cpp.o"
+  "CMakeFiles/tune_mini_engine.dir/tune_mini_engine.cpp.o.d"
+  "tune_mini_engine"
+  "tune_mini_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tune_mini_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/bestconfig.cc" "src/baselines/CMakeFiles/cdbtune_baselines.dir/bestconfig.cc.o" "gcc" "src/baselines/CMakeFiles/cdbtune_baselines.dir/bestconfig.cc.o.d"
+  "/root/repo/src/baselines/dba.cc" "src/baselines/CMakeFiles/cdbtune_baselines.dir/dba.cc.o" "gcc" "src/baselines/CMakeFiles/cdbtune_baselines.dir/dba.cc.o.d"
+  "/root/repo/src/baselines/gp.cc" "src/baselines/CMakeFiles/cdbtune_baselines.dir/gp.cc.o" "gcc" "src/baselines/CMakeFiles/cdbtune_baselines.dir/gp.cc.o.d"
+  "/root/repo/src/baselines/lasso.cc" "src/baselines/CMakeFiles/cdbtune_baselines.dir/lasso.cc.o" "gcc" "src/baselines/CMakeFiles/cdbtune_baselines.dir/lasso.cc.o.d"
+  "/root/repo/src/baselines/ottertune.cc" "src/baselines/CMakeFiles/cdbtune_baselines.dir/ottertune.cc.o" "gcc" "src/baselines/CMakeFiles/cdbtune_baselines.dir/ottertune.cc.o.d"
+  "/root/repo/src/baselines/random_tuner.cc" "src/baselines/CMakeFiles/cdbtune_baselines.dir/random_tuner.cc.o" "gcc" "src/baselines/CMakeFiles/cdbtune_baselines.dir/random_tuner.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/env/CMakeFiles/cdbtune_env.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/cdbtune_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tuner/CMakeFiles/cdbtune_tuner.dir/DependInfo.cmake"
+  "/root/repo/build/src/knobs/CMakeFiles/cdbtune_knobs.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/cdbtune_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cdbtune_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/rl/CMakeFiles/cdbtune_rl.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

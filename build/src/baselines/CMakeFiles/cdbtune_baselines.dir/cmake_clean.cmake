@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdbtune_baselines.dir/bestconfig.cc.o"
+  "CMakeFiles/cdbtune_baselines.dir/bestconfig.cc.o.d"
+  "CMakeFiles/cdbtune_baselines.dir/dba.cc.o"
+  "CMakeFiles/cdbtune_baselines.dir/dba.cc.o.d"
+  "CMakeFiles/cdbtune_baselines.dir/gp.cc.o"
+  "CMakeFiles/cdbtune_baselines.dir/gp.cc.o.d"
+  "CMakeFiles/cdbtune_baselines.dir/lasso.cc.o"
+  "CMakeFiles/cdbtune_baselines.dir/lasso.cc.o.d"
+  "CMakeFiles/cdbtune_baselines.dir/ottertune.cc.o"
+  "CMakeFiles/cdbtune_baselines.dir/ottertune.cc.o.d"
+  "CMakeFiles/cdbtune_baselines.dir/random_tuner.cc.o"
+  "CMakeFiles/cdbtune_baselines.dir/random_tuner.cc.o.d"
+  "libcdbtune_baselines.a"
+  "libcdbtune_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdbtune_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

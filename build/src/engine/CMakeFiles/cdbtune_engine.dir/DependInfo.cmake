@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/engine/btree.cc" "src/engine/CMakeFiles/cdbtune_engine.dir/btree.cc.o" "gcc" "src/engine/CMakeFiles/cdbtune_engine.dir/btree.cc.o.d"
+  "/root/repo/src/engine/buffer_pool.cc" "src/engine/CMakeFiles/cdbtune_engine.dir/buffer_pool.cc.o" "gcc" "src/engine/CMakeFiles/cdbtune_engine.dir/buffer_pool.cc.o.d"
+  "/root/repo/src/engine/disk_manager.cc" "src/engine/CMakeFiles/cdbtune_engine.dir/disk_manager.cc.o" "gcc" "src/engine/CMakeFiles/cdbtune_engine.dir/disk_manager.cc.o.d"
+  "/root/repo/src/engine/mini_cdb.cc" "src/engine/CMakeFiles/cdbtune_engine.dir/mini_cdb.cc.o" "gcc" "src/engine/CMakeFiles/cdbtune_engine.dir/mini_cdb.cc.o.d"
+  "/root/repo/src/engine/page.cc" "src/engine/CMakeFiles/cdbtune_engine.dir/page.cc.o" "gcc" "src/engine/CMakeFiles/cdbtune_engine.dir/page.cc.o.d"
+  "/root/repo/src/engine/wal.cc" "src/engine/CMakeFiles/cdbtune_engine.dir/wal.cc.o" "gcc" "src/engine/CMakeFiles/cdbtune_engine.dir/wal.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/env/CMakeFiles/cdbtune_env.dir/DependInfo.cmake"
+  "/root/repo/build/src/knobs/CMakeFiles/cdbtune_knobs.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/cdbtune_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cdbtune_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

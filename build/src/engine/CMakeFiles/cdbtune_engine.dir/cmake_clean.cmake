@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdbtune_engine.dir/btree.cc.o"
+  "CMakeFiles/cdbtune_engine.dir/btree.cc.o.d"
+  "CMakeFiles/cdbtune_engine.dir/buffer_pool.cc.o"
+  "CMakeFiles/cdbtune_engine.dir/buffer_pool.cc.o.d"
+  "CMakeFiles/cdbtune_engine.dir/disk_manager.cc.o"
+  "CMakeFiles/cdbtune_engine.dir/disk_manager.cc.o.d"
+  "CMakeFiles/cdbtune_engine.dir/mini_cdb.cc.o"
+  "CMakeFiles/cdbtune_engine.dir/mini_cdb.cc.o.d"
+  "CMakeFiles/cdbtune_engine.dir/page.cc.o"
+  "CMakeFiles/cdbtune_engine.dir/page.cc.o.d"
+  "CMakeFiles/cdbtune_engine.dir/wal.cc.o"
+  "CMakeFiles/cdbtune_engine.dir/wal.cc.o.d"
+  "libcdbtune_engine.a"
+  "libcdbtune_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdbtune_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

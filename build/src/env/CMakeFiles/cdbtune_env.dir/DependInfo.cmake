@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/env/instance.cc" "src/env/CMakeFiles/cdbtune_env.dir/instance.cc.o" "gcc" "src/env/CMakeFiles/cdbtune_env.dir/instance.cc.o.d"
+  "/root/repo/src/env/metrics.cc" "src/env/CMakeFiles/cdbtune_env.dir/metrics.cc.o" "gcc" "src/env/CMakeFiles/cdbtune_env.dir/metrics.cc.o.d"
+  "/root/repo/src/env/perf_model.cc" "src/env/CMakeFiles/cdbtune_env.dir/perf_model.cc.o" "gcc" "src/env/CMakeFiles/cdbtune_env.dir/perf_model.cc.o.d"
+  "/root/repo/src/env/simulated_cdb.cc" "src/env/CMakeFiles/cdbtune_env.dir/simulated_cdb.cc.o" "gcc" "src/env/CMakeFiles/cdbtune_env.dir/simulated_cdb.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/cdbtune_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/knobs/CMakeFiles/cdbtune_knobs.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/cdbtune_workload.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

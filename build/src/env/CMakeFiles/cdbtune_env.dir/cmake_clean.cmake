@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdbtune_env.dir/instance.cc.o"
+  "CMakeFiles/cdbtune_env.dir/instance.cc.o.d"
+  "CMakeFiles/cdbtune_env.dir/metrics.cc.o"
+  "CMakeFiles/cdbtune_env.dir/metrics.cc.o.d"
+  "CMakeFiles/cdbtune_env.dir/perf_model.cc.o"
+  "CMakeFiles/cdbtune_env.dir/perf_model.cc.o.d"
+  "CMakeFiles/cdbtune_env.dir/simulated_cdb.cc.o"
+  "CMakeFiles/cdbtune_env.dir/simulated_cdb.cc.o.d"
+  "libcdbtune_env.a"
+  "libcdbtune_env.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdbtune_env.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

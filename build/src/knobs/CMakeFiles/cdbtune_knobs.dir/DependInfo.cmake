@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/knobs/catalogs.cc" "src/knobs/CMakeFiles/cdbtune_knobs.dir/catalogs.cc.o" "gcc" "src/knobs/CMakeFiles/cdbtune_knobs.dir/catalogs.cc.o.d"
+  "/root/repo/src/knobs/knob.cc" "src/knobs/CMakeFiles/cdbtune_knobs.dir/knob.cc.o" "gcc" "src/knobs/CMakeFiles/cdbtune_knobs.dir/knob.cc.o.d"
+  "/root/repo/src/knobs/registry.cc" "src/knobs/CMakeFiles/cdbtune_knobs.dir/registry.cc.o" "gcc" "src/knobs/CMakeFiles/cdbtune_knobs.dir/registry.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/cdbtune_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdbtune_knobs.dir/catalogs.cc.o"
+  "CMakeFiles/cdbtune_knobs.dir/catalogs.cc.o.d"
+  "CMakeFiles/cdbtune_knobs.dir/knob.cc.o"
+  "CMakeFiles/cdbtune_knobs.dir/knob.cc.o.d"
+  "CMakeFiles/cdbtune_knobs.dir/registry.cc.o"
+  "CMakeFiles/cdbtune_knobs.dir/registry.cc.o.d"
+  "libcdbtune_knobs.a"
+  "libcdbtune_knobs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdbtune_knobs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

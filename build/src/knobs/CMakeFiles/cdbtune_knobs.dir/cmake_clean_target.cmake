@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcdbtune_knobs.a"
+)

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdbtune_nn.dir/layer.cc.o"
+  "CMakeFiles/cdbtune_nn.dir/layer.cc.o.d"
+  "CMakeFiles/cdbtune_nn.dir/matrix.cc.o"
+  "CMakeFiles/cdbtune_nn.dir/matrix.cc.o.d"
+  "CMakeFiles/cdbtune_nn.dir/optimizer.cc.o"
+  "CMakeFiles/cdbtune_nn.dir/optimizer.cc.o.d"
+  "CMakeFiles/cdbtune_nn.dir/sequential.cc.o"
+  "CMakeFiles/cdbtune_nn.dir/sequential.cc.o.d"
+  "libcdbtune_nn.a"
+  "libcdbtune_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdbtune_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

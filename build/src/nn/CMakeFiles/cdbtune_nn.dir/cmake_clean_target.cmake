@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcdbtune_nn.a"
+)

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rl/ddpg.cc" "src/rl/CMakeFiles/cdbtune_rl.dir/ddpg.cc.o" "gcc" "src/rl/CMakeFiles/cdbtune_rl.dir/ddpg.cc.o.d"
+  "/root/repo/src/rl/dqn.cc" "src/rl/CMakeFiles/cdbtune_rl.dir/dqn.cc.o" "gcc" "src/rl/CMakeFiles/cdbtune_rl.dir/dqn.cc.o.d"
+  "/root/repo/src/rl/noise.cc" "src/rl/CMakeFiles/cdbtune_rl.dir/noise.cc.o" "gcc" "src/rl/CMakeFiles/cdbtune_rl.dir/noise.cc.o.d"
+  "/root/repo/src/rl/qlearning.cc" "src/rl/CMakeFiles/cdbtune_rl.dir/qlearning.cc.o" "gcc" "src/rl/CMakeFiles/cdbtune_rl.dir/qlearning.cc.o.d"
+  "/root/repo/src/rl/replay.cc" "src/rl/CMakeFiles/cdbtune_rl.dir/replay.cc.o" "gcc" "src/rl/CMakeFiles/cdbtune_rl.dir/replay.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/cdbtune_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cdbtune_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

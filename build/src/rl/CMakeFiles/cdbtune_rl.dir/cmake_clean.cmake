@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdbtune_rl.dir/ddpg.cc.o"
+  "CMakeFiles/cdbtune_rl.dir/ddpg.cc.o.d"
+  "CMakeFiles/cdbtune_rl.dir/dqn.cc.o"
+  "CMakeFiles/cdbtune_rl.dir/dqn.cc.o.d"
+  "CMakeFiles/cdbtune_rl.dir/noise.cc.o"
+  "CMakeFiles/cdbtune_rl.dir/noise.cc.o.d"
+  "CMakeFiles/cdbtune_rl.dir/qlearning.cc.o"
+  "CMakeFiles/cdbtune_rl.dir/qlearning.cc.o.d"
+  "CMakeFiles/cdbtune_rl.dir/replay.cc.o"
+  "CMakeFiles/cdbtune_rl.dir/replay.cc.o.d"
+  "libcdbtune_rl.a"
+  "libcdbtune_rl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdbtune_rl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tuner/cdbtune.cc" "src/tuner/CMakeFiles/cdbtune_tuner.dir/cdbtune.cc.o" "gcc" "src/tuner/CMakeFiles/cdbtune_tuner.dir/cdbtune.cc.o.d"
+  "/root/repo/src/tuner/controller.cc" "src/tuner/CMakeFiles/cdbtune_tuner.dir/controller.cc.o" "gcc" "src/tuner/CMakeFiles/cdbtune_tuner.dir/controller.cc.o.d"
+  "/root/repo/src/tuner/memory_pool.cc" "src/tuner/CMakeFiles/cdbtune_tuner.dir/memory_pool.cc.o" "gcc" "src/tuner/CMakeFiles/cdbtune_tuner.dir/memory_pool.cc.o.d"
+  "/root/repo/src/tuner/metrics_collector.cc" "src/tuner/CMakeFiles/cdbtune_tuner.dir/metrics_collector.cc.o" "gcc" "src/tuner/CMakeFiles/cdbtune_tuner.dir/metrics_collector.cc.o.d"
+  "/root/repo/src/tuner/recommender.cc" "src/tuner/CMakeFiles/cdbtune_tuner.dir/recommender.cc.o" "gcc" "src/tuner/CMakeFiles/cdbtune_tuner.dir/recommender.cc.o.d"
+  "/root/repo/src/tuner/reward.cc" "src/tuner/CMakeFiles/cdbtune_tuner.dir/reward.cc.o" "gcc" "src/tuner/CMakeFiles/cdbtune_tuner.dir/reward.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/env/CMakeFiles/cdbtune_env.dir/DependInfo.cmake"
+  "/root/repo/build/src/rl/CMakeFiles/cdbtune_rl.dir/DependInfo.cmake"
+  "/root/repo/build/src/knobs/CMakeFiles/cdbtune_knobs.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/cdbtune_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cdbtune_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/cdbtune_nn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdbtune_tuner.dir/cdbtune.cc.o"
+  "CMakeFiles/cdbtune_tuner.dir/cdbtune.cc.o.d"
+  "CMakeFiles/cdbtune_tuner.dir/controller.cc.o"
+  "CMakeFiles/cdbtune_tuner.dir/controller.cc.o.d"
+  "CMakeFiles/cdbtune_tuner.dir/memory_pool.cc.o"
+  "CMakeFiles/cdbtune_tuner.dir/memory_pool.cc.o.d"
+  "CMakeFiles/cdbtune_tuner.dir/metrics_collector.cc.o"
+  "CMakeFiles/cdbtune_tuner.dir/metrics_collector.cc.o.d"
+  "CMakeFiles/cdbtune_tuner.dir/recommender.cc.o"
+  "CMakeFiles/cdbtune_tuner.dir/recommender.cc.o.d"
+  "CMakeFiles/cdbtune_tuner.dir/reward.cc.o"
+  "CMakeFiles/cdbtune_tuner.dir/reward.cc.o.d"
+  "libcdbtune_tuner.a"
+  "libcdbtune_tuner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdbtune_tuner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdbtune_util.dir/logging.cc.o"
+  "CMakeFiles/cdbtune_util.dir/logging.cc.o.d"
+  "CMakeFiles/cdbtune_util.dir/random.cc.o"
+  "CMakeFiles/cdbtune_util.dir/random.cc.o.d"
+  "CMakeFiles/cdbtune_util.dir/stats.cc.o"
+  "CMakeFiles/cdbtune_util.dir/stats.cc.o.d"
+  "CMakeFiles/cdbtune_util.dir/status.cc.o"
+  "CMakeFiles/cdbtune_util.dir/status.cc.o.d"
+  "CMakeFiles/cdbtune_util.dir/table_printer.cc.o"
+  "CMakeFiles/cdbtune_util.dir/table_printer.cc.o.d"
+  "libcdbtune_util.a"
+  "libcdbtune_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdbtune_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

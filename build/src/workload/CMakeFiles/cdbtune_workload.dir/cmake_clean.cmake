@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdbtune_workload.dir/generator.cc.o"
+  "CMakeFiles/cdbtune_workload.dir/generator.cc.o.d"
+  "CMakeFiles/cdbtune_workload.dir/workload.cc.o"
+  "CMakeFiles/cdbtune_workload.dir/workload.cc.o.d"
+  "libcdbtune_workload.a"
+  "libcdbtune_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdbtune_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/knobs_test.dir/knobs_test.cc.o"
+  "CMakeFiles/knobs_test.dir/knobs_test.cc.o.d"
+  "knobs_test"
+  "knobs_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/knobs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

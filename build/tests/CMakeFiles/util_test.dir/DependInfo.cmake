@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/util_test.cc" "tests/CMakeFiles/util_test.dir/util_test.cc.o" "gcc" "tests/CMakeFiles/util_test.dir/util_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/baselines/CMakeFiles/cdbtune_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/tuner/CMakeFiles/cdbtune_tuner.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/cdbtune_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/rl/CMakeFiles/cdbtune_rl.dir/DependInfo.cmake"
+  "/root/repo/build/src/env/CMakeFiles/cdbtune_env.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/cdbtune_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/knobs/CMakeFiles/cdbtune_knobs.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/cdbtune_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cdbtune_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
