@@ -109,6 +109,29 @@ ContenderResult RunCdbDefault(env::DbInterface& db,
   return r;
 }
 
+std::vector<ContenderResult> RunStandardContenders(
+    const std::function<std::unique_ptr<env::SimulatedCdb>()>& make_db,
+    const workload::WorkloadSpec& workload, const Budgets& budgets) {
+  return ParallelSweep(6, [&](size_t cell) {
+    auto db = make_db();
+    knobs::KnobSpace space = knobs::KnobSpace::AllTunable(&db->registry());
+    switch (cell) {
+      case 0:
+        return RunDefault(*db, workload);
+      case 1:
+        return RunCdbDefault(*db, workload);
+      case 2:
+        return RunBestConfig(*db, space, workload, budgets);
+      case 3:
+        return RunDba(*db, workload);
+      case 4:
+        return RunOtterTune(*db, space, workload, budgets);
+      default:
+        return RunCdbTune(*db, space, workload, budgets);
+    }
+  });
+}
+
 void RunKnobCountSweep(const std::string& title,
                        const workload::WorkloadSpec& workload,
                        const env::HardwareSpec& hardware,
@@ -120,46 +143,57 @@ void RunKnobCountSweep(const std::string& title,
                           "BestConfig T"});
   util::TablePrinter lat({"knobs", "CDBTune L99", "DBA L99", "OtterTune L99",
                           "BestConfig L99"});
-  for (size_t count : counts) {
-    auto db = env::SimulatedCdb::MysqlCdb(hardware, budgets.seed);
-    knobs::KnobSpace space =
-        knobs::KnobSpace::FromOrderPrefix(&db->registry(), order, count);
+  // Each knob count is an independent sweep cell: it builds its own
+  // instance and derives its seed from the count, so the table is the same
+  // whether the cells run serially or side by side on the pool.
+  struct SweepCell {
+    ContenderResult cdbtune, dba, ottertune, bestconfig;
+  };
+  std::vector<SweepCell> cells =
+      ParallelSweep(counts.size(), [&](size_t idx) {
+        const size_t count = counts[idx];
+        auto db = env::SimulatedCdb::MysqlCdb(hardware, budgets.seed);
+        knobs::KnobSpace space =
+            knobs::KnobSpace::FromOrderPrefix(&db->registry(), order, count);
 
-    Budgets b = budgets;
-    b.seed = budgets.seed + count;
-    ContenderResult cdbtune = RunCdbTune(*db, space, workload, b);
+        Budgets b = budgets;
+        b.seed = budgets.seed + count;
+        SweepCell cell;
+        cell.cdbtune = RunCdbTune(*db, space, workload, b);
 
-    // DBA restricted to the same subset.
-    db->Reset();
-    knobs::Config rec = baselines::DbaTuner::RecommendSubset(
-        db->registry(), db->hardware(), workload, db->current_config(),
-        space.active_indices());
-    // The Figure 6/7 protocol deploys each contender's recommendation for
-    // the given subset as-is (the paper's DBAs did, which is why their
-    // curve declines once the subset outgrows their rules).
-    ContenderResult dba;
-    dba.name = "DBA";
-    if (db->ApplyConfig(rec).ok()) {
-      auto r = db->RunStress(workload, 150.0);
-      if (r.ok()) {
-        dba.throughput = r.value().external.throughput_tps;
-        dba.latency_p99 = r.value().external.latency_p99_ms;
-      }
-    }
+        // DBA restricted to the same subset.
+        db->Reset();
+        knobs::Config rec = baselines::DbaTuner::RecommendSubset(
+            db->registry(), db->hardware(), workload, db->current_config(),
+            space.active_indices());
+        // The Figure 6/7 protocol deploys each contender's recommendation
+        // for the given subset as-is (the paper's DBAs did, which is why
+        // their curve declines once the subset outgrows their rules).
+        cell.dba.name = "DBA";
+        if (db->ApplyConfig(rec).ok()) {
+          auto r = db->RunStress(workload, 150.0);
+          if (r.ok()) {
+            cell.dba.throughput = r.value().external.throughput_tps;
+            cell.dba.latency_p99 = r.value().external.latency_p99_ms;
+          }
+        }
 
-    ContenderResult ottertune = RunOtterTune(*db, space, workload, b);
-    ContenderResult bestconfig = RunBestConfig(*db, space, workload, b);
-
-    thr.AddRow({std::to_string(count),
-                util::TablePrinter::Num(cdbtune.throughput, 1),
-                util::TablePrinter::Num(dba.throughput, 1),
-                util::TablePrinter::Num(ottertune.throughput, 1),
-                util::TablePrinter::Num(bestconfig.throughput, 1)});
-    lat.AddRow({std::to_string(count),
-                util::TablePrinter::Num(cdbtune.latency_p99, 1),
-                util::TablePrinter::Num(dba.latency_p99, 1),
-                util::TablePrinter::Num(ottertune.latency_p99, 1),
-                util::TablePrinter::Num(bestconfig.latency_p99, 1)});
+        cell.ottertune = RunOtterTune(*db, space, workload, b);
+        cell.bestconfig = RunBestConfig(*db, space, workload, b);
+        return cell;
+      });
+  for (size_t i = 0; i < counts.size(); ++i) {
+    const SweepCell& cell = cells[i];
+    thr.AddRow({std::to_string(counts[i]),
+                util::TablePrinter::Num(cell.cdbtune.throughput, 1),
+                util::TablePrinter::Num(cell.dba.throughput, 1),
+                util::TablePrinter::Num(cell.ottertune.throughput, 1),
+                util::TablePrinter::Num(cell.bestconfig.throughput, 1)});
+    lat.AddRow({std::to_string(counts[i]),
+                util::TablePrinter::Num(cell.cdbtune.latency_p99, 1),
+                util::TablePrinter::Num(cell.dba.latency_p99, 1),
+                util::TablePrinter::Num(cell.ottertune.latency_p99, 1),
+                util::TablePrinter::Num(cell.bestconfig.latency_p99, 1)});
   }
   thr.Print(std::cout);
   lat.Print(std::cout);

@@ -1,6 +1,7 @@
 #ifndef CDBTUNE_BENCH_BENCH_COMMON_H_
 #define CDBTUNE_BENCH_BENCH_COMMON_H_
 
+#include <functional>
 #include <memory>
 #include <string>
 
@@ -11,8 +12,28 @@
 #include "env/simulated_cdb.h"
 #include "tuner/cdbtune.h"
 #include "util/table_printer.h"
+#include "util/thread_pool.h"
 
 namespace cdbtune::bench {
+
+/// Evaluates `cells` independent sweep cells — (tuner x workload x seed)
+/// combinations — on the global compute pool and returns fn(i) for each, in
+/// cell order. Every cell must construct its own database / tuner from its
+/// own seed (its own util::Rng stream), so results do not depend on the
+/// thread count or on cell scheduling; CDBTUNE_THREADS=1 runs them serially
+/// in order.
+template <typename Fn>
+auto ParallelSweep(size_t cells, Fn&& fn)
+    -> std::vector<decltype(fn(size_t{0}))> {
+  std::vector<decltype(fn(size_t{0}))> results(cells);
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(cells);
+  for (size_t i = 0; i < cells; ++i) {
+    tasks.push_back([&results, &fn, i] { results[i] = fn(i); });
+  }
+  util::ComputeContext::Get().RunConcurrent(std::move(tasks));
+  return results;
+}
 
 /// Uniform result record for every contender in a comparison table.
 struct ContenderResult {
@@ -68,6 +89,16 @@ ContenderResult RunDefault(env::DbInterface& db,
 /// applied with a conservative budget (top 10 knobs only).
 ContenderResult RunCdbDefault(env::DbInterface& db,
                               const workload::WorkloadSpec& workload);
+
+/// The standard six-contender comparison of Figures 9/16/17, in row order
+/// Default, CDB-default, BestConfig, DBA, OtterTune, CDBTune. Each
+/// contender is an independent ParallelSweep cell tuning its own
+/// freshly-built instance from `make_db` (all knobs tunable), so the
+/// contenders no longer share one rng stream and the table is identical at
+/// any thread count.
+std::vector<ContenderResult> RunStandardContenders(
+    const std::function<std::unique_ptr<env::SimulatedCdb>()>& make_db,
+    const workload::WorkloadSpec& workload, const Budgets& budgets);
 
 /// Renders a contender table with throughput/p99 columns.
 void PrintContenders(const std::string& title,

@@ -49,17 +49,13 @@ void Run() {
                     workload::WorkloadType::kSysbenchReadOnly,
                     workload::WorkloadType::kSysbenchWriteOnly}) {
     workload::WorkloadSpec spec = workload::MakeWorkload(type);
-    auto db = env::SimulatedCdb::MysqlCdb(env::CdbA(), 5);
-    auto space = knobs::KnobSpace::AllTunable(&db->registry());
     Budgets budgets;
 
-    std::vector<ContenderResult> rows;
-    rows.push_back(RunDefault(*db, spec));
-    rows.push_back(RunCdbDefault(*db, spec));
-    rows.push_back(RunBestConfig(*db, space, spec, budgets));
-    rows.push_back(RunDba(*db, spec));
-    rows.push_back(RunOtterTune(*db, space, spec, budgets));
-    rows.push_back(RunCdbTune(*db, space, spec, budgets));
+    // All six contenders tune their own CDB-A instance side by side on the
+    // compute pool (the paper's concurrent-tuning-session deployment).
+    std::vector<ContenderResult> rows = RunStandardContenders(
+        [] { return env::SimulatedCdb::MysqlCdb(env::CdbA(), 5); }, spec,
+        budgets);
     PrintContenders("Figure 9: " + spec.name + " on CDB-A", rows);
 
     table3.push_back({spec.name, rows[5], rows[3], rows[4], rows[2]});

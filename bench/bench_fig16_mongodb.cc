@@ -10,19 +10,13 @@
 int main() {
   using namespace cdbtune;
   auto spec = workload::Ycsb();
-  auto db = env::SimulatedCdb::Mongo(env::CdbE(), 103);
-  auto space = knobs::KnobSpace::AllTunable(&db->registry());
   bench::Budgets budgets;
   budgets.cdbtune_offline_steps = 600;
   budgets.seed = 103;
 
-  std::vector<bench::ContenderResult> rows;
-  rows.push_back(bench::RunDefault(*db, spec));
-  rows.push_back(bench::RunCdbDefault(*db, spec));
-  rows.push_back(bench::RunBestConfig(*db, space, spec, budgets));
-  rows.push_back(bench::RunDba(*db, spec));
-  rows.push_back(bench::RunOtterTune(*db, space, spec, budgets));
-  rows.push_back(bench::RunCdbTune(*db, space, spec, budgets));
+  std::vector<bench::ContenderResult> rows = bench::RunStandardContenders(
+      [] { return env::SimulatedCdb::Mongo(env::CdbE(), 103); }, spec,
+      budgets);
   bench::PrintContenders(
       "Figure 16: YCSB on MongoDB-flavored engine (232 knobs, CDB-E)", rows);
   return 0;

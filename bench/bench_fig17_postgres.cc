@@ -8,19 +8,13 @@
 int main() {
   using namespace cdbtune;
   auto spec = workload::Tpcc();
-  auto db = env::SimulatedCdb::Postgres(env::CdbD(), 107);
-  auto space = knobs::KnobSpace::AllTunable(&db->registry());
   bench::Budgets budgets;
   budgets.cdbtune_offline_steps = 600;
   budgets.seed = 107;
 
-  std::vector<bench::ContenderResult> rows;
-  rows.push_back(bench::RunDefault(*db, spec));
-  rows.push_back(bench::RunCdbDefault(*db, spec));
-  rows.push_back(bench::RunBestConfig(*db, space, spec, budgets));
-  rows.push_back(bench::RunDba(*db, spec));
-  rows.push_back(bench::RunOtterTune(*db, space, spec, budgets));
-  rows.push_back(bench::RunCdbTune(*db, space, spec, budgets));
+  std::vector<bench::ContenderResult> rows = bench::RunStandardContenders(
+      [] { return env::SimulatedCdb::Postgres(env::CdbD(), 107); }, spec,
+      budgets);
   bench::PrintContenders(
       "Figure 17: TPC-C on Postgres-flavored engine (169 knobs, CDB-D)", rows);
   return 0;

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Runs the Section 5.1.1 execution-time benchmark and records the results as
+# BENCH_exec_time.json at the repo root — the perf trajectory that future
+# PRs compare against. Usage:
+#
+#   bench/run_benchmarks.sh [extra google-benchmark flags...]
+#
+# BUILD_DIR overrides the build tree (default: <repo>/build).
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="${BUILD_DIR:-$ROOT/build}"
+
+cmake -S "$ROOT" -B "$BUILD" > /dev/null
+cmake --build "$BUILD" --target bench_exec_time -j "$(nproc)" > /dev/null
+
+"$BUILD/bench/bench_exec_time" \
+  --benchmark_out="$ROOT/BENCH_exec_time.json" \
+  --benchmark_out_format=json \
+  "$@"

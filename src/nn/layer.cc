@@ -80,11 +80,15 @@ Matrix Linear::Forward(const Matrix& input, bool /*training*/) {
   return out;
 }
 
-Matrix Linear::Backward(const Matrix& grad_output) {
+Matrix Linear::Backward(const Matrix& grad_output, bool param_grads) {
   CDBTUNE_CHECK(!input_cache_.empty()) << "Backward before Forward";
-  weight_.grad.AddInPlace(input_cache_.Transposed().MatMul(grad_output));
-  bias_.grad.AddInPlace(grad_output.SumRows());
-  return grad_output.MatMul(weight_.value.Transposed());
+  // Fused kernels: dW = input^T * g and dX = g * W^T without materializing
+  // either transpose.
+  if (param_grads) {
+    weight_.grad.AddInPlace(input_cache_.MatMulTransposedA(grad_output));
+    bias_.grad.AddInPlace(grad_output.SumRows());
+  }
+  return grad_output.MatMulTransposedB(weight_.value);
 }
 
 Matrix Relu::Forward(const Matrix& input, bool /*training*/) {
@@ -92,12 +96,13 @@ Matrix Relu::Forward(const Matrix& input, bool /*training*/) {
   return input.Map([](double x) { return x > 0.0 ? x : 0.0; });
 }
 
-Matrix Relu::Backward(const Matrix& grad_output) {
+Matrix Relu::Backward(const Matrix& grad_output, bool /*param_grads*/) {
   Matrix grad = grad_output;
-  for (size_t r = 0; r < grad.rows(); ++r) {
-    for (size_t c = 0; c < grad.cols(); ++c) {
-      if (input_cache_.at(r, c) <= 0.0) grad.at(r, c) = 0.0;
-    }
+  double* g = grad.data();
+  const double* x = input_cache_.data();
+  const size_t n = grad.size();
+  for (size_t i = 0; i < n; ++i) {
+    if (x[i] <= 0.0) g[i] = 0.0;
   }
   return grad;
 }
@@ -108,12 +113,13 @@ Matrix LeakyRelu::Forward(const Matrix& input, bool /*training*/) {
   return input.Map([slope](double x) { return x > 0.0 ? x : slope * x; });
 }
 
-Matrix LeakyRelu::Backward(const Matrix& grad_output) {
+Matrix LeakyRelu::Backward(const Matrix& grad_output, bool /*param_grads*/) {
   Matrix grad = grad_output;
-  for (size_t r = 0; r < grad.rows(); ++r) {
-    for (size_t c = 0; c < grad.cols(); ++c) {
-      if (input_cache_.at(r, c) <= 0.0) grad.at(r, c) *= slope_;
-    }
+  double* g = grad.data();
+  const double* x = input_cache_.data();
+  const size_t n = grad.size();
+  for (size_t i = 0; i < n; ++i) {
+    if (x[i] <= 0.0) g[i] *= slope_;
   }
   return grad;
 }
@@ -123,14 +129,12 @@ Matrix Tanh::Forward(const Matrix& input, bool /*training*/) {
   return output_cache_;
 }
 
-Matrix Tanh::Backward(const Matrix& grad_output) {
+Matrix Tanh::Backward(const Matrix& grad_output, bool /*param_grads*/) {
   Matrix grad = grad_output;
-  for (size_t r = 0; r < grad.rows(); ++r) {
-    for (size_t c = 0; c < grad.cols(); ++c) {
-      double y = output_cache_.at(r, c);
-      grad.at(r, c) *= 1.0 - y * y;
-    }
-  }
+  double* g = grad.data();
+  const double* y = output_cache_.data();
+  const size_t n = grad.size();
+  for (size_t i = 0; i < n; ++i) g[i] *= 1.0 - y[i] * y[i];
   return grad;
 }
 
@@ -139,14 +143,12 @@ Matrix Sigmoid::Forward(const Matrix& input, bool /*training*/) {
   return output_cache_;
 }
 
-Matrix Sigmoid::Backward(const Matrix& grad_output) {
+Matrix Sigmoid::Backward(const Matrix& grad_output, bool /*param_grads*/) {
   Matrix grad = grad_output;
-  for (size_t r = 0; r < grad.rows(); ++r) {
-    for (size_t c = 0; c < grad.cols(); ++c) {
-      double y = output_cache_.at(r, c);
-      grad.at(r, c) *= y * (1.0 - y);
-    }
-  }
+  double* g = grad.data();
+  const double* y = output_cache_.data();
+  const size_t n = grad.size();
+  for (size_t i = 0; i < n; ++i) g[i] *= y[i] * (1.0 - y[i]);
   return grad;
 }
 
@@ -207,17 +209,18 @@ Matrix BatchNorm::Forward(const Matrix& input, bool training) {
   return out;
 }
 
-Matrix BatchNorm::Backward(const Matrix& grad_output) {
+Matrix BatchNorm::Backward(const Matrix& grad_output, bool param_grads) {
   const size_t n = grad_output.rows();
   const size_t f = grad_output.cols();
   CDBTUNE_CHECK(x_hat_.rows() == n && x_hat_.cols() == f)
       << "BatchNorm Backward shape mismatch";
 
-  // Parameter gradients.
-  for (size_t r = 0; r < n; ++r) {
-    for (size_t c = 0; c < f; ++c) {
-      gamma_.grad.at(0, c) += grad_output.at(r, c) * x_hat_.at(r, c);
-      beta_.grad.at(0, c) += grad_output.at(r, c);
+  if (param_grads) {
+    for (size_t r = 0; r < n; ++r) {
+      for (size_t c = 0; c < f; ++c) {
+        gamma_.grad.at(0, c) += grad_output.at(r, c) * x_hat_.at(r, c);
+        beta_.grad.at(0, c) += grad_output.at(r, c);
+      }
     }
   }
 
@@ -281,11 +284,11 @@ Matrix ParallelLinear::Forward(const Matrix& input, bool training) {
   return left_y.ConcatCols(right_y);
 }
 
-Matrix ParallelLinear::Backward(const Matrix& grad_output) {
+Matrix ParallelLinear::Backward(const Matrix& grad_output, bool param_grads) {
   Matrix left_g, right_g;
   grad_output.SplitCols(left_out_, &left_g, &right_g);
-  Matrix left_dx = left_.Backward(left_g);
-  Matrix right_dx = right_.Backward(right_g);
+  Matrix left_dx = left_.Backward(left_g, param_grads);
+  Matrix right_dx = right_.Backward(right_g, param_grads);
   return left_dx.ConcatCols(right_dx);
 }
 
@@ -318,7 +321,7 @@ Matrix Dropout::Forward(const Matrix& input, bool training) {
   return out;
 }
 
-Matrix Dropout::Backward(const Matrix& grad_output) {
+Matrix Dropout::Backward(const Matrix& grad_output, bool /*param_grads*/) {
   if (!mask_valid_) return grad_output;
   Matrix grad = grad_output;
   grad.MulInPlace(mask_);

@@ -45,7 +45,13 @@ class Layer {
 
   /// `training` toggles BatchNorm batch statistics and Dropout masking.
   virtual Matrix Forward(const Matrix& input, bool training) = 0;
-  virtual Matrix Backward(const Matrix& grad_output) = 0;
+  /// `param_grads = false` skips accumulation into Parameter::grad and only
+  /// propagates dLoss/dInput — the DDPG actor update backpropagates through
+  /// the critic without wanting critic gradients, and the weight-gradient
+  /// GEMMs are the bulk of a backward pass. Every override declares the
+  /// same default so the flag behaves identically through any static type.
+  virtual Matrix Backward(const Matrix& grad_output,
+                          bool param_grads = true) = 0;
 
   /// Learnable parameters, if any. Pointers stay valid for the layer's life.
   virtual std::vector<Parameter*> Params() { return {}; }
@@ -65,7 +71,7 @@ class Linear : public Layer {
          InitScheme init = InitScheme::kUniform01);
 
   Matrix Forward(const Matrix& input, bool training) override;
-  Matrix Backward(const Matrix& grad_output) override;
+  Matrix Backward(const Matrix& grad_output, bool param_grads = true) override;
   std::vector<Parameter*> Params() override { return {&weight_, &bias_}; }
   std::string Name() const override { return "Linear"; }
 
@@ -82,7 +88,7 @@ class Linear : public Layer {
 class Relu : public Layer {
  public:
   Matrix Forward(const Matrix& input, bool training) override;
-  Matrix Backward(const Matrix& grad_output) override;
+  Matrix Backward(const Matrix& grad_output, bool param_grads = true) override;
   std::string Name() const override { return "Relu"; }
 
  private:
@@ -96,7 +102,7 @@ class LeakyRelu : public Layer {
   explicit LeakyRelu(double slope = 0.2) : slope_(slope) {}
 
   Matrix Forward(const Matrix& input, bool training) override;
-  Matrix Backward(const Matrix& grad_output) override;
+  Matrix Backward(const Matrix& grad_output, bool param_grads = true) override;
   std::string Name() const override { return "LeakyRelu"; }
 
  private:
@@ -107,7 +113,7 @@ class LeakyRelu : public Layer {
 class Tanh : public Layer {
  public:
   Matrix Forward(const Matrix& input, bool training) override;
-  Matrix Backward(const Matrix& grad_output) override;
+  Matrix Backward(const Matrix& grad_output, bool param_grads = true) override;
   std::string Name() const override { return "Tanh"; }
 
  private:
@@ -119,7 +125,7 @@ class Tanh : public Layer {
 class Sigmoid : public Layer {
  public:
   Matrix Forward(const Matrix& input, bool training) override;
-  Matrix Backward(const Matrix& grad_output) override;
+  Matrix Backward(const Matrix& grad_output, bool param_grads = true) override;
   std::string Name() const override { return "Sigmoid"; }
 
  private:
@@ -134,7 +140,7 @@ class BatchNorm : public Layer {
                      double epsilon = 1e-5);
 
   Matrix Forward(const Matrix& input, bool training) override;
-  Matrix Backward(const Matrix& grad_output) override;
+  Matrix Backward(const Matrix& grad_output, bool param_grads = true) override;
   std::vector<Parameter*> Params() override { return {&gamma_, &beta_}; }
   std::string Name() const override { return "BatchNorm"; }
 
@@ -173,7 +179,7 @@ class ParallelLinear : public Layer {
                  InitScheme init = InitScheme::kUniform01);
 
   Matrix Forward(const Matrix& input, bool training) override;
-  Matrix Backward(const Matrix& grad_output) override;
+  Matrix Backward(const Matrix& grad_output, bool param_grads = true) override;
   std::vector<Parameter*> Params() override;
   std::string Name() const override { return "ParallelLinear"; }
 
@@ -194,7 +200,7 @@ class Dropout : public Layer {
   Dropout(double rate, util::Rng& rng);
 
   Matrix Forward(const Matrix& input, bool training) override;
-  Matrix Backward(const Matrix& grad_output) override;
+  Matrix Backward(const Matrix& grad_output, bool param_grads = true) override;
   std::string Name() const override { return "Dropout"; }
 
  private:

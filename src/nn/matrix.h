@@ -2,7 +2,6 @@
 #define CDBTUNE_NN_MATRIX_H_
 
 #include <cstddef>
-#include <functional>
 #include <initializer_list>
 #include <iosfwd>
 #include <vector>
@@ -15,9 +14,11 @@ namespace cdbtune::nn {
 /// library needs. A batch of N state vectors of dimension D is an N x D
 /// matrix; a Linear layer's weight is in_features x out_features.
 ///
-/// Sized for this project's networks (layers of at most a few hundred
-/// units), so the implementation favors clarity: no SIMD intrinsics, but a
-/// cache-friendly ikj matmul loop.
+/// Matmul kernels are cache-blocked over the inner dimension and dispatch
+/// row ranges onto util::ComputeContext's pool above a flop threshold.
+/// Each output element is accumulated in a fixed k-ascending order by
+/// exactly one thread, so results are bitwise identical at any thread
+/// count (the determinism contract in DESIGN.md "Parallelism & kernels").
 class Matrix {
  public:
   Matrix() : rows_(0), cols_(0) {}
@@ -56,6 +57,17 @@ class Matrix {
 
   /// Matrix product this(NxK) * other(KxM) -> NxM.
   Matrix MatMul(const Matrix& other) const;
+
+  /// Fused this^T * other: this(NxK), other(NxM) -> KxM, without
+  /// materializing the transpose. Backprop weight gradients
+  /// (input^T * grad_output) hit this kernel every minibatch.
+  Matrix MatMulTransposedA(const Matrix& other) const;
+
+  /// Fused this * other^T: this(NxK), other(MxK) -> NxM. Each output is a
+  /// dot product of two contiguous rows — the input-gradient kernel
+  /// (grad_output * weight^T).
+  Matrix MatMulTransposedB(const Matrix& other) const;
+
   Matrix Transposed() const;
 
   // --- Elementwise ------------------------------------------------------
@@ -69,8 +81,18 @@ class Matrix {
   /// Adds a 1 x cols row (bias broadcast) to every row.
   Matrix& AddRowBroadcast(const Matrix& row);
 
-  /// Returns a new matrix with `fn` applied to every element.
-  Matrix Map(const std::function<double(double)>& fn) const;
+  /// Returns a new matrix with `fn` applied to every element. Templated so
+  /// activation lambdas inline into the loop instead of paying a
+  /// std::function indirection per element.
+  template <typename Fn>
+  Matrix Map(Fn&& fn) const {
+    Matrix out(rows_, cols_);
+    const double* src = data_.data();
+    double* dst = out.data_.data();
+    const size_t n = data_.size();
+    for (size_t i = 0; i < n; ++i) dst[i] = fn(src[i]);
+    return out;
+  }
 
   // --- Reductions -------------------------------------------------------
 

@@ -10,10 +10,9 @@ void Optimizer::ClipGradNorm(double max_norm) {
   CDBTUNE_CHECK(max_norm > 0.0) << "max_norm must be positive";
   double sq = 0.0;
   for (Parameter* p : params_) {
-    const Matrix& g = p->grad;
-    for (size_t r = 0; r < g.rows(); ++r) {
-      for (size_t c = 0; c < g.cols(); ++c) sq += g.at(r, c) * g.at(r, c);
-    }
+    const double* g = p->grad.data();
+    const size_t n = p->grad.size();
+    for (size_t i = 0; i < n; ++i) sq += g[i] * g[i];
   }
   double norm = std::sqrt(sq);
   if (norm <= max_norm || norm == 0.0) return;
@@ -32,15 +31,14 @@ Sgd::Sgd(std::vector<Parameter*> params, double learning_rate, double momentum)
 
 void Sgd::Step() {
   for (size_t i = 0; i < params_.size(); ++i) {
-    Matrix& value = params_[i]->value;
-    const Matrix& grad = params_[i]->grad;
-    Matrix& vel = velocity_[i];
-    for (size_t r = 0; r < value.rows(); ++r) {
-      for (size_t c = 0; c < value.cols(); ++c) {
-        double v = momentum_ * vel.at(r, c) - learning_rate_ * grad.at(r, c);
-        vel.at(r, c) = v;
-        value.at(r, c) += v;
-      }
+    double* __restrict__ value = params_[i]->value.data();
+    const double* __restrict__ grad = params_[i]->grad.data();
+    double* __restrict__ vel = velocity_[i].data();
+    const size_t n = params_[i]->value.size();
+    for (size_t j = 0; j < n; ++j) {
+      const double v = momentum_ * vel[j] - learning_rate_ * grad[j];
+      vel[j] = v;
+      value[j] += v;
     }
   }
 }
@@ -62,22 +60,26 @@ Adam::Adam(std::vector<Parameter*> params, double learning_rate, double beta1,
 
 void Adam::Step() {
   ++step_;
-  const double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(step_));
-  const double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(step_));
+  // Bias corrections hoisted to reciprocal multiplies: the loop body keeps
+  // one sqrt and one divide per element, which GCC turns into packed
+  // sqrtpd/divpd over the flat buffers.
+  const double inv_bc1 = 1.0 / (1.0 - std::pow(beta1_, static_cast<double>(step_)));
+  const double inv_bc2 = 1.0 / (1.0 - std::pow(beta2_, static_cast<double>(step_)));
+  const double one_minus_b1 = 1.0 - beta1_;
+  const double one_minus_b2 = 1.0 - beta2_;
   for (size_t i = 0; i < params_.size(); ++i) {
-    Matrix& value = params_[i]->value;
-    const Matrix& grad = params_[i]->grad;
-    Matrix& m = m_[i];
-    Matrix& v = v_[i];
-    for (size_t r = 0; r < value.rows(); ++r) {
-      for (size_t c = 0; c < value.cols(); ++c) {
-        double g = grad.at(r, c);
-        m.at(r, c) = beta1_ * m.at(r, c) + (1.0 - beta1_) * g;
-        v.at(r, c) = beta2_ * v.at(r, c) + (1.0 - beta2_) * g * g;
-        double m_hat = m.at(r, c) / bc1;
-        double v_hat = v.at(r, c) / bc2;
-        value.at(r, c) -= learning_rate_ * m_hat / (std::sqrt(v_hat) + epsilon_);
-      }
+    double* __restrict__ value = params_[i]->value.data();
+    const double* __restrict__ grad = params_[i]->grad.data();
+    double* __restrict__ m = m_[i].data();
+    double* __restrict__ v = v_[i].data();
+    const size_t n = params_[i]->value.size();
+    for (size_t j = 0; j < n; ++j) {
+      const double g = grad[j];
+      m[j] = beta1_ * m[j] + one_minus_b1 * g;
+      v[j] = beta2_ * v[j] + one_minus_b2 * g * g;
+      const double m_hat = m[j] * inv_bc1;
+      const double v_hat = v[j] * inv_bc2;
+      value[j] -= learning_rate_ * m_hat / (std::sqrt(v_hat) + epsilon_);
     }
   }
 }

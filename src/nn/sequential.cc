@@ -18,10 +18,10 @@ Matrix Sequential::Forward(const Matrix& input, bool training) {
   return x;
 }
 
-Matrix Sequential::Backward(const Matrix& grad_output) {
+Matrix Sequential::Backward(const Matrix& grad_output, bool param_grads) {
   Matrix g = grad_output;
   for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
-    g = (*it)->Backward(g);
+    g = (*it)->Backward(g, param_grads);
   }
   return g;
 }
@@ -66,14 +66,14 @@ void Sequential::SoftUpdateFrom(Sequential& source, double tau) {
   auto src = source.Params();
   CDBTUNE_CHECK(dst.size() == src.size()) << "architecture mismatch in update";
   for (size_t i = 0; i < dst.size(); ++i) {
-    Matrix& d = dst[i]->value;
-    const Matrix& s = src[i]->value;
-    CDBTUNE_CHECK(d.SameShape(s)) << "parameter shape mismatch at index " << i;
-    for (size_t r = 0; r < d.rows(); ++r) {
-      for (size_t c = 0; c < d.cols(); ++c) {
-        d.at(r, c) = tau * s.at(r, c) + (1.0 - tau) * d.at(r, c);
-      }
-    }
+    Matrix& dm = dst[i]->value;
+    const Matrix& sm = src[i]->value;
+    CDBTUNE_CHECK(dm.SameShape(sm)) << "parameter shape mismatch at index " << i;
+    double* __restrict__ d = dm.data();
+    const double* __restrict__ s = sm.data();
+    const size_t n = dm.size();
+    const double keep = 1.0 - tau;
+    for (size_t j = 0; j < n; ++j) d[j] = tau * s[j] + keep * d[j];
   }
 }
 

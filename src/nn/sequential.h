@@ -34,8 +34,10 @@ class Sequential {
   Matrix Forward(const Matrix& input, bool training);
 
   /// Backpropagates dLoss/dOutput through the stack, accumulating parameter
-  /// gradients; returns dLoss/dInput.
-  Matrix Backward(const Matrix& grad_output);
+  /// gradients; returns dLoss/dInput. `param_grads = false` propagates the
+  /// input gradient only (no Parameter::grad accumulation) — used when a
+  /// network is differentiated through rather than trained.
+  Matrix Backward(const Matrix& grad_output, bool param_grads = true);
 
   /// All learnable parameters in layer order.
   std::vector<Parameter*> Params();

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "util/logging.h"
+#include "util/thread_pool.h"
 
 namespace cdbtune::rl {
 
@@ -126,26 +127,41 @@ TrainStats DdpgAgent::TrainStep() {
   std::vector<bool> terminal(batch);
   for (size_t i = 0; i < batch; ++i) {
     const Transition& t = *sample.items[i];
-    states.SetRow(i, t.state);
-    actions.SetRow(i, t.action);
-    next_states.SetRow(i, t.next_state);
+    std::copy(t.state.begin(), t.state.end(),
+              states.data() + i * options_.state_dim);
+    std::copy(t.action.begin(), t.action.end(),
+              actions.data() + i * options_.action_dim);
+    std::copy(t.next_state.begin(), t.next_state.end(),
+              next_states.data() + i * options_.state_dim);
     rewards[i] = t.reward;
     terminal[i] = t.terminal;
   }
 
   // ---- Critic update (Algorithm 1, steps 2-6) ---------------------------
   // y_i = r_i + gamma * Q'(s_{i+1}, mu'(s_{i+1})).
-  Matrix next_actions = actor_target_.Forward(next_states, /*training=*/false);
-  Matrix next_q = critic_target_.Forward(CriticInput(next_states, next_actions),
-                                         /*training=*/false);
+  //
+  // The target-network pass (actor' -> critic') and the online critic's
+  // forward on (s, a) touch disjoint networks and only the latter draws from
+  // rng_ (dropout), so they run concurrently on the compute pool; the rng
+  // stream and all per-network state advance exactly as in serial order.
   Matrix targets(batch, 1);
-  for (size_t i = 0; i < batch; ++i) {
-    double bootstrap = terminal[i] ? 0.0 : options_.gamma * next_q.at(i, 0);
-    targets.at(i, 0) = rewards[i] + bootstrap;
-  }
-
+  Matrix q;
   critic_.ZeroGrad();
-  Matrix q = critic_.Forward(CriticInput(states, actions), /*training=*/true);
+  util::ComputeContext::Get().RunConcurrent(
+      {[&] {
+         Matrix next_actions =
+             actor_target_.Forward(next_states, /*training=*/false);
+         Matrix next_q = critic_target_.Forward(
+             CriticInput(next_states, next_actions), /*training=*/false);
+         for (size_t i = 0; i < batch; ++i) {
+           double bootstrap =
+               terminal[i] ? 0.0 : options_.gamma * next_q.at(i, 0);
+           targets.at(i, 0) = rewards[i] + bootstrap;
+         }
+       },
+       [&] {
+         q = critic_.Forward(CriticInput(states, actions), /*training=*/true);
+       }});
   // Importance-weighted MSE: grad_i = 2 * w_i * (q_i - y_i) / batch.
   Matrix grad(batch, 1);
   double loss = 0.0;
@@ -164,18 +180,18 @@ TrainStats DdpgAgent::TrainStep() {
   replay_->UpdatePriorities(sample.indices, td_errors);
 
   // ---- Actor update (Algorithm 1, step 7) -------------------------------
-  // Maximize Q(s, mu(s)): push -dQ/da through the actor.
+  // Maximize Q(s, mu(s)): push -dQ/da through the actor. The critic is only
+  // differentiated *through* here — param_grads=false skips its
+  // weight-gradient GEMMs entirely instead of computing and discarding them.
   actor_.ZeroGrad();
-  critic_.ZeroGrad();  // Reuse critic for gradients only; discard its grads.
   Matrix policy_actions = actor_.Forward(states, /*training=*/true);
   Matrix policy_q = critic_.Forward(CriticInput(states, policy_actions),
                                     /*training=*/false);
   Matrix dq(batch, 1, -1.0 / static_cast<double>(batch));
-  Matrix grad_input = critic_.Backward(dq);
+  Matrix grad_input = critic_.Backward(dq, /*param_grads=*/false);
   Matrix grad_states, grad_actions;
   grad_input.SplitCols(options_.state_dim, &grad_states, &grad_actions);
   actor_.Backward(grad_actions);
-  critic_.ZeroGrad();  // Drop the critic grads produced by the actor pass.
   actor_opt_->ClipGradNorm(options_.grad_clip);
   actor_opt_->Step();
 

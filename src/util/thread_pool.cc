@@ -1,0 +1,156 @@
+#include "util/thread_pool.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <string>
+
+#include "util/logging.h"
+
+namespace cdbtune::util {
+
+namespace {
+
+thread_local bool tls_in_pool_worker = false;
+
+/// Count-down synchronization for fork/join regions: the issuing thread
+/// waits until every submitted chunk reported completion.
+class BlockingCounter {
+ public:
+  explicit BlockingCounter(size_t count) : count_(count) {}
+
+  void DecrementCount() {
+    std::lock_guard<std::mutex> lock(mu_);
+    CDBTUNE_CHECK(count_ > 0) << "BlockingCounter underflow";
+    if (--count_ == 0) cv_.notify_all();
+  }
+
+  void Wait() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] { return count_ == 0; });
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  size_t count_;
+};
+
+size_t DefaultThreads() {
+  if (const char* env = std::getenv("CDBTUNE_THREADS")) {
+    char* end = nullptr;
+    long n = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && n >= 1) return static_cast<size_t>(n);
+  }
+  size_t hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+}  // namespace
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  workers_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+bool ThreadPool::InWorker() { return tls_in_pool_worker; }
+
+void ThreadPool::WorkerLoop() {
+  tls_in_pool_worker = true;
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (stop_ && queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+ComputeContext& ComputeContext::Get() {
+  static ComputeContext* context = new ComputeContext();
+  return *context;
+}
+
+ComputeContext::ComputeContext() { SetThreads(DefaultThreads()); }
+
+void ComputeContext::SetThreads(size_t n) {
+  if (n == 0) n = DefaultThreads();
+  threads_ = n;
+  pool_.reset();
+  if (threads_ > 1) pool_ = std::make_unique<ThreadPool>(threads_ - 1);
+}
+
+void ComputeContext::ParallelFor(size_t begin, size_t end, size_t grain,
+                                 const std::function<void(size_t, size_t)>& fn) {
+  if (begin >= end) return;
+  if (grain == 0) grain = 1;
+  const size_t range = end - begin;
+  // Serial path: single-threaded config, a nested call from inside a pool
+  // worker (nested regions run inline rather than re-entering the pool), or
+  // a range too small to be worth splitting. This is the exact loop the
+  // parallel chunks run, so thread count never changes results.
+  if (threads_ == 1 || ThreadPool::InWorker() || range <= grain) {
+    fn(begin, end);
+    return;
+  }
+  size_t chunks = range / grain;
+  if (chunks > threads_) chunks = threads_;
+  // Balanced split: chunk c covers [begin + c*range/chunks,
+  // begin + (c+1)*range/chunks) — contiguous, disjoint, never empty.
+  const auto bound = [begin, range, chunks](size_t c) {
+    return begin + c * range / chunks;
+  };
+  BlockingCounter pending(chunks - 1);
+  for (size_t c = 1; c < chunks; ++c) {
+    const size_t lo = bound(c);
+    const size_t hi = bound(c + 1);
+    pool_->Submit([&fn, &pending, lo, hi] {
+      fn(lo, hi);
+      pending.DecrementCount();
+    });
+  }
+  // The calling thread takes the first chunk instead of idling.
+  fn(begin, bound(1));
+  pending.Wait();
+}
+
+void ComputeContext::RunConcurrent(std::vector<std::function<void()>> tasks) {
+  if (tasks.empty()) return;
+  if (threads_ == 1 || ThreadPool::InWorker() || tasks.size() == 1) {
+    for (auto& task : tasks) task();
+    return;
+  }
+  BlockingCounter pending(tasks.size() - 1);
+  for (size_t i = 1; i < tasks.size(); ++i) {
+    pool_->Submit([&tasks, &pending, i] {
+      tasks[i]();
+      pending.DecrementCount();
+    });
+  }
+  tasks[0]();
+  pending.Wait();
+}
+
+}  // namespace cdbtune::util

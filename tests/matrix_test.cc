@@ -1,8 +1,10 @@
+#include <cmath>
 #include <sstream>
 
 #include "gtest/gtest.h"
 #include "nn/matrix.h"
 #include "util/random.h"
+#include "util/thread_pool.h"
 
 namespace cdbtune::nn {
 namespace {
@@ -154,6 +156,103 @@ TEST(MatrixDeathTest, ShapeMismatchChecks) {
   Matrix b(3, 3);
   EXPECT_DEATH(a.AddInPlace(b), "shape mismatch");
   EXPECT_DEATH(a.MatMul(a), "matmul shape mismatch");
+}
+
+// --- Blocked / fused / parallel kernel equivalence -----------------------
+
+// Naive jik reference, deliberately written with a different loop order
+// than any production kernel.
+Matrix NaiveMatMul(const Matrix& a, const Matrix& b) {
+  Matrix out(a.rows(), b.cols());
+  for (size_t j = 0; j < b.cols(); ++j) {
+    for (size_t i = 0; i < a.rows(); ++i) {
+      double acc = 0.0;
+      for (size_t p = 0; p < a.cols(); ++p) acc += a.at(i, p) * b.at(p, j);
+      out.at(i, j) = acc;
+    }
+  }
+  return out;
+}
+
+void ExpectNear(const Matrix& got, const Matrix& want, double rel_tol) {
+  ASSERT_TRUE(got.SameShape(want));
+  for (size_t r = 0; r < got.rows(); ++r) {
+    for (size_t c = 0; c < got.cols(); ++c) {
+      double scale = std::max(1.0, std::fabs(want.at(r, c)));
+      EXPECT_NEAR(got.at(r, c), want.at(r, c), rel_tol * scale)
+          << "at (" << r << ", " << c << ")";
+    }
+  }
+}
+
+void ExpectBitwiseEqual(const Matrix& got, const Matrix& want) {
+  ASSERT_TRUE(got.SameShape(want));
+  for (size_t i = 0; i < got.size(); ++i) {
+    ASSERT_EQ(got.data()[i], want.data()[i]) << "element " << i;
+  }
+}
+
+// Shapes chosen to straddle the k-block size (64) and the parallel-dispatch
+// flop threshold, with ragged remainders.
+struct GemmShape {
+  size_t n, k, m;
+};
+const GemmShape kGemmShapes[] = {
+    {1, 63, 266}, {3, 7, 5}, {32, 329, 256}, {70, 130, 90}, {130, 64, 1}};
+
+TEST(MatrixKernelTest, BlockedMatMulMatchesNaive) {
+  util::Rng rng(11);
+  for (const GemmShape& s : kGemmShapes) {
+    Matrix a = Matrix::RandomGaussian(s.n, s.k, 0.0, 1.0, rng);
+    Matrix b = Matrix::RandomGaussian(s.k, s.m, 0.0, 1.0, rng);
+    ExpectNear(a.MatMul(b), NaiveMatMul(a, b), 1e-12);
+  }
+}
+
+TEST(MatrixKernelTest, MatMulTransposedAMatchesNaive) {
+  util::Rng rng(12);
+  for (const GemmShape& s : kGemmShapes) {
+    Matrix a = Matrix::RandomGaussian(s.k, s.n, 0.0, 1.0, rng);
+    Matrix b = Matrix::RandomGaussian(s.k, s.m, 0.0, 1.0, rng);
+    ExpectNear(a.MatMulTransposedA(b), NaiveMatMul(a.Transposed(), b), 1e-12);
+  }
+}
+
+TEST(MatrixKernelTest, MatMulTransposedBMatchesNaive) {
+  util::Rng rng(13);
+  for (const GemmShape& s : kGemmShapes) {
+    Matrix a = Matrix::RandomGaussian(s.n, s.k, 0.0, 1.0, rng);
+    Matrix b = Matrix::RandomGaussian(s.m, s.k, 0.0, 1.0, rng);
+    ExpectNear(a.MatMulTransposedB(b), NaiveMatMul(a, b.Transposed()), 1e-12);
+  }
+}
+
+// The determinism contract: every kernel partitions independent outputs
+// only, so results must be *bitwise* identical at any thread count.
+TEST(MatrixKernelTest, KernelsBitwiseIdenticalAcrossThreadCounts) {
+  util::Rng rng(14);
+  Matrix a = Matrix::RandomGaussian(70, 330, 0.0, 1.0, rng);
+  Matrix b = Matrix::RandomGaussian(330, 90, 0.0, 1.0, rng);
+  Matrix bt = Matrix::RandomGaussian(90, 330, 0.0, 1.0, rng);
+
+  Matrix other = Matrix::RandomGaussian(70, 90, 0.0, 1.0, rng);
+
+  auto& ctx = util::ComputeContext::Get();
+  const size_t old_threads = ctx.threads();
+  ctx.SetThreads(1);
+  Matrix serial_mm = a.MatMul(b);
+  Matrix serial_ta = a.MatMulTransposedA(other);
+  Matrix serial_tb = a.MatMulTransposedB(bt);
+
+  ctx.SetThreads(8);
+  Matrix parallel_mm = a.MatMul(b);
+  Matrix parallel_ta = a.MatMulTransposedA(other);
+  Matrix parallel_tb = a.MatMulTransposedB(bt);
+  ctx.SetThreads(old_threads);
+
+  ExpectBitwiseEqual(parallel_mm, serial_mm);
+  ExpectBitwiseEqual(parallel_ta, serial_ta);
+  ExpectBitwiseEqual(parallel_tb, serial_tb);
 }
 
 }  // namespace
