@@ -4,7 +4,7 @@
 #include <cmath>
 #include <numeric>
 
-#include "util/logging.h"
+#include "util/check.h"
 
 namespace cdbtune::baselines {
 

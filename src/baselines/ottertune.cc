@@ -7,6 +7,7 @@
 
 #include "nn/optimizer.h"
 #include "nn/sequential.h"
+#include "util/check.h"
 #include "util/logging.h"
 
 namespace cdbtune::baselines {

@@ -1,5 +1,6 @@
 #include "baselines/random_tuner.h"
 
+#include "util/check.h"
 #include "util/logging.h"
 
 namespace cdbtune::baselines {

@@ -2,7 +2,7 @@
 
 #include <cstring>
 
-#include "util/logging.h"
+#include "util/check.h"
 
 namespace cdbtune::engine {
 
@@ -298,59 +298,132 @@ util::Status BTree::Insert(uint64_t key, const char* payload) {
   return InsertIntoParent(path, separator, right_id);
 }
 
-util::Status BTree::CheckInvariants() {
-  // Walk down the leftmost spine to the leaf level, then traverse the leaf
-  // chain verifying global key ordering and per-page sortedness.
-  PageId current = root_;
-  size_t depth = 1;
-  while (true) {
-    auto page = pool_->FetchPage(current);
-    if (!page.ok()) return page.status();
-    Page::Header h = page.value()->header();
-    if (h.type == PageType::kBTreeLeaf) {
-      pool_->UnpinPage(current, /*dirty=*/false);
-      break;
-    }
-    // Internal keys must be strictly increasing after the sentinel.
-    for (size_t i = 2; i < h.num_entries; ++i) {
-      if (page.value()->InternalKey(i - 1) >= page.value()->InternalKey(i)) {
-        pool_->UnpinPage(current, /*dirty=*/false);
-        return util::Status::Internal("internal keys out of order");
-      }
-    }
-    PageId child = page.value()->InternalChild(0);
-    pool_->UnpinPage(current, /*dirty=*/false);
-    current = child;
-    ++depth;
-  }
-  if (depth != height_) {
-    return util::Status::Internal("height bookkeeping mismatch");
-  }
+util::Status BTree::ValidateSubtree(PageId page_id, size_t depth,
+                                    uint64_t lower, bool has_lower,
+                                    uint64_t upper, bool has_upper,
+                                    std::vector<PageId>* leaves,
+                                    size_t* entries) {
+  auto page = pool_->FetchPage(page_id);
+  if (!page.ok()) return page.status();
+  Page::Header h = page.value()->header();
 
-  size_t counted = 0;
-  bool have_prev = false;
-  uint64_t prev = 0;
-  while (current != kInvalidPageId) {
-    auto page = pool_->FetchPage(current);
-    if (!page.ok()) return page.status();
-    Page::Header h = page.value()->header();
+  if (h.type == PageType::kBTreeLeaf) {
+    if (depth != height_) {
+      pool_->UnpinPage(page_id, /*dirty=*/false);
+      return util::Status::Internal("leaf at depth " + std::to_string(depth) +
+                                    ", expected uniform depth " +
+                                    std::to_string(height_));
+    }
+    if (h.num_entries > Page::kLeafCapacity) {
+      pool_->UnpinPage(page_id, /*dirty=*/false);
+      return util::Status::Internal("leaf overflows its capacity");
+    }
+    util::Status status = util::Status::Ok();
     for (size_t i = 0; i < h.num_entries; ++i) {
       uint64_t k = page.value()->LeafKey(i);
-      if (have_prev && k <= prev) {
-        pool_->UnpinPage(current, /*dirty=*/false);
-        return util::Status::Internal("leaf keys out of order");
+      if (i > 0 && page.value()->LeafKey(i - 1) >= k) {
+        status = util::Status::Internal("leaf keys out of order in page " +
+                                        std::to_string(page_id));
+        break;
       }
-      prev = k;
-      have_prev = true;
-      ++counted;
+      if ((has_lower && k < lower) || (has_upper && k >= upper)) {
+        status = util::Status::Internal(
+            "leaf key " + std::to_string(k) +
+            " escapes its parent separator range in page " +
+            std::to_string(page_id));
+        break;
+      }
     }
-    pool_->UnpinPage(current, /*dirty=*/false);
-    current = h.next_page;
+    pool_->UnpinPage(page_id, /*dirty=*/false);
+    if (status.ok()) {
+      leaves->push_back(page_id);
+      *entries += h.num_entries;
+    }
+    return status;
   }
+
+  if (h.type != PageType::kBTreeInternal) {
+    pool_->UnpinPage(page_id, /*dirty=*/false);
+    return util::Status::Internal("page with invalid type in the tree");
+  }
+  if (depth >= height_) {
+    pool_->UnpinPage(page_id, /*dirty=*/false);
+    return util::Status::Internal("internal page below the leaf level");
+  }
+  // Fill bounds: splits always leave >= 2 entries and deletes never touch
+  // internal pages, so any internal page with fewer is corrupt.
+  if (h.num_entries < 2 || h.num_entries > Page::kInternalCapacity) {
+    pool_->UnpinPage(page_id, /*dirty=*/false);
+    return util::Status::Internal("internal page fill out of bounds: " +
+                                  std::to_string(h.num_entries) + " entries");
+  }
+
+  // Copy separators and children, then release the pin before recursing so
+  // the walk never holds more than one frame at a time (a deep tree would
+  // otherwise exhaust a small pool).
+  std::vector<uint64_t> keys(h.num_entries);
+  std::vector<PageId> children(h.num_entries);
+  for (size_t i = 0; i < h.num_entries; ++i) {
+    keys[i] = page.value()->InternalKey(i);
+    children[i] = page.value()->InternalChild(i);
+  }
+  pool_->UnpinPage(page_id, /*dirty=*/false);
+
+  for (size_t i = 1; i < keys.size(); ++i) {
+    // Slot 0 holds the sentinel minimum; real separators start at slot 1
+    // and must be strictly increasing and inside the parent's range.
+    if (i > 1 && keys[i - 1] >= keys[i]) {
+      return util::Status::Internal("internal keys out of order in page " +
+                                    std::to_string(page_id));
+    }
+    if ((has_lower && keys[i] < lower) || (has_upper && keys[i] >= upper)) {
+      return util::Status::Internal(
+          "separator escapes its parent range in page " +
+          std::to_string(page_id));
+    }
+  }
+
+  for (size_t i = 0; i < children.size(); ++i) {
+    // Child i covers [keys[i], keys[i+1]); slot 0 inherits the parent lower
+    // bound (its separator is the sentinel), the last child the upper one.
+    uint64_t child_lower = i == 0 ? lower : keys[i];
+    bool child_has_lower = i == 0 ? has_lower : true;
+    uint64_t child_upper = i + 1 < keys.size() ? keys[i + 1] : upper;
+    bool child_has_upper = i + 1 < keys.size() ? true : has_upper;
+    CDBTUNE_RETURN_IF_ERROR(ValidateSubtree(children[i], depth + 1,
+                                            child_lower, child_has_lower,
+                                            child_upper, child_has_upper,
+                                            leaves, entries));
+  }
+  return util::Status::Ok();
+}
+
+util::Status BTree::Validate() {
+  std::vector<PageId> leaves;
+  size_t counted = 0;
+  CDBTUNE_RETURN_IF_ERROR(ValidateSubtree(root_, 1, 0, /*has_lower=*/false, 0,
+                                          /*has_upper=*/false, &leaves,
+                                          &counted));
   if (counted != num_entries_) {
     return util::Status::Internal("entry count mismatch: tree walk found " +
                                   std::to_string(counted) + ", expected " +
                                   std::to_string(num_entries_));
+  }
+
+  // The leaf chain must visit exactly the DFS leaves, in order, and stop.
+  CDBTUNE_CHECK(!leaves.empty()) << "tree with no leaves";
+  for (size_t i = 0; i < leaves.size(); ++i) {
+    auto page = pool_->FetchPage(leaves[i]);
+    if (!page.ok()) return page.status();
+    PageId next = page.value()->header().next_page;
+    pool_->UnpinPage(leaves[i], /*dirty=*/false);
+    PageId expected = i + 1 < leaves.size() ? leaves[i + 1] : kInvalidPageId;
+    if (next != expected) {
+      return util::Status::Internal(
+          "leaf chain broken after page " + std::to_string(leaves[i]) +
+          ": links to " + std::to_string(next) + ", expected " +
+          std::to_string(expected));
+    }
   }
   return util::Status::Ok();
 }

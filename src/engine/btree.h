@@ -46,9 +46,18 @@ class BTree {
   size_t height() const { return height_; }
   PageId root() const { return root_; }
 
-  /// Walks the whole tree verifying ordering, separator and chain
-  /// invariants; used by tests.
-  util::Status CheckInvariants();
+  /// Deep structural validation: recursive walk of the whole tree checking
+  /// per-page key ordering, separator bounds (every key in a subtree lies
+  /// inside the key range its parent separators promise), fill bounds
+  /// (internal pages keep >= 2 entries, nothing exceeds page capacity),
+  /// uniform leaf depth matching `height_`, leaf-chain integrity (the chain
+  /// visits exactly the leaves in left-to-right DFS order and terminates),
+  /// and the entry-count bookkeeping. O(pages); used by tests and by
+  /// debug-build checkpoints.
+  util::Status Validate();
+
+  /// Backwards-compatible alias for Validate().
+  util::Status CheckInvariants() { return Validate(); }
 
  private:
   explicit BTree(BufferPool* pool) : pool_(pool) {}
@@ -64,6 +73,14 @@ class BTree {
   /// Inserts `separator`/`right` into the parent chain after a child split.
   util::Status InsertIntoParent(std::vector<PathEntry>& path,
                                 uint64_t separator, PageId right_id);
+
+  /// Recursive helper for Validate: checks the subtree rooted at `page_id`
+  /// at tree depth `depth` (root = 1), requiring every key to lie in
+  /// [lower, upper) when the corresponding bound flag is set, and appends
+  /// the subtree's leaves to `leaves` in left-to-right order.
+  util::Status ValidateSubtree(PageId page_id, size_t depth, uint64_t lower,
+                               bool has_lower, uint64_t upper, bool has_upper,
+                               std::vector<PageId>* leaves, size_t* entries);
 
   /// Last slot in an internal page whose key is <= target.
   static size_t InternalLowerSlot(const Page& page, uint64_t key);

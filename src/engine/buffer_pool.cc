@@ -1,6 +1,6 @@
 #include "engine/buffer_pool.h"
 
-#include "util/logging.h"
+#include "util/check.h"
 
 namespace cdbtune::engine {
 
@@ -72,7 +72,14 @@ util::StatusOr<Page*> BufferPool::FetchPage(PageId page_id) {
   if (!victim.ok()) return victim.status();
   size_t idx = victim.value();
   Frame& frame = *frames_[idx];
-  CDBTUNE_RETURN_IF_ERROR(disk_->ReadPage(page_id, frame.page.raw()));
+  util::Status read = disk_->ReadPage(page_id, frame.page.raw());
+  if (!read.ok()) {
+    // The victim was already unlinked from the free list / LRU and the page
+    // table; put it back on the free list or it leaks out of every
+    // structure (found by CheckInvariants).
+    free_frames_.push_back(idx);
+    return read;
+  }
   frame.page_id = page_id;
   frame.pin_count = 1;
   frame.dirty = false;
@@ -130,7 +137,77 @@ util::Status BufferPool::FlushAll() {
     frame.dirty = false;
     ++pages_flushed_;
   }
+  CDBTUNE_DCHECK_OK(CheckInvariants());
   return util::Status::Ok();
+}
+
+util::Status BufferPool::CheckInvariants() const {
+  auto violation = [](const std::string& what) {
+    return util::Status::Internal("buffer pool invariant violated: " + what);
+  };
+  if (table_.size() + free_frames_.size() != frames_.size()) {
+    return violation("cached + free frame counts do not cover the pool");
+  }
+  std::vector<char> is_free(frames_.size(), 0);
+  for (size_t idx : free_frames_) {
+    if (idx >= frames_.size()) return violation("free index out of range");
+    if (is_free[idx]) return violation("frame on the free list twice");
+    is_free[idx] = 1;
+    const Frame& f = *frames_[idx];
+    if (f.page_id != kInvalidPageId || f.pin_count != 0 || f.dirty ||
+        f.in_lru) {
+      return violation("free frame not fully reset");
+    }
+  }
+  for (const auto& [page_id, idx] : table_) {
+    if (idx >= frames_.size()) return violation("table index out of range");
+    if (is_free[idx]) return violation("cached frame also on the free list");
+    const Frame& f = *frames_[idx];
+    if (f.page_id != page_id) {
+      return violation("page table points at a frame holding another page");
+    }
+  }
+  for (size_t i = 0; i < frames_.size(); ++i) {
+    const Frame& f = *frames_[i];
+    if (f.pin_count < 0) return violation("negative pin count");
+    if (f.page_id == kInvalidPageId) {
+      if (!is_free[i]) return violation("empty frame missing from free list");
+      continue;
+    }
+    auto it = table_.find(f.page_id);
+    if (it == table_.end() || it->second != i) {
+      return violation("cached frame missing from the page table");
+    }
+    if (f.in_lru && f.pin_count != 0) {
+      return violation("pinned frame marked as LRU-resident");
+    }
+    if (!f.in_lru && f.pin_count == 0) {
+      return violation("unpinned cached frame absent from the LRU list");
+    }
+  }
+  std::vector<char> on_lru(frames_.size(), 0);
+  for (auto it = lru_.begin(); it != lru_.end(); ++it) {
+    size_t idx = *it;
+    if (idx >= frames_.size()) return violation("LRU index out of range");
+    if (on_lru[idx]) return violation("frame on the LRU list twice");
+    on_lru[idx] = 1;
+    const Frame& f = *frames_[idx];
+    if (!f.in_lru) return violation("LRU node not marked in_lru");
+    if (f.page_id == kInvalidPageId) return violation("free frame on LRU");
+    if (f.lru_pos != it) return violation("stale lru_pos iterator");
+  }
+  for (size_t i = 0; i < frames_.size(); ++i) {
+    if (frames_[i]->in_lru && !on_lru[i]) {
+      return violation("in_lru frame missing from the LRU list");
+    }
+  }
+  return util::Status::Ok();
+}
+
+void BufferPool::CorruptPinCountForTest(PageId page_id, int delta) {
+  auto it = table_.find(page_id);
+  CDBTUNE_CHECK(it != table_.end()) << "corrupting uncached page " << page_id;
+  frames_[it->second]->pin_count += delta;
 }
 
 void BufferPool::DropAll() {
@@ -144,6 +221,7 @@ void BufferPool::DropAll() {
     frames_.push_back(std::make_unique<Frame>());
     free_frames_.push_back(num_frames - 1 - i);
   }
+  CDBTUNE_DCHECK_OK(CheckInvariants());
 }
 
 util::Status BufferPool::Resize(size_t num_frames) {
@@ -163,6 +241,7 @@ util::Status BufferPool::Resize(size_t num_frames) {
     frames_.push_back(std::make_unique<Frame>());
     free_frames_.push_back(num_frames - 1 - i);
   }
+  CDBTUNE_DCHECK_OK(CheckInvariants());
   return util::Status::Ok();
 }
 

@@ -57,6 +57,17 @@ class BufferPool {
   uint64_t evictions() const { return evictions_; }
   uint64_t pages_flushed() const { return pages_flushed_; }
 
+  /// Deep structural validation: every frame, page-table entry, free-list
+  /// slot and LRU node must agree (pin counts non-negative, LRU holds
+  /// exactly the unpinned cached frames, free frames are reset, no frame is
+  /// tracked twice, no frame is orphaned). O(frames); returns the first
+  /// violation found. Debug builds run it after FlushAll/Resize/DropAll.
+  util::Status CheckInvariants() const;
+
+  /// Test-only: skews a cached page's pin count without touching the LRU
+  /// list, so tests can prove CheckInvariants catches the imbalance.
+  void CorruptPinCountForTest(PageId page_id, int delta);
+
  private:
   struct Frame {
     Page page;

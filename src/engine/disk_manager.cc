@@ -1,6 +1,6 @@
 #include "engine/disk_manager.h"
 
-#include "util/logging.h"
+#include "util/check.h"
 
 namespace cdbtune::engine {
 

@@ -4,7 +4,7 @@
 #include <cmath>
 
 #include "env/metrics.h"
-#include "util/logging.h"
+#include "util/check.h"
 
 namespace cdbtune::engine {
 
@@ -105,6 +105,9 @@ util::Status MiniCdb::BulkLoad() {
 }
 
 util::Status MiniCdb::TakeCheckpoint() {
+  // Checkpoints are the engine's quiescent points: in debug builds, walk
+  // the tree and the WAL bookkeeping before trusting the image.
+  CDBTUNE_DCHECK_OK(btree_->Validate());
   CDBTUNE_RETURN_IF_ERROR(pool_->FlushAll());
   wal_->CheckpointComplete();
   disk_->MarkCheckpoint();

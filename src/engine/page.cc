@@ -1,6 +1,6 @@
 #include "engine/page.h"
 
-#include "util/logging.h"
+#include "util/check.h"
 
 namespace cdbtune::engine {
 

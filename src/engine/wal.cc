@@ -2,7 +2,7 @@
 
 #include <cstring>
 
-#include "util/logging.h"
+#include "util/check.h"
 
 namespace cdbtune::engine {
 
@@ -66,6 +66,8 @@ uint64_t Wal::AppendRecord(uint64_t key, bool is_insert, const char* payload,
   if (payload != nullptr) {
     std::memcpy(record.payload, payload, kRecordPayload);
   }
+  CDBTUNE_DCHECK(records_.empty() || records_.back().lsn < record.lsn)
+      << "redo records must carry strictly increasing LSNs";
   records_.push_back(record);
   return lsn_;
 }
@@ -119,7 +121,34 @@ void Wal::CheckpointComplete() {
   ++checkpoints_;
   bytes_since_checkpoint_ = 0;
   checkpoint_lsn_ = lsn_;
+  CDBTUNE_DCHECK_OK(CheckInvariants());
   records_.clear();
+}
+
+util::Status Wal::CheckInvariants() const {
+  auto violation = [](const std::string& what) {
+    return util::Status::Internal("WAL invariant violated: " + what);
+  };
+  if (written_lsn_ > lsn_) {
+    return violation("written_lsn ahead of the log head");
+  }
+  if (durable_lsn_ > written_lsn_) {
+    return violation("durable_lsn ahead of written_lsn");
+  }
+  if (checkpoint_lsn_ > durable_lsn_) {
+    return violation("checkpoint_lsn ahead of durable_lsn");
+  }
+  uint64_t prev = 0;
+  for (const RedoRecord& r : records_) {
+    if (r.lsn <= prev) {
+      return violation("redo record LSNs not strictly increasing");
+    }
+    if (r.lsn > lsn_) {
+      return violation("redo record newer than the log head");
+    }
+    prev = r.lsn;
+  }
+  return util::Status::Ok();
 }
 
 std::vector<RedoRecord> Wal::RecoverableRecords() const {

@@ -95,6 +95,12 @@ class Wal {
   uint64_t checkpoint_lsn() const { return checkpoint_lsn_; }
   uint64_t bytes_since_checkpoint() const { return bytes_since_checkpoint_; }
 
+  /// LSN bookkeeping validation: checkpoint_lsn <= durable_lsn <=
+  /// written_lsn <= lsn, and the retained redo records carry strictly
+  /// increasing LSNs no newer than the log head. O(records); debug builds
+  /// run it at every checkpoint, tests on demand.
+  util::Status CheckInvariants() const;
+
   // Cumulative counters.
   uint64_t log_writes() const { return log_writes_; }
   uint64_t log_waits() const { return log_waits_; }

@@ -1,6 +1,6 @@
 #include "env/metrics.h"
 
-#include "util/logging.h"
+#include "util/check.h"
 
 namespace cdbtune::env {
 

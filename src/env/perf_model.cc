@@ -5,7 +5,7 @@
 #include <cstdint>
 #include <unordered_set>
 
-#include "util/logging.h"
+#include "util/check.h"
 
 namespace cdbtune::env {
 

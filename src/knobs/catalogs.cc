@@ -3,7 +3,7 @@
 #include <string>
 #include <vector>
 
-#include "util/logging.h"
+#include "util/check.h"
 
 namespace cdbtune::knobs {
 

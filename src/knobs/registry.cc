@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <map>
 
-#include "util/logging.h"
+#include "util/check.h"
 
 namespace cdbtune::knobs {
 

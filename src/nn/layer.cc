@@ -4,7 +4,7 @@
 #include <istream>
 #include <ostream>
 
-#include "util/logging.h"
+#include "util/check.h"
 
 namespace cdbtune::nn {
 
@@ -74,6 +74,7 @@ Linear::Linear(size_t in_features, size_t out_features, util::Rng& rng,
 }
 
 Matrix Linear::Forward(const Matrix& input, bool /*training*/) {
+  CDBTUNE_DCHECK_EQ(input.cols(), in_features());
   input_cache_ = input;
   Matrix out = input.MatMul(weight_.value);
   out.AddRowBroadcast(bias_.value);
@@ -82,6 +83,8 @@ Matrix Linear::Forward(const Matrix& input, bool /*training*/) {
 
 Matrix Linear::Backward(const Matrix& grad_output, bool param_grads) {
   CDBTUNE_CHECK(!input_cache_.empty()) << "Backward before Forward";
+  CDBTUNE_DCHECK_EQ(grad_output.cols(), out_features());
+  CDBTUNE_DCHECK_EQ(grad_output.rows(), input_cache_.rows());
   // Fused kernels: dW = input^T * g and dX = g * W^T without materializing
   // either transpose.
   if (param_grads) {
@@ -97,6 +100,8 @@ Matrix Relu::Forward(const Matrix& input, bool /*training*/) {
 }
 
 Matrix Relu::Backward(const Matrix& grad_output, bool /*param_grads*/) {
+  CDBTUNE_DCHECK(grad_output.SameShape(input_cache_))
+      << "Relu gradient shape does not match the cached forward input";
   Matrix grad = grad_output;
   double* g = grad.data();
   const double* x = input_cache_.data();
@@ -114,6 +119,8 @@ Matrix LeakyRelu::Forward(const Matrix& input, bool /*training*/) {
 }
 
 Matrix LeakyRelu::Backward(const Matrix& grad_output, bool /*param_grads*/) {
+  CDBTUNE_DCHECK(grad_output.SameShape(input_cache_))
+      << "LeakyRelu gradient shape does not match the cached forward input";
   Matrix grad = grad_output;
   double* g = grad.data();
   const double* x = input_cache_.data();
@@ -130,6 +137,8 @@ Matrix Tanh::Forward(const Matrix& input, bool /*training*/) {
 }
 
 Matrix Tanh::Backward(const Matrix& grad_output, bool /*param_grads*/) {
+  CDBTUNE_DCHECK(grad_output.SameShape(output_cache_))
+      << "Tanh gradient shape does not match the cached forward output";
   Matrix grad = grad_output;
   double* g = grad.data();
   const double* y = output_cache_.data();
@@ -144,6 +153,8 @@ Matrix Sigmoid::Forward(const Matrix& input, bool /*training*/) {
 }
 
 Matrix Sigmoid::Backward(const Matrix& grad_output, bool /*param_grads*/) {
+  CDBTUNE_DCHECK(grad_output.SameShape(output_cache_))
+      << "Sigmoid gradient shape does not match the cached forward output";
   Matrix grad = grad_output;
   double* g = grad.data();
   const double* y = output_cache_.data();
@@ -323,6 +334,8 @@ Matrix Dropout::Forward(const Matrix& input, bool training) {
 
 Matrix Dropout::Backward(const Matrix& grad_output, bool /*param_grads*/) {
   if (!mask_valid_) return grad_output;
+  CDBTUNE_DCHECK(grad_output.SameShape(mask_))
+      << "Dropout gradient shape does not match the cached mask";
   Matrix grad = grad_output;
   grad.MulInPlace(mask_);
   return grad;

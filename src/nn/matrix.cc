@@ -3,7 +3,7 @@
 #include <cmath>
 #include <ostream>
 
-#include "util/logging.h"
+#include "util/check.h"
 #include "util/thread_pool.h"
 
 namespace cdbtune::nn {

@@ -3,7 +3,7 @@
 #include <fstream>
 #include <sstream>
 
-#include "util/logging.h"
+#include "util/check.h"
 
 namespace cdbtune::nn {
 

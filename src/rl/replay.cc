@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
-#include "util/logging.h"
+#include "util/check.h"
 
 namespace cdbtune::rl {
 
@@ -53,6 +53,8 @@ double PrioritizedReplay::TotalPriority() const { return tree_[1]; }
 
 void PrioritizedReplay::SetPriority(size_t slot, double priority) {
   CDBTUNE_CHECK(slot < capacity_) << "slot out of range";
+  CDBTUNE_DCHECK(std::isfinite(priority) && priority >= 0.0)
+      << "priority must be finite and non-negative, got " << priority;
   size_t node = leaf_base_ + slot;
   tree_[node] = priority;
   for (node >>= 1; node >= 1; node >>= 1) {
@@ -83,6 +85,44 @@ void PrioritizedReplay::Add(Transition transition) {
   SetPriority(next_, std::pow(max_priority_, alpha_));
   next_ = (next_ + 1) % capacity_;
   size_ = std::min(size_ + 1, capacity_);
+  // Full O(capacity) validation once per ring wrap keeps debug builds
+  // honest without making every Add quadratic over a training run.
+  if (next_ == 0) CDBTUNE_DCHECK_OK(CheckInvariants());
+}
+
+util::Status PrioritizedReplay::CheckInvariants() const {
+  auto violation = [](const std::string& what) {
+    return util::Status::Internal("replay sum-tree invariant violated: " +
+                                  what);
+  };
+  if (tree_.size() != 2 * leaf_base_) {
+    return violation("tree storage does not match leaf base");
+  }
+  for (size_t slot = 0; slot < leaf_base_; ++slot) {
+    double p = tree_[leaf_base_ + slot];
+    if (!std::isfinite(p) || p < 0.0) {
+      return violation("leaf " + std::to_string(slot) +
+                       " priority not finite and non-negative");
+    }
+    if (slot >= size_ && p != 0.0) {
+      return violation("unwritten leaf " + std::to_string(slot) +
+                       " holds non-zero priority");
+    }
+  }
+  for (size_t node = 1; node < leaf_base_; ++node) {
+    double expected = tree_[2 * node] + tree_[2 * node + 1];
+    double tolerance = 1e-9 * std::max(1.0, std::fabs(expected));
+    if (std::fabs(tree_[node] - expected) > tolerance) {
+      return violation("node " + std::to_string(node) +
+                       " does not equal the sum of its children");
+    }
+  }
+  return util::Status::Ok();
+}
+
+void PrioritizedReplay::CorruptTreeNodeForTest(size_t node, double value) {
+  CDBTUNE_CHECK(node < tree_.size()) << "tree node out of range";
+  tree_[node] = value;
 }
 
 SampleBatch PrioritizedReplay::Sample(size_t batch_size, util::Rng& rng) {

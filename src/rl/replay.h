@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "util/random.h"
+#include "util/status.h"
 
 namespace cdbtune::rl {
 
@@ -86,6 +87,17 @@ class PrioritizedReplay : public ReplayBuffer {
 
   /// Sum of all priorities (exposed for tests).
   double TotalPriority() const;
+
+  /// Sum-tree validation: every internal node must equal the sum of its two
+  /// children (within FP tolerance), every leaf priority must be finite and
+  /// non-negative, and slots never written (beyond size(), or padding past
+  /// capacity()) must hold zero. O(capacity); debug builds run it each time
+  /// the ring wraps, tests on demand.
+  util::Status CheckInvariants() const;
+
+  /// Test-only: overwrites one raw sum-tree node (tree index, root = 1) so
+  /// tests can prove CheckInvariants catches the corruption.
+  void CorruptTreeNodeForTest(size_t node, double value);
 
  private:
   void SetPriority(size_t slot, double priority);

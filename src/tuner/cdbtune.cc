@@ -4,6 +4,7 @@
 #include <cmath>
 #include <fstream>
 
+#include "util/check.h"
 #include "util/logging.h"
 #include "util/stats.h"
 
@@ -250,8 +251,15 @@ OfflineTrainResult CdbTuner::OfflineTrain(
             best_offline_action_ = std::move(greedy_action);
           }
         }
-        // Put the instance back on defaults for the new episode.
-        (void)db_->ApplyConfig(base_config);
+        // Put the instance back on defaults for the new episode. The
+        // shipped defaults always start, so a failure here is a bug worth
+        // hearing about rather than silently tuning from the wrong state.
+        util::Status reset_status = db_->ApplyConfig(base_config);
+        if (!reset_status.ok()) {
+          CDBTUNE_LOG(Warning) << "resetting to defaults after evaluation "
+                                  "failed: "
+                               << reset_status.ToString();
+        }
       }
     }
   }

@@ -1,6 +1,6 @@
 #include "tuner/controller.h"
 
-#include "util/logging.h"
+#include "util/check.h"
 
 namespace cdbtune::tuner {
 

@@ -3,7 +3,7 @@
 #include <cmath>
 #include <cstdio>
 
-#include "util/logging.h"
+#include "util/check.h"
 
 namespace cdbtune::tuner {
 

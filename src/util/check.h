@@ -1,0 +1,116 @@
+#ifndef CDBTUNE_UTIL_CHECK_H_
+#define CDBTUNE_UTIL_CHECK_H_
+
+#include <type_traits>
+#include <utility>
+
+#include "util/logging.h"
+#include "util/status.h"
+
+/// Contract-check library: CDBTUNE_CHECK* macros abort the process with the
+/// failing expression, both operand values (for the binary forms) and the
+/// source location. They guard programmer errors — violated invariants,
+/// impossible states — never recoverable conditions, which return Status.
+///
+/// The CDBTUNE_DCHECK* twins compile to nothing in Release builds (NDEBUG)
+/// unless the build sets CDBTUNE_DCHECK_ENABLED=1 (CMake: -DCDBTUNE_DCHECK=ON),
+/// so validators and per-element shape checks cost nothing on the bench path.
+
+#ifndef CDBTUNE_DCHECK_ENABLED
+#ifdef NDEBUG
+#define CDBTUNE_DCHECK_ENABLED 0
+#else
+#define CDBTUNE_DCHECK_ENABLED 1
+#endif
+#endif
+
+namespace cdbtune::util::check_internal {
+
+/// Holds decayed copies of a binary check's operands so each side is
+/// evaluated exactly once and can still be streamed into the failure
+/// message after the comparison.
+// Members are deliberately NOT named lhs/rhs: those are macro parameter
+// names in CDBTUNE_CHECK_OP_ and would be text-substituted inside the
+// member access.
+template <typename A, typename B>
+struct Operands {
+  A a;
+  B b;
+};
+
+template <typename A, typename B>
+Operands<std::decay_t<A>, std::decay_t<B>> MakeOperands(A&& a, B&& b) {
+  return {std::forward<A>(a), std::forward<B>(b)};
+}
+
+}  // namespace cdbtune::util::check_internal
+
+/// Internal: a fatal log line carrying the call site.
+#define CDBTUNE_CHECK_FAIL_STREAM()                                       \
+  ::cdbtune::util::internal_logging::LogMessage(                          \
+      ::cdbtune::util::LogLevel::kError, __FILE__, __LINE__, /*fatal=*/true) \
+      .stream()
+
+/// Aborts with a diagnostic when `condition` is false. Extra context can be
+/// streamed: CDBTUNE_CHECK(ok) << "while doing " << thing;
+#define CDBTUNE_CHECK(condition) \
+  if (!(condition)) CDBTUNE_CHECK_FAIL_STREAM() << "Check failed: " #condition " "
+
+/// Aborts when a Status-returning expression is not OK.
+#define CDBTUNE_CHECK_OK(expr)                                       \
+  do {                                                               \
+    const ::cdbtune::util::Status _cdbtune_check_status = (expr);    \
+    CDBTUNE_CHECK(_cdbtune_check_status.ok())                        \
+        << _cdbtune_check_status.ToString() << " ";                  \
+  } while (false)
+
+/// Internal: binary comparison with single evaluation of each operand and
+/// both values in the failure message.
+#define CDBTUNE_CHECK_OP_(op, lhs, rhs)                                    \
+  if (auto _cdbtune_ops =                                                  \
+          ::cdbtune::util::check_internal::MakeOperands((lhs), (rhs));     \
+      !(_cdbtune_ops.a op _cdbtune_ops.b))                                 \
+  CDBTUNE_CHECK_FAIL_STREAM() << "Check failed: " #lhs " " #op " " #rhs    \
+                              << " (" << _cdbtune_ops.a << " vs "          \
+                              << _cdbtune_ops.b << ") "
+
+#define CDBTUNE_CHECK_EQ(lhs, rhs) CDBTUNE_CHECK_OP_(==, lhs, rhs)
+#define CDBTUNE_CHECK_NE(lhs, rhs) CDBTUNE_CHECK_OP_(!=, lhs, rhs)
+#define CDBTUNE_CHECK_LT(lhs, rhs) CDBTUNE_CHECK_OP_(<, lhs, rhs)
+#define CDBTUNE_CHECK_LE(lhs, rhs) CDBTUNE_CHECK_OP_(<=, lhs, rhs)
+#define CDBTUNE_CHECK_GT(lhs, rhs) CDBTUNE_CHECK_OP_(>, lhs, rhs)
+#define CDBTUNE_CHECK_GE(lhs, rhs) CDBTUNE_CHECK_OP_(>=, lhs, rhs)
+
+// Debug-only twins. When disabled they still parse their arguments (so the
+// expressions stay compile-checked and variables used only in DCHECKs don't
+// warn) but never evaluate them: the `while (false)` guard is dead code the
+// optimizer removes entirely.
+#if CDBTUNE_DCHECK_ENABLED
+#define CDBTUNE_DCHECK(condition) CDBTUNE_CHECK(condition)
+#define CDBTUNE_DCHECK_OK(expr) CDBTUNE_CHECK_OK(expr)
+#define CDBTUNE_DCHECK_EQ(lhs, rhs) CDBTUNE_CHECK_EQ(lhs, rhs)
+#define CDBTUNE_DCHECK_NE(lhs, rhs) CDBTUNE_CHECK_NE(lhs, rhs)
+#define CDBTUNE_DCHECK_LT(lhs, rhs) CDBTUNE_CHECK_LT(lhs, rhs)
+#define CDBTUNE_DCHECK_LE(lhs, rhs) CDBTUNE_CHECK_LE(lhs, rhs)
+#define CDBTUNE_DCHECK_GT(lhs, rhs) CDBTUNE_CHECK_GT(lhs, rhs)
+#define CDBTUNE_DCHECK_GE(lhs, rhs) CDBTUNE_CHECK_GE(lhs, rhs)
+#else
+#define CDBTUNE_DCHECK(condition) \
+  while (false) CDBTUNE_CHECK(condition)
+#define CDBTUNE_DCHECK_OK(expr) \
+  while (false) CDBTUNE_CHECK_OK(expr)
+#define CDBTUNE_DCHECK_EQ(lhs, rhs) \
+  while (false) CDBTUNE_CHECK_EQ(lhs, rhs)
+#define CDBTUNE_DCHECK_NE(lhs, rhs) \
+  while (false) CDBTUNE_CHECK_NE(lhs, rhs)
+#define CDBTUNE_DCHECK_LT(lhs, rhs) \
+  while (false) CDBTUNE_CHECK_LT(lhs, rhs)
+#define CDBTUNE_DCHECK_LE(lhs, rhs) \
+  while (false) CDBTUNE_CHECK_LE(lhs, rhs)
+#define CDBTUNE_DCHECK_GT(lhs, rhs) \
+  while (false) CDBTUNE_CHECK_GT(lhs, rhs)
+#define CDBTUNE_DCHECK_GE(lhs, rhs) \
+  while (false) CDBTUNE_CHECK_GE(lhs, rhs)
+#endif
+
+#endif  // CDBTUNE_UTIL_CHECK_H_

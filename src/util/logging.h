@@ -52,20 +52,7 @@ struct NullStream {
       ::cdbtune::util::LogLevel::k##level, __FILE__, __LINE__)         \
       .stream()
 
-/// Aborts the process with a diagnostic when `condition` is false. Used for
-/// programmer errors (violated invariants), never for recoverable errors —
-/// those return Status.
-#define CDBTUNE_CHECK(condition)                                          \
-  if (!(condition))                                                       \
-  ::cdbtune::util::internal_logging::LogMessage(                          \
-      ::cdbtune::util::LogLevel::kError, __FILE__, __LINE__, /*fatal=*/true) \
-          .stream()                                                       \
-      << "Check failed: " #condition " "
-
-#define CDBTUNE_CHECK_OK(expr)                                       \
-  do {                                                               \
-    ::cdbtune::util::Status _s = (expr);                             \
-    CDBTUNE_CHECK(_s.ok()) << _s.ToString();                         \
-  } while (false)
+// The CDBTUNE_CHECK* contract macros live in util/check.h; include that
+// header (not this one) for assertions.
 
 #endif  // CDBTUNE_UTIL_LOGGING_H_

@@ -4,7 +4,7 @@
 #include <cmath>
 #include <unordered_set>
 
-#include "util/logging.h"
+#include "util/check.h"
 
 namespace cdbtune::util {
 

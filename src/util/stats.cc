@@ -5,7 +5,7 @@
 #include <istream>
 #include <ostream>
 
-#include "util/logging.h"
+#include "util/check.h"
 
 namespace cdbtune::util {
 

@@ -31,7 +31,11 @@ const char* StatusCodeToString(StatusCode code);
 /// Functions that can fail return `Status` (or `StatusOr<T>`), and callers
 /// are expected to check `ok()` before proceeding. The class is cheap to
 /// copy in the common OK case (empty message string).
-class Status {
+///
+/// [[nodiscard]] makes silently dropping a returned Status a compile-time
+/// diagnostic; tools/lint.py additionally rejects `(void)` casts that
+/// launder one away without a justification comment.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -80,7 +84,7 @@ class Status {
 ///   if (!cfg.ok()) return cfg.status();
 ///   Use(cfg.value());
 template <typename T>
-class StatusOr {
+class [[nodiscard]] StatusOr {
  public:
   /// Constructs from a value (implicit so `return value;` works).
   StatusOr(T value) : payload_(std::move(value)) {}  // NOLINT

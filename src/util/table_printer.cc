@@ -4,7 +4,7 @@
 #include <cstdio>
 #include <iomanip>
 
-#include "util/logging.h"
+#include "util/check.h"
 
 namespace cdbtune::util {
 

@@ -1,10 +1,13 @@
 #include "util/thread_pool.h"
 
+// lint: allow-file(std-function) — see thread_pool.h: the task queue is the
+// sanctioned type-erasure boundary; cost is per-task, not per-element.
+
 #include <atomic>
 #include <cstdlib>
 #include <string>
 
-#include "util/logging.h"
+#include "util/check.h"
 
 namespace cdbtune::util {
 
@@ -89,6 +92,9 @@ void ThreadPool::WorkerLoop() {
 }
 
 ComputeContext& ComputeContext::Get() {
+  // lint: allow(raw-new, mutable-global) — intentionally leaked process
+  // singleton: the magic static makes initialization thread-safe, and never
+  // destroying it avoids shutdown races with detached worker threads.
   static ComputeContext* context = new ComputeContext();
   return *context;
 }

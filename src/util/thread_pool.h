@@ -1,6 +1,10 @@
 #ifndef CDBTUNE_UTIL_THREAD_POOL_H_
 #define CDBTUNE_UTIL_THREAD_POOL_H_
 
+// lint: allow-file(std-function) — the pool's task queue IS the type-erasure
+// boundary: one std::function per submitted task, amortized over the whole
+// parallel region. Kernels below this layer take template callables.
+
 #include <condition_variable>
 #include <cstddef>
 #include <deque>

@@ -8,7 +8,7 @@
 #include "engine/mini_cdb.h"
 #include "engine/page.h"
 #include "engine/wal.h"
-#include "util/logging.h"
+#include "util/check.h"
 #include "util/random.h"
 
 namespace cdbtune::engine {
@@ -39,7 +39,7 @@ TEST(DiskManagerTest, ChargesVirtualTime) {
   auto id = disk.AllocatePage();
   char buf[kPageSize] = {};
   VirtualNanos before = clock.now();
-  disk.ReadPage(id.value(), buf);
+  ASSERT_TRUE(disk.ReadPage(id.value(), buf).ok());
   EXPECT_GT(clock.now(), before);
   before = clock.now();
   disk.Fsync();
@@ -52,12 +52,12 @@ TEST(DiskManagerTest, SequentialReadsAreCheaper) {
   std::vector<PageId> ids;
   for (int i = 0; i < 10; ++i) ids.push_back(disk.AllocatePage().value());
   char buf[kPageSize];
-  disk.ReadPage(ids[0], buf);
+  ASSERT_TRUE(disk.ReadPage(ids[0], buf).ok());
   VirtualNanos before = clock.now();
-  disk.ReadPage(ids[1], buf);  // Sequential.
+  ASSERT_TRUE(disk.ReadPage(ids[1], buf).ok());  // Sequential.
   VirtualNanos sequential = clock.now() - before;
   before = clock.now();
-  disk.ReadPage(ids[7], buf);  // Random.
+  ASSERT_TRUE(disk.ReadPage(ids[7], buf).ok());  // Random.
   VirtualNanos random = clock.now() - before;
   EXPECT_LT(sequential, random);
 }

@@ -232,7 +232,9 @@ TEST(KnobSpaceTest, ActionOverlaysOnlyActiveKnobs) {
   EXPECT_DOUBLE_EQ(out[log_size], reg.def(log_size).min_value);
   // Everything else untouched.
   for (size_t i = 0; i < reg.size(); ++i) {
-    if (i != bp && i != log_size) EXPECT_DOUBLE_EQ(out[i], base[i]);
+    if (i != bp && i != log_size) {
+      EXPECT_DOUBLE_EQ(out[i], base[i]);
+    }
   }
 }
 

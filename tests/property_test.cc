@@ -138,7 +138,9 @@ TEST_P(RewardGridTest, SignTracksOverallProgress) {
       // Positive overall progress never yields a negative reward; the clamp
       // rule can only zero it.
       EXPECT_GE(r, 0.0);
-      if (clamp && c.dp < 0.0) EXPECT_DOUBLE_EQ(r, 0.0);
+      if (clamp && c.dp < 0.0) {
+        EXPECT_DOUBLE_EQ(r, 0.0);
+      }
     } else if (c.d0 < 0.0) {
       EXPECT_LE(r, 0.0);
     }

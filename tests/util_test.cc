@@ -2,6 +2,7 @@
 #include <sstream>
 
 #include "gtest/gtest.h"
+#include "util/check.h"
 #include "util/logging.h"
 #include "util/random.h"
 #include "util/stats.h"

@@ -141,7 +141,9 @@ TEST(GeneratorTest, InsertKeysAreFreshAndMonotonic) {
     Operation op = gen.Next();
     if (op.kind == Operation::Kind::kInsert) {
       EXPECT_GE(op.key, 1000u);  // Beyond the existing key space.
-      if (!first) EXPECT_GT(op.key, last);
+      if (!first) {
+        EXPECT_GT(op.key, last);
+      }
       last = op.key;
       first = false;
     }

@@ -1,0 +1,346 @@
+#!/usr/bin/env python3
+"""Repo-specific lint for rules the compiler cannot enforce.
+
+Rules
+-----
+ignored-status   A call to a util::Status / StatusOr-returning function whose
+                 result is discarded — either a bare statement call or a
+                 `(void)` cast laundering the [[nodiscard]] diagnostic away.
+std-function     `std::function` in src/nn or src/util: type-erased calls in
+                 kernel/utility hot paths cost an indirect call per invocation;
+                 use templates or raw function pointers instead.
+raw-new-delete   Raw `new` / `delete` outside the engine page layer
+                 (src/engine/page.*) that is not immediately owned by a
+                 unique_ptr (make_unique, unique_ptr<T>(new ...), .reset(new)).
+mutable-global   Namespace-scope or function-local static mutable state with
+                 no concurrency story (not const/constexpr/atomic/mutex/
+                 once_flag/thread_local and no ComputeContext ownership).
+
+Suppressions
+------------
+A finding is suppressed by an annotation naming its rule, with a reason:
+
+    foo();  // lint: allow(rule-name) — why this is fine
+
+on the offending line or the line directly above. A whole file opts out of a
+rule with `// lint: allow-file(rule-name) — why` anywhere in the file. The
+reason text is mandatory: a bare allow() without prose is itself a violation.
+
+Exit status is 0 when clean, 1 when any violation is found, so the script can
+gate CI (tools/run_checks.sh runs it before the sanitizer matrix).
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+# Directories scanned for violations. Tests and benches are held to the same
+# Status discipline; the hot-path rules only apply inside src/ subtrees.
+SCAN_DIRS = ["src", "tests", "bench", "examples"]
+SOURCE_SUFFIXES = {".h", ".cc"}
+
+ALLOW_RE = re.compile(r"lint:\s*allow\(([\w\-, ]+)\)(\s*[—–-]\s*\S.*)?")
+ALLOW_FILE_RE = re.compile(r"lint:\s*allow-file\(([\w\-, ]+)\)(\s*[—–-]\s*\S.*)?")
+
+# Calls that return Status/StatusOr but whose results tests legitimately
+# consume through other means are still required to check; there is no
+# blanket exemption list — use a per-line annotation instead. Names that are
+# ALSO declared with a non-Status return type somewhere (e.g. Lasso::Fit is
+# void while GP::Fit returns Status) are dropped: this lint is line-based and
+# cannot resolve receiver types, so ambiguous names would be false positives.
+STATUS_DECL_RE = re.compile(
+    r"(?:util::)?Status(?:Or<[^;=]*>)?\s+(?:[A-Za-z_]\w*::)*([A-Za-z_]\w+)\s*\("
+)
+NONSTATUS_DECL_RE = re.compile(
+    r"\b(void|bool|int|int64_t|uint64_t|size_t|double|float|auto|"
+    r"std::\w[\w:]*(?:<[^;()]*>)?|[A-Z]\w*(?:<[^;()]*>)?)\s*[&*]?\s+"
+    r"([A-Za-z_]\w+)\s*\("
+)
+
+# Statement-position call: optional receiver chain, then NAME(...);
+BARE_CALL_RE = re.compile(
+    r"^\s*(?:[A-Za-z_]\w*(?:\.|->|::))*([A-Za-z_]\w+)\s*\("
+)
+VOID_CAST_RE = re.compile(r"\(void\)\s*(?:[A-Za-z_]\w*(?:\.|->|::))*([A-Za-z_]\w+)\s*\(")
+LAST_CALL_RE = re.compile(r"([A-Za-z_]\w+)\s*\([^()]*\)\s*;\s*$")
+# A line whose predecessor ends mid-expression is a continuation; the result
+# of a call there is consumed by the enclosing expression.
+CONTINUATION_TAIL_RE = re.compile(r"(?:[=+\-*/%<>!&|^?:,(]|\breturn\b|<<|>>)\s*$")
+
+STD_FUNCTION_RE = re.compile(r"\bstd::function\b")
+RAW_NEW_RE = re.compile(r"\bnew\s+[A-Za-z_(]")
+OWNED_NEW_RE = re.compile(r"(?:unique_ptr<[^;]*\(\s*new\b|\.reset\(\s*new\b|make_unique)")
+RAW_DELETE_RE = re.compile(r"\bdelete\b(?!\s*;?\s*$)|\bdelete\[\]")
+DELETED_FN_RE = re.compile(r"=\s*delete\s*[;,)]")
+
+STATIC_DECL_RE = re.compile(r"^\s*static\s+(.*)$")
+NAMESPACE_GLOBAL_RE = re.compile(r"^[A-Za-z_][\w:<>,&\s\*]*\bg_\w+\s*[{=;]")
+SAFE_STATIC_RE = re.compile(
+    r"const\b|constexpr\b|std::atomic|std::mutex|std::shared_mutex|"
+    r"std::once_flag|std::condition_variable|thread_local\b|assert\s*\("
+)
+
+
+def strip_comments_and_strings(line: str) -> str:
+    """Removes // comments and the contents of string/char literals so the
+    rule regexes never fire on prose or quoted code."""
+    out = []
+    i, n = 0, len(line)
+    in_str = in_chr = False
+    while i < n:
+        c = line[i]
+        if in_str:
+            if c == "\\":
+                i += 2
+                continue
+            if c == '"':
+                in_str = False
+            i += 1
+            continue
+        if in_chr:
+            if c == "\\":
+                i += 2
+                continue
+            if c == "'":
+                in_chr = False
+            i += 1
+            continue
+        if c == '"':
+            in_str = True
+            out.append('"')
+            i += 1
+            continue
+        if c == "'":
+            in_chr = True
+            i += 1
+            continue
+        if c == "/" and i + 1 < n and line[i + 1] == "/":
+            break
+        out.append(c)
+        i += 1
+    return "".join(out)
+
+
+def collect_status_functions(files: list[Path]) -> set[str]:
+    names: set[str] = set()
+    ambiguous: set[str] = set()
+    for path in files:
+        if path.suffix != ".h":
+            continue
+        text = path.read_text(encoding="utf-8", errors="replace")
+        for match in STATUS_DECL_RE.finditer(text):
+            names.add(match.group(1))
+        for match in NONSTATUS_DECL_RE.finditer(text):
+            if not match.group(1).startswith("Status"):
+                ambiguous.add(match.group(2))
+    # Accessors named like the type itself are not producers of new status.
+    names.discard("Status")
+    names.discard("status")
+    names.discard("Ok")
+    # Names also declared with non-Status return types are unresolvable on a
+    # line-based scan; [[nodiscard]] + -Werror covers those at compile time.
+    return names - ambiguous
+
+
+class Linter:
+    def __init__(self, root: Path):
+        self.root = root
+        self.violations: list[tuple[Path, int, str, str]] = []
+
+    def report(self, path: Path, lineno: int, rule: str, message: str) -> None:
+        self.violations.append((path, lineno, rule, message))
+
+    def lint_file(self, path: Path, status_fns: set[str]) -> None:
+        rel = path.relative_to(self.root)
+        text = path.read_text(encoding="utf-8", errors="replace")
+        raw_lines = text.splitlines()
+
+        file_allows: set[str] = set()
+        for match in ALLOW_FILE_RE.finditer(text):
+            if not match.group(2):
+                self.report(path, 1, "lint-annotation",
+                            "allow-file() without a reason")
+            file_allows.update(r.strip() for r in match.group(1).split(","))
+
+        def allowed(rule: str, idx: int) -> bool:
+            if rule in file_allows:
+                return True
+            # The annotation may sit on the offending line or anywhere in the
+            # contiguous comment block directly above it.
+            candidates = [raw_lines[idx]]
+            j = idx - 1
+            while j >= 0 and raw_lines[j].lstrip().startswith("//"):
+                candidates.append(raw_lines[j])
+                j -= 1
+            for line in candidates:
+                match = ALLOW_RE.search(line)
+                if match and rule in {r.strip() for r in match.group(1).split(",")}:
+                    if not match.group(2):
+                        self.report(path, idx + 1, "lint-annotation",
+                                    "allow() without a reason")
+                    return True
+            return False
+
+        # First pass: strip block comments so rule regexes see code only.
+        code_lines: list[str] = []
+        in_block_comment = False
+        for raw in raw_lines:
+            line = raw
+            if in_block_comment:
+                end = line.find("*/")
+                if end < 0:
+                    code_lines.append("")
+                    continue
+                line = line[end + 2:]
+                in_block_comment = False
+            start = line.find("/*")
+            if start >= 0 and "*/" not in line[start:]:
+                in_block_comment = True
+                line = line[:start]
+            code_lines.append(strip_comments_and_strings(line))
+
+        for idx, code in enumerate(code_lines):
+            if not code.strip():
+                continue
+            lineno = idx + 1
+            prev = code_lines[idx - 1] if idx > 0 else ""
+
+            self._check_ignored_status(path, rel, code, prev, idx, lineno,
+                                       status_fns, allowed)
+            self._check_std_function(path, rel, code, idx, lineno, allowed)
+            self._check_raw_new_delete(path, rel, code, idx, lineno, allowed)
+            self._check_mutable_global(path, rel, code, idx, lineno, allowed)
+
+    def _check_ignored_status(self, path, rel, code, prev, idx, lineno,
+                              status_fns, allowed) -> None:
+        void = VOID_CAST_RE.search(code)
+        if void:
+            last = LAST_CALL_RE.search(code)
+            name = last.group(1) if last else void.group(1)
+            if name in status_fns and not allowed("ignored-status", idx):
+                self.report(path, lineno, "ignored-status",
+                            f"(void)-cast discards the Status returned by "
+                            f"{name}(); handle it or annotate why not")
+            return
+        if not BARE_CALL_RE.match(code):
+            return
+        # If the previous line ends mid-expression this is a continuation, and
+        # the enclosing expression consumes the result.
+        if CONTINUATION_TAIL_RE.search(prev.rstrip()):
+            return
+        stripped = code.strip()
+        # Only a full-statement call with nothing consuming the result. The
+        # final call in a chain decides: `Get(k, out).value();` consumes the
+        # StatusOr via value(), which itself checks.
+        if not stripped.endswith(";"):
+            return
+        if re.search(r"=|\breturn\b|CDBTUNE_|EXPECT_|ASSERT_", code):
+            return
+        last = LAST_CALL_RE.search(code)
+        if not last or last.group(1) not in status_fns:
+            return
+        if not allowed("ignored-status", idx):
+            self.report(path, lineno, "ignored-status",
+                        f"result of Status-returning {last.group(1)}() "
+                        f"is discarded")
+
+    def _check_std_function(self, path, rel, code, idx, lineno, allowed) -> None:
+        top = rel.parts[0] if rel.parts else ""
+        sub = rel.parts[1] if len(rel.parts) > 1 else ""
+        if top != "src" or sub not in {"nn", "util"}:
+            return
+        if STD_FUNCTION_RE.search(code) and not allowed("std-function", idx):
+            self.report(path, lineno, "std-function",
+                        "std::function in a hot-path tree (src/nn, src/util); "
+                        "use a template parameter or function pointer")
+
+    def _check_raw_new_delete(self, path, rel, code, idx, lineno, allowed) -> None:
+        if rel.parts[0] != "src":
+            return
+        if rel.name in ("page.h", "page.cc") and rel.parts[1] == "engine":
+            return  # The page layer is the sanctioned raw-memory boundary.
+        if RAW_NEW_RE.search(code) and not OWNED_NEW_RE.search(code):
+            if not allowed("raw-new", idx):
+                self.report(path, lineno, "raw-new",
+                            "raw new outside the engine page layer; wrap in "
+                            "make_unique / unique_ptr immediately")
+        if RAW_DELETE_RE.search(code) and not DELETED_FN_RE.search(code):
+            if not allowed("raw-delete", idx):
+                self.report(path, lineno, "raw-delete",
+                            "raw delete outside the engine page layer")
+
+    def _check_mutable_global(self, path, rel, code, idx, lineno, allowed) -> None:
+        if rel.parts[0] != "src":
+            return
+        candidate = None
+        static = STATIC_DECL_RE.match(code)
+        if static:
+            body = static.group(1)
+            if SAFE_STATIC_RE.search(code):
+                return
+            # If the first '(' precedes any '=' or '{', this is a function
+            # declaration/definition (e.g. `static Status Ok() { ... }`), not
+            # a variable with an initializer.
+            paren = body.find("(")
+            eq = body.find("=")
+            brace = body.find("{")
+            if paren >= 0 and (eq < 0 or paren < eq) and (brace < 0 or paren < brace):
+                return
+            if eq < 0 and brace < 0 and not body.rstrip().endswith(";"):
+                return
+            candidate = body.strip()
+        else:
+            glob = NAMESPACE_GLOBAL_RE.match(code)
+            if glob and not SAFE_STATIC_RE.search(code):
+                candidate = code.strip()
+        if candidate and not allowed("mutable-global", idx):
+            self.report(path, lineno, "mutable-global",
+                        "mutable static/global without a concurrency story "
+                        "(const/atomic/mutex/thread_local) — document one "
+                        "via annotation or fix the type")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("paths", nargs="*",
+                        help="files or directories to lint (default: repo)")
+    args = parser.parse_args()
+
+    if args.paths:
+        roots = [Path(p).resolve() for p in args.paths]
+    else:
+        roots = [REPO_ROOT / d for d in SCAN_DIRS]
+    files: list[Path] = []
+    for root in roots:
+        if root.is_file():
+            files.append(root)
+        elif root.is_dir():
+            files.extend(p for p in sorted(root.rglob("*"))
+                         if p.suffix in SOURCE_SUFFIXES)
+
+    status_fns = collect_status_functions(
+        [p for p in (REPO_ROOT / "src").rglob("*.h")])
+
+    linter = Linter(REPO_ROOT)
+    for path in files:
+        linter.lint_file(path, status_fns)
+
+    for path, lineno, rule, message in linter.violations:
+        rel = path.relative_to(REPO_ROOT) if path.is_relative_to(REPO_ROOT) else path
+        print(f"{rel}:{lineno}: [{rule}] {message}")
+
+    if linter.violations:
+        print(f"\nlint: {len(linter.violations)} violation(s)", file=sys.stderr)
+        return 1
+    print(f"lint: clean ({len(files)} files, "
+          f"{len(status_fns)} Status-returning functions tracked)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

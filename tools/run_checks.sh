@@ -1,0 +1,78 @@
+#!/usr/bin/env bash
+# Full correctness gate: repo lint, then the test suite under each sanitizer.
+#
+#   tools/run_checks.sh                 # lint + ASan + UBSan + TSan
+#   tools/run_checks.sh lint            # lint only
+#   tools/run_checks.sh address         # lint + one sanitizer
+#   SKIP_LINT=1 tools/run_checks.sh     # sanitizers only
+#
+# Each sanitizer gets its own build tree under build-<name>/ so incremental
+# reruns are cheap. Debug-mode invariant validators (CDBTUNE_DCHECK=ON) are
+# enabled in every sanitizer build: the gate checks logic invariants and
+# memory/threading errors in the same run. TSan runs with CDBTUNE_THREADS=4
+# so the ComputeContext worker pool actually contends.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$repo_root"
+
+jobs="$(nproc 2>/dev/null || echo 4)"
+sanitizers=(address undefined thread)
+if [[ $# -gt 0 && "$1" != "lint" ]]; then
+  sanitizers=("$@")
+fi
+
+failures=()
+
+if [[ "${SKIP_LINT:-0}" != "1" ]]; then
+  echo "==== lint ===="
+  if python3 tools/lint.py; then
+    echo "lint: OK"
+  else
+    failures+=("lint")
+  fi
+  echo
+fi
+if [[ $# -gt 0 && "$1" == "lint" ]]; then
+  if [[ ${#failures[@]} -gt 0 ]]; then exit 1; fi
+  exit 0
+fi
+
+for san in "${sanitizers[@]}"; do
+  build_dir="build-${san}"
+  echo "==== sanitizer: ${san} (${build_dir}) ===="
+  cmake -B "$build_dir" -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DCDBTUNE_SANITIZE="$san" \
+    -DCDBTUNE_DCHECK=ON >/dev/null
+  cmake --build "$build_dir" -j "$jobs" >/dev/null
+
+  env_vars=()
+  case "$san" in
+    address)
+      env_vars+=("ASAN_OPTIONS=detect_leaks=1:strict_string_checks=1")
+      ;;
+    undefined)
+      env_vars+=("UBSAN_OPTIONS=halt_on_error=1:print_stacktrace=1")
+      ;;
+    thread)
+      # Force real parallelism through the compute pool so TSan sees the
+      # cross-thread traffic it is meant to vet.
+      env_vars+=("TSAN_OPTIONS=halt_on_error=1" "CDBTUNE_THREADS=4")
+      ;;
+  esac
+
+  if (cd "$build_dir" && env "${env_vars[@]}" ctest --output-on-failure -j "$jobs"); then
+    echo "${san}: OK"
+  else
+    failures+=("$san")
+  fi
+  echo
+done
+
+echo "==== summary ===="
+if [[ ${#failures[@]} -gt 0 ]]; then
+  echo "FAILED: ${failures[*]}"
+  exit 1
+fi
+echo "all checks passed (lint + ${sanitizers[*]})"
