@@ -1,0 +1,129 @@
+// Multi-session tuning server throughput (the tentpole subsystem's perf
+// surface): complete tuning episodes per second as the number of concurrent
+// tenants grows 1 -> 16, and the latency of greedy model recommendations
+// while round-stepping is in flight. Results merge into BENCH_exec_time.json
+// via bench/run_benchmarks.sh.
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "env/simulated_cdb.h"
+#include "server/tuning_server.h"
+#include "tuner/cdbtune.h"
+#include "util/thread_pool.h"
+
+namespace cdbtune {
+namespace {
+
+/// One small standard model, trained once and cloned into every server.
+tuner::CdbTuner& TrainedTuner() {
+  struct Model {
+    std::unique_ptr<env::SimulatedCdb> db;
+    std::unique_ptr<tuner::CdbTuner> tuner;
+  };
+  static Model* model = [] {
+    auto* m = new Model;
+    m->db = env::SimulatedCdb::MysqlCdb(env::CdbA(), 71);
+    auto space = knobs::KnobSpace::AllTunable(&m->db->registry());
+    tuner::CdbTuneOptions options;
+    options.max_offline_steps = 40;
+    options.steps_per_episode = 10;
+    options.seed = 71;
+    m->tuner = std::make_unique<tuner::CdbTuner>(m->db.get(), space, options);
+    m->tuner->OfflineTrain(workload::SysbenchReadWrite());
+    return m;
+  }();
+  return *model->tuner;
+}
+
+server::SessionSpec SimSpec(uint64_t seed, int max_steps) {
+  server::SessionSpec spec;
+  spec.engine = "sim";
+  spec.seed = seed;
+  spec.max_steps = max_steps;
+  return spec;
+}
+
+/// Full tuning episodes — open N sessions, round-step to completion, close —
+/// reported as sessions tuned per second.
+void BM_ServerEpisodes(benchmark::State& state) {
+  const size_t sessions = static_cast<size_t>(state.range(0));
+  util::ComputeContext::Get().SetThreads(4);
+  uint64_t seed = 1;
+  for (auto _ : state) {
+    server::TuningServer srv;
+    if (!srv.AdoptModel(TrainedTuner()).ok()) {
+      state.SkipWithError("AdoptModel failed");
+      break;
+    }
+    std::vector<int> ids;
+    for (size_t i = 0; i < sessions; ++i) {
+      auto id = srv.Open(SimSpec(seed++, /*max_steps=*/5));
+      if (!id.ok()) {
+        state.SkipWithError("Open failed");
+        break;
+      }
+      ids.push_back(*id);
+    }
+    while (true) {
+      auto stepped = srv.StepRound();
+      if (!stepped.ok() || *stepped == 0) break;
+    }
+    for (int id : ids) {
+      benchmark::DoNotOptimize(srv.Close(id));
+    }
+  }
+  state.counters["sessions_per_s"] = benchmark::Counter(
+      static_cast<double>(state.iterations() * sessions),
+      benchmark::Counter::kIsRate);
+  util::ComputeContext::Get().SetThreads(0);
+}
+BENCHMARK(BM_ServerEpisodes)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Arg(16)
+    ->Unit(benchmark::kMillisecond);
+
+/// Greedy recommendation latency while 8 tenants round-step in the
+/// background — measures contention on the shared-model lock.
+void BM_RecommendUnderLoad(benchmark::State& state) {
+  util::ComputeContext::Get().SetThreads(4);
+  server::TuningServer srv;
+  if (!srv.AdoptModel(TrainedTuner()).ok()) {
+    state.SkipWithError("AdoptModel failed");
+    return;
+  }
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    // A budget the benchmark never exhausts keeps the load steady.
+    if (!srv.Open(SimSpec(seed, /*max_steps=*/1 << 20)).ok()) {
+      state.SkipWithError("Open failed");
+      return;
+    }
+  }
+  std::atomic<bool> stop{false};
+  std::thread load([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      auto stepped = srv.StepRound();
+      if (!stepped.ok() || *stepped == 0) break;
+    }
+  });
+  std::vector<double> s(TrainedTuner().agent().options().state_dim, 0.1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(srv.Recommend(s));
+  }
+  stop.store(true, std::memory_order_relaxed);
+  load.join();
+  srv.DrainAndStop();
+  util::ComputeContext::Get().SetThreads(0);
+}
+BENCHMARK(BM_RecommendUnderLoad)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace cdbtune
+
+BENCHMARK_MAIN();

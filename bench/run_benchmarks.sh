@@ -1,5 +1,6 @@
 #!/usr/bin/env bash
-# Runs the Section 5.1.1 execution-time benchmark and records the results as
+# Runs the Section 5.1.1 execution-time benchmark plus the multi-session
+# tuning-server throughput sweep, and records the merged results as
 # BENCH_exec_time.json at the repo root — the perf trajectory that future
 # PRs compare against. Usage:
 #
@@ -12,9 +13,34 @@ ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD="${BUILD_DIR:-$ROOT/build}"
 
 cmake -S "$ROOT" -B "$BUILD" > /dev/null
-cmake --build "$BUILD" --target bench_exec_time -j "$(nproc)" > /dev/null
+cmake --build "$BUILD" --target bench_exec_time bench_server_throughput \
+  -j "$(nproc)" > /dev/null
 
 "$BUILD/bench/bench_exec_time" \
   --benchmark_out="$ROOT/BENCH_exec_time.json" \
   --benchmark_out_format=json \
   "$@"
+
+SERVER_OUT="$(mktemp /tmp/bench_server_throughput.XXXXXX.json)"
+trap 'rm -f "$SERVER_OUT"' EXIT
+"$BUILD/bench/bench_server_throughput" \
+  --benchmark_out="$SERVER_OUT" \
+  --benchmark_out_format=json \
+  "$@"
+
+# Fold the server sweep's "benchmarks" array into the main report.
+python3 - "$ROOT/BENCH_exec_time.json" "$SERVER_OUT" <<'PY'
+import json
+import sys
+
+main_path, extra_path = sys.argv[1], sys.argv[2]
+with open(main_path) as f:
+    main = json.load(f)
+with open(extra_path) as f:
+    extra = json.load(f)
+main["benchmarks"].extend(extra["benchmarks"])
+with open(main_path, "w") as f:
+    json.dump(main, f, indent=2)
+    f.write("\n")
+PY
+echo "merged $(basename "$SERVER_OUT") into BENCH_exec_time.json"

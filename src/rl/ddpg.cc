@@ -94,12 +94,18 @@ Matrix DdpgAgent::CriticInput(const Matrix& states, const Matrix& actions) {
 
 std::vector<double> DdpgAgent::SelectAction(const std::vector<double>& state,
                                             bool explore) {
+  return SelectAction(state, explore ? &noise_ : nullptr);
+}
+
+std::vector<double> DdpgAgent::SelectAction(const std::vector<double>& state,
+                                            ActionNoise* noise) {
   CDBTUNE_CHECK(state.size() == options_.state_dim) << "state dim mismatch";
   Matrix s = Matrix::RowVector(state);
   Matrix a = actor_.Forward(s, /*training=*/false);
   std::vector<double> action = a.Row(0);
-  if (explore) {
-    std::vector<double> n = noise_.Sample();
+  if (noise != nullptr) {
+    std::vector<double> n = noise->Sample();
+    CDBTUNE_CHECK_EQ(n.size(), action.size()) << "noise dim mismatch";
     for (size_t i = 0; i < action.size(); ++i) {
       action[i] = std::clamp(action[i] + n[i], 0.0, 1.0);
     }

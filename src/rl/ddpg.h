@@ -69,8 +69,23 @@ class DdpgAgent {
 
   /// Deterministic policy output mu(s), optionally with exploration noise,
   /// clipped to [0, 1].
+  ///
+  /// `explore == true` draws from the agent-owned Ornstein-Uhlenbeck
+  /// process — session-affecting shared state: every caller advances the
+  /// same stream, so two tuning sessions exploring through one agent get
+  /// trajectories that depend on scheduling order. Concurrent sessions must
+  /// use the noise-injection overload below with a session-owned process.
   std::vector<double> SelectAction(const std::vector<double>& state,
                                    bool explore);
+
+  /// Policy output plus exploration noise drawn from the *caller's* process
+  /// (nullptr = greedy). This is the multi-session entry point: each session
+  /// owns its noise stream, so trajectories are independent of how sessions
+  /// interleave. The forward pass itself still mutates per-layer activation
+  /// caches — callers sharing one agent must serialize calls (the tuning
+  /// server wraps this in its model lock).
+  std::vector<double> SelectAction(const std::vector<double>& state,
+                                   ActionNoise* noise);
 
   /// Stores a transition in replay memory.
   void Observe(Transition transition);

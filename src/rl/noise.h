@@ -10,6 +10,13 @@ namespace cdbtune::rl {
 /// Exploration noise added to the actor's deterministic action — the
 /// "try-and-error" of the paper. Both processes decay over training so the
 /// agent moves from exploration to exploitation.
+///
+/// A noise process is *stateful* (the OU state vector and the rng stream
+/// both advance on every Sample), so it is session-affecting: anything that
+/// multiplexes tuning sessions must give each session its own instance with
+/// its own util::Rng stream — never share one process across sessions, or
+/// trajectories become a function of scheduling order. Nothing in src/rl
+/// keeps global/static rng state for exactly this reason.
 class ActionNoise {
  public:
   virtual ~ActionNoise() = default;

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "util/check.h"
+#include "util/thread_pool.h"
 
 namespace cdbtune::rl {
 
@@ -129,27 +130,42 @@ SampleBatch PrioritizedReplay::Sample(size_t batch_size, util::Rng& rng) {
   CDBTUNE_CHECK(size_ > 0) << "sampling from empty replay";
   CDBTUNE_CHECK(TotalPriority() > 0.0) << "degenerate priorities";
   SampleBatch batch;
-  batch.indices.reserve(batch_size);
-  batch.items.reserve(batch_size);
-  batch.weights.reserve(batch_size);
 
   const double total = TotalPriority();
   const double n = static_cast<double>(size_);
-  double max_weight = 0.0;
-  // Stratified sampling: one draw per equal-mass segment.
+
+  // Stratified sampling, batched in two phases: first draw every segment's
+  // mass in one serial pass over the caller's rng stream (so the stream
+  // advances exactly as it would per-draw), then resolve the draws. The
+  // sum-tree walks are read-only and every draw writes only its own output
+  // slot, so the resolution phase partitions over the compute pool and the
+  // batch is bitwise identical at any thread count.
+  std::vector<double> masses(batch_size);
   for (size_t i = 0; i < batch_size; ++i) {
     double lo = total * static_cast<double>(i) / static_cast<double>(batch_size);
     double hi =
         total * static_cast<double>(i + 1) / static_cast<double>(batch_size);
-    size_t slot = FindSlot(rng.Uniform(lo, hi));
-    slot = std::min(slot, size_ - 1);
-    batch.indices.push_back(slot);
-    batch.items.push_back(&items_[slot]);
-    double p = tree_[leaf_base_ + slot] / total;
-    double w = std::pow(n * std::max(p, 1e-12), -beta_);
-    batch.weights.push_back(w);
-    max_weight = std::max(max_weight, w);
+    masses[i] = rng.Uniform(lo, hi);
   }
+
+  batch.indices.assign(batch_size, 0);
+  batch.items.assign(batch_size, nullptr);
+  batch.weights.assign(batch_size, 0.0);
+  util::ComputeContext::Get().ParallelFor(
+      0, batch_size, /*grain=*/8, [&](size_t begin, size_t end) {
+        for (size_t i = begin; i < end; ++i) {
+          size_t slot = std::min(FindSlot(masses[i]), size_ - 1);
+          batch.indices[i] = slot;
+          batch.items[i] = &items_[slot];
+          double p = tree_[leaf_base_ + slot] / total;
+          batch.weights[i] = std::pow(n * std::max(p, 1e-12), -beta_);
+        }
+      });
+
+  // Importance weights normalize by the batch max; max() is insensitive to
+  // evaluation order, so doing it after the parallel phase stays exact.
+  double max_weight = 0.0;
+  for (double w : batch.weights) max_weight = std::max(max_weight, w);
   if (max_weight > 0.0) {
     for (double& w : batch.weights) w /= max_weight;
   }

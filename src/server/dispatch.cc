@@ -1,0 +1,186 @@
+#include "server/dispatch.h"
+
+#include <utility>
+#include <vector>
+
+#include "env/instance.h"
+#include "server/protocol.h"
+#include "tuner/tuning_session.h"
+
+namespace cdbtune::server {
+
+namespace {
+
+using KeyValues = std::vector<std::pair<std::string, std::string>>;
+
+void AppendStatus(const SessionStatus& status, KeyValues* out) {
+  out->emplace_back("id", std::to_string(status.id));
+  out->emplace_back("phase", tuner::SessionPhaseName(status.phase));
+  out->emplace_back("engine", status.engine);
+  out->emplace_back("workload", status.workload);
+  out->emplace_back("steps", std::to_string(status.steps_done));
+  out->emplace_back("tps0", FormatDouble(status.initial_throughput));
+  out->emplace_back("p99_0", FormatDouble(status.initial_latency));
+  out->emplace_back("best_tps", FormatDouble(status.best_throughput));
+  out->emplace_back("best_p99", FormatDouble(status.best_latency));
+  out->emplace_back("last_reward", FormatDouble(status.last_reward));
+  out->emplace_back("busy", status.busy ? "1" : "0");
+}
+
+std::string HandleOpen(TuningServer& server, const Command& command) {
+  SessionSpec spec;
+  spec.engine = GetStringOr(command, "engine", "sim");
+
+  auto workload = WorkloadByName(GetStringOr(command, "workload", "sysbench_rw"));
+  if (!workload.ok()) return FormatError(workload.status());
+  spec.workload = *workload;
+
+  auto seed = GetIntOr(command, "seed", 1);
+  if (!seed.ok()) return FormatError(seed.status());
+  spec.seed = static_cast<uint64_t>(*seed);
+
+  auto steps = GetIntOr(command, "steps", spec.max_steps);
+  if (!steps.ok()) return FormatError(steps.status());
+  spec.max_steps = static_cast<int>(*steps);
+
+  auto rows = GetIntOr(command, "rows",
+                       static_cast<int64_t>(spec.mini_table_rows));
+  if (!rows.ok()) return FormatError(rows.status());
+  spec.mini_table_rows = static_cast<uint64_t>(*rows);
+
+  auto stress_s = GetDoubleOr(command, "stress_s", spec.stress_duration_s);
+  if (!stress_s.ok()) return FormatError(stress_s.status());
+  spec.stress_duration_s = *stress_s;
+
+  auto ram_gb = GetDoubleOr(command, "ram_gb", spec.hardware.ram_gb);
+  if (!ram_gb.ok()) return FormatError(ram_gb.status());
+  auto disk_gb = GetDoubleOr(command, "disk_gb", spec.hardware.disk_gb);
+  if (!disk_gb.ok()) return FormatError(disk_gb.status());
+  spec.hardware = env::MakeInstance("custom", *ram_gb, *disk_gb);
+
+  auto id = server.Open(spec);
+  if (!id.ok()) return FormatError(id.status());
+  auto status = server.GetStatus(*id);
+  if (!status.ok()) return FormatError(status.status());
+  return FormatOk({{"id", std::to_string(*id)},
+                   {"tps", FormatDouble(status->initial_throughput)},
+                   {"p99", FormatDouble(status->initial_latency)}});
+}
+
+std::string HandleStep(TuningServer& server, const Command& command) {
+  auto id = GetInt(command, "id");
+  if (!id.ok()) return FormatError(id.status());
+  auto n = GetIntOr(command, "n", 1);
+  if (!n.ok()) return FormatError(n.status());
+  if (*n <= 0) {
+    return FormatError(util::Status::InvalidArgument("n must be positive"));
+  }
+  tuner::StepRecord last;
+  for (int64_t i = 0; i < *n; ++i) {
+    auto record = server.Step(static_cast<int>(*id));
+    if (!record.ok()) return FormatError(record.status());
+    last = *record;
+    if (last.crashed) break;
+  }
+  auto status = server.GetStatus(static_cast<int>(*id));
+  if (!status.ok()) return FormatError(status.status());
+  return FormatOk({{"id", std::to_string(*id)},
+                   {"step", std::to_string(last.step)},
+                   {"tps", FormatDouble(last.throughput)},
+                   {"p99", FormatDouble(last.latency)},
+                   {"reward", FormatDouble(last.reward)},
+                   {"crashed", last.crashed ? "1" : "0"},
+                   {"phase", tuner::SessionPhaseName(status->phase)}});
+}
+
+std::string HandleRound(TuningServer& server, const Command& command) {
+  auto n = GetIntOr(command, "n", 1);
+  if (!n.ok()) return FormatError(n.status());
+  if (*n <= 0) {
+    return FormatError(util::Status::InvalidArgument("n must be positive"));
+  }
+  size_t stepped = 0;
+  for (int64_t i = 0; i < *n; ++i) {
+    auto count = server.StepRound();
+    if (!count.ok()) return FormatError(count.status());
+    stepped = *count;
+    if (stepped == 0) break;  // Every session finished its budget.
+  }
+  return FormatOk({{"rounds", std::to_string(*n)},
+                   {"sessions", std::to_string(stepped)}});
+}
+
+std::string HandleTrain(TuningServer& server, const Command& command) {
+  auto n = GetInt(command, "n");
+  if (!n.ok()) return FormatError(n.status());
+  util::Status trained = server.Train(static_cast<int>(*n));
+  if (!trained.ok()) return FormatError(trained);
+  return FormatOk({{"trained", std::to_string(*n)}});
+}
+
+std::string HandleStatus(TuningServer& server, const Command& command) {
+  if (command.args.count("id") > 0) {
+    auto id = GetInt(command, "id");
+    if (!id.ok()) return FormatError(id.status());
+    auto status = server.GetStatus(static_cast<int>(*id));
+    if (!status.ok()) return FormatError(status.status());
+    KeyValues pairs;
+    AppendStatus(*status, &pairs);
+    return FormatOk(pairs);
+  }
+  std::vector<SessionStatus> all = server.ListStatus();
+  KeyValues pairs;
+  pairs.emplace_back("sessions", std::to_string(all.size()));
+  for (const SessionStatus& status : all) {
+    pairs.emplace_back("s" + std::to_string(status.id),
+                       std::string(tuner::SessionPhaseName(status.phase)) +
+                           ":" + std::to_string(status.steps_done));
+  }
+  return FormatOk(pairs);
+}
+
+std::string HandleBestConfig(TuningServer& server, const Command& command) {
+  auto id = GetInt(command, "id");
+  if (!id.ok()) return FormatError(id.status());
+  auto rendered = server.RenderBestConfig(static_cast<int>(*id));
+  if (!rendered.ok()) return FormatError(rendered.status());
+  return FormatOk({{"id", std::to_string(*id)}, {"config", *rendered}});
+}
+
+std::string HandleClose(TuningServer& server, const Command& command) {
+  auto id = GetInt(command, "id");
+  if (!id.ok()) return FormatError(id.status());
+  auto result = server.Close(static_cast<int>(*id));
+  if (!result.ok()) return FormatError(result.status());
+  return FormatOk({{"id", std::to_string(*id)},
+                   {"steps", std::to_string(result->steps)},
+                   {"tps0", FormatDouble(result->initial.throughput)},
+                   {"best_tps", FormatDouble(result->best.throughput)},
+                   {"best_p99", FormatDouble(result->best.latency)}});
+}
+
+}  // namespace
+
+std::string DispatchLine(TuningServer& server, const std::string& line,
+                         bool* shutdown) {
+  auto parsed = ParseCommand(line);
+  if (!parsed.ok()) return FormatError(parsed.status());
+  const Command& command = *parsed;
+
+  if (command.verb == "PING") return FormatOk({{"pong", "1"}});
+  if (command.verb == "OPEN") return HandleOpen(server, command);
+  if (command.verb == "STEP") return HandleStep(server, command);
+  if (command.verb == "ROUND") return HandleRound(server, command);
+  if (command.verb == "TRAIN") return HandleTrain(server, command);
+  if (command.verb == "STATUS") return HandleStatus(server, command);
+  if (command.verb == "BEST_CONFIG") return HandleBestConfig(server, command);
+  if (command.verb == "CLOSE") return HandleClose(server, command);
+  if (command.verb == "SHUTDOWN") {
+    if (shutdown != nullptr) *shutdown = true;
+    return FormatOk({{"bye", "1"}});
+  }
+  return FormatError(
+      util::Status::NotFound("unknown verb '" + command.verb + "'"));
+}
+
+}  // namespace cdbtune::server

@@ -1,0 +1,31 @@
+#ifndef CDBTUNE_SERVER_DISPATCH_H_
+#define CDBTUNE_SERVER_DISPATCH_H_
+
+#include <string>
+
+#include "server/tuning_server.h"
+
+namespace cdbtune::server {
+
+/// Executes one protocol request line against `server` and returns the
+/// response line ("OK ..." or "ERR ..."). Sets `*shutdown` when the line was
+/// a SHUTDOWN request (the transport decides what shutting down means — the
+/// socket server drains; the in-process driver just stops reading).
+///
+/// Verbs:
+///   PING
+///   OPEN   [engine=sim|mini] [workload=sysbench_rw|...] [seed=N] [steps=N]
+///          [ram_gb=X] [disk_gb=X] [rows=N] [stress_s=X]
+///   STEP   id=N [n=K]           — K tuning steps (default 1)
+///   ROUND  [n=K]                — K concurrent all-session rounds
+///   TRAIN  n=K                  — merge experiences + K gradient steps
+///   STATUS [id=N]               — one session, or a summary of all
+///   BEST_CONFIG id=N            — knobs differing from the engine default
+///   CLOSE  id=N                 — finish session, deploy best config
+///   SHUTDOWN
+std::string DispatchLine(TuningServer& server, const std::string& line,
+                         bool* shutdown);
+
+}  // namespace cdbtune::server
+
+#endif  // CDBTUNE_SERVER_DISPATCH_H_

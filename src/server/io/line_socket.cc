@@ -1,0 +1,146 @@
+#include "server/io/line_socket.h"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstddef>
+#include <cstring>
+#include <utility>
+
+namespace cdbtune::server::io {
+
+namespace {
+
+/// Fills an abstract-namespace address: sun_path[0] == '\0', name bytes
+/// after it, addrlen covering exactly the used bytes (the kernel treats the
+/// whole remainder as part of the name otherwise).
+util::Status FillAbstractAddress(const std::string& name, sockaddr_un* addr,
+                                 socklen_t* len) {
+  if (name.empty() || name.size() + 1 > sizeof(addr->sun_path)) {
+    return util::Status::InvalidArgument("bad abstract socket name '" + name +
+                                         "'");
+  }
+  std::memset(addr, 0, sizeof(*addr));
+  addr->sun_family = AF_UNIX;
+  addr->sun_path[0] = '\0';
+  std::memcpy(addr->sun_path + 1, name.data(), name.size());
+  *len = static_cast<socklen_t>(offsetof(sockaddr_un, sun_path) + 1 +
+                                name.size());
+  return util::Status::Ok();
+}
+
+util::Status Errno(const std::string& what) {
+  return util::Status::Internal(what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+Socket::Socket(Socket&& other) noexcept
+    : fd_(other.fd_), buffer_(std::move(other.buffer_)) {
+  other.fd_ = -1;
+}
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    buffer_ = std::move(other.buffer_);
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+util::StatusOr<Socket> Socket::Listen(const std::string& name, int backlog) {
+  sockaddr_un addr;
+  socklen_t len;
+  CDBTUNE_RETURN_IF_ERROR(FillAbstractAddress(name, &addr, &len));
+  int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket");
+  Socket sock(fd);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), len) != 0) {
+    return Errno("bind @" + name);
+  }
+  if (::listen(fd, backlog) != 0) {
+    return Errno("listen @" + name);
+  }
+  return sock;
+}
+
+util::StatusOr<Socket> Socket::Connect(const std::string& name) {
+  sockaddr_un addr;
+  socklen_t len;
+  CDBTUNE_RETURN_IF_ERROR(FillAbstractAddress(name, &addr, &len));
+  int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket");
+  Socket sock(fd);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), len) != 0) {
+    return Errno("connect @" + name);
+  }
+  return sock;
+}
+
+util::StatusOr<Socket> Socket::Accept() {
+  if (!valid()) return util::Status::FailedPrecondition("accept on closed socket");
+  int fd = ::accept(fd_, nullptr, nullptr);
+  if (fd < 0) return Errno("accept");
+  return Socket(fd);
+}
+
+util::Status Socket::SendLine(const std::string& line) {
+  if (!valid()) return util::Status::FailedPrecondition("send on closed socket");
+  std::string framed = line + "\n";
+  size_t sent = 0;
+  while (sent < framed.size()) {
+    // MSG_NOSIGNAL: a peer that hung up yields EPIPE, not a process signal.
+    ssize_t n = ::send(fd_, framed.data() + sent, framed.size() - sent,
+                       MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("send");
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return util::Status::Ok();
+}
+
+util::StatusOr<std::string> Socket::RecvLine() {
+  if (!valid()) return util::Status::FailedPrecondition("recv on closed socket");
+  while (true) {
+    size_t newline = buffer_.find('\n');
+    if (newline != std::string::npos) {
+      std::string line = buffer_.substr(0, newline);
+      buffer_.erase(0, newline + 1);
+      return line;
+    }
+    char chunk[4096];
+    ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("recv");
+    }
+    if (n == 0) {
+      return util::Status::NotFound("connection closed by peer");
+    }
+    buffer_.append(chunk, static_cast<size_t>(n));
+  }
+}
+
+void Socket::ShutdownReadWrite() {
+  if (valid()) ShutdownFd(fd_);
+}
+
+void Socket::ShutdownFd(int fd) {
+  if (fd >= 0) ::shutdown(fd, SHUT_RDWR);
+}
+
+void Socket::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  buffer_.clear();
+}
+
+}  // namespace cdbtune::server::io

@@ -1,0 +1,67 @@
+#ifndef CDBTUNE_SERVER_IO_LINE_SOCKET_H_
+#define CDBTUNE_SERVER_IO_LINE_SOCKET_H_
+
+#include <string>
+
+#include "util/status.h"
+
+namespace cdbtune::server::io {
+
+/// RAII wrapper over an abstract-namespace AF_UNIX stream socket with
+/// newline framing.
+///
+/// Abstract names (a leading NUL in sun_path) live in the kernel only: no
+/// filesystem entry to create, collide with, or leak on crash — exactly
+/// right for a local daemon. All blocking socket syscalls in the repo are
+/// confined to this file's implementation; tools/lint.py (blocking-socket
+/// rule) rejects them anywhere outside src/server/io.
+class Socket {
+ public:
+  Socket() = default;
+  ~Socket() { Close(); }
+
+  Socket(Socket&& other) noexcept;
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  /// Binds + listens on abstract name `name`.
+  static util::StatusOr<Socket> Listen(const std::string& name, int backlog);
+
+  /// Connects to a listening abstract socket.
+  static util::StatusOr<Socket> Connect(const std::string& name);
+
+  /// Blocks for the next connection. Fails (instead of blocking forever)
+  /// once ShutdownReadWrite was called on the listener.
+  util::StatusOr<Socket> Accept();
+
+  /// Sends `line` plus a trailing '\n'. `line` must not contain '\n'.
+  util::Status SendLine(const std::string& line);
+
+  /// Blocks until one full '\n'-terminated line arrives and returns it
+  /// without the terminator. EOF or a shutdown mid-line is an error.
+  util::StatusOr<std::string> RecvLine();
+
+  /// Unblocks any thread sitting in Accept/RecvLine/SendLine on this
+  /// socket (they return errors). Safe to call from another thread; the
+  /// descriptor itself stays owned until Close/destruction.
+  void ShutdownReadWrite();
+
+  /// Same, for a descriptor observed via fd() — lets a server object nudge
+  /// connections whose Socket lives on a worker's stack.
+  static void ShutdownFd(int fd);
+
+  void Close();
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+
+ private:
+  explicit Socket(int fd) : fd_(fd) {}
+
+  int fd_ = -1;
+  std::string buffer_;  // Bytes received beyond the last returned line.
+};
+
+}  // namespace cdbtune::server::io
+
+#endif  // CDBTUNE_SERVER_IO_LINE_SOCKET_H_

@@ -1,0 +1,119 @@
+#include "server/io/socket_server.h"
+
+#include <utility>
+
+#include "server/dispatch.h"
+#include "server/protocol.h"
+#include "util/logging.h"
+
+namespace cdbtune::server::io {
+
+SocketServer::SocketServer(TuningServer* server, SocketServerOptions options)
+    : server_(server), options_(std::move(options)) {}
+
+SocketServer::~SocketServer() { Stop(); }
+
+util::Status SocketServer::Start() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (started_) {
+      return util::Status::FailedPrecondition("server already started");
+    }
+    started_ = true;
+  }
+  auto listener = Socket::Listen(options_.socket_name,
+                                 static_cast<int>(options_.connection_queue));
+  if (!listener.ok()) return listener.status();
+  listener_ = std::move(*listener);
+  acceptor_ = std::thread([this] { AcceptLoop(); });
+  workers_.reserve(options_.worker_threads);
+  for (size_t i = 0; i < options_.worker_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+  return util::Status::Ok();
+}
+
+void SocketServer::AcceptLoop() {
+  while (true) {
+    auto connection = listener_.Accept();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (stopping_) break;
+      if (!connection.ok()) continue;  // Transient accept error; keep serving.
+      if (pending_.size() >= options_.connection_queue) {
+        // Bounded queue: refuse rather than hoard. Best-effort notice; the
+        // refused socket closes when `connection` goes out of scope.
+        util::Status notice = connection->SendLine(
+            FormatError(util::Status::FailedPrecondition("server busy")));
+        if (!notice.ok()) {
+          CDBTUNE_LOG(Debug) << "busy notice failed: " << notice.ToString();
+        }
+        continue;
+      }
+      pending_.push_back(std::move(*connection));
+    }
+    cv_.notify_one();
+  }
+}
+
+void SocketServer::WorkerLoop() {
+  while (true) {
+    Socket connection;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [&] { return stopping_ || !pending_.empty(); });
+      if (stopping_) return;
+      connection = std::move(pending_.front());
+      pending_.pop_front();
+      active_fds_.insert(connection.fd());
+    }
+    int fd = connection.fd();
+    ServeConnection(std::move(connection));
+    std::lock_guard<std::mutex> lock(mu_);
+    active_fds_.erase(fd);
+  }
+}
+
+void SocketServer::ServeConnection(Socket connection) {
+  while (true) {
+    auto line = connection.RecvLine();
+    if (!line.ok()) return;  // Peer hung up (or Stop shut the socket down).
+    bool shutdown = false;
+    std::string response = DispatchLine(*server_, *line, &shutdown);
+    util::Status sent = connection.SendLine(response);
+    if (!sent.ok()) return;
+    if (shutdown) {
+      std::lock_guard<std::mutex> lock(mu_);
+      shutdown_requested_ = true;
+      cv_.notify_all();
+      return;
+    }
+  }
+}
+
+void SocketServer::WaitForShutdown() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [&] { return shutdown_requested_ || stopping_; });
+}
+
+void SocketServer::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!started_ || stopping_) return;
+    stopping_ = true;
+    // Unblock the acceptor (accept fails on a shut-down listener) and any
+    // worker mid-RecvLine on an active connection.
+    listener_.ShutdownReadWrite();
+    for (int fd : active_fds_) Socket::ShutdownFd(fd);
+    cv_.notify_all();
+  }
+  if (acceptor_.joinable()) acceptor_.join();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  pending_.clear();
+  listener_.Close();
+}
+
+}  // namespace cdbtune::server::io

@@ -1,0 +1,85 @@
+#ifndef CDBTUNE_SERVER_IO_SOCKET_SERVER_H_
+#define CDBTUNE_SERVER_IO_SOCKET_SERVER_H_
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "server/io/line_socket.h"
+#include "server/tuning_server.h"
+#include "util/status.h"
+
+namespace cdbtune::server::io {
+
+struct SocketServerOptions {
+  /// Abstract AF_UNIX name clients connect to.
+  std::string socket_name = "cdbtune-serve";
+  /// Threads serving accepted connections. A STEP blocks its worker for a
+  /// full stress test, so size this like the expected concurrent tenants.
+  size_t worker_threads = 4;
+  /// Accepted-but-unserved connections held before new arrivals are turned
+  /// away with "ERR ... busy" (bounded queue — the daemon never hoards
+  /// descriptors under overload).
+  size_t connection_queue = 8;
+};
+
+/// Line-protocol front end for TuningServer: one acceptor thread feeding a
+/// bounded connection queue drained by a fixed worker pool. Workers serve a
+/// connection request-by-request through DispatchLine until the peer hangs
+/// up.
+///
+/// Shutdown paths (both graceful, both TSan-clean):
+///   - a client sends SHUTDOWN: WaitForShutdown() returns, the owner calls
+///     Stop() (typically after TuningServer::DrainAndStop());
+///   - the owner calls Stop() directly: the listener and every active
+///     connection are shut down, which unblocks accept()/recv() so all
+///     threads join; queued-but-unserved connections are dropped.
+class SocketServer {
+ public:
+  SocketServer(TuningServer* server, SocketServerOptions options);
+  ~SocketServer();
+
+  SocketServer(const SocketServer&) = delete;
+  SocketServer& operator=(const SocketServer&) = delete;
+
+  /// Binds the socket and starts the acceptor + workers.
+  util::Status Start();
+
+  /// Blocks until a client requests SHUTDOWN or Stop() is called.
+  void WaitForShutdown();
+
+  /// Idempotent graceful stop; joins every thread before returning.
+  void Stop();
+
+  const std::string& socket_name() const { return options_.socket_name; }
+
+ private:
+  void AcceptLoop();
+  void WorkerLoop();
+  void ServeConnection(Socket connection);
+
+  TuningServer* server_;  // Not owned.
+  SocketServerOptions options_;
+
+  Socket listener_;
+  std::thread acceptor_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Socket> pending_;
+  /// Descriptors currently being served; Stop() shuts them down so workers
+  /// blocked in RecvLine return.
+  std::set<int> active_fds_;
+  bool started_ = false;
+  bool stopping_ = false;
+  bool shutdown_requested_ = false;
+};
+
+}  // namespace cdbtune::server::io
+
+#endif  // CDBTUNE_SERVER_IO_SOCKET_SERVER_H_

@@ -1,0 +1,466 @@
+#include "server/tuning_server.h"
+
+// lint: allow-file(std-function) — RunConcurrent's task vector is the
+// documented type-erasure boundary of the compute substrate; the server
+// builds one closure per session step, amortized over a whole round.
+
+#include <functional>
+#include <utility>
+
+#include "engine/mini_cdb.h"
+#include "env/simulated_cdb.h"
+#include "knobs/knob.h"
+#include "server/protocol.h"
+#include "tuner/recommender.h"
+#include "util/check.h"
+#include "util/logging.h"
+#include "util/thread_pool.h"
+
+namespace cdbtune::server {
+
+namespace {
+
+/// Salt for a session's exploration stream — deliberately the same
+/// derivation DdpgAgent applies to its own seed, so a session with
+/// SessionSpec::seed == S explores exactly like a fresh solo tuner
+/// constructed with seed S: given a frozen model, the multiplexed session
+/// and the classic single-tenant loop produce bitwise-equal trajectories.
+constexpr uint64_t kNoiseSeedSalt = 0x9E3779B97F4A7C15ULL;
+
+}  // namespace
+
+struct TuningServer::Session {
+  Session(TuningServer* server, int id_in, SessionSpec spec_in, size_t shard_in,
+          std::unique_ptr<env::DbInterface> db_in,
+          tuner::MetricsCollector collector_in, size_t action_dim,
+          double noise_theta, double noise_sigma)
+      : id(id_in),
+        spec(std::move(spec_in)),
+        shard(shard_in),
+        db(std::move(db_in)),
+        collector(std::move(collector_in)),
+        noise(action_dim, noise_theta, noise_sigma,
+              util::Rng(spec.seed ^ kNoiseSeedSalt)),
+        policy(server, &noise),
+        sink(&server->shards_, shard) {}
+
+  const int id;
+  const SessionSpec spec;
+  const size_t shard;
+  std::unique_ptr<env::DbInterface> db;
+  tuner::MetricsCollector collector;
+  rl::OrnsteinUhlenbeckNoise noise;
+  ServerPolicy policy;
+  ShardSink sink;
+  std::unique_ptr<tuner::TuningSession> tuning;
+  bool busy = false;
+  SessionStatus status;
+};
+
+std::vector<double> TuningServer::ServerPolicy::ProposeAction(
+    const std::vector<double>& state, bool explore) {
+  std::lock_guard<std::mutex> lock(server_->agent_mu_);
+  return server_->agent_->SelectAction(state, explore ? noise_ : nullptr);
+}
+
+std::vector<double> TuningServer::ServerPolicy::BestKnownAction() const {
+  std::lock_guard<std::mutex> lock(server_->agent_mu_);
+  return server_->best_offline_action_;
+}
+
+TuningServer::TuningServer(TuningServerOptions options)
+    : options_(options),
+      shards_(options.max_sessions, options.shard_capacity) {
+  CDBTUNE_CHECK(options_.max_sessions > 0) << "server needs session slots";
+  // Highest index on top so pop_back hands out shard 0 first: session ids
+  // and shard indices stay aligned in the common open-in-order case.
+  free_shards_.reserve(options_.max_sessions);
+  for (size_t i = options_.max_sessions; i > 0; --i) {
+    free_shards_.push_back(i - 1);
+  }
+}
+
+TuningServer::~TuningServer() { DrainAndStop(); }
+
+util::Status TuningServer::AdoptModel(tuner::CdbTuner& trained) {
+  std::lock_guard<std::mutex> lock(agent_mu_);
+  if (agent_ != nullptr) {
+    return util::Status::FailedPrecondition("model already adopted");
+  }
+  agent_ = std::make_unique<rl::DdpgAgent>(trained.agent().options());
+  agent_->CloneWeightsFrom(trained.agent());
+  collector_template_ = trained.collector();
+  best_offline_action_ = trained.best_offline_action();
+  return util::Status::Ok();
+}
+
+bool TuningServer::model_ready() const {
+  std::lock_guard<std::mutex> lock(agent_mu_);
+  return agent_ != nullptr;
+}
+
+util::StatusOr<std::unique_ptr<env::DbInterface>> TuningServer::MakeDb(
+    const SessionSpec& spec) {
+  if (spec.engine == "sim") {
+    return std::unique_ptr<env::DbInterface>(
+        env::SimulatedCdb::MysqlCdb(spec.hardware, spec.seed));
+  }
+  if (spec.engine == "mini") {
+    engine::MiniCdbOptions options;
+    options.table_rows = spec.mini_table_rows;
+    options.seed = spec.seed;
+    return std::unique_ptr<env::DbInterface>(
+        std::make_unique<engine::MiniCdb>(spec.hardware, options));
+  }
+  return util::Status::InvalidArgument("unknown engine '" + spec.engine +
+                                       "' (want sim|mini)");
+}
+
+void TuningServer::RefreshStatus(Session* session) {
+  const tuner::OnlineTuneResult& result = session->tuning->result();
+  SessionStatus& status = session->status;
+  status.id = session->id;
+  status.phase = session->tuning->phase();
+  status.engine = session->spec.engine;
+  status.workload = session->spec.workload.name;
+  status.steps_done = result.steps;
+  status.initial_throughput = result.initial.throughput;
+  status.initial_latency = result.initial.latency;
+  status.best_throughput = result.best.throughput;
+  status.best_latency = result.best.latency;
+  status.last_reward = result.history.empty() ? 0.0 : result.history.back().reward;
+  status.busy = session->busy;
+}
+
+util::StatusOr<int> TuningServer::Open(const SessionSpec& spec) {
+  if (spec.max_steps <= 0) {
+    return util::Status::InvalidArgument("max_steps must be positive");
+  }
+  size_t action_dim;
+  double noise_theta;
+  double noise_sigma;
+  tuner::MetricsCollector collector;
+  {
+    std::lock_guard<std::mutex> lock(agent_mu_);
+    if (agent_ == nullptr) {
+      return util::Status::FailedPrecondition(
+          "no model adopted; call AdoptModel first");
+    }
+    action_dim = agent_->options().action_dim;
+    noise_theta = options_.noise_theta >= 0.0 ? options_.noise_theta
+                                              : agent_->options().noise_theta;
+    noise_sigma = options_.noise_sigma >= 0.0 ? options_.noise_sigma
+                                              : agent_->options().noise_sigma;
+    collector = collector_template_;
+  }
+
+  int id;
+  size_t shard;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (draining_) {
+      return util::Status::FailedPrecondition("server is draining");
+    }
+    if (free_shards_.empty()) {
+      return util::Status::FailedPrecondition(
+          "server at capacity (" + std::to_string(options_.max_sessions) +
+          " sessions)");
+    }
+    shard = free_shards_.back();
+    free_shards_.pop_back();
+    id = next_id_++;
+  }
+  // Instance provisioning and the baseline stress test run outside every
+  // lock — a mini-engine bulk load or a 150 s baseline must not stall the
+  // other tenants.
+  auto release_shard = [&] {
+    std::lock_guard<std::mutex> lock(mu_);
+    free_shards_.push_back(shard);
+  };
+
+  auto db = MakeDb(spec);
+  if (!db.ok()) {
+    release_shard();
+    return db.status();
+  }
+  knobs::KnobSpace space = knobs::KnobSpace::AllTunable(&(*db)->registry());
+  if (space.action_dim() != action_dim) {
+    release_shard();
+    return util::Status::InvalidArgument(
+        "engine knob space (" + std::to_string(space.action_dim()) +
+        ") does not match the adopted model (" + std::to_string(action_dim) +
+        ")");
+  }
+
+  auto session = std::make_unique<Session>(this, id, spec, shard,
+                                           std::move(*db), std::move(collector),
+                                           action_dim, noise_theta,
+                                           noise_sigma);
+  tuner::TuningSessionOptions session_options;
+  session_options.max_steps = spec.max_steps;
+  session_options.stress_duration_s = spec.stress_duration_s >= 0.0
+                                          ? spec.stress_duration_s
+                                          : options_.stress_duration_s;
+  session_options.reward_type = options_.reward_type;
+  session_options.throughput_coeff = options_.throughput_coeff;
+  session_options.latency_coeff = options_.latency_coeff;
+  session_options.reward_clip = options_.reward_clip;
+  session_options.reward_scale = options_.reward_scale;
+  session->tuning = std::make_unique<tuner::TuningSession>(
+      session->db.get(), std::move(space), session->spec.workload,
+      &session->collector, &session->policy, &session->sink, session_options);
+
+  util::Status begun = session->tuning->Begin();
+  if (!begun.ok()) {
+    release_shard();
+    return begun;
+  }
+  RefreshStatus(session.get());
+
+  std::lock_guard<std::mutex> lock(mu_);
+  if (draining_) {
+    free_shards_.push_back(shard);
+    return util::Status::FailedPrecondition("server is draining");
+  }
+  sessions_.emplace(id, std::move(session));
+  return id;
+}
+
+util::StatusOr<TuningServer::Session*> TuningServer::BeginStep(int id) {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [&] { return !exclusive_; });
+  if (draining_) {
+    return util::Status::FailedPrecondition("server is draining");
+  }
+  auto it = sessions_.find(id);
+  if (it == sessions_.end()) {
+    return util::Status::NotFound("no session " + std::to_string(id));
+  }
+  Session* session = it->second.get();
+  if (session->busy) {
+    return util::Status::FailedPrecondition(
+        "session " + std::to_string(id) + " is busy");
+  }
+  if (session->tuning->phase() != tuner::SessionPhase::kTuning) {
+    return util::Status::FailedPrecondition(
+        "session " + std::to_string(id) + " is in phase " +
+        tuner::SessionPhaseName(session->tuning->phase()));
+  }
+  session->busy = true;
+  session->status.busy = true;
+  ++in_flight_;
+  return session;
+}
+
+void TuningServer::EndStep(Session* session) {
+  std::lock_guard<std::mutex> lock(mu_);
+  session->busy = false;
+  RefreshStatus(session);
+  --in_flight_;
+  cv_.notify_all();
+}
+
+util::StatusOr<tuner::StepRecord> TuningServer::Step(int id) {
+  auto session = BeginStep(id);
+  if (!session.ok()) return session.status();
+  util::StatusOr<tuner::StepRecord> record = (*session)->tuning->Step();
+  EndStep(*session);
+  return record;
+}
+
+void TuningServer::BeginExclusive(std::unique_lock<std::mutex>& lock) {
+  cv_.wait(lock, [&] { return !exclusive_ && in_flight_ == 0; });
+  exclusive_ = true;
+}
+
+void TuningServer::EndExclusive() {
+  std::lock_guard<std::mutex> lock(mu_);
+  exclusive_ = false;
+  cv_.notify_all();
+}
+
+void TuningServer::MergeAndTrain(int iters) {
+  // Barrier guaranteed by the caller: no Add is in flight on any shard.
+  // CollectNew's (shard index, arrival) order makes what the shared agent
+  // sees independent of how the round's steps were scheduled.
+  std::vector<tuner::Experience> fresh = shards_.CollectNew();
+  std::lock_guard<std::mutex> lock(agent_mu_);
+  if (agent_ == nullptr) return;
+  for (tuner::Experience& experience : fresh) {
+    agent_->Observe(std::move(experience.transition));
+  }
+  for (int i = 0; i < iters; ++i) {
+    agent_->TrainStep();
+  }
+}
+
+util::StatusOr<size_t> TuningServer::StepRound() {
+  std::vector<Session*> round;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (draining_) {
+      return util::Status::FailedPrecondition("server is draining");
+    }
+    BeginExclusive(lock);
+    for (auto& [id, session] : sessions_) {
+      if (session->tuning->phase() == tuner::SessionPhase::kTuning) {
+        session->busy = true;
+        session->status.busy = true;
+        round.push_back(session.get());
+      }
+    }
+  }
+
+  // Fan the round out over the compute pool. Each task touches only its own
+  // session (environment, collector, noise, shard); the one shared resource
+  // — policy inference — is serialized inside ServerPolicy.
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(round.size());
+  for (Session* session : round) {
+    tasks.push_back([session] {
+      util::StatusOr<tuner::StepRecord> outcome = session->tuning->Step();
+      if (!outcome.ok()) {
+        CDBTUNE_LOG(Warning) << "session " << session->id
+                             << " step failed: " << outcome.status().ToString();
+      }
+    });
+  }
+  util::ComputeContext::Get().RunConcurrent(std::move(tasks));
+
+  MergeAndTrain(options_.train_iters_per_round);
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (Session* session : round) {
+      session->busy = false;
+      RefreshStatus(session);
+    }
+  }
+  EndExclusive();
+  return round.size();
+}
+
+util::Status TuningServer::Train(int iters) {
+  if (iters < 0) {
+    return util::Status::InvalidArgument("iters must be non-negative");
+  }
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    BeginExclusive(lock);
+  }
+  MergeAndTrain(iters);
+  EndExclusive();
+  return util::Status::Ok();
+}
+
+util::StatusOr<std::vector<double>> TuningServer::Recommend(
+    const std::vector<double>& state) {
+  std::lock_guard<std::mutex> lock(agent_mu_);
+  if (agent_ == nullptr) {
+    return util::Status::FailedPrecondition("no model adopted");
+  }
+  if (state.size() != agent_->options().state_dim) {
+    return util::Status::InvalidArgument(
+        "state has " + std::to_string(state.size()) + " dims, model wants " +
+        std::to_string(agent_->options().state_dim));
+  }
+  return agent_->SelectAction(state, /*noise=*/nullptr);
+}
+
+util::StatusOr<SessionStatus> TuningServer::GetStatus(int id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sessions_.find(id);
+  if (it == sessions_.end()) {
+    return util::Status::NotFound("no session " + std::to_string(id));
+  }
+  return it->second->status;
+}
+
+std::vector<SessionStatus> TuningServer::ListStatus() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<SessionStatus> out;
+  out.reserve(sessions_.size());
+  for (const auto& [id, session] : sessions_) {
+    out.push_back(session->status);
+  }
+  return out;
+}
+
+util::StatusOr<std::string> TuningServer::RenderBestConfig(int id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sessions_.find(id);
+  if (it == sessions_.end()) {
+    return util::Status::NotFound("no session " + std::to_string(id));
+  }
+  const Session& session = *it->second;
+  if (session.busy) {
+    return util::Status::FailedPrecondition(
+        "session " + std::to_string(id) + " is busy");
+  }
+  const knobs::KnobRegistry& registry = session.db->registry();
+  const knobs::Config defaults = registry.DefaultConfig();
+  const knobs::Config& best = session.tuning->result().best_config;
+  std::string out;
+  for (size_t i = 0; i < registry.size() && i < best.size(); ++i) {
+    if (best[i] == defaults[i]) continue;
+    if (!out.empty()) out += ',';
+    out += registry.def(i).name;
+    out += '=';
+    out += FormatDouble(best[i]);
+  }
+  return out;
+}
+
+util::StatusOr<tuner::OnlineTuneResult> TuningServer::Close(int id) {
+  std::unique_ptr<Session> session;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return !exclusive_; });
+    auto it = sessions_.find(id);
+    if (it == sessions_.end()) {
+      return util::Status::NotFound("no session " + std::to_string(id));
+    }
+    if (it->second->busy) {
+      return util::Status::FailedPrecondition(
+          "session " + std::to_string(id) + " is busy");
+    }
+    session = std::move(it->second);
+    sessions_.erase(it);
+    free_shards_.push_back(session->shard);
+  }
+  // A mid-episode close still deploys the best configuration seen so far
+  // (Finish is the paper's "recommend the knobs of the best performance").
+  if (session->tuning->phase() == tuner::SessionPhase::kTuning) {
+    CDBTUNE_CHECK_OK(session->tuning->Finish());
+  }
+  return session->tuning->result();
+}
+
+void TuningServer::DrainAndStop() {
+  std::vector<std::unique_ptr<Session>> remaining;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    draining_ = true;
+    cv_.wait(lock, [&] { return !exclusive_ && in_flight_ == 0; });
+    for (auto& [id, session] : sessions_) {
+      remaining.push_back(std::move(session));
+    }
+    sessions_.clear();
+    for (const auto& session : remaining) {
+      free_shards_.push_back(session->shard);
+    }
+    cv_.notify_all();
+  }
+  for (auto& session : remaining) {
+    if (session->tuning->phase() == tuner::SessionPhase::kTuning) {
+      CDBTUNE_CHECK_OK(session->tuning->Finish());
+    }
+  }
+}
+
+size_t TuningServer::open_sessions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sessions_.size();
+}
+
+}  // namespace cdbtune::server

@@ -1,0 +1,249 @@
+#ifndef CDBTUNE_SERVER_TUNING_SERVER_H_
+#define CDBTUNE_SERVER_TUNING_SERVER_H_
+
+#include <condition_variable>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "env/instance.h"
+#include "rl/ddpg.h"
+#include "rl/noise.h"
+#include "tuner/cdbtune.h"
+#include "tuner/memory_pool.h"
+#include "tuner/metrics_collector.h"
+#include "tuner/tuning_session.h"
+#include "util/status.h"
+#include "workload/workload.h"
+
+namespace cdbtune::server {
+
+/// What one tenant asks for when opening a tuning session: which engine to
+/// tune, under which workload and hardware shape, with which seed. Every
+/// session gets its own database instance — the server multiplexes the
+/// *model*, not the environment (the paper's train-once / tune-many
+/// deployment of Section 2.1.2 / Figure 2).
+struct SessionSpec {
+  /// "sim" (SimulatedCdb::MysqlCdb — microsecond stress tests) or "mini"
+  /// (engine::MiniCdb — the real storage engine on a virtual-time disk).
+  /// Both use the MySQL knob catalog, so one shared agent serves either.
+  std::string engine = "sim";
+  workload::WorkloadSpec workload = workload::SysbenchReadWrite();
+  env::HardwareSpec hardware = env::CdbA();
+  /// Seeds the instance's measurement noise and the session's exploration
+  /// stream. Two sessions with equal specs produce bitwise-equal
+  /// trajectories (given a frozen model), no matter what else the server
+  /// is doing — see the determinism notes on TuningServer.
+  uint64_t seed = 1;
+  /// Online tuning step budget (paper Section 2.1.2: at most 5).
+  int max_steps = 5;
+  /// Rows bulk-loaded when engine == "mini".
+  uint64_t mini_table_rows = 20000;
+  /// Seconds per stress test; < 0 uses the server default.
+  double stress_duration_s = -1.0;
+};
+
+/// Point-in-time view of one session, safe to read while the session is
+/// being stepped on another thread (it is a snapshot updated under the
+/// server lock after every state change, not a live reference).
+struct SessionStatus {
+  int id = -1;
+  tuner::SessionPhase phase = tuner::SessionPhase::kCreated;
+  std::string engine;
+  std::string workload;
+  int steps_done = 0;
+  double initial_throughput = 0.0;
+  double initial_latency = 0.0;
+  double best_throughput = 0.0;
+  double best_latency = 0.0;
+  double last_reward = 0.0;
+  bool busy = false;
+};
+
+struct TuningServerOptions {
+  /// Concurrent session cap; also the shard count of the experience pool.
+  size_t max_sessions = 16;
+  /// Ring capacity per shard. A session's unmerged experiences beyond this
+  /// are dropped oldest-first (counted, never blocking).
+  size_t shard_capacity = 64;
+  /// Default stress-test duration (paper: ~150 s of load per step).
+  double stress_duration_s = 150.0;
+  /// Gradient steps applied after each StepRound over the merged
+  /// experiences. 0 freezes the model: sessions become fully independent
+  /// given the adopted weights (the pool still records everything).
+  int train_iters_per_round = 0;
+  /// Reward shaping, mirroring CdbTuneOptions.
+  tuner::RewardFunctionType reward_type = tuner::RewardFunctionType::kCdbTune;
+  double throughput_coeff = 0.5;
+  double latency_coeff = 0.5;
+  double reward_clip = 20.0;
+  double reward_scale = 0.05;
+  /// Per-session Ornstein-Uhlenbeck exploration around the fine-tuned
+  /// policy. Negative (the default) inherits the adopted model's noise
+  /// parameters; combined with the seed derivation below, a frozen-model
+  /// session then reproduces the classic single-tenant OnlineTune loop
+  /// bitwise for the same seed.
+  double noise_theta = -1.0;
+  double noise_sigma = -1.0;
+};
+
+/// Multi-session tuning daemon: one trained standard model serving many
+/// concurrent tuning requests (the paper's deployment shape — training
+/// happens once against standard workloads; each cloud tenant then gets a
+/// short online fine-tuning session).
+///
+/// Concurrency and determinism model (DESIGN.md "Multi-session tuning
+/// server"):
+///
+///   - Each session owns its environment: a private database instance,
+///     metrics-collector statistics, OU exploration stream, and one shard of
+///     the sharded experience pool. Nothing session-affecting is shared.
+///   - The shared agent is the only cross-session state. Policy inference
+///     is serialized by `agent_mu_` (a forward pass mutates per-layer
+///     activation caches) but is a pure function of weights + input, so the
+///     serialization order cannot leak into results.
+///   - Training only happens at barriers (StepRound / Train) while no step
+///     is in flight; merged experiences arrive in (shard index, arrival)
+///     order. Hence a round-driven run is bitwise reproducible for fixed
+///     seeds at any CDBTUNE_THREADS setting, even with training enabled.
+///
+/// Thread safety: all public methods are safe to call concurrently.
+/// Step/StepRound/Train block while another exclusive phase runs; Step on a
+/// session already being stepped fails fast with FailedPrecondition rather
+/// than queueing.
+class TuningServer {
+ public:
+  explicit TuningServer(TuningServerOptions options = {});
+  ~TuningServer();
+
+  TuningServer(const TuningServer&) = delete;
+  TuningServer& operator=(const TuningServer&) = delete;
+
+  /// Adopts a trained standard model: clones the agent's weights, copies the
+  /// input-normalization statistics and the best offline action. Must be
+  /// called (once) before any Open. The source tuner is not retained.
+  util::Status AdoptModel(tuner::CdbTuner& trained);
+
+  /// Opens a session: provisions the instance, runs the baseline stress
+  /// test, and returns the session id. Fails when the server is at
+  /// capacity, draining, or has no model.
+  util::StatusOr<int> Open(const SessionSpec& spec);
+
+  /// Advances one session by one tuning step.
+  util::StatusOr<tuner::StepRecord> Step(int id);
+
+  /// Steps every tuning-phase session once, fanning out over the compute
+  /// pool, then merges new experiences into the shared agent and applies
+  /// `train_iters_per_round` gradient steps. Returns the number of sessions
+  /// stepped.
+  util::StatusOr<size_t> StepRound();
+
+  /// Merges pending experiences and runs `iters` gradient steps now.
+  util::Status Train(int iters);
+
+  /// Greedy recommendation from the shared model for an arbitrary
+  /// (already-standardized) state vector; no session required.
+  util::StatusOr<std::vector<double>> Recommend(
+      const std::vector<double>& state);
+
+  util::StatusOr<SessionStatus> GetStatus(int id) const;
+  std::vector<SessionStatus> ListStatus() const;
+
+  /// Renders the session's best configuration as "knob=value" pairs
+  /// (comma-joined, only knobs differing from the engine default).
+  util::StatusOr<std::string> RenderBestConfig(int id) const;
+
+  /// Finishes the session (deploying its best configuration), releases its
+  /// slot, and returns the tuning result. A mid-episode close keeps the
+  /// best configuration seen so far — other sessions are unaffected.
+  util::StatusOr<tuner::OnlineTuneResult> Close(int id);
+
+  /// Refuses new sessions, waits for in-flight steps, and closes every
+  /// remaining session (deploying best configs) in id order.
+  void DrainAndStop();
+
+  size_t open_sessions() const;
+  bool model_ready() const;
+  const tuner::ShardedExperiencePool& pool() const { return shards_; }
+  const TuningServerOptions& options() const { return options_; }
+
+ private:
+  struct Session;
+
+  /// PolicySource over the shared agent: serializes inference with the
+  /// model lock and injects the *session's* exploration stream.
+  class ServerPolicy : public tuner::PolicySource {
+   public:
+    ServerPolicy(TuningServer* server, rl::ActionNoise* noise)
+        : server_(server), noise_(noise) {}
+    std::vector<double> ProposeAction(const std::vector<double>& state,
+                                      bool explore) override;
+    std::vector<double> BestKnownAction() const override;
+
+   private:
+    TuningServer* server_;
+    rl::ActionNoise* noise_;
+  };
+
+  /// ExperienceSink into the session's own shard (mutex-free by ownership).
+  class ShardSink : public tuner::ExperienceSink {
+   public:
+    ShardSink(tuner::ShardedExperiencePool* pool, size_t shard)
+        : pool_(pool), shard_(shard) {}
+    void Record(tuner::Experience experience) override {
+      pool_->Add(shard_, std::move(experience));
+    }
+
+   private:
+    tuner::ShardedExperiencePool* pool_;
+    size_t shard_;
+  };
+
+  /// Builds the database instance for `spec` (nullptr + error status on an
+  /// unknown engine name).
+  static util::StatusOr<std::unique_ptr<env::DbInterface>> MakeDb(
+      const SessionSpec& spec);
+
+  /// Refreshes `session`'s status snapshot from its TuningSession. Caller
+  /// holds mu_ and the session is not being stepped.
+  static void RefreshStatus(Session* session);
+
+  /// Marks `id` busy for a step. Fails when unknown, busy, draining, or in
+  /// an exclusive phase.
+  util::StatusOr<Session*> BeginStep(int id);
+  void EndStep(Session* session);
+
+  /// Waits until no step is in flight, then claims exclusive access
+  /// (training / drain). Returns false if the server started draining.
+  void BeginExclusive(std::unique_lock<std::mutex>& lock);
+  void EndExclusive();
+
+  /// Feeds every un-merged experience to the agent and runs `iters`
+  /// gradient steps. Caller holds exclusivity (no Add in flight).
+  void MergeAndTrain(int iters);
+
+  TuningServerOptions options_;
+  tuner::ShardedExperiencePool shards_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::map<int, std::unique_ptr<Session>> sessions_;
+  std::vector<size_t> free_shards_;
+  int next_id_ = 0;
+  size_t in_flight_ = 0;
+  bool exclusive_ = false;
+  bool draining_ = false;
+
+  /// Shared-model state, guarded by agent_mu_ (independent of mu_; never
+  /// hold both except mu_ -> agent_mu_).
+  mutable std::mutex agent_mu_;
+  std::unique_ptr<rl::DdpgAgent> agent_;
+  tuner::MetricsCollector collector_template_;
+  std::vector<double> best_offline_action_;
+};
+
+}  // namespace cdbtune::server
+
+#endif  // CDBTUNE_SERVER_TUNING_SERVER_H_

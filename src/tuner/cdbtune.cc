@@ -4,11 +4,58 @@
 #include <cmath>
 #include <fstream>
 
+#include "tuner/tuning_session.h"
 #include "util/check.h"
 #include "util/logging.h"
 #include "util/stats.h"
 
 namespace cdbtune::tuner {
+
+namespace {
+
+/// PolicySource over the tuner's own agent: exploration noise comes from
+/// the agent's Ornstein-Uhlenbeck process, exactly as the pre-session
+/// online loop behaved.
+class AgentPolicy final : public PolicySource {
+ public:
+  AgentPolicy(rl::DdpgAgent* agent, const std::vector<double>* best_action)
+      : agent_(agent), best_action_(best_action) {}
+
+  std::vector<double> ProposeAction(const std::vector<double>& state,
+                                    bool explore) override {
+    return agent_->SelectAction(state, explore);
+  }
+
+  std::vector<double> BestKnownAction() const override {
+    return *best_action_;
+  }
+
+ private:
+  rl::DdpgAgent* agent_;
+  const std::vector<double>* best_action_;
+};
+
+/// ExperienceSink that fine-tunes immediately: every recorded step lands in
+/// the durable memory pool and the agent's replay, followed by one gradient
+/// step — online tuning keeps learning from the user's workload.
+class FineTuneSink final : public ExperienceSink {
+ public:
+  FineTuneSink(MemoryPool* pool, rl::DdpgAgent* agent)
+      : pool_(pool), agent_(agent) {}
+
+  void Record(Experience experience) override {
+    rl::Transition transition = experience.transition;
+    pool_->Add(std::move(experience));
+    agent_->Observe(std::move(transition));
+    agent_->TrainStep();
+  }
+
+ private:
+  MemoryPool* pool_;
+  rl::DdpgAgent* agent_;
+};
+
+}  // namespace
 
 CdbTuner::CdbTuner(env::DbInterface* db, knobs::KnobSpace space,
                    CdbTuneOptions options)
@@ -290,91 +337,25 @@ OfflineTrainResult CdbTuner::OfflineTrain(
 OnlineTuneResult CdbTuner::OnlineTune(const workload::WorkloadSpec& workload,
                                       int max_steps) {
   if (max_steps <= 0) max_steps = options_.online_max_steps;
-  OnlineTuneResult out;
-  RewardFunction reward(options_.reward_type, options_.throughput_coeff,
-                        options_.latency_coeff);
 
-  // Measure the user's current performance (their live configuration).
-  const knobs::Config base_config = db_->current_config();
-  env::StressResult stress;
-  if (!Stress(workload, &stress)) return out;
-  out.initial = MetricsCollector::ToPerfPoint(stress.external);
-  reward.SetInitial(out.initial);
-  out.best = out.initial;
-  out.best_config = base_config;
+  TuningSessionOptions session_options;
+  session_options.max_steps = max_steps;
+  session_options.stress_duration_s = options_.stress_duration_s;
+  session_options.reward_type = options_.reward_type;
+  session_options.throughput_coeff = options_.throughput_coeff;
+  session_options.latency_coeff = options_.latency_coeff;
+  session_options.reward_clip = options_.reward_clip;
+  session_options.reward_scale = options_.reward_scale;
 
-  std::vector<double> state = collector_.Process(stress);
-  PerfPoint prev_perf = out.initial;
-
-  for (int step = 1; step <= max_steps; ++step) {
-    // Step 1 is the standard model's greedy recommendation; one step spends
-    // the best configuration remembered from offline training (it lives in
-    // the memory pool); the rest explore around the fine-tuned policy.
-    std::vector<double> action;
-    if (step == 2 && !best_offline_action_.empty()) {
-      action = best_offline_action_;
-    } else {
-      action = agent_->SelectAction(state, /*explore=*/step > 1);
-    }
-    knobs::Config config = recommender_.BuildConfig(action, base_config);
-    util::Status deploy = recommender_.Deploy(*db_, config);
-
-    StepRecord record;
-    record.step = step;
-    double r;
-    std::vector<double> next_state = state;
-    bool terminal = false;
-
-    if (!deploy.ok()) {
-      r = reward.crash_reward();
-      record.crashed = true;
-      terminal = true;
-    } else {
-      if (!Stress(workload, &stress)) break;
-      PerfPoint perf = MetricsCollector::ToPerfPoint(stress.external);
-      r = std::clamp(reward.Compute(prev_perf, perf), -options_.reward_clip,
-                     options_.reward_clip);
-      next_state = collector_.Process(stress);
-      record.throughput = perf.throughput;
-      record.latency = perf.latency;
-      if (Score(out.initial, perf) > Score(out.initial, out.best)) {
-        out.best = perf;
-        out.best_config = db_->current_config();
-      }
-      prev_perf = perf;
-    }
-    record.reward = r;
-    out.history.push_back(record);
-    out.steps = step;
-
-    rl::Transition t;
-    t.state = state;
-    t.action = action;
-    t.reward = r * options_.reward_scale;
-    t.next_state = next_state;
-    t.terminal = terminal;
-    Experience exp;
-    exp.transition = t;
-    exp.workload_name = workload.name;
-    exp.instance_name = db_->hardware().name;
-    exp.from_user_request = true;
-    exp.throughput = record.throughput;
-    exp.latency = record.latency;
-    pool_.Add(exp);
-    agent_->Observe(std::move(t));
-    // Online fine-tuning: keep learning from the user's workload.
-    agent_->TrainStep();
-    state = std::move(next_state);
+  AgentPolicy policy(agent_.get(), &best_offline_action_);
+  FineTuneSink sink(&pool_, agent_.get());
+  TuningSession session(db_, space_, workload, &collector_, &policy, &sink,
+                        session_options);
+  if (!session.Begin().ok()) return session.result();
+  while (session.phase() == SessionPhase::kTuning) {
+    if (!session.Step().ok()) break;
   }
-
-  // Deploy the best configuration found (the paper recommends the knobs
-  // "corresponding to the best performance in online tuning").
-  util::Status final_deploy = recommender_.Deploy(*db_, out.best_config);
-  if (!final_deploy.ok()) {
-    CDBTUNE_LOG(Warning) << "re-deploying best config failed: "
-                         << final_deploy.ToString();
-  }
-  return out;
+  return session.result();
 }
 
 }  // namespace cdbtune::tuner

@@ -12,6 +12,7 @@
 #include "tuner/metrics_collector.h"
 #include "tuner/recommender.h"
 #include "tuner/reward.h"
+#include "tuner/tuning_session.h"
 #include "workload/workload.h"
 
 namespace cdbtune::tuner {
@@ -81,15 +82,6 @@ struct CdbTuneOptions {
   uint64_t seed = 17;
 };
 
-/// Trace of one environment step.
-struct StepRecord {
-  int step = 0;
-  double throughput = 0.0;
-  double latency = 0.0;
-  double reward = 0.0;
-  bool crashed = false;
-};
-
 /// Output of offline (cold-start) training.
 struct OfflineTrainResult {
   /// Environment steps executed.
@@ -100,15 +92,6 @@ struct OfflineTrainResult {
   PerfPoint best;
   knobs::Config best_config;
   int crashes = 0;
-  std::vector<StepRecord> history;
-};
-
-/// Output of one online tuning request.
-struct OnlineTuneResult {
-  PerfPoint initial;
-  PerfPoint best;
-  knobs::Config best_config;
-  int steps = 0;
   std::vector<StepRecord> history;
 };
 

@@ -1,5 +1,9 @@
 #include "tuner/memory_pool.h"
 
+#include <utility>
+
+#include "util/check.h"
+
 namespace cdbtune::tuner {
 
 void MemoryPool::Add(Experience experience) {
@@ -18,6 +22,67 @@ size_t MemoryPool::user_request_count() const {
     if (e.from_user_request) ++n;
   }
   return n;
+}
+
+ShardedExperiencePool::ShardedExperiencePool(size_t num_shards,
+                                             size_t shard_capacity)
+    : capacity_(shard_capacity), shards_(num_shards) {
+  CDBTUNE_CHECK(num_shards > 0) << "pool needs at least one shard";
+  CDBTUNE_CHECK(shard_capacity > 0) << "shard capacity must be positive";
+  for (Shard& shard : shards_) shard.ring.resize(capacity_);
+}
+
+void ShardedExperiencePool::Add(size_t shard, Experience experience) {
+  CDBTUNE_CHECK(shard < shards_.size()) << "shard out of range";
+  Shard& s = shards_[shard];
+  s.ring[s.added % capacity_] = std::move(experience);
+  ++s.added;
+}
+
+size_t ShardedExperiencePool::shard_size(size_t shard) const {
+  CDBTUNE_CHECK(shard < shards_.size()) << "shard out of range";
+  const Shard& s = shards_[shard];
+  return static_cast<size_t>(s.added < capacity_ ? s.added : capacity_);
+}
+
+uint64_t ShardedExperiencePool::total_added() const {
+  uint64_t n = 0;
+  for (const Shard& s : shards_) n += s.added;
+  return n;
+}
+
+uint64_t ShardedExperiencePool::total_dropped() const {
+  uint64_t n = 0;
+  for (const Shard& s : shards_) n += s.dropped;
+  return n;
+}
+
+std::vector<Experience> ShardedExperiencePool::CollectNew() {
+  std::vector<Experience> out;
+  for (Shard& s : shards_) {
+    // Entries the ring already overwrote are gone; account for them so the
+    // caller can see the loss, then copy the survivors in arrival order.
+    if (s.added - s.merged > capacity_) {
+      uint64_t lost = s.added - s.merged - capacity_;
+      s.dropped += lost;
+      s.merged += lost;
+    }
+    for (uint64_t seq = s.merged; seq < s.added; ++seq) {
+      out.push_back(s.ring[seq % capacity_]);
+    }
+    s.merged = s.added;
+  }
+  return out;
+}
+
+void ShardedExperiencePool::SnapshotInto(MemoryPool* pool) const {
+  CDBTUNE_CHECK(pool != nullptr);
+  for (const Shard& s : shards_) {
+    uint64_t first = s.added < capacity_ ? 0 : s.added - capacity_;
+    for (uint64_t seq = first; seq < s.added; ++seq) {
+      pool->Add(s.ring[seq % capacity_]);
+    }
+  }
 }
 
 }  // namespace cdbtune::tuner

@@ -1,6 +1,7 @@
 #ifndef CDBTUNE_TUNER_MEMORY_POOL_H_
 #define CDBTUNE_TUNER_MEMORY_POOL_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -45,6 +46,65 @@ class MemoryPool {
 
  private:
   std::vector<Experience> experiences_;
+};
+
+/// Mutex-free sharded experience pool for the multi-session tuning server:
+/// every concurrent tenant writes its own shard's fixed-capacity ring, and
+/// the trainer merges all shards at a barrier. Thread safety comes from
+/// ownership, not locks — the contract is:
+///
+///   - Add(shard, ...) is called by exactly one thread per shard at a time
+///     (each open session owns one shard slot);
+///   - Add() calls on *different* shards may run concurrently (shards are
+///     cache-line aligned so writers never false-share);
+///   - CollectNew() / SnapshotInto() / the counters run only at a barrier,
+///     i.e. while no Add() is in flight on any shard (the server steps
+///     sessions in rounds and trains between rounds).
+///
+/// CollectNew() visits shards in index order and each shard's experiences
+/// in arrival order, so the merged stream — and therefore everything the
+/// shared agent learns from it — is deterministic regardless of how session
+/// steps were scheduled across threads.
+class ShardedExperiencePool {
+ public:
+  ShardedExperiencePool(size_t num_shards, size_t shard_capacity);
+
+  /// Appends to `shard`'s ring, overwriting its oldest entry when full.
+  void Add(size_t shard, Experience experience);
+
+  size_t num_shards() const { return shards_.size(); }
+  size_t shard_capacity() const { return capacity_; }
+
+  /// Experiences currently retained in `shard` (at most shard_capacity).
+  size_t shard_size(size_t shard) const;
+
+  /// Total experiences ever added across all shards (barrier-only).
+  uint64_t total_added() const;
+
+  /// Experiences overwritten before any CollectNew() saw them — a slow
+  /// trainer loses the ring's oldest entries, never blocks a writer.
+  uint64_t total_dropped() const;
+
+  /// Copies every experience added since the previous CollectNew() — in
+  /// (shard index, arrival) order — and advances the merge cursors.
+  std::vector<Experience> CollectNew();
+
+  /// Copies every retained experience into `pool` in deterministic order
+  /// (used to warm-start a fresh agent from the server's history).
+  void SnapshotInto(MemoryPool* pool) const;
+
+ private:
+  /// One tenant's ring. alignas keeps concurrent writers of neighboring
+  /// shards off each other's cache lines.
+  struct alignas(64) Shard {
+    std::vector<Experience> ring;
+    uint64_t added = 0;    // Total experiences ever written.
+    uint64_t merged = 0;   // Consumed by CollectNew (includes dropped).
+    uint64_t dropped = 0;  // Overwritten before a merge saw them.
+  };
+
+  size_t capacity_;
+  std::vector<Shard> shards_;
 };
 
 }  // namespace cdbtune::tuner

@@ -1,0 +1,191 @@
+#include "tuner/tuning_session.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "util/check.h"
+#include "util/logging.h"
+
+namespace cdbtune::tuner {
+
+const char* SessionPhaseName(SessionPhase phase) {
+  switch (phase) {
+    case SessionPhase::kCreated:
+      return "CREATED";
+    case SessionPhase::kTuning:
+      return "TUNING";
+    case SessionPhase::kFinished:
+      return "FINISHED";
+    case SessionPhase::kFailed:
+      return "FAILED";
+  }
+  return "UNKNOWN";
+}
+
+TuningSession::TuningSession(env::DbInterface* db, knobs::KnobSpace space,
+                             workload::WorkloadSpec workload,
+                             MetricsCollector* collector, PolicySource* policy,
+                             ExperienceSink* sink,
+                             TuningSessionOptions options)
+    : db_(db),
+      space_(std::move(space)),
+      workload_(std::move(workload)),
+      collector_(collector),
+      policy_(policy),
+      sink_(sink),
+      options_(std::move(options)),
+      recommender_(&space_),
+      reward_(options_.reward_type, options_.throughput_coeff,
+              options_.latency_coeff) {
+  CDBTUNE_CHECK(db_ != nullptr);
+  CDBTUNE_CHECK(collector_ != nullptr);
+  CDBTUNE_CHECK(policy_ != nullptr);
+  CDBTUNE_CHECK(sink_ != nullptr);
+  CDBTUNE_CHECK(options_.max_steps > 0) << "session needs a step budget";
+}
+
+double TuningSession::Score(const PerfPoint& point) const {
+  CDBTUNE_CHECK(result_.initial.throughput > 0.0 &&
+                result_.initial.latency > 0.0);
+  return options_.throughput_coeff *
+             (point.throughput / result_.initial.throughput) +
+         options_.latency_coeff *
+             (result_.initial.latency / std::max(1e-9, point.latency));
+}
+
+bool TuningSession::Stress(env::StressResult* out) {
+  auto outcome = db_->RunStress(workload_, options_.stress_duration_s);
+  if (!outcome.ok()) {
+    CDBTUNE_LOG(Warning) << "session stress test failed: "
+                         << outcome.status().ToString();
+    return false;
+  }
+  *out = std::move(outcome.value());
+  return true;
+}
+
+util::Status TuningSession::Begin() {
+  if (phase_ != SessionPhase::kCreated) {
+    return util::Status::FailedPrecondition(
+        "Begin() on a session already begun");
+  }
+  // The user's live configuration is the baseline (D_0 of Section 4.2) —
+  // no reset: tuning starts from whatever they run today.
+  base_config_ = db_->current_config();
+  env::StressResult stress;
+  if (!Stress(&stress)) {
+    phase_ = SessionPhase::kFailed;
+    return util::Status::Internal("baseline stress test failed");
+  }
+  result_.initial = MetricsCollector::ToPerfPoint(stress.external);
+  reward_.SetInitial(result_.initial);
+  result_.best = result_.initial;
+  result_.best_config = base_config_;
+  state_ = collector_->Process(stress);
+  prev_perf_ = result_.initial;
+  phase_ = SessionPhase::kTuning;
+  return util::Status::Ok();
+}
+
+util::StatusOr<StepRecord> TuningSession::Step() {
+  if (phase_ != SessionPhase::kTuning) {
+    return util::Status::FailedPrecondition(
+        std::string("Step() in phase ") + SessionPhaseName(phase_));
+  }
+  const int step = result_.steps + 1;
+
+  // Step 1 is the standard model's greedy recommendation; one step spends
+  // the best configuration remembered from offline training; the rest
+  // explore around the (possibly fine-tuned) policy.
+  std::vector<double> action;
+  if (step == options_.best_known_step) action = policy_->BestKnownAction();
+  if (action.empty()) action = policy_->ProposeAction(state_, step > 1);
+  CDBTUNE_CHECK_EQ(action.size(), space_.action_dim())
+      << "policy action dimension mismatch";
+
+  knobs::Config config = recommender_.BuildConfig(action, base_config_);
+  util::Status deploy = recommender_.Deploy(*db_, config);
+
+  StepRecord record;
+  record.step = step;
+  double r;
+  std::vector<double> next_state = state_;
+  bool terminal = false;
+
+  bool stress_failed = false;
+  if (!deploy.ok()) {
+    // Crash (kCrashed) or rejection: large negative reward, episode ends,
+    // instance restarts on its previous healthy configuration.
+    r = reward_.crash_reward();
+    record.crashed = true;
+    terminal = true;
+  } else {
+    env::StressResult stress;
+    if (!Stress(&stress)) {
+      stress_failed = true;
+      r = 0.0;
+    } else {
+      PerfPoint perf = MetricsCollector::ToPerfPoint(stress.external);
+      r = std::clamp(reward_.Compute(prev_perf_, perf), -options_.reward_clip,
+                     options_.reward_clip);
+      next_state = collector_->Process(stress);
+      record.throughput = perf.throughput;
+      record.latency = perf.latency;
+      if (Score(perf) > Score(result_.best)) {
+        result_.best = perf;
+        result_.best_config = db_->current_config();
+      }
+      prev_perf_ = perf;
+    }
+  }
+
+  if (stress_failed) {
+    // Keep what the session learned so far and deploy the best seen —
+    // mirrors the old loop's break-then-deploy behavior.
+    CDBTUNE_CHECK_OK(Finish());
+    return util::Status::Internal("stress test failed mid-session");
+  }
+
+  record.reward = r;
+  result_.history.push_back(record);
+  result_.steps = step;
+
+  rl::Transition t;
+  t.state = state_;
+  t.action = std::move(action);
+  t.reward = r * options_.reward_scale;
+  t.next_state = next_state;
+  t.terminal = terminal;
+  Experience exp;
+  exp.transition = std::move(t);
+  exp.workload_name = workload_.name;
+  exp.instance_name = db_->hardware().name;
+  exp.from_user_request = true;
+  exp.throughput = record.throughput;
+  exp.latency = record.latency;
+  sink_->Record(std::move(exp));
+
+  state_ = std::move(next_state);
+  if (step >= options_.max_steps) CDBTUNE_CHECK_OK(Finish());
+  return record;
+}
+
+util::Status TuningSession::Finish() {
+  if (phase_ == SessionPhase::kFinished) return util::Status::Ok();
+  if (phase_ != SessionPhase::kTuning) {
+    return util::Status::FailedPrecondition(
+        std::string("Finish() in phase ") + SessionPhaseName(phase_));
+  }
+  // Deploy the knobs "corresponding to the best performance in online
+  // tuning" (Section 2.1.2).
+  util::Status final_deploy = recommender_.Deploy(*db_, result_.best_config);
+  if (!final_deploy.ok()) {
+    CDBTUNE_LOG(Warning) << "re-deploying best config failed: "
+                         << final_deploy.ToString();
+  }
+  phase_ = SessionPhase::kFinished;
+  return util::Status::Ok();
+}
+
+}  // namespace cdbtune::tuner

@@ -1,5 +1,7 @@
 #include <cmath>
 #include <map>
+#include <tuple>
+#include <vector>
 
 #include "gtest/gtest.h"
 #include "rl/ddpg.h"
@@ -8,6 +10,7 @@
 #include "rl/qlearning.h"
 #include "rl/replay.h"
 #include "util/stats.h"
+#include "util/thread_pool.h"
 
 namespace cdbtune::rl {
 namespace {
@@ -100,6 +103,35 @@ TEST(PrioritizedReplayTest, OverwriteKeepsTreeConsistent) {
   }
 }
 
+TEST(PrioritizedReplayTest, BatchSampleIsThreadCountInvariant) {
+  // Sample() draws all priorities from the caller's rng up front, then
+  // partitions the sum-tree walks over the compute pool — so the batch must
+  // be bitwise identical at any CDBTUNE_THREADS setting.
+  auto run = [](size_t threads) {
+    util::ComputeContext::Get().SetThreads(threads);
+    PrioritizedReplay replay(64, 0.6, 0.4);
+    for (int i = 0; i < 50; ++i) replay.Add(MakeTransition(i));
+    std::vector<size_t> indices;
+    std::vector<double> errors;
+    for (size_t i = 0; i < 50; ++i) {
+      indices.push_back(i);
+      errors.push_back(0.01 + 0.37 * static_cast<double>(i % 7));
+    }
+    replay.UpdatePriorities(indices, errors);
+    util::Rng rng(123);
+    SampleBatch batch = replay.Sample(32, rng);
+    std::vector<double> rewards;
+    for (const Transition* t : batch.items) rewards.push_back(t->reward);
+    util::ComputeContext::Get().SetThreads(0);
+    return std::make_tuple(batch.indices, batch.weights, rewards);
+  };
+  auto solo = run(1);
+  auto pooled = run(4);
+  EXPECT_EQ(std::get<0>(solo), std::get<0>(pooled));
+  EXPECT_EQ(std::get<1>(solo), std::get<1>(pooled));
+  EXPECT_EQ(std::get<2>(solo), std::get<2>(pooled));
+}
+
 TEST(PrioritizedReplayTest, BetaAnnealing) {
   PrioritizedReplay replay(4, 0.6, 0.4);
   EXPECT_DOUBLE_EQ(replay.beta(), 0.4);
@@ -148,6 +180,25 @@ TEST(NoiseTest, GaussianScalesWithSigma) {
   util::RunningStat small;
   for (int i = 0; i < 5000; ++i) small.Add(noise.Sample()[0]);
   EXPECT_NEAR(small.stddev(), 0.1, 0.01);
+}
+
+TEST(NoiseTest, InstancesAreIndependentStreams) {
+  // Session-affecting state must be per-instance: interleaving two noise
+  // generators cannot perturb either one's sequence (the multi-session
+  // server relies on this — each tenant owns its own OU process).
+  OrnsteinUhlenbeckNoise solo_a(3, 0.15, 0.2, util::Rng(10));
+  std::vector<std::vector<double>> expect_a;
+  for (int i = 0; i < 64; ++i) expect_a.push_back(solo_a.Sample());
+  OrnsteinUhlenbeckNoise solo_b(3, 0.15, 0.2, util::Rng(11));
+  std::vector<std::vector<double>> expect_b;
+  for (int i = 0; i < 64; ++i) expect_b.push_back(solo_b.Sample());
+
+  OrnsteinUhlenbeckNoise a(3, 0.15, 0.2, util::Rng(10));
+  OrnsteinUhlenbeckNoise b(3, 0.15, 0.2, util::Rng(11));
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_EQ(a.Sample(), expect_a[i]) << "draw " << i;
+    EXPECT_EQ(b.Sample(), expect_b[i]) << "draw " << i;
+  }
 }
 
 // --- DDPG ------------------------------------------------------------------------

@@ -1,0 +1,450 @@
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "server/dispatch.h"
+#include "server/io/line_socket.h"
+#include "server/io/socket_server.h"
+#include "server/protocol.h"
+#include "server/tuning_server.h"
+#include "env/simulated_cdb.h"
+#include "tuner/cdbtune.h"
+#include "util/thread_pool.h"
+
+#include <unistd.h>
+
+namespace cdbtune::server {
+namespace {
+
+// --- ShardedExperiencePool ---------------------------------------------------
+
+tuner::Experience MarkedExperience(double marker) {
+  tuner::Experience experience;
+  experience.transition.state = {marker};
+  experience.transition.action = {marker};
+  experience.transition.next_state = {marker};
+  experience.transition.reward = marker;
+  experience.workload_name = "test";
+  return experience;
+}
+
+TEST(ShardedExperiencePoolTest, CollectMergesInShardThenArrivalOrder) {
+  tuner::ShardedExperiencePool pool(3, 8);
+  // Interleave writers; the merged order must still be (shard, arrival).
+  pool.Add(2, MarkedExperience(20));
+  pool.Add(0, MarkedExperience(1));
+  pool.Add(1, MarkedExperience(10));
+  pool.Add(0, MarkedExperience(2));
+  pool.Add(2, MarkedExperience(21));
+
+  std::vector<tuner::Experience> merged = pool.CollectNew();
+  ASSERT_EQ(merged.size(), 5u);
+  EXPECT_EQ(merged[0].transition.reward, 1);
+  EXPECT_EQ(merged[1].transition.reward, 2);
+  EXPECT_EQ(merged[2].transition.reward, 10);
+  EXPECT_EQ(merged[3].transition.reward, 20);
+  EXPECT_EQ(merged[4].transition.reward, 21);
+
+  // A second collect sees only what arrived since.
+  EXPECT_TRUE(pool.CollectNew().empty());
+  pool.Add(1, MarkedExperience(11));
+  std::vector<tuner::Experience> again = pool.CollectNew();
+  ASSERT_EQ(again.size(), 1u);
+  EXPECT_EQ(again[0].transition.reward, 11);
+  EXPECT_EQ(pool.total_added(), 6u);
+  EXPECT_EQ(pool.total_dropped(), 0u);
+}
+
+TEST(ShardedExperiencePoolTest, RingDropsOldestWhenTrainerLags) {
+  tuner::ShardedExperiencePool pool(1, 2);
+  pool.Add(0, MarkedExperience(1));
+  pool.Add(0, MarkedExperience(2));
+  pool.Add(0, MarkedExperience(3));  // Overwrites 1 before any merge.
+  std::vector<tuner::Experience> merged = pool.CollectNew();
+  ASSERT_EQ(merged.size(), 2u);
+  EXPECT_EQ(merged[0].transition.reward, 2);
+  EXPECT_EQ(merged[1].transition.reward, 3);
+  EXPECT_EQ(pool.total_added(), 3u);
+  EXPECT_EQ(pool.total_dropped(), 1u);
+}
+
+TEST(ShardedExperiencePoolTest, SnapshotCopiesRetainedWindow) {
+  tuner::ShardedExperiencePool pool(2, 2);
+  for (int i = 0; i < 3; ++i) pool.Add(0, MarkedExperience(i));
+  pool.Add(1, MarkedExperience(10));
+  tuner::MemoryPool snapshot;
+  pool.SnapshotInto(&snapshot);
+  ASSERT_EQ(snapshot.size(), 3u);  // Shard 0 retains {1, 2}, shard 1 {10}.
+  EXPECT_EQ(snapshot.at(0).transition.reward, 1);
+  EXPECT_EQ(snapshot.at(1).transition.reward, 2);
+  EXPECT_EQ(snapshot.at(2).transition.reward, 10);
+}
+
+// --- Protocol ----------------------------------------------------------------
+
+TEST(ProtocolTest, ParsesVerbAndArguments) {
+  auto command = ParseCommand("OPEN engine=sim seed=42 workload=tpcc");
+  ASSERT_TRUE(command.ok());
+  EXPECT_EQ(command->verb, "OPEN");
+  EXPECT_EQ(command->args.at("engine"), "sim");
+  EXPECT_EQ(command->args.at("seed"), "42");
+  EXPECT_EQ(command->args.at("workload"), "tpcc");
+}
+
+TEST(ProtocolTest, RejectsMalformedInput) {
+  EXPECT_FALSE(ParseCommand("").ok());
+  EXPECT_FALSE(ParseCommand("   ").ok());
+  EXPECT_FALSE(ParseCommand("STEP id").ok());
+  EXPECT_FALSE(ParseCommand("STEP =3").ok());
+}
+
+TEST(ProtocolTest, AccessorsValidate) {
+  auto command = ParseCommand("STEP id=3 frac=0.5 bad=xyz");
+  ASSERT_TRUE(command.ok());
+  EXPECT_EQ(GetInt(*command, "id").value(), 3);
+  EXPECT_FALSE(GetInt(*command, "missing").ok());
+  EXPECT_EQ(GetIntOr(*command, "missing", 7).value(), 7);
+  EXPECT_FALSE(GetIntOr(*command, "bad", 7).ok());
+  EXPECT_EQ(GetDoubleOr(*command, "frac", 0.0).value(), 0.5);
+  EXPECT_FALSE(GetDoubleOr(*command, "bad", 0.0).ok());
+  EXPECT_EQ(GetStringOr(*command, "missing", "dflt"), "dflt");
+}
+
+TEST(ProtocolTest, DoubleFormattingRoundTrips) {
+  for (double v : {0.1, 1e300, -3.25, 1234567.875, 1.0 / 3.0}) {
+    EXPECT_EQ(std::stod(FormatDouble(v)), v);
+  }
+}
+
+TEST(ProtocolTest, WorkloadNamesResolve) {
+  EXPECT_TRUE(WorkloadByName("sysbench_rw").ok());
+  EXPECT_TRUE(WorkloadByName("tpch").ok());
+  EXPECT_FALSE(WorkloadByName("nosuch").ok());
+}
+
+// --- TuningServer ------------------------------------------------------------
+
+/// One standard model trained once and shared by every server test (its
+/// weights are only ever cloned, never mutated).
+tuner::CdbTuner& SharedTrainedTuner() {
+  struct Model {
+    std::unique_ptr<env::SimulatedCdb> db;
+    std::unique_ptr<tuner::CdbTuner> tuner;
+  };
+  static Model* model = [] {
+    auto* m = new Model;
+    m->db = env::SimulatedCdb::MysqlCdb(env::CdbA(), 71);
+    auto space = knobs::KnobSpace::AllTunable(&m->db->registry());
+    tuner::CdbTuneOptions options;
+    options.max_offline_steps = 40;
+    options.steps_per_episode = 10;
+    options.seed = 71;
+    m->tuner = std::make_unique<tuner::CdbTuner>(m->db.get(), space, options);
+    m->tuner->OfflineTrain(workload::SysbenchReadWrite());
+    return m;
+  }();
+  return *model->tuner;
+}
+
+std::vector<SessionSpec> TestSpecs(size_t count) {
+  const workload::WorkloadSpec workloads[] = {
+      workload::SysbenchReadWrite(), workload::SysbenchReadOnly(),
+      workload::SysbenchWriteOnly(), workload::Tpcc(), workload::Ycsb()};
+  const env::HardwareSpec shapes[] = {env::CdbA(), env::CdbB(), env::CdbC()};
+  std::vector<SessionSpec> specs;
+  for (size_t i = 0; i < count; ++i) {
+    SessionSpec spec;
+    spec.engine = "sim";
+    spec.workload = workloads[i % 5];
+    spec.hardware = shapes[i % 3];
+    spec.seed = 500 + i;
+    spec.max_steps = 4;
+    specs.push_back(std::move(spec));
+  }
+  return specs;
+}
+
+/// Runs each spec alone in its own single-session server (the reference
+/// trajectory for the concurrency tests).
+std::vector<tuner::OnlineTuneResult> RunEachSolo(
+    const std::vector<SessionSpec>& specs) {
+  std::vector<tuner::OnlineTuneResult> results;
+  for (const SessionSpec& spec : specs) {
+    TuningServer server;
+    EXPECT_TRUE(server.AdoptModel(SharedTrainedTuner()).ok());
+    auto id = server.Open(spec);
+    EXPECT_TRUE(id.ok()) << id.status().ToString();
+    while (true) {
+      auto record = server.Step(*id);
+      if (!record.ok()) break;
+      auto status = server.GetStatus(*id);
+      if (!status.ok() || status->phase != tuner::SessionPhase::kTuning) break;
+    }
+    auto result = server.Close(*id);
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    results.push_back(*result);
+  }
+  return results;
+}
+
+void ExpectSameResult(const tuner::OnlineTuneResult& a,
+                      const tuner::OnlineTuneResult& b) {
+  EXPECT_EQ(a.steps, b.steps);
+  EXPECT_EQ(a.initial.throughput, b.initial.throughput);
+  EXPECT_EQ(a.best.throughput, b.best.throughput);
+  EXPECT_EQ(a.best.latency, b.best.latency);
+  EXPECT_EQ(a.best_config, b.best_config);
+  ASSERT_EQ(a.history.size(), b.history.size());
+  for (size_t i = 0; i < a.history.size(); ++i) {
+    EXPECT_EQ(a.history[i].reward, b.history[i].reward);
+    EXPECT_EQ(a.history[i].throughput, b.history[i].throughput);
+  }
+}
+
+TEST(TuningServerTest, EightConcurrentSessionsMatchSoloRuns) {
+  auto specs = TestSpecs(8);
+  auto solo = RunEachSolo(specs);
+
+  util::ComputeContext::Get().SetThreads(4);
+  TuningServer server;  // Default train_iters_per_round = 0: frozen model.
+  ASSERT_TRUE(server.AdoptModel(SharedTrainedTuner()).ok());
+  std::vector<int> ids;
+  for (const SessionSpec& spec : specs) {
+    auto id = server.Open(spec);
+    ASSERT_TRUE(id.ok()) << id.status().ToString();
+    ids.push_back(*id);
+  }
+  EXPECT_EQ(server.open_sessions(), 8u);
+  while (true) {
+    auto stepped = server.StepRound();
+    ASSERT_TRUE(stepped.ok()) << stepped.status().ToString();
+    if (*stepped == 0) break;
+  }
+  for (size_t i = 0; i < ids.size(); ++i) {
+    auto result = server.Close(ids[i]);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    ExpectSameResult(*result, solo[i]);
+  }
+  util::ComputeContext::Get().SetThreads(0);
+}
+
+TEST(TuningServerTest, ClosingOneSessionMidEpisodeLeavesOthersExact) {
+  auto specs = TestSpecs(4);
+  auto solo = RunEachSolo(specs);
+
+  util::ComputeContext::Get().SetThreads(4);
+  TuningServer server;
+  ASSERT_TRUE(server.AdoptModel(SharedTrainedTuner()).ok());
+  std::vector<int> ids;
+  for (const SessionSpec& spec : specs) {
+    auto id = server.Open(spec);
+    ASSERT_TRUE(id.ok());
+    ids.push_back(*id);
+  }
+  ASSERT_TRUE(server.StepRound().ok());
+  // Kill tenant 2 after one step; its best-so-far config still deploys.
+  auto killed = server.Close(ids[2]);
+  ASSERT_TRUE(killed.ok());
+  EXPECT_EQ(killed->steps, 1);
+  EXPECT_GT(killed->best.throughput, 0.0);
+  while (true) {
+    auto stepped = server.StepRound();
+    ASSERT_TRUE(stepped.ok());
+    if (*stepped == 0) break;
+  }
+  for (size_t i = 0; i < ids.size(); ++i) {
+    if (i == 2) continue;
+    auto result = server.Close(ids[i]);
+    ASSERT_TRUE(result.ok());
+    ExpectSameResult(*result, solo[i]);
+  }
+  util::ComputeContext::Get().SetThreads(0);
+}
+
+TEST(TuningServerTest, TrainingRoundsAreThreadCountInvariant) {
+  // With training enabled results may drift from the frozen-solo runs, but
+  // they must not depend on the thread count: merges happen at barriers in
+  // (shard, arrival) order.
+  auto run = [&](size_t threads) {
+    util::ComputeContext::Get().SetThreads(threads);
+    TuningServerOptions options;
+    options.train_iters_per_round = 2;
+    TuningServer server(options);
+    EXPECT_TRUE(server.AdoptModel(SharedTrainedTuner()).ok());
+    auto specs = TestSpecs(8);
+    for (auto& spec : specs) spec.max_steps = 5;
+    std::vector<int> ids;
+    for (const SessionSpec& spec : specs) {
+      auto id = server.Open(spec);
+      EXPECT_TRUE(id.ok());
+      ids.push_back(*id);
+    }
+    while (true) {
+      auto stepped = server.StepRound();
+      EXPECT_TRUE(stepped.ok());
+      if (!stepped.ok() || *stepped == 0) break;
+    }
+    std::vector<tuner::OnlineTuneResult> results;
+    for (int id : ids) {
+      auto result = server.Close(id);
+      EXPECT_TRUE(result.ok());
+      results.push_back(*result);
+    }
+    util::ComputeContext::Get().SetThreads(0);
+    return results;
+  };
+  auto with1 = run(1);
+  auto with4 = run(4);
+  ASSERT_EQ(with1.size(), with4.size());
+  for (size_t i = 0; i < with1.size(); ++i) {
+    ExpectSameResult(with1[i], with4[i]);
+  }
+}
+
+TEST(TuningServerTest, CapacityAndErrorPaths) {
+  TuningServerOptions options;
+  options.max_sessions = 2;
+  TuningServer server(options);
+
+  SessionSpec spec;
+  spec.seed = 900;
+  // No model yet.
+  EXPECT_FALSE(server.Open(spec).ok());
+  ASSERT_TRUE(server.AdoptModel(SharedTrainedTuner()).ok());
+  EXPECT_FALSE(server.AdoptModel(SharedTrainedTuner()).ok());  // Only once.
+
+  spec.engine = "nosuch";
+  EXPECT_FALSE(server.Open(spec).ok());
+  spec.engine = "sim";
+  auto first = server.Open(spec);
+  ASSERT_TRUE(first.ok());
+  spec.seed = 901;
+  ASSERT_TRUE(server.Open(spec).ok());
+  spec.seed = 902;
+  auto third = server.Open(spec);
+  EXPECT_FALSE(third.ok()) << "capacity is 2";
+
+  EXPECT_FALSE(server.Step(99).ok());
+  EXPECT_FALSE(server.Close(99).ok());
+  EXPECT_FALSE(server.GetStatus(99).ok());
+  EXPECT_EQ(server.ListStatus().size(), 2u);
+
+  // Steps past the budget fail cleanly, and the phase reports finished.
+  for (int i = 0; i < spec.max_steps; ++i) {
+    EXPECT_TRUE(server.Step(*first).ok());
+  }
+  EXPECT_FALSE(server.Step(*first).ok());
+  auto status = server.GetStatus(*first);
+  ASSERT_TRUE(status.ok());
+  EXPECT_EQ(status->phase, tuner::SessionPhase::kFinished);
+  auto rendered = server.RenderBestConfig(*first);
+  ASSERT_TRUE(rendered.ok());
+  EXPECT_FALSE(rendered->empty()) << "tuned config should differ from default";
+
+  server.DrainAndStop();
+  spec.seed = 903;
+  EXPECT_FALSE(server.Open(spec).ok()) << "draining refuses new sessions";
+  EXPECT_EQ(server.open_sessions(), 0u);
+}
+
+TEST(TuningServerTest, RecommendServesGreedyActions) {
+  TuningServer server;
+  std::vector<double> state(
+      SharedTrainedTuner().agent().options().state_dim, 0.0);
+  EXPECT_FALSE(server.Recommend(state).ok());
+  ASSERT_TRUE(server.AdoptModel(SharedTrainedTuner()).ok());
+  EXPECT_FALSE(server.Recommend(std::vector<double>(3, 0.0)).ok());
+  auto action = server.Recommend(state);
+  ASSERT_TRUE(action.ok());
+  auto again = server.Recommend(state);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(*action, *again) << "greedy inference consumes no rng";
+}
+
+// --- Dispatch + socket front end ---------------------------------------------
+
+TEST(DispatchTest, BasicVerbs) {
+  TuningServer server;
+  ASSERT_TRUE(server.AdoptModel(SharedTrainedTuner()).ok());
+  bool shutdown = false;
+  EXPECT_EQ(DispatchLine(server, "PING", &shutdown), "OK pong=1");
+  EXPECT_EQ(DispatchLine(server, "STATUS", &shutdown), "OK sessions=0");
+  EXPECT_EQ(DispatchLine(server, "NOSUCH", &shutdown).rfind("ERR", 0), 0u);
+  EXPECT_EQ(DispatchLine(server, "STEP id=0", &shutdown).rfind("ERR", 0), 0u);
+  EXPECT_FALSE(shutdown);
+  EXPECT_EQ(DispatchLine(server, "SHUTDOWN", &shutdown), "OK bye=1");
+  EXPECT_TRUE(shutdown);
+}
+
+TEST(DispatchTest, FullSessionLifecycle) {
+  TuningServer server;
+  ASSERT_TRUE(server.AdoptModel(SharedTrainedTuner()).ok());
+  bool shutdown = false;
+  std::string opened = DispatchLine(
+      server, "OPEN engine=sim workload=sysbench_rw seed=42 steps=2",
+      &shutdown);
+  ASSERT_EQ(opened.rfind("OK id=0", 0), 0u) << opened;
+  std::string stepped = DispatchLine(server, "STEP id=0 n=2", &shutdown);
+  EXPECT_EQ(stepped.rfind("OK id=0 step=2", 0), 0u) << stepped;
+  std::string status = DispatchLine(server, "STATUS id=0", &shutdown);
+  EXPECT_NE(status.find("phase=FINISHED"), std::string::npos) << status;
+  std::string config = DispatchLine(server, "BEST_CONFIG id=0", &shutdown);
+  EXPECT_EQ(config.rfind("OK id=0 config=", 0), 0u) << config;
+  std::string closed = DispatchLine(server, "CLOSE id=0", &shutdown);
+  EXPECT_EQ(closed.rfind("OK id=0 steps=2", 0), 0u) << closed;
+  EXPECT_EQ(DispatchLine(server, "STATUS", &shutdown), "OK sessions=0");
+}
+
+TEST(SocketServerTest, ServesClientsAndStopsGracefully) {
+  TuningServer server;
+  ASSERT_TRUE(server.AdoptModel(SharedTrainedTuner()).ok());
+  io::SocketServerOptions options;
+  options.socket_name = "cdbtune-test-" + std::to_string(::getpid());
+  options.worker_threads = 2;
+  io::SocketServer front(&server, options);
+  ASSERT_TRUE(front.Start().ok());
+
+  auto client = io::Socket::Connect(options.socket_name);
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  auto roundtrip = [&](const std::string& line) {
+    EXPECT_TRUE(client->SendLine(line).ok());
+    auto reply = client->RecvLine();
+    EXPECT_TRUE(reply.ok()) << reply.status().ToString();
+    return reply.ok() ? *reply : std::string();
+  };
+  EXPECT_EQ(roundtrip("PING"), "OK pong=1");
+  std::string opened = roundtrip("OPEN engine=sim seed=7 steps=1");
+  EXPECT_EQ(opened.rfind("OK id=0", 0), 0u) << opened;
+  EXPECT_EQ(roundtrip("STEP id=0").rfind("OK id=0 step=1", 0), 0u);
+  EXPECT_EQ(roundtrip("CLOSE id=0").rfind("OK id=0", 0), 0u);
+
+  // A second concurrent client is served by another worker.
+  auto second = io::Socket::Connect(options.socket_name);
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(second->SendLine("PING").ok());
+  EXPECT_EQ(second->RecvLine().value(), "OK pong=1");
+
+  EXPECT_EQ(roundtrip("SHUTDOWN"), "OK bye=1");
+  front.WaitForShutdown();
+  server.DrainAndStop();
+  front.Stop();  // Joins every thread; second client's socket is shut down.
+}
+
+TEST(SocketServerTest, StopUnblocksIdleConnections) {
+  TuningServer server;
+  io::SocketServerOptions options;
+  options.socket_name = "cdbtune-test-idle-" + std::to_string(::getpid());
+  options.worker_threads = 1;
+  io::SocketServer front(&server, options);
+  ASSERT_TRUE(front.Start().ok());
+  auto client = io::Socket::Connect(options.socket_name);
+  ASSERT_TRUE(client.ok());
+  // The worker sits in RecvLine on this connection; Stop must unblock it
+  // and join without the client ever sending a byte.
+  front.Stop();
+  EXPECT_FALSE(client->RecvLine().ok());
+}
+
+}  // namespace
+}  // namespace cdbtune::server

@@ -15,6 +15,10 @@ raw-new-delete   Raw `new` / `delete` outside the engine page layer
 mutable-global   Namespace-scope or function-local static mutable state with
                  no concurrency story (not const/constexpr/atomic/mutex/
                  once_flag/thread_local and no ComputeContext ownership).
+blocking-socket  Raw socket syscalls (::socket/::connect/::accept/::recv/...)
+                 or <sys/socket.h>/<sys/un.h> includes in src/ outside
+                 src/server/io — all blocking socket I/O goes through the
+                 io::Socket wrapper so shutdown semantics stay in one place.
 
 Suppressions
 ------------
@@ -77,6 +81,12 @@ RAW_NEW_RE = re.compile(r"\bnew\s+[A-Za-z_(]")
 OWNED_NEW_RE = re.compile(r"(?:unique_ptr<[^;]*\(\s*new\b|\.reset\(\s*new\b|make_unique)")
 RAW_DELETE_RE = re.compile(r"\bdelete\b(?!\s*;?\s*$)|\bdelete\[\]")
 DELETED_FN_RE = re.compile(r"=\s*delete\s*[;,)]")
+
+SOCKET_CALL_RE = re.compile(
+    r"::(?:socket|connect|accept4?|bind|listen|recv(?:from|msg)?|"
+    r"send(?:to|msg)?)\s*\("
+)
+SOCKET_INCLUDE_RE = re.compile(r"#\s*include\s*<sys/(?:socket|un)\.h>")
 
 STATIC_DECL_RE = re.compile(r"^\s*static\s+(.*)$")
 NAMESPACE_GLOBAL_RE = re.compile(r"^[A-Za-z_][\w:<>,&\s\*]*\bg_\w+\s*[{=;]")
@@ -215,6 +225,7 @@ class Linter:
             self._check_std_function(path, rel, code, idx, lineno, allowed)
             self._check_raw_new_delete(path, rel, code, idx, lineno, allowed)
             self._check_mutable_global(path, rel, code, idx, lineno, allowed)
+            self._check_blocking_socket(path, rel, code, idx, lineno, allowed)
 
     def _check_ignored_status(self, path, rel, code, prev, idx, lineno,
                               status_fns, allowed) -> None:
@@ -273,6 +284,17 @@ class Linter:
             if not allowed("raw-delete", idx):
                 self.report(path, lineno, "raw-delete",
                             "raw delete outside the engine page layer")
+
+    def _check_blocking_socket(self, path, rel, code, idx, lineno, allowed) -> None:
+        if rel.parts[0] != "src":
+            return
+        if rel.parts[:3] == ("src", "server", "io"):
+            return  # The sanctioned home of all blocking socket I/O.
+        hit = SOCKET_CALL_RE.search(code) or SOCKET_INCLUDE_RE.search(code)
+        if hit and not allowed("blocking-socket", idx):
+            self.report(path, lineno, "blocking-socket",
+                        "blocking socket call/include outside src/server/io; "
+                        "use server::io::Socket instead")
 
     def _check_mutable_global(self, path, rel, code, idx, lineno, allowed) -> None:
         if rel.parts[0] != "src":
