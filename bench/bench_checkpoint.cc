@@ -1,0 +1,156 @@
+// Checkpoint subsystem cost (src/persist, DESIGN.md §9): how long a full
+// server SAVE takes as the replay grows, how long RESTORE takes to bring a
+// killed server back, and the raw chunk-serialization rate of the agent —
+// the budget that bounds how aggressive round-interval autosave can be.
+// Results merge into BENCH_exec_time.json via bench/run_benchmarks.sh.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "env/simulated_cdb.h"
+#include "persist/chunk.h"
+#include "server/tuning_server.h"
+#include "tuner/cdbtune.h"
+#include "util/thread_pool.h"
+
+#include <unistd.h>
+
+namespace cdbtune {
+namespace {
+
+/// One small standard model, trained once and cloned into every server.
+tuner::CdbTuner& TrainedTuner() {
+  struct Model {
+    std::unique_ptr<env::SimulatedCdb> db;
+    std::unique_ptr<tuner::CdbTuner> tuner;
+  };
+  static Model* model = [] {
+    auto* m = new Model;
+    m->db = env::SimulatedCdb::MysqlCdb(env::CdbA(), 71);
+    auto space = knobs::KnobSpace::AllTunable(&m->db->registry());
+    tuner::CdbTuneOptions options;
+    options.max_offline_steps = 40;
+    options.steps_per_episode = 10;
+    options.seed = 71;
+    m->tuner = std::make_unique<tuner::CdbTuner>(m->db.get(), space, options);
+    m->tuner->OfflineTrain(workload::SysbenchReadWrite());
+    return m;
+  }();
+  return *model->tuner;
+}
+
+std::string BenchCheckpointPath() {
+  return "/tmp/cdbtune_bench_ckpt_" + std::to_string(::getpid());
+}
+
+void RemoveCheckpoints(const std::string& path) {
+  std::remove(path.c_str());
+  for (int g = 1; g < 8; ++g) {
+    std::remove((path + "." + std::to_string(g)).c_str());
+  }
+}
+
+/// A server with `sessions` tenants stepped through `rounds` rounds — the
+/// subject every save/restore measurement runs against.
+std::unique_ptr<server::TuningServer> LoadedServer(size_t sessions,
+                                                   int rounds) {
+  auto srv = std::make_unique<server::TuningServer>();
+  if (!srv->AdoptModel(TrainedTuner()).ok()) return nullptr;
+  for (size_t i = 0; i < sessions; ++i) {
+    server::SessionSpec spec;
+    spec.engine = "sim";
+    spec.seed = 100 + i;
+    spec.max_steps = rounds + 4;  // Keep every session mid-flight.
+    if (!srv->Open(spec).ok()) return nullptr;
+  }
+  for (int r = 0; r < rounds; ++r) {
+    auto stepped = srv->StepRound();
+    if (!stepped.ok()) return nullptr;
+  }
+  return srv;
+}
+
+/// Full server SAVE (agent + replay pool + every session) to disk, atomic
+/// write included, as the tenant count grows.
+void BM_ServerSaveCheckpoint(benchmark::State& state) {
+  util::ComputeContext::Get().SetThreads(4);
+  const std::string path = BenchCheckpointPath() + "_save";
+  auto srv = LoadedServer(static_cast<size_t>(state.range(0)), /*rounds=*/3);
+  if (srv == nullptr) {
+    state.SkipWithError("server setup failed");
+    return;
+  }
+  for (auto _ : state) {
+    if (!srv->SaveCheckpoint(path).ok()) {
+      state.SkipWithError("SaveCheckpoint failed");
+      break;
+    }
+  }
+  RemoveCheckpoints(path);
+  util::ComputeContext::Get().SetThreads(0);
+}
+BENCHMARK(BM_ServerSaveCheckpoint)
+    ->Arg(1)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+/// Cold RESTORE into a fresh server: parse + CRC-validate the container,
+/// rebuild the agent, replay every session's environment log.
+void BM_ServerRestoreCheckpoint(benchmark::State& state) {
+  util::ComputeContext::Get().SetThreads(4);
+  const std::string path = BenchCheckpointPath() + "_restore";
+  auto srv = LoadedServer(static_cast<size_t>(state.range(0)), /*rounds=*/3);
+  if (srv == nullptr || !srv->SaveCheckpoint(path).ok()) {
+    state.SkipWithError("checkpoint setup failed");
+    return;
+  }
+  for (auto _ : state) {
+    server::TuningServer fresh;
+    auto report = fresh.RestoreCheckpoint(path);
+    if (!report.ok()) {
+      state.SkipWithError("RestoreCheckpoint failed");
+      break;
+    }
+    benchmark::DoNotOptimize(report->sessions);
+  }
+  RemoveCheckpoints(path);
+  util::ComputeContext::Get().SetThreads(0);
+}
+BENCHMARK(BM_ServerRestoreCheckpoint)
+    ->Arg(1)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+/// In-memory agent chunk serialization (no disk): the fixed per-autosave
+/// cost of capturing networks, optimizer moments and the replay ring.
+void BM_AgentSerializeChunks(benchmark::State& state) {
+  util::ComputeContext::Get().SetThreads(4);
+  rl::DdpgAgent& agent = TrainedTuner().agent();
+  size_t bytes = 0;
+  for (auto _ : state) {
+    persist::ChunkWriter writer;
+    agent.AppendChunks(writer);
+    auto rendered = writer.Finish();
+    if (!rendered.ok()) {
+      state.SkipWithError("serialization failed");
+      break;
+    }
+    bytes = rendered->size();
+    benchmark::DoNotOptimize(*rendered);
+  }
+  state.counters["checkpoint_bytes"] =
+      benchmark::Counter(static_cast<double>(bytes));
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations() * bytes));
+  util::ComputeContext::Get().SetThreads(0);
+}
+BENCHMARK(BM_AgentSerializeChunks)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace cdbtune
+
+BENCHMARK_MAIN();

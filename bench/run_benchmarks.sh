@@ -14,7 +14,7 @@ BUILD="${BUILD_DIR:-$ROOT/build}"
 
 cmake -S "$ROOT" -B "$BUILD" > /dev/null
 cmake --build "$BUILD" --target bench_exec_time bench_server_throughput \
-  -j "$(nproc)" > /dev/null
+  bench_checkpoint -j "$(nproc)" > /dev/null
 
 "$BUILD/bench/bench_exec_time" \
   --benchmark_out="$ROOT/BENCH_exec_time.json" \
@@ -22,25 +22,31 @@ cmake --build "$BUILD" --target bench_exec_time bench_server_throughput \
   "$@"
 
 SERVER_OUT="$(mktemp /tmp/bench_server_throughput.XXXXXX.json)"
-trap 'rm -f "$SERVER_OUT"' EXIT
+CKPT_OUT="$(mktemp /tmp/bench_checkpoint.XXXXXX.json)"
+trap 'rm -f "$SERVER_OUT" "$CKPT_OUT"' EXIT
 "$BUILD/bench/bench_server_throughput" \
   --benchmark_out="$SERVER_OUT" \
   --benchmark_out_format=json \
   "$@"
+"$BUILD/bench/bench_checkpoint" \
+  --benchmark_out="$CKPT_OUT" \
+  --benchmark_out_format=json \
+  "$@"
 
-# Fold the server sweep's "benchmarks" array into the main report.
-python3 - "$ROOT/BENCH_exec_time.json" "$SERVER_OUT" <<'PY'
+# Fold the extra suites' "benchmarks" arrays into the main report.
+python3 - "$ROOT/BENCH_exec_time.json" "$SERVER_OUT" "$CKPT_OUT" <<'PY'
 import json
 import sys
 
-main_path, extra_path = sys.argv[1], sys.argv[2]
+main_path, extra_paths = sys.argv[1], sys.argv[2:]
 with open(main_path) as f:
     main = json.load(f)
-with open(extra_path) as f:
-    extra = json.load(f)
-main["benchmarks"].extend(extra["benchmarks"])
+for extra_path in extra_paths:
+    with open(extra_path) as f:
+        extra = json.load(f)
+    main["benchmarks"].extend(extra["benchmarks"])
 with open(main_path, "w") as f:
     json.dump(main, f, indent=2)
     f.write("\n")
 PY
-echo "merged $(basename "$SERVER_OUT") into BENCH_exec_time.json"
+echo "merged server + checkpoint sweeps into BENCH_exec_time.json"

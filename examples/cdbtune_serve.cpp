@@ -2,9 +2,16 @@
 // deployment (Section 2.1, Figure 2) as a daemon.
 //
 //   $ ./cdbtune_serve                 # in-process demo: 8 concurrent sessions
-//   $ ./cdbtune_serve --listen NAME   # daemon on abstract AF_UNIX socket NAME
+//   $ ./cdbtune_serve --listen NAME [--checkpoint PATH] [--restore]
+//                     [--autosave N] # daemon on abstract AF_UNIX socket NAME
 //   $ ./cdbtune_serve --send NAME 'OPEN engine=sim' 'STEP id=0' ...
 //                                     # one-shot client: send lines, print replies
+//
+// With --checkpoint the daemon autosaves its full state (model, pool, every
+// open session) every N rounds (default 1); --restore rebuilds the server
+// from that checkpoint instead of training a fresh model — kill -9 the
+// daemon mid-run, restart with --restore, and the sessions resume exactly
+// where the last completed round left them.
 //
 // The demo trains one standard model, then serves 8 tuning sessions (6 on
 // the analytic simulator, 2 on the real mini storage engine) three ways:
@@ -13,9 +20,12 @@
 //   3. serve/1  — the same server run again single-threaded.
 // It checks that every served session reaches the solo run's tuned
 // throughput (within 2% measurement tolerance) and that serve/4 and serve/1
-// agree bitwise — the determinism contract surviving concurrency.
+// agree bitwise — the determinism contract surviving concurrency. It then
+// exercises REBUILD: a reshaped agent warm-started from the server's
+// experience pool must out-tune the same architecture starting cold.
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <memory>
 #include <string>
@@ -163,6 +173,100 @@ std::vector<tuner::OnlineTuneResult> RunServed(
   return results;
 }
 
+/// Opens one fresh sim session on `srv` and steps it to completion; returns
+/// the cumulative (unscaled) reward of the episode — the warm/cold rebuild
+/// comparison metric.
+double RunProbeSession(server::TuningServer& srv, uint64_t seed) {
+  server::SessionSpec spec;
+  spec.engine = "sim";
+  spec.workload = workload::SysbenchReadWrite();
+  spec.hardware = env::CdbA();
+  spec.seed = seed;
+  spec.max_steps = 5;
+  auto id = srv.Open(spec);
+  if (!id.ok()) {
+    std::fprintf(stderr, "Open: %s\n", id.status().ToString().c_str());
+    std::exit(1);
+  }
+  double total = 0.0;
+  while (true) {
+    auto record = srv.Step(*id);
+    if (!record.ok()) break;
+    total += record->reward;
+    if (record->crashed) break;
+  }
+  auto closed = srv.Close(*id);
+  if (!closed.ok()) {
+    std::fprintf(stderr, "Close: %s\n", closed.status().ToString().c_str());
+    std::exit(1);
+  }
+  return total;
+}
+
+/// REBUILD as the paper's Table 6, live: accumulate experience with the
+/// trained model, rebuild a *smaller* agent warm-started from the pool, and
+/// show its first served episode beats the same architecture starting cold.
+bool RunRebuildDemo(const std::vector<server::SessionSpec>& specs) {
+  util::ComputeContext::Get().SetThreads(1);
+  const std::vector<size_t> new_actor = {96, 64};
+  const uint64_t probe_seed = 999;
+
+  // Warm: serve the demo tenants to fill the experience pool, then rebuild.
+  auto model_db = env::SimulatedCdb::MysqlCdb(env::CdbA(), 41);
+  auto model_space = knobs::KnobSpace::AllTunable(&model_db->registry());
+  tuner::CdbTuneOptions model_options;
+  model_options.seed = 41;
+  tuner::CdbTuner trained(model_db.get(), model_space, model_options);
+  auto loaded = trained.LoadModel(kModelPrefix);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "LoadModel: %s\n", loaded.ToString().c_str());
+    std::exit(1);
+  }
+  server::TuningServer warm;
+  if (!warm.AdoptModel(trained).ok()) std::exit(1);
+  for (const auto& spec : specs) {
+    if (spec.engine != "sim") continue;  // Keep the rebuild demo brisk.
+    auto id = warm.Open(spec);
+    if (!id.ok()) std::exit(1);
+  }
+  while (true) {
+    auto stepped = warm.StepRound();
+    if (!stepped.ok() || *stepped == 0) break;
+  }
+  server::RebuildSpec rebuild;
+  rebuild.actor_hidden = new_actor;
+  rebuild.seed = 4242;
+  rebuild.train_iters = 300;
+  auto report = warm.Rebuild(rebuild);
+  if (!report.ok()) {
+    std::fprintf(stderr, "Rebuild: %s\n", report.status().ToString().c_str());
+    std::exit(1);
+  }
+  double warm_reward = RunProbeSession(warm, probe_seed);
+
+  // Cold: the identical reshaped agent, same seed, but no pool to learn
+  // from — a fresh untrained network serving the same probe tenant.
+  auto cold_db = env::SimulatedCdb::MysqlCdb(env::CdbA(), 41);
+  auto cold_space = knobs::KnobSpace::AllTunable(&cold_db->registry());
+  tuner::CdbTuneOptions cold_options;
+  cold_options.seed = 41;
+  cold_options.ddpg.actor_hidden = new_actor;
+  cold_options.ddpg.seed = 4242;
+  tuner::CdbTuner untrained(cold_db.get(), cold_space, cold_options);
+  server::TuningServer cold;
+  if (!cold.AdoptModel(untrained).ok()) std::exit(1);
+  double cold_reward = RunProbeSession(cold, probe_seed);
+
+  bool ok = warm_reward > cold_reward;
+  std::printf(
+      "rebuild: %zu experiences -> actor 96-64 (%zu -> %zu params), first "
+      "episode reward warm %.3f vs cold %.3f %s\n",
+      report->experiences, report->params_before, report->params_after,
+      warm_reward, cold_reward, ok ? "WARM-WINS" : "COLD-WINS");
+  util::ComputeContext::Get().SetThreads(0);
+  return ok;
+}
+
 int RunDemo() {
   TrainStandardModel(/*offline_steps=*/400);
   auto specs = DemoSpecs();
@@ -196,32 +300,69 @@ int RunDemo() {
         reaches ? "MEETS-SOLO" : "BELOW-SOLO",
         bitwise ? "DETERMINISTIC" : "THREAD-DIVERGED");
   }
+  std::printf("-- rebuild warm-start (Table 6, live) --\n");
+  bool rebuild_ok = RunRebuildDemo(specs);
+  ok = ok && rebuild_ok;
+
   std::printf(ok ? "PASS: all sessions meet the solo baseline, bitwise "
-                   "reproducible across thread counts\n"
+                   "reproducible across thread counts, warm rebuild beats "
+                   "cold start\n"
                  : "FAIL: see lines above\n");
   return ok ? 0 : 1;
 }
 
-int RunListen(const std::string& name) {
-  TrainStandardModel(/*offline_steps=*/200);
-  auto db = env::SimulatedCdb::MysqlCdb(env::CdbA(), 41);
-  auto space = knobs::KnobSpace::AllTunable(&db->registry());
-  tuner::CdbTuneOptions options;
-  options.seed = 41;
-  tuner::CdbTuner trained(db.get(), space, options);
-  auto loaded = trained.LoadModel(kModelPrefix);
-  if (!loaded.ok()) {
-    std::fprintf(stderr, "LoadModel: %s\n", loaded.ToString().c_str());
-    return 1;
+struct ListenFlags {
+  std::string socket_name;
+  std::string checkpoint;
+  bool restore = false;
+  int autosave_rounds = 1;
+};
+
+int RunListen(const ListenFlags& flags) {
+  server::TuningServerOptions server_options;
+  if (!flags.checkpoint.empty()) {
+    server_options.autosave_path = flags.checkpoint;
+    server_options.autosave_every_rounds = flags.autosave_rounds;
   }
-  server::TuningServer srv;
-  auto adopted = srv.AdoptModel(trained);
-  if (!adopted.ok()) {
-    std::fprintf(stderr, "AdoptModel: %s\n", adopted.ToString().c_str());
-    return 1;
+  server::TuningServer srv(server_options);
+
+  if (flags.restore) {
+    if (flags.checkpoint.empty()) {
+      std::fprintf(stderr, "--restore needs --checkpoint PATH\n");
+      return 2;
+    }
+    auto report = srv.RestoreCheckpoint(flags.checkpoint);
+    if (!report.ok()) {
+      std::fprintf(stderr, "RestoreCheckpoint: %s\n",
+                   report.status().ToString().c_str());
+      return 1;
+    }
+    std::printf(
+        "restored %s (generation %d, %zu dropped) — %zu sessions, %llu "
+        "rounds\n",
+        report->path.c_str(), report->generation, report->dropped.size(),
+        report->sessions,
+        static_cast<unsigned long long>(report->rounds_completed));
+  } else {
+    TrainStandardModel(/*offline_steps=*/200);
+    auto db = env::SimulatedCdb::MysqlCdb(env::CdbA(), 41);
+    auto space = knobs::KnobSpace::AllTunable(&db->registry());
+    tuner::CdbTuneOptions options;
+    options.seed = 41;
+    tuner::CdbTuner trained(db.get(), space, options);
+    auto loaded = trained.LoadModel(kModelPrefix);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "LoadModel: %s\n", loaded.ToString().c_str());
+      return 1;
+    }
+    auto adopted = srv.AdoptModel(trained);
+    if (!adopted.ok()) {
+      std::fprintf(stderr, "AdoptModel: %s\n", adopted.ToString().c_str());
+      return 1;
+    }
   }
   server::io::SocketServerOptions socket_options;
-  socket_options.socket_name = name;
+  socket_options.socket_name = flags.socket_name;
   server::io::SocketServer front(&srv, socket_options);
   auto started = front.Start();
   if (!started.ok()) {
@@ -229,7 +370,7 @@ int RunListen(const std::string& name) {
     return 1;
   }
   std::printf("listening on abstract socket @%s (send SHUTDOWN to stop)\n",
-              name.c_str());
+              flags.socket_name.c_str());
   front.WaitForShutdown();
   srv.DrainAndStop();
   front.Stop();
@@ -263,14 +404,29 @@ int RunSend(const std::string& name, int argc, char** argv, int first) {
 
 int main(int argc, char** argv) {
   if (argc >= 3 && std::strcmp(argv[1], "--listen") == 0) {
-    return RunListen(argv[2]);
+    ListenFlags flags;
+    flags.socket_name = argv[2];
+    for (int i = 3; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--checkpoint") == 0 && i + 1 < argc) {
+        flags.checkpoint = argv[++i];
+      } else if (std::strcmp(argv[i], "--restore") == 0) {
+        flags.restore = true;
+      } else if (std::strcmp(argv[i], "--autosave") == 0 && i + 1 < argc) {
+        flags.autosave_rounds = std::atoi(argv[++i]);
+      } else {
+        std::fprintf(stderr, "unknown --listen flag '%s'\n", argv[i]);
+        return 2;
+      }
+    }
+    return RunListen(flags);
   }
   if (argc >= 4 && std::strcmp(argv[1], "--send") == 0) {
     return RunSend(argv[2], argc, argv, 3);
   }
   if (argc > 1) {
     std::fprintf(stderr,
-                 "usage: cdbtune_serve [--listen NAME | --send NAME LINE...]\n");
+                 "usage: cdbtune_serve [--listen NAME [--checkpoint PATH] "
+                 "[--restore] [--autosave N] | --send NAME LINE...]\n");
     return 2;
   }
   return RunDemo();

@@ -37,6 +37,30 @@ Matrix LoadMatrix(std::istream& is) {
 
 }  // namespace
 
+void SaveMatrixBinary(persist::Encoder& enc, const Matrix& m) {
+  enc.WriteU64(m.rows());
+  enc.WriteU64(m.cols());
+  const double* data = m.data();
+  for (size_t i = 0; i < m.size(); ++i) enc.WriteDouble(data[i]);
+}
+
+util::Status LoadMatrixBinary(persist::Decoder& dec, Matrix* out) {
+  uint64_t rows = 0, cols = 0;
+  if (!dec.ReadU64(&rows) || !dec.ReadU64(&cols)) return dec.status();
+  if (cols != 0 && rows > dec.remaining() / (8 * cols)) {
+    return util::Status::DataLoss("matrix dimensions exceed payload: " +
+                                  std::to_string(rows) + "x" +
+                                  std::to_string(cols));
+  }
+  Matrix m(rows, cols);
+  double* data = m.data();
+  for (size_t i = 0; i < m.size(); ++i) {
+    if (!dec.ReadDouble(&data[i])) return dec.status();
+  }
+  *out = std::move(m);
+  return util::Status::Ok();
+}
+
 void Layer::SaveState(std::ostream& os) const {
   for (Parameter* p : const_cast<Layer*>(this)->Params()) {
     SaveMatrix(os, p->value);
@@ -50,6 +74,25 @@ void Layer::LoadState(std::istream& is) {
         << "model file shape mismatch for " << p->name;
     p->value = std::move(loaded);
   }
+}
+
+void Layer::SaveBinary(persist::Encoder& enc) const {
+  for (Parameter* p : const_cast<Layer*>(this)->Params()) {
+    SaveMatrixBinary(enc, p->value);
+  }
+}
+
+util::Status Layer::LoadBinary(persist::Decoder& dec) {
+  for (Parameter* p : Params()) {
+    Matrix loaded;
+    CDBTUNE_RETURN_IF_ERROR(LoadMatrixBinary(dec, &loaded));
+    if (!loaded.SameShape(p->value)) {
+      return util::Status::DataLoss(
+          "checkpoint shape mismatch for parameter " + p->name);
+    }
+    p->value = std::move(loaded);
+  }
+  return util::Status::Ok();
 }
 
 Linear::Linear(size_t in_features, size_t out_features, util::Rng& rng,
@@ -277,6 +320,25 @@ void BatchNorm::LoadState(std::istream& is) {
   Layer::LoadState(is);
   running_mean_ = LoadMatrix(is);
   running_var_ = LoadMatrix(is);
+}
+
+void BatchNorm::SaveBinary(persist::Encoder& enc) const {
+  Layer::SaveBinary(enc);
+  SaveMatrixBinary(enc, running_mean_);
+  SaveMatrixBinary(enc, running_var_);
+}
+
+util::Status BatchNorm::LoadBinary(persist::Decoder& dec) {
+  CDBTUNE_RETURN_IF_ERROR(Layer::LoadBinary(dec));
+  Matrix mean, var;
+  CDBTUNE_RETURN_IF_ERROR(LoadMatrixBinary(dec, &mean));
+  CDBTUNE_RETURN_IF_ERROR(LoadMatrixBinary(dec, &var));
+  if (!mean.SameShape(running_mean_) || !var.SameShape(running_var_)) {
+    return util::Status::DataLoss("checkpoint BatchNorm buffer shape mismatch");
+  }
+  running_mean_ = std::move(mean);
+  running_var_ = std::move(var);
+  return util::Status::Ok();
 }
 
 ParallelLinear::ParallelLinear(size_t left_in, size_t left_out,

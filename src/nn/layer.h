@@ -7,9 +7,17 @@
 #include <vector>
 
 #include "nn/matrix.h"
+#include "persist/encoding.h"
 #include "util/random.h"
+#include "util/status.h"
 
 namespace cdbtune::nn {
+
+/// Bit-exact binary matrix codec used by the checkpoint subsystem: u64
+/// rows, u64 cols, then every element bit-cast through uint64_t. Unlike the
+/// text path there is no formatting round-trip to reason about.
+void SaveMatrixBinary(persist::Encoder& enc, const Matrix& m);
+util::Status LoadMatrixBinary(persist::Decoder& dec, Matrix* out);
 
 /// A learnable tensor plus its accumulated gradient. Optimizers operate on
 /// flat lists of these, collected from layers via Layer::Params().
@@ -62,6 +70,13 @@ class Layer {
   /// running statistics) so a reloaded model behaves identically in eval.
   virtual void SaveState(std::ostream& os) const;
   virtual void LoadState(std::istream& is);
+
+  /// Binary (bit-exact) counterparts of SaveState/LoadState, used by the
+  /// checkpoint subsystem. LoadBinary validates shapes against the live
+  /// layer and rejects mismatches instead of aborting, so a corrupt or
+  /// foreign checkpoint surfaces as a Status the caller can fall back from.
+  virtual void SaveBinary(persist::Encoder& enc) const;
+  virtual util::Status LoadBinary(persist::Decoder& dec);
 };
 
 /// Fully connected layer: output = input * weight + bias.
@@ -146,6 +161,8 @@ class BatchNorm : public Layer {
 
   void SaveState(std::ostream& os) const override;
   void LoadState(std::istream& is) override;
+  void SaveBinary(persist::Encoder& enc) const override;
+  util::Status LoadBinary(persist::Decoder& dec) override;
 
   const Matrix& running_mean() const { return running_mean_; }
   const Matrix& running_var() const { return running_var_; }

@@ -5,6 +5,44 @@
 #include "util/check.h"
 
 namespace cdbtune::nn {
+namespace {
+
+void SaveMoments(persist::Encoder& enc, const std::vector<Matrix>& moments) {
+  enc.WriteU32(static_cast<uint32_t>(moments.size()));
+  for (const Matrix& m : moments) SaveMatrixBinary(enc, m);
+}
+
+util::Status LoadMoments(persist::Decoder& dec, std::vector<Matrix>* moments) {
+  uint32_t count = 0;
+  if (!dec.ReadU32(&count)) return dec.status();
+  if (count != moments->size()) {
+    return util::Status::DataLoss("optimizer moment count mismatch: file " +
+                                  std::to_string(count) + " vs live " +
+                                  std::to_string(moments->size()));
+  }
+  for (Matrix& slot : *moments) {
+    Matrix loaded;
+    CDBTUNE_RETURN_IF_ERROR(LoadMatrixBinary(dec, &loaded));
+    if (!loaded.SameShape(slot)) {
+      return util::Status::DataLoss("optimizer moment shape mismatch");
+    }
+    slot = std::move(loaded);
+  }
+  return util::Status::Ok();
+}
+
+}  // namespace
+
+void Optimizer::SaveBinary(persist::Encoder& enc) const {
+  enc.WriteDouble(learning_rate_);
+}
+
+util::Status Optimizer::LoadBinary(persist::Decoder& dec) {
+  double lr = 0.0;
+  if (!dec.ReadDouble(&lr)) return dec.status();
+  learning_rate_ = lr;
+  return util::Status::Ok();
+}
 
 void Optimizer::ClipGradNorm(double max_norm) {
   CDBTUNE_CHECK(max_norm > 0.0) << "max_norm must be positive";
@@ -43,6 +81,18 @@ void Sgd::Step() {
   }
 }
 
+void Sgd::SaveBinary(persist::Encoder& enc) const {
+  Optimizer::SaveBinary(enc);
+  enc.WriteDouble(momentum_);
+  SaveMoments(enc, velocity_);
+}
+
+util::Status Sgd::LoadBinary(persist::Decoder& dec) {
+  CDBTUNE_RETURN_IF_ERROR(Optimizer::LoadBinary(dec));
+  if (!dec.ReadDouble(&momentum_)) return dec.status();
+  return LoadMoments(dec, &velocity_);
+}
+
 Adam::Adam(std::vector<Parameter*> params, double learning_rate, double beta1,
            double beta2, double epsilon)
     : Optimizer(std::move(params)),
@@ -56,6 +106,28 @@ Adam::Adam(std::vector<Parameter*> params, double learning_rate, double beta1,
     m_.emplace_back(p->value.rows(), p->value.cols());
     v_.emplace_back(p->value.rows(), p->value.cols());
   }
+}
+
+void Adam::SaveBinary(persist::Encoder& enc) const {
+  Optimizer::SaveBinary(enc);
+  enc.WriteDouble(beta1_);
+  enc.WriteDouble(beta2_);
+  enc.WriteDouble(epsilon_);
+  enc.WriteI64(step_);
+  SaveMoments(enc, m_);
+  SaveMoments(enc, v_);
+}
+
+util::Status Adam::LoadBinary(persist::Decoder& dec) {
+  CDBTUNE_RETURN_IF_ERROR(Optimizer::LoadBinary(dec));
+  int64_t step = 0;
+  if (!dec.ReadDouble(&beta1_) || !dec.ReadDouble(&beta2_) ||
+      !dec.ReadDouble(&epsilon_) || !dec.ReadI64(&step)) {
+    return dec.status();
+  }
+  step_ = static_cast<long>(step);
+  CDBTUNE_RETURN_IF_ERROR(LoadMoments(dec, &m_));
+  return LoadMoments(dec, &v_);
 }
 
 void Adam::Step() {

@@ -4,6 +4,8 @@
 #include <vector>
 
 #include "nn/layer.h"
+#include "persist/encoding.h"
+#include "util/status.h"
 
 namespace cdbtune::nn {
 
@@ -25,6 +27,13 @@ class Optimizer {
   /// Section 5.2.3).
   void ClipGradNorm(double max_norm);
 
+  /// Bit-exact serialization of optimizer state (learning rate plus each
+  /// subclass's per-parameter moments) for the checkpoint subsystem. A
+  /// resumed Adam must continue its bias-correction schedule exactly, or
+  /// load-then-train diverges from never-saved.
+  virtual void SaveBinary(persist::Encoder& enc) const;
+  virtual util::Status LoadBinary(persist::Decoder& dec);
+
   void set_learning_rate(double lr) { learning_rate_ = lr; }
   double learning_rate() const { return learning_rate_; }
 
@@ -41,6 +50,9 @@ class Sgd : public Optimizer {
 
   void Step() override;
 
+  void SaveBinary(persist::Encoder& enc) const override;
+  util::Status LoadBinary(persist::Decoder& dec) override;
+
  private:
   double momentum_;
   std::vector<Matrix> velocity_;
@@ -53,6 +65,11 @@ class Adam : public Optimizer {
        double beta1 = 0.9, double beta2 = 0.999, double epsilon = 1e-8);
 
   void Step() override;
+
+  void SaveBinary(persist::Encoder& enc) const override;
+  util::Status LoadBinary(persist::Decoder& dec) override;
+
+  long step_count() const { return step_; }
 
  private:
   double beta1_;

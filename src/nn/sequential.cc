@@ -1,8 +1,11 @@
 #include "nn/sequential.h"
 
+// lint: allow(raw-checkpoint-write) — std::ifstream only: loads go
+// through ReadFile/ifstream; every write goes through persist.
 #include <fstream>
 #include <sstream>
 
+#include "persist/atomic_file.h"
 #include "util/check.h"
 
 namespace cdbtune::nn {
@@ -56,9 +59,12 @@ void Sequential::CopyParamsFrom(Sequential& other) {
 }
 
 void Sequential::CopyStateFrom(const Sequential& other) {
-  std::stringstream buffer;
-  other.Save(buffer);
-  Load(buffer);
+  persist::Encoder enc;
+  other.SaveBinary(enc);
+  persist::Decoder dec(enc.bytes());
+  util::Status status = LoadBinary(dec);
+  CDBTUNE_CHECK(status.ok()) << "CopyStateFrom architecture mismatch: "
+                             << status.ToString();
 }
 
 void Sequential::SoftUpdateFrom(Sequential& source, double tau) {
@@ -86,11 +92,9 @@ void Sequential::Save(std::ostream& os) const {
 }
 
 util::Status Sequential::SaveToFile(const std::string& path) const {
-  std::ofstream os(path);
-  if (!os.good()) return util::Status::Internal("cannot open " + path);
+  std::ostringstream os;
   Save(os);
-  if (!os.good()) return util::Status::Internal("write failed: " + path);
-  return util::Status::Ok();
+  return persist::AtomicWriteFile(path, os.str());
 }
 
 void Sequential::Load(std::istream& is) {
@@ -114,6 +118,34 @@ util::Status Sequential::LoadFromFile(const std::string& path) {
   std::ifstream is(path);
   if (!is.good()) return util::Status::NotFound("cannot open " + path);
   Load(is);
+  return util::Status::Ok();
+}
+
+void Sequential::SaveBinary(persist::Encoder& enc) const {
+  enc.WriteU32(static_cast<uint32_t>(layers_.size()));
+  for (const auto& layer : layers_) {
+    enc.WriteString(layer->Name());
+    layer->SaveBinary(enc);
+  }
+}
+
+util::Status Sequential::LoadBinary(persist::Decoder& dec) {
+  uint32_t count = 0;
+  if (!dec.ReadU32(&count)) return dec.status();
+  if (count != layers_.size()) {
+    return util::Status::DataLoss(
+        "checkpoint has " + std::to_string(count) + " layers, network has " +
+        std::to_string(layers_.size()));
+  }
+  for (auto& layer : layers_) {
+    std::string name;
+    if (!dec.ReadString(&name)) return dec.status();
+    if (name != layer->Name()) {
+      return util::Status::DataLoss("checkpoint layer type mismatch: file " +
+                                    name + " vs network " + layer->Name());
+    }
+    CDBTUNE_RETURN_IF_ERROR(layer->LoadBinary(dec));
+  }
   return util::Status::Ok();
 }
 

@@ -63,10 +63,20 @@ class Sequential {
   void SoftUpdateFrom(Sequential& source, double tau);
 
   /// Serializes all layer state (parameters + buffers) to a stream / file.
+  /// The file write goes through persist::AtomicWriteFile, so a crash never
+  /// leaves a half-written model on disk.
   void Save(std::ostream& os) const;
   util::Status SaveToFile(const std::string& path) const;
   void Load(std::istream& is);
   util::Status LoadFromFile(const std::string& path);
+
+  /// Bit-exact binary serialization for checkpoints (DESIGN.md §9): layer
+  /// count + per-layer type name + Layer::SaveBinary payload. LoadBinary
+  /// requires the live network to have the same architecture and returns
+  /// kDataLoss (leaving a prefix of layers updated — callers stage into a
+  /// scratch network) on any mismatch or short read.
+  void SaveBinary(persist::Encoder& enc) const;
+  util::Status LoadBinary(persist::Decoder& dec);
 
  private:
   std::vector<std::unique_ptr<Layer>> layers_;

@@ -1,0 +1,66 @@
+#ifndef CDBTUNE_PERSIST_ATOMIC_FILE_H_
+#define CDBTUNE_PERSIST_ATOMIC_FILE_H_
+
+#include <string>
+#include <vector>
+
+#include "persist/chunk.h"
+#include "util/status.h"
+
+namespace cdbtune::persist {
+
+/// Reads the whole file into a string. kNotFound when it does not exist.
+util::StatusOr<std::string> ReadFile(const std::string& path);
+
+/// Crash-safe whole-file write: write to `<path>.tmp.<pid>`, fsync the file,
+/// rename over `path`, fsync the directory. A crash at any point leaves
+/// either the old file or the new one — never a torn mix.
+util::Status AtomicWriteFile(const std::string& path,
+                             std::string_view contents);
+
+/// One generation skipped during a fallback load, and why.
+struct DroppedGeneration {
+  std::string path;
+  std::string error;
+};
+
+/// Outcome of CheckpointStore::Load: the parsed newest loadable generation
+/// plus a record of every newer generation that had to be dropped.
+struct LoadedCheckpoint {
+  ChunkFile file;
+  std::string path;           // Which generation actually loaded.
+  int generation = 0;         // 0 = newest.
+  std::vector<DroppedGeneration> dropped;
+};
+
+/// Rotating K-generation checkpoint store: `path` is the newest checkpoint,
+/// `path.1` the previous one, ... `path.<keep-1>` the oldest retained.
+/// Write() atomically publishes a new generation and shifts the others down;
+/// Load() walks newest → oldest, CRC-validating each, and returns the first
+/// sound one along with the list of corrupt generations it skipped — the
+/// torn-checkpoint recovery path.
+class CheckpointStore {
+ public:
+  explicit CheckpointStore(std::string path, int keep_generations = 3);
+
+  /// Renders `writer` and publishes it as the newest generation.
+  util::Status Write(const ChunkWriter& writer) const;
+
+  /// Newest parseable generation; kNotFound when no generation exists,
+  /// kDataLoss when every existing generation is corrupt. Skipped
+  /// generations are logged and reported in `dropped`.
+  util::StatusOr<LoadedCheckpoint> Load() const;
+
+  /// Path of generation `g` (0 = newest).
+  std::string GenerationPath(int g) const;
+  int keep_generations() const { return keep_generations_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  int keep_generations_;
+};
+
+}  // namespace cdbtune::persist
+
+#endif  // CDBTUNE_PERSIST_ATOMIC_FILE_H_

@@ -1,0 +1,96 @@
+#ifndef CDBTUNE_PERSIST_CHUNK_H_
+#define CDBTUNE_PERSIST_CHUNK_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "persist/encoding.h"
+#include "util/status.h"
+
+namespace cdbtune::persist {
+
+/// Checkpoint container format (DESIGN.md §9):
+///
+///   [8]  magic "CDBTCKP1" (version baked into the last byte)
+///   then one frame per chunk:
+///     [4]  name length (u32, little-endian)
+///     [n]  name bytes ("agent/actor", "server/pool", ...)
+///     [8]  payload length (u64)
+///     [p]  payload bytes
+///     [4]  CRC32 over everything since the frame start
+///   final frame: name "__end__", payload = u64 count of preceding chunks
+///
+/// The trailing __end__ frame doubles as a commit record: a file whose last
+/// frame is not __end__ (or that has bytes after it) was torn mid-write and
+/// is rejected wholesale. Every frame is independently CRC-guarded, so a
+/// single flipped bit anywhere — name, length or payload — fails the load.
+inline constexpr char kCheckpointMagic[] = "CDBTCKP1";
+inline constexpr size_t kCheckpointMagicSize = 8;
+inline constexpr std::string_view kEndChunkName = "__end__";
+
+/// Accumulates named chunks and renders the container bytes. Chunk names
+/// must be unique; writing in a deterministic order is the caller's job
+/// (the file is compared bitwise in tests).
+class ChunkWriter {
+ public:
+  /// Adds one named chunk. Duplicate names are an error at Finish().
+  void Add(std::string name, std::string payload);
+
+  /// Renders magic + frames + __end__ commit frame.
+  util::StatusOr<std::string> Finish() const;
+
+  size_t chunk_count() const { return chunks_.size(); }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> chunks_;
+};
+
+/// Parsed view of a checkpoint container. `Parse` validates the magic, every
+/// frame's CRC and bounds, the __end__ commit record, the declared chunk
+/// count and name uniqueness before returning; a ChunkFile in hand is
+/// structurally sound, so loaders only need to decode payloads.
+class ChunkFile {
+ public:
+  /// An empty (zero-chunk) file; placeholder until Parse() assigns one.
+  ChunkFile() = default;
+
+  static util::StatusOr<ChunkFile> Parse(std::string bytes);
+
+  bool Has(std::string_view name) const;
+  /// Payload of chunk `name`, or kNotFound. The view is valid for the
+  /// lifetime of this ChunkFile.
+  util::StatusOr<std::string_view> Get(std::string_view name) const;
+  /// Get() + a fully-consumed Decoder handed to `fn` (signature
+  /// util::Status(Decoder&)); decode errors surface as kDataLoss tagged
+  /// with the chunk name.
+  template <typename Fn>
+  util::Status Decode(std::string_view name, Fn&& fn) const {
+    auto payload = Get(name);
+    CDBTUNE_RETURN_IF_ERROR(payload.status());
+    Decoder dec(*payload);
+    CDBTUNE_RETURN_IF_ERROR(std::forward<Fn>(fn)(dec));
+    util::Status done = dec.Finish();
+    if (!done.ok()) {
+      return util::Status::DataLoss("chunk \"" + std::string(name) +
+                                    "\": " + done.ToString());
+    }
+    return util::Status::Ok();
+  }
+
+  /// Chunk names in file order.
+  std::vector<std::string> Names() const;
+  size_t chunk_count() const { return index_.size(); }
+
+ private:
+  std::string bytes_;
+  // name -> (offset, size) of the payload inside bytes_.
+  std::map<std::string, std::pair<size_t, size_t>, std::less<>> index_;
+  std::vector<std::string> order_;
+};
+
+}  // namespace cdbtune::persist
+
+#endif  // CDBTUNE_PERSIST_CHUNK_H_

@@ -1,0 +1,27 @@
+#ifndef CDBTUNE_PERSIST_CRC32_H_
+#define CDBTUNE_PERSIST_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace cdbtune::persist {
+
+/// IEEE 802.3 CRC32 (the zlib polynomial, reflected 0xEDB88320). Every
+/// checkpoint chunk carries one of these over its header + payload so a torn
+/// or bit-flipped write is detected at load time, the same way the engine's
+/// WAL guards its records.
+uint32_t Crc32(const void* data, size_t size);
+
+inline uint32_t Crc32(std::string_view bytes) {
+  return Crc32(bytes.data(), bytes.size());
+}
+
+/// Incremental form: feed `crc` from a previous call to extend the checksum
+/// over a discontiguous byte range. Start from kCrc32Init.
+inline constexpr uint32_t kCrc32Init = 0;
+uint32_t Crc32Extend(uint32_t crc, const void* data, size_t size);
+
+}  // namespace cdbtune::persist
+
+#endif  // CDBTUNE_PERSIST_CRC32_H_

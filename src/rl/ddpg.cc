@@ -2,13 +2,114 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 
+#include "persist/atomic_file.h"
 #include "util/check.h"
 #include "util/thread_pool.h"
 
 namespace cdbtune::rl {
 
 using nn::Matrix;
+
+void SaveDdpgOptionsBinary(persist::Encoder& enc, const DdpgOptions& o) {
+  enc.WriteU64(o.state_dim);
+  enc.WriteU64(o.action_dim);
+  enc.WriteU64(o.actor_hidden.size());
+  for (size_t w : o.actor_hidden) enc.WriteU64(w);
+  enc.WriteU64(o.critic_embed);
+  enc.WriteU64(o.critic_hidden.size());
+  for (size_t w : o.critic_hidden) enc.WriteU64(w);
+  enc.WriteDouble(o.actor_lr);
+  enc.WriteDouble(o.critic_lr);
+  enc.WriteDouble(o.gamma);
+  enc.WriteDouble(o.tau);
+  enc.WriteU64(o.batch_size);
+  enc.WriteU64(o.replay_capacity);
+  enc.WriteBool(o.prioritized_replay);
+  enc.WriteDouble(o.dropout_rate);
+  enc.WriteDouble(o.leaky_slope);
+  enc.WriteDouble(o.noise_sigma);
+  enc.WriteDouble(o.noise_theta);
+  enc.WriteDouble(o.noise_decay);
+  enc.WriteDouble(o.min_noise_sigma);
+  enc.WriteDouble(o.grad_clip);
+  enc.WriteU64(o.seed);
+}
+
+util::Status LoadDdpgOptionsBinary(persist::Decoder& dec, DdpgOptions* out) {
+  DdpgOptions o;
+  uint64_t state_dim = 0, action_dim = 0, actor_layers = 0;
+  if (!dec.ReadU64(&state_dim) || !dec.ReadU64(&action_dim) ||
+      !dec.ReadU64(&actor_layers)) {
+    return dec.status();
+  }
+  // A corrupt layer count would otherwise drive a giant resize; the layer
+  // list cannot be larger than the remaining payload.
+  if (actor_layers > dec.remaining() / 8) return util::Status::DataLoss(
+      "implausible actor layer count in options chunk");
+  o.state_dim = state_dim;
+  o.action_dim = action_dim;
+  o.actor_hidden.resize(actor_layers);
+  for (size_t i = 0; i < actor_layers; ++i) {
+    uint64_t w = 0;
+    if (!dec.ReadU64(&w)) return dec.status();
+    o.actor_hidden[i] = w;
+  }
+  uint64_t critic_embed = 0, critic_layers = 0;
+  if (!dec.ReadU64(&critic_embed) || !dec.ReadU64(&critic_layers)) {
+    return dec.status();
+  }
+  if (critic_layers > dec.remaining() / 8) return util::Status::DataLoss(
+      "implausible critic layer count in options chunk");
+  o.critic_embed = critic_embed;
+  o.critic_hidden.resize(critic_layers);
+  for (size_t i = 0; i < critic_layers; ++i) {
+    uint64_t w = 0;
+    if (!dec.ReadU64(&w)) return dec.status();
+    o.critic_hidden[i] = w;
+  }
+  uint64_t batch_size = 0, replay_capacity = 0, seed = 0;
+  if (!dec.ReadDouble(&o.actor_lr) || !dec.ReadDouble(&o.critic_lr) ||
+      !dec.ReadDouble(&o.gamma) || !dec.ReadDouble(&o.tau) ||
+      !dec.ReadU64(&batch_size) || !dec.ReadU64(&replay_capacity) ||
+      !dec.ReadBool(&o.prioritized_replay) ||
+      !dec.ReadDouble(&o.dropout_rate) || !dec.ReadDouble(&o.leaky_slope) ||
+      !dec.ReadDouble(&o.noise_sigma) || !dec.ReadDouble(&o.noise_theta) ||
+      !dec.ReadDouble(&o.noise_decay) || !dec.ReadDouble(&o.min_noise_sigma) ||
+      !dec.ReadDouble(&o.grad_clip) || !dec.ReadU64(&seed)) {
+    return dec.status();
+  }
+  o.batch_size = batch_size;
+  o.replay_capacity = replay_capacity;
+  o.seed = seed;
+  *out = std::move(o);
+  return util::Status::Ok();
+}
+
+std::string DdpgOptionsDiff(const DdpgOptions& a, const DdpgOptions& b) {
+  if (a.state_dim != b.state_dim) return "state_dim";
+  if (a.action_dim != b.action_dim) return "action_dim";
+  if (a.actor_hidden != b.actor_hidden) return "actor_hidden";
+  if (a.critic_embed != b.critic_embed) return "critic_embed";
+  if (a.critic_hidden != b.critic_hidden) return "critic_hidden";
+  if (a.actor_lr != b.actor_lr) return "actor_lr";
+  if (a.critic_lr != b.critic_lr) return "critic_lr";
+  if (a.gamma != b.gamma) return "gamma";
+  if (a.tau != b.tau) return "tau";
+  if (a.batch_size != b.batch_size) return "batch_size";
+  if (a.replay_capacity != b.replay_capacity) return "replay_capacity";
+  if (a.prioritized_replay != b.prioritized_replay) return "prioritized_replay";
+  if (a.dropout_rate != b.dropout_rate) return "dropout_rate";
+  if (a.leaky_slope != b.leaky_slope) return "leaky_slope";
+  if (a.noise_sigma != b.noise_sigma) return "noise_sigma";
+  if (a.noise_theta != b.noise_theta) return "noise_theta";
+  if (a.noise_decay != b.noise_decay) return "noise_decay";
+  if (a.min_noise_sigma != b.min_noise_sigma) return "min_noise_sigma";
+  if (a.grad_clip != b.grad_clip) return "grad_clip";
+  if (a.seed != b.seed) return "seed";
+  return "";
+}
 
 DdpgAgent::DdpgAgent(DdpgOptions options)
     : options_(std::move(options)),
@@ -229,18 +330,121 @@ double DdpgAgent::EstimateQ(const std::vector<double>& state,
   return q.at(0, 0);
 }
 
+void DdpgAgent::AppendChunks(persist::ChunkWriter& writer,
+                             const std::string& prefix) const {
+  auto net_chunk = [&](const std::string& name, const nn::Sequential& net) {
+    persist::Encoder enc;
+    net.SaveBinary(enc);
+    writer.Add(prefix + name, enc.Release());
+  };
+  {
+    persist::Encoder enc;
+    SaveDdpgOptionsBinary(enc, options_);
+    writer.Add(prefix + "options", enc.Release());
+  }
+  {
+    persist::Encoder enc;
+    enc.WriteString(rng_.SerializeState());
+    writer.Add(prefix + "rng", enc.Release());
+  }
+  net_chunk("actor", actor_);
+  net_chunk("critic", critic_);
+  net_chunk("actor_target", actor_target_);
+  net_chunk("critic_target", critic_target_);
+  {
+    persist::Encoder enc;
+    actor_opt_->SaveBinary(enc);
+    writer.Add(prefix + "opt/actor", enc.Release());
+  }
+  {
+    persist::Encoder enc;
+    critic_opt_->SaveBinary(enc);
+    writer.Add(prefix + "opt/critic", enc.Release());
+  }
+  {
+    persist::Encoder enc;
+    replay_->SaveBinary(enc);
+    writer.Add(prefix + "replay", enc.Release());
+  }
+  {
+    persist::Encoder enc;
+    noise_.SaveBinary(enc);
+    writer.Add(prefix + "noise", enc.Release());
+  }
+}
+
+util::Status DdpgAgent::RestoreFromChunks(const persist::ChunkFile& file,
+                                          const std::string& prefix) {
+  DdpgOptions saved;
+  CDBTUNE_RETURN_IF_ERROR(
+      file.Decode(prefix + "options", [&](persist::Decoder& dec) {
+        return LoadDdpgOptionsBinary(dec, &saved);
+      }));
+  // `seed` only names the initial rng/noise streams; the live stream state is
+  // restored from dedicated chunks below, so a shared checkpoint may be loaded
+  // into agents constructed with any seed. Structural fields stay fatal.
+  DdpgOptions expect = options_;
+  expect.seed = saved.seed;
+  std::string diff = DdpgOptionsDiff(saved, expect);
+  if (!diff.empty()) {
+    return util::Status::DataLoss(
+        "checkpoint agent options differ from this agent's (" + diff +
+        "); rebuild the agent from the checkpoint's options chunk first");
+  }
+  options_.seed = saved.seed;
+  CDBTUNE_RETURN_IF_ERROR(
+      file.Decode(prefix + "rng", [&](persist::Decoder& dec) {
+        std::string state;
+        if (!dec.ReadString(&state)) return dec.status();
+        if (!rng_.RestoreState(state)) {
+          return util::Status::DataLoss("agent rng state malformed");
+        }
+        return util::Status::Ok();
+      }));
+  auto net_restore = [&](const std::string& name, nn::Sequential& net) {
+    return file.Decode(prefix + name, [&](persist::Decoder& dec) {
+      return net.LoadBinary(dec);
+    });
+  };
+  CDBTUNE_RETURN_IF_ERROR(net_restore("actor", actor_));
+  CDBTUNE_RETURN_IF_ERROR(net_restore("critic", critic_));
+  CDBTUNE_RETURN_IF_ERROR(net_restore("actor_target", actor_target_));
+  CDBTUNE_RETURN_IF_ERROR(net_restore("critic_target", critic_target_));
+  CDBTUNE_RETURN_IF_ERROR(
+      file.Decode(prefix + "opt/actor", [&](persist::Decoder& dec) {
+        return actor_opt_->LoadBinary(dec);
+      }));
+  CDBTUNE_RETURN_IF_ERROR(
+      file.Decode(prefix + "opt/critic", [&](persist::Decoder& dec) {
+        return critic_opt_->LoadBinary(dec);
+      }));
+  CDBTUNE_RETURN_IF_ERROR(
+      file.Decode(prefix + "replay", [&](persist::Decoder& dec) {
+        return replay_->LoadBinary(dec);
+      }));
+  return file.Decode(prefix + "noise", [&](persist::Decoder& dec) {
+    return noise_.LoadBinary(dec);
+  });
+}
+
 util::Status DdpgAgent::Save(const std::string& prefix) const {
-  CDBTUNE_RETURN_IF_ERROR(actor_.SaveToFile(prefix + ".actor"));
-  CDBTUNE_RETURN_IF_ERROR(critic_.SaveToFile(prefix + ".critic"));
-  return util::Status::Ok();
+  persist::ChunkWriter writer;
+  AppendChunks(writer);
+  auto bytes = writer.Finish();
+  CDBTUNE_RETURN_IF_ERROR(bytes.status());
+  return persist::AtomicWriteFile(prefix + ".agent", *bytes);
 }
 
 util::Status DdpgAgent::Load(const std::string& prefix) {
-  CDBTUNE_RETURN_IF_ERROR(actor_.LoadFromFile(prefix + ".actor"));
-  CDBTUNE_RETURN_IF_ERROR(critic_.LoadFromFile(prefix + ".critic"));
-  actor_target_.CopyParamsFrom(actor_);
-  critic_target_.CopyParamsFrom(critic_);
-  return util::Status::Ok();
+  auto bytes = persist::ReadFile(prefix + ".agent");
+  CDBTUNE_RETURN_IF_ERROR(bytes.status());
+  auto file = persist::ChunkFile::Parse(*std::move(bytes));
+  CDBTUNE_RETURN_IF_ERROR(file.status());
+  // Validate the whole checkpoint against a scratch agent first so a corrupt
+  // file cannot leave *this holding a mix of old and new state.
+  auto scratch = std::make_unique<DdpgAgent>(options_);
+  CDBTUNE_RETURN_IF_ERROR(scratch->RestoreFromChunks(*file));
+  return RestoreFromChunks(*file);
 }
 
 void DdpgAgent::CloneWeightsFrom(DdpgAgent& other) {

@@ -7,6 +7,7 @@
 
 #include "nn/optimizer.h"
 #include "nn/sequential.h"
+#include "persist/chunk.h"
 #include "rl/noise.h"
 #include "rl/replay.h"
 #include "util/random.h"
@@ -50,6 +51,13 @@ struct DdpgOptions {
   double grad_clip = 5.0;
   uint64_t seed = 7;
 };
+
+/// Bit-exact DdpgOptions codec; the options chunk lets a loader rebuild an
+/// identically-shaped agent before applying the rest of a checkpoint.
+void SaveDdpgOptionsBinary(persist::Encoder& enc, const DdpgOptions& o);
+util::Status LoadDdpgOptionsBinary(persist::Decoder& dec, DdpgOptions* out);
+/// Human-readable name of the first differing field, or empty when equal.
+std::string DdpgOptionsDiff(const DdpgOptions& a, const DdpgOptions& b);
 
 /// Diagnostics from one optimization step.
 struct TrainStats {
@@ -106,6 +114,27 @@ class DdpgAgent {
   double EstimateQ(const std::vector<double>& state,
                    const std::vector<double>& action);
 
+  /// Writes the *complete* agent state as checkpoint chunks under `prefix`
+  /// (DESIGN.md §9): options, both online and both target networks
+  /// (parameters + BatchNorm buffers), per-parameter Adam moments and step
+  /// counts, the replay buffer with its priorities, the OU exploration
+  /// process, and the agent's rng stream. A restored agent continues
+  /// training bitwise identically to one that was never saved.
+  void AppendChunks(persist::ChunkWriter& writer,
+                    const std::string& prefix = "agent/") const;
+
+  /// Restores from chunks written by AppendChunks. The agent must have been
+  /// constructed with exactly the options recorded in the checkpoint
+  /// (validated first; mismatch → kDataLoss before anything is touched).
+  /// On a decode error partway through, this agent may hold a mix of old
+  /// and new state — callers needing all-or-nothing semantics restore into
+  /// a scratch agent and swap (what Load and the server both do).
+  util::Status RestoreFromChunks(const persist::ChunkFile& file,
+                                 const std::string& prefix = "agent/");
+
+  /// Whole-agent checkpoint at `path_prefix + ".agent"`, written atomically.
+  /// Load() validates the file against a scratch agent before applying it,
+  /// so a corrupt checkpoint leaves this agent untouched.
   util::Status Save(const std::string& path_prefix) const;
   util::Status Load(const std::string& path_prefix);
 

@@ -24,6 +24,38 @@ void OrnsteinUhlenbeckNoise::Reset() {
   for (double& x : state_) x = 0.0;
 }
 
+void OrnsteinUhlenbeckNoise::SaveBinary(persist::Encoder& enc) const {
+  enc.WriteDouble(theta_);
+  enc.WriteDouble(sigma_);
+  enc.WriteDouble(initial_sigma_);
+  enc.WriteDoubleVec(state_);
+  enc.WriteString(rng_.SerializeState());
+}
+
+util::Status OrnsteinUhlenbeckNoise::LoadBinary(persist::Decoder& dec) {
+  std::vector<double> state;
+  std::string rng_state;
+  double theta = 0.0, sigma = 0.0, initial_sigma = 0.0;
+  if (!dec.ReadDouble(&theta) || !dec.ReadDouble(&sigma) ||
+      !dec.ReadDouble(&initial_sigma) || !dec.ReadDoubleVec(&state) ||
+      !dec.ReadString(&rng_state)) {
+    return dec.status();
+  }
+  if (state.size() != state_.size()) {
+    return util::Status::DataLoss("OU noise dimension mismatch");
+  }
+  util::Rng rng;
+  if (!rng.RestoreState(rng_state)) {
+    return util::Status::DataLoss("OU noise rng state malformed");
+  }
+  theta_ = theta;
+  sigma_ = sigma;
+  initial_sigma_ = initial_sigma;
+  state_ = std::move(state);
+  rng_ = rng;
+  return util::Status::Ok();
+}
+
 GaussianActionNoise::GaussianActionNoise(size_t dim, double sigma,
                                          util::Rng rng)
     : dim_(dim), sigma_(sigma), initial_sigma_(sigma), rng_(rng) {}
@@ -37,5 +69,33 @@ std::vector<double> GaussianActionNoise::Sample() {
 void GaussianActionNoise::Decay(double factor) { sigma_ *= factor; }
 
 void GaussianActionNoise::Reset() { sigma_ = initial_sigma_; }
+
+void GaussianActionNoise::SaveBinary(persist::Encoder& enc) const {
+  enc.WriteU64(dim_);
+  enc.WriteDouble(sigma_);
+  enc.WriteDouble(initial_sigma_);
+  enc.WriteString(rng_.SerializeState());
+}
+
+util::Status GaussianActionNoise::LoadBinary(persist::Decoder& dec) {
+  uint64_t dim = 0;
+  double sigma = 0.0, initial_sigma = 0.0;
+  std::string rng_state;
+  if (!dec.ReadU64(&dim) || !dec.ReadDouble(&sigma) ||
+      !dec.ReadDouble(&initial_sigma) || !dec.ReadString(&rng_state)) {
+    return dec.status();
+  }
+  if (dim != dim_) {
+    return util::Status::DataLoss("Gaussian noise dimension mismatch");
+  }
+  util::Rng rng;
+  if (!rng.RestoreState(rng_state)) {
+    return util::Status::DataLoss("Gaussian noise rng state malformed");
+  }
+  sigma_ = sigma;
+  initial_sigma_ = initial_sigma;
+  rng_ = rng;
+  return util::Status::Ok();
+}
 
 }  // namespace cdbtune::rl

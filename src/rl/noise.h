@@ -3,7 +3,9 @@
 
 #include <vector>
 
+#include "persist/encoding.h"
 #include "util/random.h"
+#include "util/status.h"
 
 namespace cdbtune::rl {
 
@@ -28,6 +30,12 @@ class ActionNoise {
   virtual void Decay(double factor) = 0;
 
   virtual void Reset() = 0;
+
+  /// Bit-exact checkpoint round-trip: scale, decay progress, process state
+  /// and the rng stream position, so a restored process emits the same
+  /// noise sequence the uninterrupted one would have.
+  virtual void SaveBinary(persist::Encoder& enc) const = 0;
+  virtual util::Status LoadBinary(persist::Decoder& dec) = 0;
 };
 
 /// Ornstein-Uhlenbeck process, the standard DDPG exploration noise:
@@ -41,6 +49,8 @@ class OrnsteinUhlenbeckNoise : public ActionNoise {
   std::vector<double> Sample() override;
   void Decay(double factor) override;
   void Reset() override;
+  void SaveBinary(persist::Encoder& enc) const override;
+  util::Status LoadBinary(persist::Decoder& dec) override;
 
   double sigma() const { return sigma_; }
 
@@ -60,6 +70,8 @@ class GaussianActionNoise : public ActionNoise {
   std::vector<double> Sample() override;
   void Decay(double factor) override;
   void Reset() override;
+  void SaveBinary(persist::Encoder& enc) const override;
+  util::Status LoadBinary(persist::Decoder& dec) override;
 
   double sigma() const { return sigma_; }
 

@@ -11,6 +11,25 @@ namespace cdbtune::rl {
 void ReplayBuffer::UpdatePriorities(const std::vector<size_t>&,
                                     const std::vector<double>&) {}
 
+void SaveTransitionBinary(persist::Encoder& enc, const Transition& t) {
+  enc.WriteDoubleVec(t.state);
+  enc.WriteDoubleVec(t.action);
+  enc.WriteDouble(t.reward);
+  enc.WriteDoubleVec(t.next_state);
+  enc.WriteBool(t.terminal);
+}
+
+util::Status LoadTransitionBinary(persist::Decoder& dec, Transition* out) {
+  Transition t;
+  if (!dec.ReadDoubleVec(&t.state) || !dec.ReadDoubleVec(&t.action) ||
+      !dec.ReadDouble(&t.reward) || !dec.ReadDoubleVec(&t.next_state) ||
+      !dec.ReadBool(&t.terminal)) {
+    return dec.status();
+  }
+  *out = std::move(t);
+  return util::Status::Ok();
+}
+
 UniformReplay::UniformReplay(size_t capacity) : capacity_(capacity) {
   CDBTUNE_CHECK(capacity > 0) << "replay capacity must be positive";
   items_.reserve(capacity);
@@ -23,6 +42,34 @@ void UniformReplay::Add(Transition transition) {
     items_[next_] = std::move(transition);
   }
   next_ = (next_ + 1) % capacity_;
+}
+
+void UniformReplay::SaveBinary(persist::Encoder& enc) const {
+  enc.WriteString("uniform");
+  enc.WriteU64(capacity_);
+  enc.WriteU64(next_);
+  enc.WriteU64(items_.size());
+  for (const Transition& t : items_) SaveTransitionBinary(enc, t);
+}
+
+util::Status UniformReplay::LoadBinary(persist::Decoder& dec) {
+  std::string tag;
+  uint64_t capacity = 0, next = 0, count = 0;
+  if (!dec.ReadString(&tag) || !dec.ReadU64(&capacity) ||
+      !dec.ReadU64(&next) || !dec.ReadU64(&count)) {
+    return dec.status();
+  }
+  if (tag != "uniform" || capacity != capacity_ || count > capacity ||
+      next >= capacity) {
+    return util::Status::DataLoss("uniform replay checkpoint mismatch");
+  }
+  std::vector<Transition> items(count);
+  for (Transition& t : items) {
+    CDBTUNE_RETURN_IF_ERROR(LoadTransitionBinary(dec, &t));
+  }
+  items_ = std::move(items);
+  next_ = next;
+  return util::Status::Ok();
 }
 
 SampleBatch UniformReplay::Sample(size_t batch_size, util::Rng& rng) {
@@ -124,6 +171,64 @@ util::Status PrioritizedReplay::CheckInvariants() const {
 void PrioritizedReplay::CorruptTreeNodeForTest(size_t node, double value) {
   CDBTUNE_CHECK(node < tree_.size()) << "tree node out of range";
   tree_[node] = value;
+}
+
+void PrioritizedReplay::SaveBinary(persist::Encoder& enc) const {
+  enc.WriteString("prioritized");
+  enc.WriteU64(capacity_);
+  enc.WriteDouble(alpha_);
+  enc.WriteDouble(beta_);
+  enc.WriteDouble(max_priority_);
+  enc.WriteU64(next_);
+  enc.WriteU64(size_);
+  for (size_t slot = 0; slot < size_; ++slot) {
+    SaveTransitionBinary(enc, items_[slot]);
+  }
+  // Leaf priorities only: every internal sum-tree node equals the exact
+  // FP sum of its two children (SetPriority recomputes parents bottom-up,
+  // never applies deltas), so the tree is a pure function of its leaves and
+  // rebuilding from them on load is bitwise-identical.
+  for (size_t slot = 0; slot < size_; ++slot) {
+    enc.WriteDouble(tree_[leaf_base_ + slot]);
+  }
+}
+
+util::Status PrioritizedReplay::LoadBinary(persist::Decoder& dec) {
+  std::string tag;
+  uint64_t capacity = 0, next = 0, size = 0;
+  double alpha = 0.0, beta = 0.0, max_priority = 0.0;
+  if (!dec.ReadString(&tag) || !dec.ReadU64(&capacity) ||
+      !dec.ReadDouble(&alpha) || !dec.ReadDouble(&beta) ||
+      !dec.ReadDouble(&max_priority) || !dec.ReadU64(&next) ||
+      !dec.ReadU64(&size)) {
+    return dec.status();
+  }
+  if (tag != "prioritized" || capacity != capacity_ || size > capacity ||
+      next >= capacity) {
+    return util::Status::DataLoss("prioritized replay checkpoint mismatch");
+  }
+  std::vector<Transition> items(capacity_);
+  for (size_t slot = 0; slot < size; ++slot) {
+    CDBTUNE_RETURN_IF_ERROR(LoadTransitionBinary(dec, &items[slot]));
+  }
+  std::vector<double> priorities(size);
+  for (size_t slot = 0; slot < size; ++slot) {
+    if (!dec.ReadDouble(&priorities[slot])) return dec.status();
+    if (!std::isfinite(priorities[slot]) || priorities[slot] < 0.0) {
+      return util::Status::DataLoss("replay priority not finite/non-negative");
+    }
+  }
+  items_ = std::move(items);
+  alpha_ = alpha;
+  beta_ = beta;
+  max_priority_ = max_priority;
+  next_ = next;
+  size_ = size;
+  tree_.assign(2 * leaf_base_, 0.0);
+  for (size_t slot = 0; slot < size; ++slot) {
+    SetPriority(slot, priorities[slot]);
+  }
+  return CheckInvariants();
 }
 
 SampleBatch PrioritizedReplay::Sample(size_t batch_size, util::Rng& rng) {

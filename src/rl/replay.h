@@ -4,6 +4,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "persist/encoding.h"
 #include "util/random.h"
 #include "util/status.h"
 
@@ -20,6 +21,11 @@ struct Transition {
   /// terminated); the bootstrap term is dropped for terminal transitions.
   bool terminal = false;
 };
+
+/// Bit-exact Transition codec shared by the replay buffers and the tuner's
+/// experience pool checkpoints.
+void SaveTransitionBinary(persist::Encoder& enc, const Transition& t);
+util::Status LoadTransitionBinary(persist::Decoder& dec, Transition* out);
 
 /// A minibatch sampled from replay: item pointers stay valid until the next
 /// Add() call on the owning buffer.
@@ -48,6 +54,14 @@ class ReplayBuffer {
 
   virtual size_t size() const = 0;
   virtual size_t capacity() const = 0;
+
+  /// Bit-exact checkpoint round-trip of the full buffer: contents, ring
+  /// cursor and (for prioritized replay) every priority, so a restored
+  /// buffer returns the same batches for the same rng stream. LoadBinary
+  /// must be called on a buffer constructed with the same type and
+  /// capacity; mismatches return kDataLoss.
+  virtual void SaveBinary(persist::Encoder& enc) const = 0;
+  virtual util::Status LoadBinary(persist::Decoder& dec) = 0;
 };
 
 /// Fixed-capacity ring buffer with uniform sampling.
@@ -59,6 +73,8 @@ class UniformReplay : public ReplayBuffer {
   SampleBatch Sample(size_t batch_size, util::Rng& rng) override;
   size_t size() const override { return items_.size(); }
   size_t capacity() const override { return capacity_; }
+  void SaveBinary(persist::Encoder& enc) const override;
+  util::Status LoadBinary(persist::Decoder& dec) override;
 
  private:
   size_t capacity_;
@@ -80,6 +96,8 @@ class PrioritizedReplay : public ReplayBuffer {
                         const std::vector<double>& td_errors) override;
   size_t size() const override { return size_; }
   size_t capacity() const override { return capacity_; }
+  void SaveBinary(persist::Encoder& enc) const override;
+  util::Status LoadBinary(persist::Decoder& dec) override;
 
   /// Anneals beta toward 1 as training progresses.
   void set_beta(double beta) { beta_ = beta; }

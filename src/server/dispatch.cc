@@ -147,6 +147,92 @@ std::string HandleBestConfig(TuningServer& server, const Command& command) {
   return FormatOk({{"id", std::to_string(*id)}, {"config", *rendered}});
 }
 
+std::string HandleSave(TuningServer& server, const Command& command) {
+  std::string path = GetStringOr(command, "path", "");
+  if (path.empty()) {
+    return FormatError(util::Status::InvalidArgument("SAVE needs path=..."));
+  }
+  util::Status saved = server.SaveCheckpoint(path);
+  if (!saved.ok()) return FormatError(saved);
+  return FormatOk({{"path", path},
+                   {"rounds", std::to_string(server.rounds_completed())}});
+}
+
+std::string HandleRestore(TuningServer& server, const Command& command) {
+  std::string path = GetStringOr(command, "path", "");
+  if (path.empty()) {
+    return FormatError(util::Status::InvalidArgument("RESTORE needs path=..."));
+  }
+  auto report = server.RestoreCheckpoint(path);
+  if (!report.ok()) return FormatError(report.status());
+  return FormatOk({{"path", report->path},
+                   {"generation", std::to_string(report->generation)},
+                   {"dropped", std::to_string(report->dropped.size())},
+                   {"sessions", std::to_string(report->sessions)},
+                   {"rounds", std::to_string(report->rounds_completed)}});
+}
+
+/// Parses a dash-separated width list ("128-96-64"); empty input stays an
+/// empty vector (keep the current architecture).
+util::StatusOr<std::vector<size_t>> ParseWidths(const std::string& text) {
+  std::vector<size_t> widths;
+  size_t pos = 0;
+  while (pos < text.size()) {
+    size_t dash = text.find('-', pos);
+    if (dash == std::string::npos) dash = text.size();
+    const std::string part = text.substr(pos, dash - pos);
+    size_t consumed = 0;
+    unsigned long value = 0;
+    try {
+      value = std::stoul(part, &consumed);
+    } catch (...) {
+      consumed = 0;
+    }
+    if (consumed != part.size() || part.empty() || value == 0) {
+      return util::Status::InvalidArgument("bad layer width '" + part +
+                                           "' (want e.g. 128-96-64)");
+    }
+    widths.push_back(static_cast<size_t>(value));
+    pos = dash + 1;
+  }
+  if (widths.empty()) {
+    return util::Status::InvalidArgument("empty width list");
+  }
+  return widths;
+}
+
+std::string HandleRebuild(TuningServer& server, const Command& command) {
+  RebuildSpec spec;
+  const std::string actor = GetStringOr(command, "actor_hidden", "");
+  if (!actor.empty()) {
+    auto widths = ParseWidths(actor);
+    if (!widths.ok()) return FormatError(widths.status());
+    spec.actor_hidden = std::move(*widths);
+  }
+  const std::string critic = GetStringOr(command, "critic_hidden", "");
+  if (!critic.empty()) {
+    auto widths = ParseWidths(critic);
+    if (!widths.ok()) return FormatError(widths.status());
+    spec.critic_hidden = std::move(*widths);
+  }
+  auto embed = GetIntOr(command, "critic_embed", 0);
+  if (!embed.ok()) return FormatError(embed.status());
+  spec.critic_embed = static_cast<size_t>(*embed);
+  auto seed = GetIntOr(command, "seed", 0);
+  if (!seed.ok()) return FormatError(seed.status());
+  spec.seed = static_cast<uint64_t>(*seed);
+  auto train = GetIntOr(command, "train", 0);
+  if (!train.ok()) return FormatError(train.status());
+  spec.train_iters = static_cast<int>(*train);
+
+  auto report = server.Rebuild(spec);
+  if (!report.ok()) return FormatError(report.status());
+  return FormatOk({{"experiences", std::to_string(report->experiences)},
+                   {"params_before", std::to_string(report->params_before)},
+                   {"params_after", std::to_string(report->params_after)},
+                   {"trained", std::to_string(spec.train_iters)}});
+}
+
 std::string HandleClose(TuningServer& server, const Command& command) {
   auto id = GetInt(command, "id");
   if (!id.ok()) return FormatError(id.status());
@@ -175,6 +261,9 @@ std::string DispatchLine(TuningServer& server, const std::string& line,
   if (command.verb == "STATUS") return HandleStatus(server, command);
   if (command.verb == "BEST_CONFIG") return HandleBestConfig(server, command);
   if (command.verb == "CLOSE") return HandleClose(server, command);
+  if (command.verb == "SAVE") return HandleSave(server, command);
+  if (command.verb == "RESTORE") return HandleRestore(server, command);
+  if (command.verb == "REBUILD") return HandleRebuild(server, command);
   if (command.verb == "SHUTDOWN") {
     if (shutdown != nullptr) *shutdown = true;
     return FormatOk({{"bye", "1"}});

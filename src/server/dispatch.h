@@ -22,6 +22,13 @@ namespace cdbtune::server {
 ///   STATUS [id=N]               — one session, or a summary of all
 ///   BEST_CONFIG id=N            — knobs differing from the engine default
 ///   CLOSE  id=N                 — finish session, deploy best config
+///   SAVE   path=P               — atomic full-state checkpoint at P
+///   RESTORE path=P              — rebuild the server from a checkpoint
+///                                 (falls back past torn generations)
+///   REBUILD [actor_hidden=128-96-64] [critic_embed=N]
+///           [critic_hidden=256-64] [seed=N] [train=K]
+///                               — warm-start a reshaped agent from the
+///                                 experience pool (Table 6, live)
 ///   SHUTDOWN
 std::string DispatchLine(TuningServer& server, const std::string& line,
                          bool* shutdown);

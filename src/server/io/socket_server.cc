@@ -52,7 +52,7 @@ void SocketServer::AcceptLoop() {
       }
       pending_.push_back(std::move(*connection));
     }
-    cv_.notify_one();
+    work_cv_.notify_one();
   }
 }
 
@@ -61,7 +61,7 @@ void SocketServer::WorkerLoop() {
     Socket connection;
     {
       std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [&] { return stopping_ || !pending_.empty(); });
+      work_cv_.wait(lock, [&] { return stopping_ || !pending_.empty(); });
       if (stopping_) return;
       connection = std::move(pending_.front());
       pending_.pop_front();
@@ -85,7 +85,7 @@ void SocketServer::ServeConnection(Socket connection) {
     if (shutdown) {
       std::lock_guard<std::mutex> lock(mu_);
       shutdown_requested_ = true;
-      cv_.notify_all();
+      shutdown_cv_.notify_all();
       return;
     }
   }
@@ -93,7 +93,7 @@ void SocketServer::ServeConnection(Socket connection) {
 
 void SocketServer::WaitForShutdown() {
   std::unique_lock<std::mutex> lock(mu_);
-  cv_.wait(lock, [&] { return shutdown_requested_ || stopping_; });
+  shutdown_cv_.wait(lock, [&] { return shutdown_requested_ || stopping_; });
 }
 
 void SocketServer::Stop() {
@@ -105,7 +105,8 @@ void SocketServer::Stop() {
     // worker mid-RecvLine on an active connection.
     listener_.ShutdownReadWrite();
     for (int fd : active_fds_) Socket::ShutdownFd(fd);
-    cv_.notify_all();
+    work_cv_.notify_all();
+    shutdown_cv_.notify_all();
   }
   if (acceptor_.joinable()) acceptor_.join();
   for (std::thread& worker : workers_) {

@@ -70,7 +70,14 @@ class SocketServer {
   std::vector<std::thread> workers_;
 
   std::mutex mu_;
-  std::condition_variable cv_;
+  /// Workers wait here for queued connections. Distinct from shutdown_cv_:
+  /// with one shared condition variable, the acceptor's notify_one can wake
+  /// a WaitForShutdown() waiter instead of a worker — that waiter re-sleeps
+  /// (its predicate is false) and the wakeup is lost, stranding the queued
+  /// connection forever.
+  std::condition_variable work_cv_;
+  /// WaitForShutdown() blocks here until SHUTDOWN arrives or Stop() runs.
+  std::condition_variable shutdown_cv_;
   std::deque<Socket> pending_;
   /// Descriptors currently being served; Stop() shuts them down so workers
   /// blocked in RecvLine return.

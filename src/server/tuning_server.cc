@@ -5,11 +5,13 @@
 // builds one closure per session step, amortized over a whole round.
 
 #include <functional>
+#include <sstream>
 #include <utility>
 
 #include "engine/mini_cdb.h"
 #include "env/simulated_cdb.h"
 #include "knobs/knob.h"
+#include "persist/chunk.h"
 #include "server/protocol.h"
 #include "tuner/recommender.h"
 #include "util/check.h"
@@ -26,6 +28,139 @@ namespace {
 /// constructed with seed S: given a frozen model, the multiplexed session
 /// and the classic single-tenant loop produce bitwise-equal trajectories.
 constexpr uint64_t kNoiseSeedSalt = 0x9E3779B97F4A7C15ULL;
+
+void SaveWorkloadSpecBinary(persist::Encoder& enc,
+                            const workload::WorkloadSpec& w) {
+  enc.WriteU8(static_cast<uint8_t>(w.type));
+  enc.WriteString(w.name);
+  enc.WriteDouble(w.read_fraction);
+  enc.WriteDouble(w.scan_fraction);
+  enc.WriteDouble(w.scan_length);
+  enc.WriteDouble(w.insert_fraction);
+  enc.WriteDouble(w.data_size_gb);
+  enc.WriteDouble(w.working_set_gb);
+  enc.WriteDouble(w.access_skew);
+  enc.WriteI64(w.client_threads);
+  enc.WriteDouble(w.ops_per_txn);
+  enc.WriteDouble(w.sort_heavy_fraction);
+}
+
+util::Status LoadWorkloadSpecBinary(persist::Decoder& dec,
+                                    workload::WorkloadSpec* out) {
+  uint8_t type = 0;
+  int64_t client_threads = 0;
+  workload::WorkloadSpec w;
+  if (!dec.ReadU8(&type) || !dec.ReadString(&w.name) ||
+      !dec.ReadDouble(&w.read_fraction) || !dec.ReadDouble(&w.scan_fraction) ||
+      !dec.ReadDouble(&w.scan_length) || !dec.ReadDouble(&w.insert_fraction) ||
+      !dec.ReadDouble(&w.data_size_gb) || !dec.ReadDouble(&w.working_set_gb) ||
+      !dec.ReadDouble(&w.access_skew) || !dec.ReadI64(&client_threads) ||
+      !dec.ReadDouble(&w.ops_per_txn) ||
+      !dec.ReadDouble(&w.sort_heavy_fraction)) {
+    return dec.status();
+  }
+  if (type > static_cast<uint8_t>(workload::WorkloadType::kReplay)) {
+    return util::Status::DataLoss("unknown workload type in checkpoint");
+  }
+  w.type = static_cast<workload::WorkloadType>(type);
+  w.client_threads = static_cast<int>(client_threads);
+  *out = std::move(w);
+  return util::Status::Ok();
+}
+
+void SaveHardwareSpecBinary(persist::Encoder& enc, const env::HardwareSpec& h) {
+  enc.WriteString(h.name);
+  enc.WriteDouble(h.ram_gb);
+  enc.WriteDouble(h.disk_gb);
+  enc.WriteI64(h.cpu_cores);
+  enc.WriteU8(static_cast<uint8_t>(h.disk_type));
+}
+
+util::Status LoadHardwareSpecBinary(persist::Decoder& dec,
+                                    env::HardwareSpec* out) {
+  uint8_t disk_type = 0;
+  int64_t cores = 0;
+  env::HardwareSpec h;
+  if (!dec.ReadString(&h.name) || !dec.ReadDouble(&h.ram_gb) ||
+      !dec.ReadDouble(&h.disk_gb) || !dec.ReadI64(&cores) ||
+      !dec.ReadU8(&disk_type)) {
+    return dec.status();
+  }
+  if (disk_type > static_cast<uint8_t>(env::DiskType::kNvm)) {
+    return util::Status::DataLoss("unknown disk type in checkpoint");
+  }
+  h.cpu_cores = static_cast<int>(cores);
+  h.disk_type = static_cast<env::DiskType>(disk_type);
+  *out = std::move(h);
+  return util::Status::Ok();
+}
+
+void SaveSessionSpecBinary(persist::Encoder& enc, const SessionSpec& s) {
+  enc.WriteString(s.engine);
+  SaveWorkloadSpecBinary(enc, s.workload);
+  SaveHardwareSpecBinary(enc, s.hardware);
+  enc.WriteU64(s.seed);
+  enc.WriteI64(s.max_steps);
+  enc.WriteU64(s.mini_table_rows);
+  enc.WriteDouble(s.stress_duration_s);
+}
+
+util::Status LoadSessionSpecBinary(persist::Decoder& dec, SessionSpec* out) {
+  SessionSpec s;
+  if (!dec.ReadString(&s.engine)) return dec.status();
+  CDBTUNE_RETURN_IF_ERROR(LoadWorkloadSpecBinary(dec, &s.workload));
+  CDBTUNE_RETURN_IF_ERROR(LoadHardwareSpecBinary(dec, &s.hardware));
+  int64_t max_steps = 0;
+  if (!dec.ReadU64(&s.seed) || !dec.ReadI64(&max_steps) ||
+      !dec.ReadU64(&s.mini_table_rows) ||
+      !dec.ReadDouble(&s.stress_duration_s)) {
+    return dec.status();
+  }
+  if (max_steps <= 0) {
+    return util::Status::DataLoss("checkpoint session has no step budget");
+  }
+  s.max_steps = static_cast<int>(max_steps);
+  *out = std::move(s);
+  return util::Status::Ok();
+}
+
+/// Session options derived from the server defaults + the tenant's spec;
+/// shared by Open and RestoreCheckpoint so a restored session validates
+/// its checkpoint against exactly the options it would get live.
+tuner::TuningSessionOptions SessionOptionsFor(
+    const TuningServerOptions& server_options, const SessionSpec& spec) {
+  tuner::TuningSessionOptions session_options;
+  session_options.max_steps = spec.max_steps;
+  session_options.stress_duration_s = spec.stress_duration_s >= 0.0
+                                          ? spec.stress_duration_s
+                                          : server_options.stress_duration_s;
+  session_options.reward_type = server_options.reward_type;
+  session_options.throughput_coeff = server_options.throughput_coeff;
+  session_options.latency_coeff = server_options.latency_coeff;
+  session_options.reward_clip = server_options.reward_clip;
+  session_options.reward_scale = server_options.reward_scale;
+  return session_options;
+}
+
+/// The metrics collector keeps its exact text round-trip format (precision
+/// 17); checkpoints embed it as an opaque blob instead of re-deriving a
+/// binary layout for the standardizer.
+std::string CollectorBlob(const tuner::MetricsCollector& collector) {
+  std::ostringstream os;
+  os.precision(17);
+  collector.SaveState(os);
+  return os.str();
+}
+
+util::Status LoadCollectorBlob(const std::string& blob,
+                               tuner::MetricsCollector* collector) {
+  std::istringstream is(blob);
+  collector->LoadState(is);
+  if (is.fail()) {
+    return util::Status::DataLoss("collector statistics blob is malformed");
+  }
+  return util::Status::Ok();
+}
 
 }  // namespace
 
@@ -196,19 +331,10 @@ util::StatusOr<int> TuningServer::Open(const SessionSpec& spec) {
                                            std::move(*db), std::move(collector),
                                            action_dim, noise_theta,
                                            noise_sigma);
-  tuner::TuningSessionOptions session_options;
-  session_options.max_steps = spec.max_steps;
-  session_options.stress_duration_s = spec.stress_duration_s >= 0.0
-                                          ? spec.stress_duration_s
-                                          : options_.stress_duration_s;
-  session_options.reward_type = options_.reward_type;
-  session_options.throughput_coeff = options_.throughput_coeff;
-  session_options.latency_coeff = options_.latency_coeff;
-  session_options.reward_clip = options_.reward_clip;
-  session_options.reward_scale = options_.reward_scale;
   session->tuning = std::make_unique<tuner::TuningSession>(
       session->db.get(), std::move(space), session->spec.workload,
-      &session->collector, &session->policy, &session->sink, session_options);
+      &session->collector, &session->policy, &session->sink,
+      SessionOptionsFor(options_, spec));
 
   util::Status begun = session->tuning->Begin();
   if (!begun.ok()) {
@@ -329,11 +455,24 @@ util::StatusOr<size_t> TuningServer::StepRound() {
 
   MergeAndTrain(options_.train_iters_per_round);
 
+  uint64_t rounds = 0;
   {
     std::lock_guard<std::mutex> lock(mu_);
+    rounds = ++rounds_completed_;
     for (Session* session : round) {
       session->busy = false;
       RefreshStatus(session);
+    }
+  }
+  // Autosave at the barrier, while still exclusive: the checkpoint sees the
+  // round fully applied (experiences merged, gradients taken) and nothing
+  // else moving. A kill -9 after this point loses at most the next round.
+  if (!options_.autosave_path.empty() && options_.autosave_every_rounds > 0 &&
+      rounds % static_cast<uint64_t>(options_.autosave_every_rounds) == 0) {
+    util::Status saved = SaveCheckpointExclusive(options_.autosave_path);
+    if (!saved.ok()) {
+      CDBTUNE_LOG(Warning) << "round " << rounds
+                           << " autosave failed: " << saved.ToString();
     }
   }
   EndExclusive();
@@ -456,6 +595,289 @@ void TuningServer::DrainAndStop() {
       CDBTUNE_CHECK_OK(session->tuning->Finish());
     }
   }
+}
+
+void TuningServer::AppendCheckpointChunks(persist::ChunkWriter& writer) {
+  {
+    std::lock_guard<std::mutex> lock(agent_mu_);
+    CDBTUNE_CHECK(agent_ != nullptr) << "checkpoint needs an adopted model";
+    agent_->AppendChunks(writer);
+    persist::Encoder enc;
+    enc.WriteString(CollectorBlob(collector_template_));
+    enc.WriteDoubleVec(best_offline_action_);
+    writer.Add("server/model_meta", enc.Release());
+  }
+  {
+    // Exclusivity (caller-held) is the pool's barrier: no Add in flight.
+    persist::Encoder enc;
+    shards_.SaveBinary(enc);
+    writer.Add("server/pool", enc.Release());
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  {
+    persist::Encoder enc;
+    enc.WriteI64(next_id_);
+    enc.WriteU64(rounds_completed_);
+    enc.WriteU64(sessions_.size());
+    for (const auto& [id, session] : sessions_) enc.WriteI64(id);
+    writer.Add("server/meta", enc.Release());
+  }
+  for (const auto& [id, session] : sessions_) {
+    const std::string base = "session/" + std::to_string(id) + "/";
+    {
+      persist::Encoder enc;
+      SaveSessionSpecBinary(enc, session->spec);
+      enc.WriteU64(session->shard);
+      writer.Add(base + "spec", enc.Release());
+    }
+    {
+      persist::Encoder enc;
+      session->noise.SaveBinary(enc);
+      enc.WriteString(CollectorBlob(session->collector));
+      session->tuning->SaveBinary(enc);
+      writer.Add(base + "state", enc.Release());
+    }
+  }
+}
+
+util::Status TuningServer::SaveCheckpointExclusive(const std::string& path) {
+  {
+    std::lock_guard<std::mutex> lock(agent_mu_);
+    if (agent_ == nullptr) {
+      return util::Status::FailedPrecondition(
+          "no model adopted; nothing to checkpoint");
+    }
+  }
+  persist::ChunkWriter writer;
+  AppendCheckpointChunks(writer);
+  persist::CheckpointStore store(path, options_.checkpoint_keep);
+  return store.Write(writer);
+}
+
+util::Status TuningServer::SaveCheckpoint(const std::string& path) {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    BeginExclusive(lock);
+  }
+  util::Status saved = SaveCheckpointExclusive(path);
+  EndExclusive();
+  return saved;
+}
+
+util::StatusOr<RestoreReport> TuningServer::RestoreCheckpoint(
+    const std::string& path) {
+  persist::CheckpointStore store(path, options_.checkpoint_keep);
+  auto loaded = store.Load();
+  CDBTUNE_RETURN_IF_ERROR(loaded.status());
+  const persist::ChunkFile& file = loaded->file;
+  for (const persist::DroppedGeneration& dropped : loaded->dropped) {
+    CDBTUNE_LOG(Warning) << "restore skipped " << dropped.path << ": "
+                         << dropped.error;
+  }
+
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    BeginExclusive(lock);
+  }
+  // Everything below stages into locals and only swaps into the server at
+  // the very end — a torn or mismatched checkpoint leaves it untouched.
+  auto result = [&]() -> util::StatusOr<RestoreReport> {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (draining_) {
+        return util::Status::FailedPrecondition("server is draining");
+      }
+      if (!sessions_.empty()) {
+        return util::Status::FailedPrecondition(
+            "restore needs a server with no open sessions");
+      }
+    }
+
+    rl::DdpgOptions agent_options;
+    CDBTUNE_RETURN_IF_ERROR(
+        file.Decode("agent/options", [&](persist::Decoder& dec) {
+          return rl::LoadDdpgOptionsBinary(dec, &agent_options);
+        }));
+    auto staged_agent = std::make_unique<rl::DdpgAgent>(agent_options);
+    CDBTUNE_RETURN_IF_ERROR(staged_agent->RestoreFromChunks(file));
+
+    tuner::MetricsCollector staged_collector;
+    std::vector<double> staged_best_action;
+    CDBTUNE_RETURN_IF_ERROR(
+        file.Decode("server/model_meta", [&](persist::Decoder& dec) {
+          std::string blob;
+          if (!dec.ReadString(&blob)) return dec.status();
+          CDBTUNE_RETURN_IF_ERROR(LoadCollectorBlob(blob, &staged_collector));
+          if (!dec.ReadDoubleVec(&staged_best_action)) return dec.status();
+          return util::Status::Ok();
+        }));
+
+    tuner::ShardedExperiencePool staged_pool(options_.max_sessions,
+                                             options_.shard_capacity);
+    CDBTUNE_RETURN_IF_ERROR(
+        file.Decode("server/pool", [&](persist::Decoder& dec) {
+          return staged_pool.LoadBinary(dec);
+        }));
+
+    int64_t next_id = 0;
+    uint64_t rounds = 0;
+    std::vector<int> ids;
+    CDBTUNE_RETURN_IF_ERROR(
+        file.Decode("server/meta", [&](persist::Decoder& dec) {
+          uint64_t count = 0;
+          if (!dec.ReadI64(&next_id) || !dec.ReadU64(&rounds) ||
+              !dec.ReadU64(&count)) {
+            return dec.status();
+          }
+          if (count > options_.max_sessions) {
+            return util::Status::DataLoss(
+                "checkpoint has " + std::to_string(count) +
+                " sessions, server capacity is " +
+                std::to_string(options_.max_sessions));
+          }
+          for (uint64_t i = 0; i < count; ++i) {
+            int64_t id = 0;
+            if (!dec.ReadI64(&id)) return dec.status();
+            ids.push_back(static_cast<int>(id));
+          }
+          return util::Status::Ok();
+        }));
+
+    const size_t action_dim = agent_options.action_dim;
+    const double noise_theta = options_.noise_theta >= 0.0
+                                   ? options_.noise_theta
+                                   : agent_options.noise_theta;
+    const double noise_sigma = options_.noise_sigma >= 0.0
+                                   ? options_.noise_sigma
+                                   : agent_options.noise_sigma;
+    std::map<int, std::unique_ptr<Session>> staged_sessions;
+    std::vector<bool> shard_used(options_.max_sessions, false);
+    for (int id : ids) {
+      const std::string base = "session/" + std::to_string(id) + "/";
+      SessionSpec spec;
+      uint64_t shard = 0;
+      CDBTUNE_RETURN_IF_ERROR(
+          file.Decode(base + "spec", [&](persist::Decoder& dec) {
+            CDBTUNE_RETURN_IF_ERROR(LoadSessionSpecBinary(dec, &spec));
+            if (!dec.ReadU64(&shard)) return dec.status();
+            return util::Status::Ok();
+          }));
+      if (shard >= options_.max_sessions || shard_used[shard]) {
+        return util::Status::DataLoss("session " + std::to_string(id) +
+                                      " has an invalid shard assignment");
+      }
+      shard_used[shard] = true;
+
+      auto db = MakeDb(spec);
+      CDBTUNE_RETURN_IF_ERROR(db.status());
+      knobs::KnobSpace space =
+          knobs::KnobSpace::AllTunable(&(*db)->registry());
+      if (space.action_dim() != action_dim) {
+        return util::Status::DataLoss(
+            "session " + std::to_string(id) +
+            " knob space does not match the checkpoint's model");
+      }
+      auto session = std::make_unique<Session>(
+          this, id, spec, shard, std::move(*db), tuner::MetricsCollector(),
+          action_dim, noise_theta, noise_sigma);
+      session->tuning = std::make_unique<tuner::TuningSession>(
+          session->db.get(), std::move(space), session->spec.workload,
+          &session->collector, &session->policy, &session->sink,
+          SessionOptionsFor(options_, session->spec));
+      CDBTUNE_RETURN_IF_ERROR(
+          file.Decode(base + "state", [&](persist::Decoder& dec) {
+            CDBTUNE_RETURN_IF_ERROR(session->noise.LoadBinary(dec));
+            std::string blob;
+            if (!dec.ReadString(&blob)) return dec.status();
+            CDBTUNE_RETURN_IF_ERROR(
+                LoadCollectorBlob(blob, &session->collector));
+            return session->tuning->RestoreBinary(dec);
+          }));
+      RefreshStatus(session.get());
+      staged_sessions.emplace(id, std::move(session));
+    }
+
+    RestoreReport report;
+    report.path = loaded->path;
+    report.generation = loaded->generation;
+    report.sessions = staged_sessions.size();
+    report.rounds_completed = rounds;
+    report.dropped = std::move(loaded->dropped);
+
+    // Commit. Session sinks/policies hold pointers to the server and its
+    // shards_ member, both of which keep their addresses through the swap.
+    std::lock_guard<std::mutex> lock(mu_);
+    {
+      std::lock_guard<std::mutex> agent_lock(agent_mu_);
+      agent_ = std::move(staged_agent);
+      collector_template_ = std::move(staged_collector);
+      best_offline_action_ = std::move(staged_best_action);
+    }
+    shards_ = std::move(staged_pool);
+    sessions_ = std::move(staged_sessions);
+    free_shards_.clear();
+    for (size_t i = options_.max_sessions; i > 0; --i) {
+      if (!shard_used[i - 1]) free_shards_.push_back(i - 1);
+    }
+    next_id_ = static_cast<int>(next_id);
+    rounds_completed_ = rounds;
+    return report;
+  }();
+  EndExclusive();
+  return result;
+}
+
+util::StatusOr<RebuildReport> TuningServer::Rebuild(const RebuildSpec& spec) {
+  if (spec.train_iters < 0) {
+    return util::Status::InvalidArgument("train_iters must be non-negative");
+  }
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (draining_) {
+      return util::Status::FailedPrecondition("server is draining");
+    }
+    BeginExclusive(lock);
+  }
+  auto result = [&]() -> util::StatusOr<RebuildReport> {
+    std::lock_guard<std::mutex> lock(agent_mu_);
+    if (agent_ == nullptr) {
+      return util::Status::FailedPrecondition("no model adopted");
+    }
+    rl::DdpgOptions rebuilt = agent_->options();
+    if (!spec.actor_hidden.empty()) rebuilt.actor_hidden = spec.actor_hidden;
+    if (spec.critic_embed != 0) rebuilt.critic_embed = spec.critic_embed;
+    if (!spec.critic_hidden.empty()) {
+      rebuilt.critic_hidden = spec.critic_hidden;
+    }
+    if (spec.seed != 0) rebuilt.seed = spec.seed;
+
+    RebuildReport report;
+    report.params_before = agent_->NumParameters();
+    auto fresh = std::make_unique<rl::DdpgAgent>(rebuilt);
+    // Warm start (paper Table 6 as a live operation): the durable pool —
+    // not the old agent's replay — re-seeds the fresh network, so the
+    // rebuild works across architecture changes.
+    tuner::MemoryPool snapshot;
+    shards_.SnapshotInto(&snapshot);
+    for (size_t i = 0; i < snapshot.size(); ++i) {
+      fresh->Observe(snapshot.at(i).transition);
+    }
+    report.experiences = snapshot.size();
+    for (int i = 0; i < spec.train_iters; ++i) fresh->TrainStep();
+    report.params_after = fresh->NumParameters();
+    agent_ = std::move(fresh);
+    return report;
+  }();
+  // The snapshot already fed every retained experience to the new agent;
+  // advance the merge cursors so the next MergeAndTrain doesn't re-feed.
+  if (result.ok()) (void)shards_.CollectNew();
+  EndExclusive();
+  return result;
+}
+
+uint64_t TuningServer::rounds_completed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return rounds_completed_;
 }
 
 size_t TuningServer::open_sessions() const {

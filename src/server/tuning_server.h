@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "env/instance.h"
+#include "persist/atomic_file.h"
 #include "rl/ddpg.h"
 #include "rl/noise.h"
 #include "tuner/cdbtune.h"
@@ -87,6 +88,40 @@ struct TuningServerOptions {
   /// bitwise for the same seed.
   double noise_theta = -1.0;
   double noise_sigma = -1.0;
+  /// When non-empty, StepRound writes a full checkpoint to this path every
+  /// `autosave_every_rounds` completed rounds (atomically, rotating
+  /// `checkpoint_keep` generations). A kill -9 between rounds then loses at
+  /// most one round of work.
+  std::string autosave_path;
+  int autosave_every_rounds = 1;
+  int checkpoint_keep = 3;
+};
+
+/// What RestoreCheckpoint actually loaded: which generation survived, which
+/// (if any) were dropped as torn/corrupt, and how many sessions came back.
+struct RestoreReport {
+  std::string path;
+  int generation = 0;
+  size_t sessions = 0;
+  uint64_t rounds_completed = 0;
+  std::vector<persist::DroppedGeneration> dropped;
+};
+
+/// Network-shape override for a warm-started rebuild (paper Table 6 as a
+/// live operation). Empty vectors / zero scalars keep the current value.
+struct RebuildSpec {
+  std::vector<size_t> actor_hidden;
+  size_t critic_embed = 0;
+  std::vector<size_t> critic_hidden;
+  uint64_t seed = 0;
+  /// Gradient steps applied to the fresh agent over the replayed history.
+  int train_iters = 0;
+};
+
+struct RebuildReport {
+  size_t experiences = 0;
+  size_t params_before = 0;
+  size_t params_after = 0;
 };
 
 /// Multi-session tuning daemon: one trained standard model serving many
@@ -164,6 +199,34 @@ class TuningServer {
   /// remaining session (deploying best configs) in id order.
   void DrainAndStop();
 
+  /// Writes the server's complete tuning state — shared agent, experience
+  /// pool, normalization statistics, best offline action, and every open
+  /// session (spec, progress, exploration stream, environment history) — as
+  /// one chunked checkpoint at `path`, atomically, rotating
+  /// `options().checkpoint_keep` generations. Runs at a round barrier: it
+  /// waits for in-flight steps, exactly like Train.
+  util::Status SaveCheckpoint(const std::string& path);
+
+  /// Rebuilds the server from a checkpoint written by SaveCheckpoint:
+  /// fresh agent (constructed from the checkpoint's recorded options), pool,
+  /// statistics, and re-provisioned sessions whose environments are replayed
+  /// call-by-call to their saved state. Falls back generation-by-generation
+  /// past torn or corrupt files. Requires a server with no open sessions and
+  /// matching pool shape; on any failure the server is left untouched
+  /// (everything is staged and validated before the swap).
+  util::StatusOr<RestoreReport> RestoreCheckpoint(const std::string& path);
+
+  /// Warm-starts a *differently shaped* agent from the server's accumulated
+  /// experience (Table 6 as a live operation): snapshots the pool, builds a
+  /// fresh agent with `spec`'s architecture overrides, replays every
+  /// retained experience into it, applies `spec.train_iters` gradient
+  /// steps, and swaps it in as the shared model. Open sessions carry on
+  /// against the new model.
+  util::StatusOr<RebuildReport> Rebuild(const RebuildSpec& spec);
+
+  /// StepRound barriers completed since construction (or restore).
+  uint64_t rounds_completed() const;
+
   size_t open_sessions() const;
   bool model_ready() const;
   const tuner::ShardedExperiencePool& pool() const { return shards_; }
@@ -224,6 +287,14 @@ class TuningServer {
   /// gradient steps. Caller holds exclusivity (no Add in flight).
   void MergeAndTrain(int iters);
 
+  /// Serializes the full server state into `writer`. Caller holds
+  /// exclusivity (round barrier); takes mu_ / agent_mu_ internally.
+  void AppendCheckpointChunks(persist::ChunkWriter& writer);
+
+  /// SaveCheckpoint body without the exclusivity dance — called by
+  /// SaveCheckpoint and by StepRound's autosave while already exclusive.
+  util::Status SaveCheckpointExclusive(const std::string& path);
+
   TuningServerOptions options_;
   tuner::ShardedExperiencePool shards_;
 
@@ -235,6 +306,7 @@ class TuningServer {
   size_t in_flight_ = 0;
   bool exclusive_ = false;
   bool draining_ = false;
+  uint64_t rounds_completed_ = 0;
 
   /// Shared-model state, guarded by agent_mu_ (independent of mu_; never
   /// hold both except mu_ -> agent_mu_).

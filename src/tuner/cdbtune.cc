@@ -2,8 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+// lint: allow(raw-checkpoint-write) — std::ifstream only: loads go
+// through ReadFile/ifstream; every write goes through persist.
 #include <fstream>
+#include <sstream>
 
+#include "persist/atomic_file.h"
 #include "tuner/tuning_session.h"
 #include "util/check.h"
 #include "util/logging.h"
@@ -85,15 +89,13 @@ double CdbTuner::Score(const PerfPoint& initial, const PerfPoint& point) const {
 
 util::Status CdbTuner::SaveModel(const std::string& prefix) const {
   CDBTUNE_RETURN_IF_ERROR(agent_->Save(prefix));
-  std::ofstream os(prefix + ".meta");
-  if (!os.good()) return util::Status::Internal("cannot open " + prefix + ".meta");
+  std::ostringstream os;
   os.precision(17);
   collector_.SaveState(os);
   os << best_action_score_ << "\n" << best_offline_action_.size() << "\n";
   for (double a : best_offline_action_) os << a << " ";
   os << "\n";
-  if (!os.good()) return util::Status::Internal("write failed: " + prefix + ".meta");
-  return util::Status::Ok();
+  return persist::AtomicWriteFile(prefix + ".meta", os.str());
 }
 
 util::Status CdbTuner::LoadModel(const std::string& prefix) {

@@ -6,6 +6,27 @@
 
 namespace cdbtune::tuner {
 
+void SaveExperienceBinary(persist::Encoder& enc, const Experience& e) {
+  rl::SaveTransitionBinary(enc, e.transition);
+  enc.WriteString(e.workload_name);
+  enc.WriteString(e.instance_name);
+  enc.WriteBool(e.from_user_request);
+  enc.WriteDouble(e.throughput);
+  enc.WriteDouble(e.latency);
+}
+
+util::Status LoadExperienceBinary(persist::Decoder& dec, Experience* out) {
+  Experience e;
+  CDBTUNE_RETURN_IF_ERROR(rl::LoadTransitionBinary(dec, &e.transition));
+  if (!dec.ReadString(&e.workload_name) || !dec.ReadString(&e.instance_name) ||
+      !dec.ReadBool(&e.from_user_request) || !dec.ReadDouble(&e.throughput) ||
+      !dec.ReadDouble(&e.latency)) {
+    return dec.status();
+  }
+  *out = std::move(e);
+  return util::Status::Ok();
+}
+
 void MemoryPool::Add(Experience experience) {
   experiences_.push_back(std::move(experience));
 }
@@ -83,6 +104,55 @@ void ShardedExperiencePool::SnapshotInto(MemoryPool* pool) const {
       pool->Add(s.ring[seq % capacity_]);
     }
   }
+}
+
+void ShardedExperiencePool::SaveBinary(persist::Encoder& enc) const {
+  enc.WriteU64(shards_.size());
+  enc.WriteU64(capacity_);
+  for (const Shard& s : shards_) {
+    enc.WriteU64(s.added);
+    enc.WriteU64(s.merged);
+    enc.WriteU64(s.dropped);
+    // Retained window in arrival order; re-placed at seq % capacity on load,
+    // which reconstructs the ring array exactly (unwritten slots stay
+    // default, as after construction).
+    uint64_t first = s.added < capacity_ ? 0 : s.added - capacity_;
+    for (uint64_t seq = first; seq < s.added; ++seq) {
+      SaveExperienceBinary(enc, s.ring[seq % capacity_]);
+    }
+  }
+}
+
+util::Status ShardedExperiencePool::LoadBinary(persist::Decoder& dec) {
+  uint64_t num_shards = 0, capacity = 0;
+  if (!dec.ReadU64(&num_shards) || !dec.ReadU64(&capacity)) {
+    return dec.status();
+  }
+  if (num_shards != shards_.size() || capacity != capacity_) {
+    return util::Status::DataLoss(
+        "experience pool checkpoint shape mismatch: file " +
+        std::to_string(num_shards) + "x" + std::to_string(capacity) +
+        " vs live " + std::to_string(shards_.size()) + "x" +
+        std::to_string(capacity_));
+  }
+  std::vector<Shard> staged(shards_.size());
+  for (Shard& s : staged) {
+    s.ring.resize(capacity_);
+    if (!dec.ReadU64(&s.added) || !dec.ReadU64(&s.merged) ||
+        !dec.ReadU64(&s.dropped)) {
+      return dec.status();
+    }
+    if (s.merged > s.added || s.dropped > s.merged) {
+      return util::Status::DataLoss("experience pool cursor invariant broken");
+    }
+    uint64_t first = s.added < capacity_ ? 0 : s.added - capacity_;
+    for (uint64_t seq = first; seq < s.added; ++seq) {
+      CDBTUNE_RETURN_IF_ERROR(
+          LoadExperienceBinary(dec, &s.ring[seq % capacity_]));
+    }
+  }
+  shards_ = std::move(staged);
+  return util::Status::Ok();
 }
 
 }  // namespace cdbtune::tuner

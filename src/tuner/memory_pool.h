@@ -5,7 +5,9 @@
 #include <string>
 #include <vector>
 
+#include "persist/encoding.h"
 #include "rl/replay.h"
+#include "util/status.h"
 
 namespace cdbtune::tuner {
 
@@ -22,6 +24,10 @@ struct Experience {
   double throughput = 0.0;
   double latency = 0.0;
 };
+
+/// Bit-exact Experience codec used by the pool checkpoints.
+void SaveExperienceBinary(persist::Encoder& enc, const Experience& e);
+util::Status LoadExperienceBinary(persist::Decoder& dec, Experience* out);
 
 /// Append-only experience store that outlives individual agents. The DDPG
 /// agent keeps its own sampling structure (sum-tree); the pool is the
@@ -92,6 +98,13 @@ class ShardedExperiencePool {
   /// Copies every retained experience into `pool` in deterministic order
   /// (used to warm-start a fresh agent from the server's history).
   void SnapshotInto(MemoryPool* pool) const;
+
+  /// Bit-exact checkpoint round-trip of every shard: retained ring window,
+  /// cursors and drop counters. Barrier-only, like the other readers.
+  /// LoadBinary requires an identically-shaped pool (same shard count and
+  /// capacity) and restores every shard or none.
+  void SaveBinary(persist::Encoder& enc) const;
+  util::Status LoadBinary(persist::Decoder& dec);
 
  private:
   /// One tenant's ring. alignas keeps concurrent writers of neighboring

@@ -54,7 +54,17 @@ double TuningSession::Score(const PerfPoint& point) const {
              (result_.initial.latency / std::max(1e-9, point.latency));
 }
 
+void TuningSession::LogDeploy(const knobs::Config& config) {
+  EnvOp op;
+  op.is_deploy = true;
+  op.config = config;
+  env_log_.push_back(std::move(op));
+}
+
+void TuningSession::LogStress() { env_log_.emplace_back(); }
+
 bool TuningSession::Stress(env::StressResult* out) {
+  LogStress();
   auto outcome = db_->RunStress(workload_, options_.stress_duration_s);
   if (!outcome.ok()) {
     CDBTUNE_LOG(Warning) << "session stress test failed: "
@@ -105,6 +115,7 @@ util::StatusOr<StepRecord> TuningSession::Step() {
       << "policy action dimension mismatch";
 
   knobs::Config config = recommender_.BuildConfig(action, base_config_);
+  LogDeploy(config);
   util::Status deploy = recommender_.Deploy(*db_, config);
 
   StepRecord record;
@@ -171,6 +182,154 @@ util::StatusOr<StepRecord> TuningSession::Step() {
   return record;
 }
 
+namespace {
+
+void SavePerfPointBinary(persist::Encoder& enc, const PerfPoint& p) {
+  enc.WriteDouble(p.throughput);
+  enc.WriteDouble(p.latency);
+}
+
+bool LoadPerfPointBinary(persist::Decoder& dec, PerfPoint* out) {
+  return dec.ReadDouble(&out->throughput) && dec.ReadDouble(&out->latency);
+}
+
+}  // namespace
+
+void TuningSession::SaveBinary(persist::Encoder& enc) const {
+  // Option fields first so a restore into a differently-configured session
+  // fails loudly instead of replaying a reward curve it cannot reproduce.
+  enc.WriteI64(options_.max_steps);
+  enc.WriteDouble(options_.stress_duration_s);
+  enc.WriteU8(static_cast<uint8_t>(options_.reward_type));
+  enc.WriteDouble(options_.throughput_coeff);
+  enc.WriteDouble(options_.latency_coeff);
+  enc.WriteDouble(options_.reward_clip);
+  enc.WriteDouble(options_.reward_scale);
+  enc.WriteI64(options_.best_known_step);
+
+  enc.WriteU8(static_cast<uint8_t>(phase_));
+  enc.WriteDoubleVec(base_config_);
+  enc.WriteDoubleVec(state_);
+  SavePerfPointBinary(enc, prev_perf_);
+
+  SavePerfPointBinary(enc, result_.initial);
+  SavePerfPointBinary(enc, result_.best);
+  enc.WriteDoubleVec(result_.best_config);
+  enc.WriteI64(result_.steps);
+  enc.WriteU64(result_.history.size());
+  for (const StepRecord& r : result_.history) {
+    enc.WriteI64(r.step);
+    enc.WriteDouble(r.throughput);
+    enc.WriteDouble(r.latency);
+    enc.WriteDouble(r.reward);
+    enc.WriteBool(r.crashed);
+  }
+
+  enc.WriteU64(env_log_.size());
+  for (const EnvOp& op : env_log_) {
+    enc.WriteBool(op.is_deploy);
+    if (op.is_deploy) enc.WriteDoubleVec(op.config);
+  }
+}
+
+util::Status TuningSession::RestoreBinary(persist::Decoder& dec) {
+  if (phase_ != SessionPhase::kCreated) {
+    return util::Status::FailedPrecondition(
+        "RestoreBinary() needs a freshly created session");
+  }
+
+  int64_t max_steps = 0, best_known_step = 0;
+  double stress_s = 0, t_coeff = 0, l_coeff = 0, clip = 0, scale = 0;
+  uint8_t reward_type = 0;
+  if (!dec.ReadI64(&max_steps) || !dec.ReadDouble(&stress_s) ||
+      !dec.ReadU8(&reward_type) || !dec.ReadDouble(&t_coeff) ||
+      !dec.ReadDouble(&l_coeff) || !dec.ReadDouble(&clip) ||
+      !dec.ReadDouble(&scale) || !dec.ReadI64(&best_known_step)) {
+    return dec.status();
+  }
+  if (max_steps != options_.max_steps ||
+      stress_s != options_.stress_duration_s ||
+      reward_type != static_cast<uint8_t>(options_.reward_type) ||
+      t_coeff != options_.throughput_coeff ||
+      l_coeff != options_.latency_coeff || clip != options_.reward_clip ||
+      scale != options_.reward_scale ||
+      best_known_step != options_.best_known_step) {
+    return util::Status::DataLoss(
+        "session checkpoint was written with different tuning options");
+  }
+
+  uint8_t phase = 0;
+  knobs::Config base_config;
+  std::vector<double> state;
+  PerfPoint prev_perf;
+  OnlineTuneResult result;
+  if (!dec.ReadU8(&phase) || !dec.ReadDoubleVec(&base_config) ||
+      !dec.ReadDoubleVec(&state) || !LoadPerfPointBinary(dec, &prev_perf) ||
+      !LoadPerfPointBinary(dec, &result.initial) ||
+      !LoadPerfPointBinary(dec, &result.best) ||
+      !dec.ReadDoubleVec(&result.best_config)) {
+    return dec.status();
+  }
+  if (phase > static_cast<uint8_t>(SessionPhase::kFailed)) {
+    return util::Status::DataLoss("session checkpoint has an unknown phase");
+  }
+  int64_t steps = 0;
+  uint64_t history_size = 0;
+  if (!dec.ReadI64(&steps) || !dec.ReadU64(&history_size)) {
+    return dec.status();
+  }
+  result.steps = static_cast<int>(steps);
+  if (history_size > dec.remaining()) {
+    return util::Status::DataLoss("session history count is implausible");
+  }
+  result.history.resize(history_size);
+  for (StepRecord& r : result.history) {
+    int64_t step = 0;
+    if (!dec.ReadI64(&step) || !dec.ReadDouble(&r.throughput) ||
+        !dec.ReadDouble(&r.latency) || !dec.ReadDouble(&r.reward) ||
+        !dec.ReadBool(&r.crashed)) {
+      return dec.status();
+    }
+    r.step = static_cast<int>(step);
+  }
+
+  uint64_t log_size = 0;
+  if (!dec.ReadU64(&log_size)) return dec.status();
+  if (log_size > dec.remaining()) {
+    return util::Status::DataLoss("session env log count is implausible");
+  }
+  std::vector<EnvOp> log(log_size);
+  for (EnvOp& op : log) {
+    if (!dec.ReadBool(&op.is_deploy)) return dec.status();
+    if (op.is_deploy && !dec.ReadDoubleVec(&op.config)) return dec.status();
+  }
+
+  // Replay the environment call sequence against the fresh db. The outcomes
+  // are discarded — the session's own view of them is already in the decoded
+  // fields — but the calls advance the env's internal state (workload rng,
+  // engine contents) to exactly where it was at checkpoint time.
+  for (const EnvOp& op : log) {
+    if (op.is_deploy) {
+      util::Status deploy = recommender_.Deploy(*db_, op.config);
+      (void)deploy;
+    } else {
+      auto outcome = db_->RunStress(workload_, options_.stress_duration_s);
+      (void)outcome;
+    }
+  }
+
+  phase_ = static_cast<SessionPhase>(phase);
+  base_config_ = std::move(base_config);
+  state_ = std::move(state);
+  prev_perf_ = prev_perf;
+  result_ = std::move(result);
+  env_log_ = std::move(log);
+  if (phase_ != SessionPhase::kCreated && phase_ != SessionPhase::kFailed) {
+    reward_.SetInitial(result_.initial);
+  }
+  return util::Status::Ok();
+}
+
 util::Status TuningSession::Finish() {
   if (phase_ == SessionPhase::kFinished) return util::Status::Ok();
   if (phase_ != SessionPhase::kTuning) {
@@ -179,6 +338,7 @@ util::Status TuningSession::Finish() {
   }
   // Deploy the knobs "corresponding to the best performance in online
   // tuning" (Section 2.1.2).
+  LogDeploy(result_.best_config);
   util::Status final_deploy = recommender_.Deploy(*db_, result_.best_config);
   if (!final_deploy.ok()) {
     CDBTUNE_LOG(Warning) << "re-deploying best config failed: "

@@ -5,6 +5,7 @@
 
 #include "env/db_interface.h"
 #include "knobs/registry.h"
+#include "persist/encoding.h"
 #include "tuner/memory_pool.h"
 #include "tuner/metrics_collector.h"
 #include "tuner/recommender.h"
@@ -131,8 +132,30 @@ class TuningSession {
   /// baseline; higher is better.
   double Score(const PerfPoint& point) const;
 
+  /// Checkpoint round-trip (DESIGN.md §9). SaveBinary records the session's
+  /// own scalar state (phase, baseline, RL state vector, result/history)
+  /// plus the *environment operation log*: every Deploy/RunStress the
+  /// session ever issued, in order. The environments are deterministic
+  /// functions of (spec, call sequence), so RestoreBinary replays that log
+  /// against a freshly provisioned database to reproduce the env's internal
+  /// state — rng position, counters, the mini engine's B-tree — bitwise,
+  /// without serializing any engine internals. RestoreBinary must be called
+  /// on a kCreated session built over a fresh db with the same spec and
+  /// options as the saved one; on any mismatch or decode error it returns
+  /// non-OK and the session must be discarded (it may be partially updated).
+  void SaveBinary(persist::Encoder& enc) const;
+  util::Status RestoreBinary(persist::Decoder& dec);
+
  private:
   bool Stress(env::StressResult* out);
+
+  /// One replayable environment call: a config deployment or a stress run.
+  struct EnvOp {
+    bool is_deploy = false;
+    knobs::Config config;  // Only for deploys.
+  };
+  void LogDeploy(const knobs::Config& config);
+  void LogStress();
 
   env::DbInterface* db_;  // Not owned.
   knobs::KnobSpace space_;
@@ -149,6 +172,7 @@ class TuningSession {
   std::vector<double> state_;
   PerfPoint prev_perf_;
   OnlineTuneResult result_;
+  std::vector<EnvOp> env_log_;
 };
 
 }  // namespace cdbtune::tuner

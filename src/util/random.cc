@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <sstream>
 #include <unordered_set>
 
 #include "util/check.h"
@@ -37,6 +38,21 @@ std::vector<size_t> Rng::SampleWithoutReplacement(size_t n, size_t k) {
     if (seen.insert(idx).second) out.push_back(idx);
   }
   return out;
+}
+
+std::string Rng::SerializeState() const {
+  std::ostringstream os;
+  os << engine_;
+  return os.str();
+}
+
+bool Rng::RestoreState(const std::string& text) {
+  std::istringstream is(text);
+  std::mt19937_64 restored;
+  is >> restored;
+  if (is.fail()) return false;
+  engine_ = restored;
+  return true;
 }
 
 }  // namespace cdbtune::util

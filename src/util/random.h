@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <random>
+#include <string>
 #include <vector>
 
 namespace cdbtune::util {
@@ -60,6 +61,16 @@ class Rng {
   Rng Fork() { return Rng(engine_()); }
 
   std::mt19937_64& engine() { return engine_; }
+
+  /// Exact engine-state round-trip for checkpoints. All state lives in the
+  /// mt19937_64 engine (distributions are constructed per call), and the
+  /// standard guarantees operator<</>> restore an equal engine, so a
+  /// restored Rng continues the stream bitwise. The encoding is the
+  /// standard's textual one.
+  std::string SerializeState() const;
+  /// False when `text` is not a valid mt19937_64 state dump; the engine is
+  /// left untouched in that case.
+  bool RestoreState(const std::string& text);
 
  private:
   std::mt19937_64 engine_;

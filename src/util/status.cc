@@ -20,6 +20,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "CRASHED";
     case StatusCode::kUnimplemented:
       return "UNIMPLEMENTED";
+    case StatusCode::kDataLoss:
+      return "DATA_LOSS";
   }
   return "UNKNOWN";
 }

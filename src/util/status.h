@@ -11,7 +11,9 @@ namespace cdbtune::util {
 /// conditions a tuning system actually distinguishes: user error
 /// (kInvalidArgument), missing entities (kNotFound), engine-side failures
 /// (kInternal), the database instance crashing under a bad configuration
-/// (kCrashed, see Section 5.2.3 of the paper), and unimplemented paths.
+/// (kCrashed, see Section 5.2.3 of the paper), unimplemented paths, and
+/// unrecoverable corruption of persisted state (kDataLoss — a checkpoint
+/// that fails its CRC, a truncated chunk, a torn write).
 enum class StatusCode {
   kOk = 0,
   kInvalidArgument,
@@ -21,6 +23,7 @@ enum class StatusCode {
   kInternal,
   kCrashed,
   kUnimplemented,
+  kDataLoss,
 };
 
 /// Returns a stable human-readable name for `code` ("OK", "CRASHED", ...).
@@ -63,6 +66,9 @@ class [[nodiscard]] Status {
   }
   static Status Unimplemented(std::string msg) {
     return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

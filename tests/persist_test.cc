@@ -1,0 +1,549 @@
+// Tests for the crash-safe checkpoint subsystem (src/persist, DESIGN.md §9):
+// the byte codec, CRC-guarded chunk container, torn-write detection at every
+// byte offset, generation fallback, and full-agent resume equivalence.
+#include <cmath>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "persist/atomic_file.h"
+#include "persist/chunk.h"
+#include "persist/crc32.h"
+#include "persist/encoding.h"
+#include "rl/ddpg.h"
+#include "util/random.h"
+#include "util/thread_pool.h"
+
+#include <unistd.h>
+
+namespace cdbtune::persist {
+namespace {
+
+std::string TempPath(const std::string& tag) {
+  return "/tmp/cdbtune_persist_test_" + std::to_string(::getpid()) + "_" + tag;
+}
+
+/// Removes `path` and every rotation generation CheckpointStore might have
+/// left behind, so tests never see a previous run's files.
+void CleanupGenerations(const std::string& path, int keep = 8) {
+  std::remove(path.c_str());
+  for (int g = 1; g < keep; ++g) {
+    std::remove((path + "." + std::to_string(g)).c_str());
+  }
+}
+
+// --- CRC32 -------------------------------------------------------------------
+
+TEST(Crc32Test, KnownVectors) {
+  // The IEEE 802.3 check value for "123456789".
+  EXPECT_EQ(Crc32("123456789"), 0xCBF43926u);
+  EXPECT_EQ(Crc32(""), 0u);
+  EXPECT_EQ(Crc32("a"), 0xE8B7BE43u);
+}
+
+TEST(Crc32Test, ExtendMatchesOneShot) {
+  const std::string data = "the quick brown fox jumps over the lazy dog";
+  uint32_t crc = kCrc32Init;
+  for (char c : data) crc = Crc32Extend(crc, &c, 1);
+  EXPECT_EQ(crc, Crc32(data));
+}
+
+TEST(Crc32Test, SensitiveToEveryBit) {
+  std::string data = "checkpoint";
+  const uint32_t clean = Crc32(data);
+  data[3] ^= 0x01;
+  EXPECT_NE(Crc32(data), clean);
+}
+
+// --- Encoder / Decoder -------------------------------------------------------
+
+TEST(EncodingTest, RoundTripsEveryType) {
+  Encoder enc;
+  enc.WriteU8(0xAB);
+  enc.WriteBool(true);
+  enc.WriteBool(false);
+  enc.WriteU32(0xDEADBEEF);
+  enc.WriteU64(0x0123456789ABCDEFULL);
+  enc.WriteI64(-42);
+  enc.WriteDouble(3.141592653589793);
+  enc.WriteDouble(-0.0);
+  enc.WriteString("hello\0world");  // NUL-safe via length prefix.
+  enc.WriteDoubleVec({1.5, -2.5, 1e-300});
+
+  Decoder dec(enc.bytes());
+  uint8_t u8 = 0;
+  bool b1 = false, b2 = true;
+  uint32_t u32 = 0;
+  uint64_t u64 = 0;
+  int64_t i64 = 0;
+  double d1 = 0, d2 = 1;
+  std::string s;
+  std::vector<double> vec;
+  ASSERT_TRUE(dec.ReadU8(&u8));
+  ASSERT_TRUE(dec.ReadBool(&b1));
+  ASSERT_TRUE(dec.ReadBool(&b2));
+  ASSERT_TRUE(dec.ReadU32(&u32));
+  ASSERT_TRUE(dec.ReadU64(&u64));
+  ASSERT_TRUE(dec.ReadI64(&i64));
+  ASSERT_TRUE(dec.ReadDouble(&d1));
+  ASSERT_TRUE(dec.ReadDouble(&d2));
+  ASSERT_TRUE(dec.ReadString(&s));
+  ASSERT_TRUE(dec.ReadDoubleVec(&vec));
+  EXPECT_EQ(u8, 0xAB);
+  EXPECT_TRUE(b1);
+  EXPECT_FALSE(b2);
+  EXPECT_EQ(u32, 0xDEADBEEFu);
+  EXPECT_EQ(u64, 0x0123456789ABCDEFULL);
+  EXPECT_EQ(i64, -42);
+  EXPECT_EQ(d1, 3.141592653589793);
+  EXPECT_EQ(d2, -0.0);
+  EXPECT_TRUE(std::signbit(d2));
+  EXPECT_EQ(s, std::string("hello"));  // C-string literal stops at the NUL.
+  EXPECT_EQ(vec, (std::vector<double>{1.5, -2.5, 1e-300}));
+  EXPECT_TRUE(dec.Done());
+  EXPECT_TRUE(dec.Finish().ok());
+}
+
+TEST(EncodingTest, DecoderErrorIsStickyAndReportsOffset) {
+  Encoder enc;
+  enc.WriteU32(7);
+  Decoder dec(enc.bytes());
+  uint64_t u64 = 0;
+  EXPECT_FALSE(dec.ReadU64(&u64));  // Only 4 bytes available.
+  EXPECT_FALSE(dec.ok());
+  uint32_t u32 = 0;
+  EXPECT_FALSE(dec.ReadU32(&u32));  // Sticky: even a fitting read fails now.
+  EXPECT_EQ(dec.status().code(), util::StatusCode::kDataLoss);
+  EXPECT_NE(dec.status().message().find("offset"), std::string::npos);
+}
+
+TEST(EncodingTest, FinishRejectsTrailingBytes) {
+  Encoder enc;
+  enc.WriteU32(1);
+  enc.WriteU32(2);
+  Decoder dec(enc.bytes());
+  uint32_t v = 0;
+  ASSERT_TRUE(dec.ReadU32(&v));
+  util::Status done = dec.Finish();
+  EXPECT_EQ(done.code(), util::StatusCode::kDataLoss);
+}
+
+TEST(EncodingTest, BoolRejectsNonCanonicalByte) {
+  Encoder enc;
+  enc.WriteU8(2);
+  Decoder dec(enc.bytes());
+  bool b = false;
+  EXPECT_FALSE(dec.ReadBool(&b));
+}
+
+TEST(EncodingTest, DoubleVecGuardsImplausibleLength) {
+  // A length prefix far larger than the remaining payload must fail cleanly
+  // instead of attempting a giant allocation.
+  Encoder enc;
+  enc.WriteU64(1ULL << 60);
+  Decoder dec(enc.bytes());
+  std::vector<double> vec;
+  EXPECT_FALSE(dec.ReadDoubleVec(&vec));
+}
+
+// --- Chunk container ---------------------------------------------------------
+
+ChunkFile MustParse(const std::string& bytes) {
+  auto file = ChunkFile::Parse(bytes);
+  EXPECT_TRUE(file.ok()) << file.status().ToString();
+  return *std::move(file);
+}
+
+std::string TwoChunkContainer() {
+  ChunkWriter writer;
+  writer.Add("alpha", "payload-a");
+  writer.Add("beta/nested", std::string("\x00\x01\x02", 3));
+  auto bytes = writer.Finish();
+  EXPECT_TRUE(bytes.ok());
+  return *bytes;
+}
+
+TEST(ChunkTest, RoundTrip) {
+  ChunkFile file = MustParse(TwoChunkContainer());
+  EXPECT_EQ(file.chunk_count(), 2u);
+  EXPECT_TRUE(file.Has("alpha"));
+  EXPECT_FALSE(file.Has("gamma"));
+  auto alpha = file.Get("alpha");
+  ASSERT_TRUE(alpha.ok());
+  EXPECT_EQ(*alpha, "payload-a");
+  auto beta = file.Get("beta/nested");
+  ASSERT_TRUE(beta.ok());
+  EXPECT_EQ(*beta, std::string_view("\x00\x01\x02", 3));
+  EXPECT_EQ(file.Names(), (std::vector<std::string>{"alpha", "beta/nested"}));
+}
+
+TEST(ChunkTest, WriterRejectsDuplicateAndReservedNames) {
+  {
+    ChunkWriter writer;
+    writer.Add("same", "1");
+    writer.Add("same", "2");
+    EXPECT_FALSE(writer.Finish().ok());
+  }
+  {
+    ChunkWriter writer;
+    writer.Add(std::string(kEndChunkName), "x");
+    EXPECT_FALSE(writer.Finish().ok());
+  }
+  {
+    ChunkWriter writer;
+    writer.Add("", "x");
+    EXPECT_FALSE(writer.Finish().ok());
+  }
+}
+
+TEST(ChunkTest, RejectsBadMagic) {
+  std::string bytes = TwoChunkContainer();
+  bytes[0] ^= 0x40;
+  auto file = ChunkFile::Parse(bytes);
+  ASSERT_FALSE(file.ok());
+  EXPECT_EQ(file.status().code(), util::StatusCode::kDataLoss);
+}
+
+TEST(ChunkTest, DetectsTruncationAtEveryLength) {
+  // A write torn at ANY byte boundary — power loss mid-write without the
+  // atomic rename — must never parse as a valid checkpoint.
+  const std::string bytes = TwoChunkContainer();
+  for (size_t len = 0; len < bytes.size(); ++len) {
+    auto file = ChunkFile::Parse(bytes.substr(0, len));
+    EXPECT_FALSE(file.ok()) << "torn at byte " << len << " parsed as valid";
+  }
+  EXPECT_TRUE(ChunkFile::Parse(bytes).ok());
+}
+
+TEST(ChunkTest, DetectsSingleByteCorruptionAtEveryOffset) {
+  // Flip one bit at every offset: either the frame CRCs, the magic check,
+  // the __end__ commit record or the bounds checks must catch it.
+  const std::string clean = TwoChunkContainer();
+  for (size_t pos = 0; pos < clean.size(); ++pos) {
+    std::string bytes = clean;
+    bytes[pos] ^= 0x01;
+    auto file = ChunkFile::Parse(bytes);
+    EXPECT_FALSE(file.ok()) << "corruption at byte " << pos << " undetected";
+  }
+}
+
+TEST(ChunkTest, RejectsTrailingGarbageAfterCommitRecord) {
+  std::string bytes = TwoChunkContainer();
+  bytes += "junk";
+  EXPECT_FALSE(ChunkFile::Parse(bytes).ok());
+}
+
+TEST(ChunkTest, DecodeTagsChunkNameAndRequiresFullConsumption) {
+  ChunkWriter writer;
+  Encoder enc;
+  enc.WriteU32(5);
+  enc.WriteU32(6);
+  writer.Add("pair", enc.Release());
+  ChunkFile file = MustParse(*writer.Finish());
+
+  // Under-consuming the payload is an error, and the error names the chunk.
+  util::Status under = file.Decode("pair", [](Decoder& dec) {
+    uint32_t v = 0;
+    EXPECT_TRUE(dec.ReadU32(&v));
+    return util::Status::Ok();
+  });
+  EXPECT_EQ(under.code(), util::StatusCode::kDataLoss);
+  EXPECT_NE(under.message().find("pair"), std::string::npos);
+
+  EXPECT_EQ(file.Decode("missing", [](Decoder&) {
+                  return util::Status::Ok();
+                }).code(),
+            util::StatusCode::kNotFound);
+}
+
+// --- Atomic files & generations ----------------------------------------------
+
+TEST(AtomicFileTest, WriteReadRoundTrip) {
+  const std::string path = TempPath("atomic");
+  const std::string payload("binary\0payload", 14);
+  ASSERT_TRUE(AtomicWriteFile(path, payload).ok());
+  auto read = ReadFile(path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(*read, payload);
+  std::remove(path.c_str());
+}
+
+TEST(AtomicFileTest, MissingFileIsNotFound) {
+  auto read = ReadFile(TempPath("never_written"));
+  ASSERT_FALSE(read.ok());
+  EXPECT_EQ(read.status().code(), util::StatusCode::kNotFound);
+}
+
+TEST(AtomicFileTest, WriteIntoMissingDirectoryFails) {
+  EXPECT_FALSE(
+      AtomicWriteFile("/nonexistent_dir_cdbtune/x", "payload").ok());
+}
+
+ChunkWriter OneChunkWriter(const std::string& payload) {
+  ChunkWriter writer;
+  writer.Add("data", payload);
+  return writer;
+}
+
+TEST(CheckpointStoreTest, RotatesGenerations) {
+  const std::string path = TempPath("rotate");
+  CleanupGenerations(path);
+  CheckpointStore store(path, /*keep_generations=*/3);
+  ASSERT_TRUE(store.Write(OneChunkWriter("gen0")).ok());
+  ASSERT_TRUE(store.Write(OneChunkWriter("gen1")).ok());
+  ASSERT_TRUE(store.Write(OneChunkWriter("gen2")).ok());
+  ASSERT_TRUE(store.Write(OneChunkWriter("gen3")).ok());
+
+  auto newest = store.Load();
+  ASSERT_TRUE(newest.ok());
+  EXPECT_EQ(newest->generation, 0);
+  EXPECT_EQ(*newest->file.Get("data"), "gen3");
+  EXPECT_TRUE(newest->dropped.empty());
+  // Oldest retained generation is gen1; gen0 was rotated off the end.
+  auto gen2 = ReadFile(store.GenerationPath(2));
+  ASSERT_TRUE(gen2.ok());
+  EXPECT_NE(gen2->find("gen1"), std::string::npos);
+  CleanupGenerations(path);
+}
+
+TEST(CheckpointStoreTest, FallsBackPastTornNewestGeneration) {
+  const std::string path = TempPath("fallback");
+  CleanupGenerations(path);
+  CheckpointStore store(path, 3);
+  ASSERT_TRUE(store.Write(OneChunkWriter("old")).ok());
+  ASSERT_TRUE(store.Write(OneChunkWriter("new")).ok());
+
+  // Tear the newest file in half, as a crash mid-write (no rename) would
+  // never do, but a buggy external copy might.
+  auto bytes = ReadFile(path);
+  ASSERT_TRUE(bytes.ok());
+  ASSERT_TRUE(AtomicWriteFile(path, bytes->substr(0, bytes->size() / 2)).ok());
+
+  auto loaded = store.Load();
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->generation, 1);
+  EXPECT_EQ(*loaded->file.Get("data"), "old");
+  ASSERT_EQ(loaded->dropped.size(), 1u);
+  EXPECT_EQ(loaded->dropped[0].path, path);
+  CleanupGenerations(path);
+}
+
+TEST(CheckpointStoreTest, AllGenerationsCorruptIsDataLoss) {
+  const std::string path = TempPath("allcorrupt");
+  CleanupGenerations(path);
+  CheckpointStore store(path, 2);
+  ASSERT_TRUE(store.Write(OneChunkWriter("a")).ok());
+  ASSERT_TRUE(store.Write(OneChunkWriter("b")).ok());
+  ASSERT_TRUE(AtomicWriteFile(path, "garbage").ok());
+  ASSERT_TRUE(AtomicWriteFile(store.GenerationPath(1), "garbage").ok());
+  auto loaded = store.Load();
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), util::StatusCode::kDataLoss);
+  CleanupGenerations(path);
+}
+
+TEST(CheckpointStoreTest, NoGenerationsIsNotFound) {
+  const std::string path = TempPath("nothing");
+  CleanupGenerations(path);
+  CheckpointStore store(path, 3);
+  auto loaded = store.Load();
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), util::StatusCode::kNotFound);
+}
+
+// --- Rng state ---------------------------------------------------------------
+
+TEST(RngStateTest, SerializeRestoreContinuesIdentically) {
+  util::Rng rng(1234);
+  for (int i = 0; i < 100; ++i) rng.Uniform();
+  const std::string state = rng.SerializeState();
+  std::vector<double> expect;
+  for (int i = 0; i < 50; ++i) expect.push_back(rng.Gaussian(0, 1));
+
+  util::Rng restored(999);  // Different seed; state restore overrides it.
+  ASSERT_TRUE(restored.RestoreState(state));
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(restored.Gaussian(0, 1), expect[i]) << "draw " << i;
+  }
+}
+
+TEST(RngStateTest, RestoreRejectsGarbageAndKeepsOldState) {
+  util::Rng rng(7);
+  const std::string good = rng.SerializeState();
+  EXPECT_FALSE(rng.RestoreState("not an engine state"));
+  EXPECT_EQ(rng.SerializeState(), good);  // Untouched on failure.
+}
+
+// --- Full-agent resume equivalence -------------------------------------------
+
+rl::DdpgOptions SmallDdpg() {
+  rl::DdpgOptions o;
+  o.state_dim = 4;
+  o.action_dim = 3;
+  o.actor_hidden = {16, 16};
+  o.critic_embed = 16;
+  o.critic_hidden = {16};
+  o.batch_size = 8;
+  o.replay_capacity = 64;  // Small, so the test exercises ring wraparound.
+  o.seed = 77;
+  return o;
+}
+
+rl::Transition RandomTransition(util::Rng& rng) {
+  rl::Transition t;
+  for (int i = 0; i < 4; ++i) t.state.push_back(rng.Gaussian(0, 1));
+  for (int i = 0; i < 3; ++i) t.action.push_back(rng.Uniform());
+  for (int i = 0; i < 4; ++i) t.next_state.push_back(rng.Gaussian(0, 1));
+  t.reward = rng.Gaussian(0, 1);
+  t.terminal = rng.Bernoulli(0.1);
+  return t;
+}
+
+std::string SerializeAgent(const rl::DdpgAgent& agent) {
+  ChunkWriter writer;
+  agent.AppendChunks(writer);
+  auto bytes = writer.Finish();
+  EXPECT_TRUE(bytes.ok());
+  return *bytes;
+}
+
+/// Drives `agent` through `steps` observe/train/explore steps; the explore
+/// call advances the agent's noise + rng streams so the test covers them.
+void Drive(rl::DdpgAgent& agent, util::Rng& env_rng, int steps) {
+  std::vector<double> probe{0.5, -0.5, 1.0, 0.0};
+  for (int i = 0; i < steps; ++i) {
+    agent.Observe(RandomTransition(env_rng));
+    agent.SelectAction(probe, /*explore=*/true);
+    agent.TrainStep();
+    agent.DecayNoise();
+  }
+}
+
+/// Checkpoint at step k, keep training to n; then restore the checkpoint
+/// into a fresh agent, replay steps k..n, and require bitwise-identical
+/// serialized state (weights, targets, optimizer moments, replay ring +
+/// priorities, noise and rng streams). `threads` exercises the compute pool
+/// configuration under which determinism must hold.
+void ExpectResumeEquivalence(size_t threads) {
+  util::ComputeContext::Get().SetThreads(threads);
+  const std::string path = TempPath("agent_" + std::to_string(threads));
+  const int k = 90;  // Past the 64-slot replay capacity: ring has wrapped.
+  const int extra = 40;
+
+  rl::DdpgAgent live(SmallDdpg());
+  util::Rng env_rng(4321);
+  Drive(live, env_rng, k);
+  ASSERT_TRUE(live.Save(path).ok());
+  const std::string env_state = env_rng.SerializeState();
+  Drive(live, env_rng, extra);
+  const std::string uninterrupted = SerializeAgent(live);
+
+  rl::DdpgAgent resumed(SmallDdpg());
+  ASSERT_TRUE(resumed.Load(path).ok());
+  util::Rng env_rng2(0);
+  ASSERT_TRUE(env_rng2.RestoreState(env_state));
+  Drive(resumed, env_rng2, extra);
+  const std::string after_restore = SerializeAgent(resumed);
+
+  EXPECT_EQ(uninterrupted, after_restore)
+      << "restored agent diverged from the uninterrupted one";
+  std::remove((path + ".agent").c_str());
+  util::ComputeContext::Get().SetThreads(0);
+}
+
+TEST(AgentCheckpointTest, ResumeBitwiseEquivalentSingleThread) {
+  ExpectResumeEquivalence(1);
+}
+
+TEST(AgentCheckpointTest, ResumeBitwiseEquivalentFourThreads) {
+  ExpectResumeEquivalence(4);
+}
+
+TEST(AgentCheckpointTest, SaveCapturesTargetsOptimizerNoiseAndReplay) {
+  // The old Save/Load dropped target nets, optimizer moments, replay and
+  // noise; a round-trip through the chunk format must preserve every chunk
+  // bitwise, so Save -> Load -> Save is a fixed point.
+  const std::string path = TempPath("fidelity");
+  rl::DdpgAgent agent(SmallDdpg());
+  util::Rng env_rng(5);
+  Drive(agent, env_rng, 30);
+  ASSERT_TRUE(agent.Save(path).ok());
+  const std::string first = SerializeAgent(agent);
+
+  rl::DdpgAgent loaded(SmallDdpg());
+  ASSERT_TRUE(loaded.Load(path).ok());
+  EXPECT_EQ(SerializeAgent(loaded), first);
+  EXPECT_EQ(loaded.replay_size(), agent.replay_size());
+  std::remove((path + ".agent").c_str());
+}
+
+TEST(AgentCheckpointTest, CorruptCheckpointLeavesAgentUntouched) {
+  const std::string path = TempPath("corrupt");
+  rl::DdpgAgent agent(SmallDdpg());
+  util::Rng env_rng(6);
+  Drive(agent, env_rng, 20);
+  ASSERT_TRUE(agent.Save(path).ok());
+
+  auto bytes = ReadFile(path + ".agent");
+  ASSERT_TRUE(bytes.ok());
+  std::string corrupt = *bytes;
+  corrupt[corrupt.size() / 2] ^= 0x10;
+  ASSERT_TRUE(AtomicWriteFile(path + ".agent", corrupt).ok());
+
+  rl::DdpgAgent victim(SmallDdpg());
+  Drive(victim, env_rng, 5);
+  const std::string before = SerializeAgent(victim);
+  util::Status loaded = victim.Load(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.code(), util::StatusCode::kDataLoss);
+  // No partially-applied state: the failed load changed nothing.
+  EXPECT_EQ(SerializeAgent(victim), before);
+  std::remove((path + ".agent").c_str());
+}
+
+TEST(AgentCheckpointTest, OptionsMismatchIsRejectedBeforeAnyMutation) {
+  const std::string path = TempPath("mismatch");
+  rl::DdpgAgent agent(SmallDdpg());
+  ASSERT_TRUE(agent.Save(path).ok());
+
+  rl::DdpgOptions other = SmallDdpg();
+  other.actor_hidden = {8, 8};
+  rl::DdpgAgent different(other);
+  const std::string before = SerializeAgent(different);
+  util::Status loaded = different.Load(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.code(), util::StatusCode::kDataLoss);
+  EXPECT_NE(loaded.message().find("actor_hidden"), std::string::npos);
+  EXPECT_EQ(SerializeAgent(different), before);
+  std::remove((path + ".agent").c_str());
+}
+
+// A shared model checkpoint must be loadable into agents constructed with any
+// seed: `seed` only names the initial rng/noise streams, and Load restores the
+// live stream state from the checkpoint. After Load the adopter is bitwise
+// identical to the saver — including the options chunk — and stays identical
+// under further training.
+TEST(AgentCheckpointTest, LoadAcceptsDifferentConstructionSeed) {
+  const std::string path = TempPath("seed_adopt");
+  rl::DdpgAgent agent(SmallDdpg());
+  util::Rng env_rng(5);
+  Drive(agent, env_rng, 20);
+  ASSERT_TRUE(agent.Save(path).ok());
+
+  rl::DdpgOptions other = SmallDdpg();
+  other.seed = 9001;
+  rl::DdpgAgent adopter(other);
+  ASSERT_TRUE(adopter.Load(path).ok());
+  EXPECT_EQ(SerializeAgent(adopter), SerializeAgent(agent));
+
+  util::Rng rng_a(6), rng_b(6);
+  Drive(agent, rng_a, 15);
+  Drive(adopter, rng_b, 15);
+  EXPECT_EQ(SerializeAgent(adopter), SerializeAgent(agent));
+  std::remove((path + ".agent").c_str());
+}
+
+}  // namespace
+}  // namespace cdbtune::persist

@@ -1,8 +1,14 @@
+#include <sys/socket.h>
+#include <sys/time.h>
+
+#include <cstdio>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "gtest/gtest.h"
+#include "persist/atomic_file.h"
 #include "server/dispatch.h"
 #include "server/io/line_socket.h"
 #include "server/io/socket_server.h"
@@ -429,6 +435,353 @@ TEST(SocketServerTest, ServesClientsAndStopsGracefully) {
   front.WaitForShutdown();
   server.DrainAndStop();
   front.Stop();  // Joins every thread; second client's socket is shut down.
+}
+
+// Regression: the daemon parks its main thread in WaitForShutdown() while
+// workers serve connections. With one condition variable shared by both, the
+// acceptor's notify_one could wake the shutdown waiter instead of a worker;
+// the waiter re-slept and the wakeup was consumed, stranding the queued
+// connection and hanging its client forever.
+TEST(SocketServerTest, ServesClientsWhileWaitForShutdownBlocks) {
+  TuningServer server;
+  ASSERT_TRUE(server.AdoptModel(SharedTrainedTuner()).ok());
+  io::SocketServerOptions options;
+  options.socket_name = "cdbtune-test-wfs-" + std::to_string(::getpid());
+  io::SocketServer front(&server, options);
+  ASSERT_TRUE(front.Start().ok());
+  std::thread waiter([&] { front.WaitForShutdown(); });
+
+  for (int i = 0; i < 200; ++i) {
+    auto client = io::Socket::Connect(options.socket_name);
+    ASSERT_TRUE(client.ok()) << client.status().ToString();
+    // A lost wakeup hangs the reply forever; bound the wait so the lost case
+    // fails instead of wedging the suite.
+    timeval timeout{.tv_sec = 5, .tv_usec = 0};
+    ASSERT_EQ(::setsockopt(client->fd(), SOL_SOCKET, SO_RCVTIMEO, &timeout,
+                           sizeof(timeout)),
+              0);
+    ASSERT_TRUE(client->SendLine("PING").ok());
+    auto reply = client->RecvLine();
+    ASSERT_TRUE(reply.ok()) << "connection " << i
+                            << " never served: " << reply.status().ToString();
+    EXPECT_EQ(*reply, "OK pong=1");
+  }
+
+  auto client = io::Socket::Connect(options.socket_name);
+  ASSERT_TRUE(client.ok());
+  ASSERT_TRUE(client->SendLine("SHUTDOWN").ok());
+  EXPECT_EQ(client->RecvLine().value(), "OK bye=1");
+  waiter.join();
+  server.DrainAndStop();
+  front.Stop();
+}
+
+TEST(ShardedExperiencePoolTest, SnapshotAfterWraparoundIsDeterministic) {
+  // Warm-start snapshots (REBUILD) must not depend on how session writers
+  // interleaved: only the per-shard retained windows and the (shard,
+  // arrival) merge order matter. Fill two pools with identical per-shard
+  // sequences through different global interleavings — shard 0 overflows
+  // its 4-slot ring — and require identical snapshots.
+  tuner::ShardedExperiencePool first(3, 4);
+  for (int i = 0; i <= 5; ++i) first.Add(0, MarkedExperience(i));
+  (void)first.CollectNew();  // Snapshot must be merge-cursor independent.
+  first.Add(1, MarkedExperience(10));
+  first.Add(1, MarkedExperience(11));
+  first.Add(2, MarkedExperience(20));
+
+  tuner::ShardedExperiencePool second(3, 4);
+  second.Add(2, MarkedExperience(20));
+  for (int i = 0; i <= 2; ++i) second.Add(0, MarkedExperience(i));
+  second.Add(1, MarkedExperience(10));
+  for (int i = 3; i <= 5; ++i) second.Add(0, MarkedExperience(i));
+  second.Add(1, MarkedExperience(11));
+
+  EXPECT_EQ(first.total_dropped(), 2u);  // Shard 0 overwrote 0 and 1.
+  tuner::MemoryPool snap1, snap2;
+  first.SnapshotInto(&snap1);
+  second.SnapshotInto(&snap2);  // Snapshot works with the merge outstanding…
+  (void)second.CollectNew();    // …and the merge then accounts the overwrites.
+  EXPECT_EQ(second.total_dropped(), 2u);
+  const std::vector<double> expect = {2, 3, 4, 5, 10, 11, 20};
+  ASSERT_EQ(snap1.size(), expect.size());
+  ASSERT_EQ(snap2.size(), expect.size());
+  for (size_t i = 0; i < expect.size(); ++i) {
+    EXPECT_EQ(snap1.at(i).transition.reward, expect[i]) << "index " << i;
+    EXPECT_EQ(snap2.at(i).transition.reward, expect[i]) << "index " << i;
+  }
+}
+
+// --- Checkpoint / restore / rebuild ------------------------------------------
+
+std::string CheckpointPath(const std::string& tag) {
+  return "/tmp/cdbtune_server_ckpt_" + std::to_string(::getpid()) + "_" + tag;
+}
+
+void RemoveGenerations(const std::string& path) {
+  std::remove(path.c_str());
+  for (int g = 1; g < 8; ++g) {
+    std::remove((path + "." + std::to_string(g)).c_str());
+  }
+}
+
+std::string FileBytes(const std::string& path) {
+  auto bytes = persist::ReadFile(path);
+  EXPECT_TRUE(bytes.ok()) << bytes.status().ToString();
+  return bytes.ok() ? *bytes : std::string();
+}
+
+/// The tentpole regression: checkpoint a training server mid-flight, let the
+/// original keep running to completion, restore the checkpoint into a fresh
+/// process-equivalent server and run it to completion too. Both final
+/// checkpoints must be bitwise identical and every session must report the
+/// same result — kill -9 plus RESTORE is indistinguishable from never
+/// crashing.
+void ExpectCheckpointResumeEquivalence(size_t threads) {
+  util::ComputeContext::Get().SetThreads(threads);
+  const std::string tag = std::to_string(threads);
+  const std::string mid = CheckpointPath("mid_" + tag);
+  const std::string end_a = CheckpointPath("enda_" + tag);
+  const std::string end_b = CheckpointPath("endb_" + tag);
+  RemoveGenerations(mid);
+  RemoveGenerations(end_a);
+  RemoveGenerations(end_b);
+
+  TuningServerOptions options;
+  options.train_iters_per_round = 2;  // Agent evolves: full state matters.
+  auto specs = TestSpecs(4);
+
+  TuningServer a(options);
+  ASSERT_TRUE(a.AdoptModel(SharedTrainedTuner()).ok());
+  std::vector<int> ids;
+  for (const SessionSpec& spec : specs) {
+    auto id = a.Open(spec);
+    ASSERT_TRUE(id.ok()) << id.status().ToString();
+    ids.push_back(*id);
+  }
+  ASSERT_TRUE(a.StepRound().ok());
+  ASSERT_TRUE(a.StepRound().ok());
+  ASSERT_TRUE(a.SaveCheckpoint(mid).ok());
+  while (true) {
+    auto stepped = a.StepRound();
+    ASSERT_TRUE(stepped.ok()) << stepped.status().ToString();
+    if (*stepped == 0) break;
+  }
+  ASSERT_TRUE(a.SaveCheckpoint(end_a).ok());
+
+  TuningServer b(options);  // No model adopted: the checkpoint carries it.
+  auto report = b.RestoreCheckpoint(mid);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->sessions, 4u);
+  EXPECT_EQ(report->rounds_completed, 2u);
+  EXPECT_TRUE(report->dropped.empty());
+  EXPECT_EQ(b.rounds_completed(), 2u);
+  while (true) {
+    auto stepped = b.StepRound();
+    ASSERT_TRUE(stepped.ok()) << stepped.status().ToString();
+    if (*stepped == 0) break;
+  }
+  ASSERT_TRUE(b.SaveCheckpoint(end_b).ok());
+
+  EXPECT_EQ(FileBytes(end_a), FileBytes(end_b))
+      << "restored server diverged from the uninterrupted one";
+  for (int id : ids) {
+    auto result_a = a.Close(id);
+    auto result_b = b.Close(id);
+    ASSERT_TRUE(result_a.ok());
+    ASSERT_TRUE(result_b.ok());
+    ExpectSameResult(*result_a, *result_b);
+  }
+  RemoveGenerations(mid);
+  RemoveGenerations(end_a);
+  RemoveGenerations(end_b);
+  util::ComputeContext::Get().SetThreads(0);
+}
+
+TEST(CheckpointTest, RestoreResumesBitwiseIdenticallySingleThread) {
+  ExpectCheckpointResumeEquivalence(1);
+}
+
+TEST(CheckpointTest, RestoreResumesBitwiseIdenticallyFourThreads) {
+  ExpectCheckpointResumeEquivalence(4);
+}
+
+TEST(CheckpointTest, StepRoundAutosavesEveryNRounds) {
+  const std::string path = CheckpointPath("autosave");
+  RemoveGenerations(path);
+  TuningServerOptions options;
+  options.autosave_path = path;
+  options.autosave_every_rounds = 1;
+  TuningServer server(options);
+  ASSERT_TRUE(server.AdoptModel(SharedTrainedTuner()).ok());
+  auto id = server.Open(TestSpecs(1)[0]);
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(server.StepRound().ok());
+  EXPECT_TRUE(persist::ReadFile(path).ok()) << "round did not autosave";
+
+  TuningServer resumed(options);
+  auto report = resumed.RestoreCheckpoint(path);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->sessions, 1u);
+  EXPECT_EQ(report->rounds_completed, 1u);
+  RemoveGenerations(path);
+}
+
+TEST(CheckpointTest, TornNewestGenerationFallsBack) {
+  const std::string path = CheckpointPath("torn");
+  RemoveGenerations(path);
+  TuningServerOptions options;
+  TuningServer server(options);
+  ASSERT_TRUE(server.AdoptModel(SharedTrainedTuner()).ok());
+  auto id = server.Open(TestSpecs(1)[0]);
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(server.StepRound().ok());
+  ASSERT_TRUE(server.SaveCheckpoint(path).ok());  // Generation 1-to-be.
+  ASSERT_TRUE(server.StepRound().ok());
+  ASSERT_TRUE(server.SaveCheckpoint(path).ok());  // Generation 0.
+
+  // Tear the newest generation in half; restore must fall back to the
+  // older one and report the drop.
+  const std::string torn = FileBytes(path).substr(0, FileBytes(path).size() / 2);
+  ASSERT_TRUE(persist::AtomicWriteFile(path, torn).ok());
+
+  TuningServer resumed(options);
+  auto report = resumed.RestoreCheckpoint(path);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->generation, 1);
+  EXPECT_EQ(report->rounds_completed, 1u);
+  ASSERT_EQ(report->dropped.size(), 1u);
+  EXPECT_EQ(report->dropped[0].path, path);
+  // The fallback server is live: it can finish the restored session.
+  ASSERT_TRUE(resumed.StepRound().ok());
+  RemoveGenerations(path);
+}
+
+TEST(CheckpointTest, CorruptCheckpointLeavesServerUntouched) {
+  const std::string path = CheckpointPath("corrupt");
+  RemoveGenerations(path);
+  {
+    TuningServer donor;
+    ASSERT_TRUE(donor.AdoptModel(SharedTrainedTuner()).ok());
+    auto id = donor.Open(TestSpecs(1)[0]);
+    ASSERT_TRUE(id.ok());
+    ASSERT_TRUE(donor.SaveCheckpoint(path).ok());
+  }
+  std::string corrupt = FileBytes(path);
+  corrupt[corrupt.size() / 2] ^= 0x04;
+  ASSERT_TRUE(persist::AtomicWriteFile(path, corrupt).ok());
+
+  TuningServer victim;
+  ASSERT_TRUE(victim.AdoptModel(SharedTrainedTuner()).ok());
+  std::vector<double> state(
+      SharedTrainedTuner().agent().options().state_dim, 0.25);
+  auto before = victim.Recommend(state);
+  ASSERT_TRUE(before.ok());
+
+  auto report = victim.RestoreCheckpoint(path);
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.status().code(), util::StatusCode::kDataLoss);
+
+  // No partially-applied state: the model and the session table are intact.
+  auto after = victim.Recommend(state);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(*before, *after);
+  auto id = victim.Open(TestSpecs(1)[0]);
+  ASSERT_TRUE(id.ok()) << id.status().ToString();
+  EXPECT_TRUE(victim.Step(*id).ok());
+  RemoveGenerations(path);
+}
+
+TEST(CheckpointTest, RestoreRefusesWithOpenSessions) {
+  const std::string path = CheckpointPath("busy");
+  RemoveGenerations(path);
+  TuningServer donor;
+  ASSERT_TRUE(donor.AdoptModel(SharedTrainedTuner()).ok());
+  ASSERT_TRUE(donor.Open(TestSpecs(1)[0]).ok());
+  ASSERT_TRUE(donor.SaveCheckpoint(path).ok());
+  // The donor itself still has a live session; restoring over it would
+  // destroy in-flight state.
+  auto report = donor.RestoreCheckpoint(path);
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.status().code(), util::StatusCode::kFailedPrecondition);
+  RemoveGenerations(path);
+}
+
+TEST(CheckpointTest, RebuildWarmStartsResizedAgent) {
+  TuningServer server;
+  ASSERT_TRUE(server.AdoptModel(SharedTrainedTuner()).ok());
+  std::vector<int> ids;
+  for (const SessionSpec& spec : TestSpecs(2)) {
+    auto id = server.Open(spec);
+    ASSERT_TRUE(id.ok());
+    ids.push_back(*id);
+  }
+  while (true) {
+    auto stepped = server.StepRound();
+    ASSERT_TRUE(stepped.ok());
+    if (*stepped == 0) break;
+  }
+  for (int id : ids) ASSERT_TRUE(server.Close(id).ok());
+
+  RebuildSpec spec;
+  spec.actor_hidden = {24, 16};
+  spec.seed = 99;
+  spec.train_iters = 5;
+  auto report = server.Rebuild(spec);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_GT(report->experiences, 0u) << "warm start saw no replayed data";
+  EXPECT_NE(report->params_after, report->params_before);
+
+  // The rebuilt agent serves immediately: same state/action dims, new body.
+  std::vector<double> state(
+      SharedTrainedTuner().agent().options().state_dim, 0.0);
+  EXPECT_TRUE(server.Recommend(state).ok());
+  auto id = server.Open(TestSpecs(1)[0]);
+  ASSERT_TRUE(id.ok());
+  EXPECT_TRUE(server.Step(*id).ok());
+}
+
+TEST(DispatchTest, CheckpointVerbs) {
+  const std::string path = CheckpointPath("dispatch");
+  RemoveGenerations(path);
+  TuningServer server;
+  ASSERT_TRUE(server.AdoptModel(SharedTrainedTuner()).ok());
+  bool shutdown = false;
+  EXPECT_EQ(DispatchLine(server, "SAVE", &shutdown).rfind("ERR", 0), 0u);
+  EXPECT_EQ(DispatchLine(server, "RESTORE", &shutdown).rfind("ERR", 0), 0u);
+  EXPECT_EQ(
+      DispatchLine(server, "REBUILD actor_hidden=12-x", &shutdown).rfind("ERR", 0),
+      0u);
+
+  std::string opened = DispatchLine(
+      server, "OPEN engine=sim workload=sysbench_rw seed=31 steps=2",
+      &shutdown);
+  ASSERT_EQ(opened.rfind("OK id=0", 0), 0u) << opened;
+  ASSERT_EQ(DispatchLine(server, "STEP id=0", &shutdown).rfind("OK", 0), 0u);
+  std::string saved = DispatchLine(server, "SAVE path=" + path, &shutdown);
+  EXPECT_EQ(saved.rfind("OK path=", 0), 0u) << saved;
+
+  std::string rebuilt = DispatchLine(
+      server, "REBUILD actor_hidden=24-16 seed=5 train=2", &shutdown);
+  EXPECT_EQ(rebuilt.rfind("OK experiences=", 0), 0u) << rebuilt;
+  EXPECT_NE(rebuilt.find("params_after="), std::string::npos);
+
+  // A fresh server restores the whole world from the file: model plus the
+  // mid-flight session, which then finishes over the same protocol.
+  TuningServer resumed;
+  std::string restored =
+      DispatchLine(resumed, "RESTORE path=" + path, &shutdown);
+  EXPECT_EQ(restored.rfind("OK path=", 0), 0u) << restored;
+  EXPECT_NE(restored.find("sessions=1"), std::string::npos) << restored;
+  std::string status = DispatchLine(resumed, "STATUS id=0", &shutdown);
+  EXPECT_NE(status.find("phase=TUNING"), std::string::npos) << status;
+  EXPECT_EQ(DispatchLine(resumed, "STEP id=0", &shutdown).rfind("OK", 0), 0u);
+  EXPECT_EQ(DispatchLine(resumed, "CLOSE id=0", &shutdown).rfind("OK", 0), 0u);
+
+  EXPECT_EQ(
+      DispatchLine(resumed, "RESTORE path=/nonexistent/ck", &shutdown)
+          .rfind("ERR", 0),
+      0u);
+  RemoveGenerations(path);
 }
 
 TEST(SocketServerTest, StopUnblocksIdleConnections) {

@@ -1,0 +1,98 @@
+#!/usr/bin/env bash
+# Crash-recovery smoke test (DESIGN.md §9): start the tuning daemon with
+# round-interval autosave, tune for a few rounds, SIGKILL it mid-flight,
+# restart with --restore, and require the restored session trajectory to be
+# byte-identical to the pre-kill one — then keep tuning to completion over
+# the same socket. Usage:
+#
+#   tools/crash_recovery_smoke.sh [path/to/cdbtune_serve]
+#
+# Exits non-zero on any mismatch; this is the CI crash-recovery job.
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+SERVE="${1:-$ROOT/build/examples/cdbtune_serve}"
+SOCKET="cdbtune-smoke-$$"
+CKPT="$(mktemp -u /tmp/cdbtune_smoke_XXXXXX.ckpt)"
+DAEMON_PID=""
+
+cleanup() {
+  [[ -n "$DAEMON_PID" ]] && kill -9 "$DAEMON_PID" 2> /dev/null || true
+  rm -f "$CKPT" "$CKPT".[0-9]*
+}
+trap cleanup EXIT
+
+send() {
+  "$SERVE" --send "$SOCKET" "$@"
+}
+
+wait_ready() {
+  for _ in $(seq 1 100); do
+    if send PING > /dev/null 2>&1; then return 0; fi
+    sleep 0.2
+  done
+  echo "FAIL: daemon on @$SOCKET never answered PING" >&2
+  exit 1
+}
+
+echo "== start daemon with autosave -> $CKPT"
+"$SERVE" --listen "$SOCKET" --checkpoint "$CKPT" --autosave 1 &
+DAEMON_PID=$!
+wait_ready
+
+echo "== open two sessions, tune two rounds (each round autosaves)"
+send 'OPEN engine=sim workload=sysbench_rw seed=7 steps=5' \
+     'OPEN engine=sim workload=tpcc seed=11 steps=5' \
+     'ROUND n=2'
+BEFORE_S0="$(send 'STATUS id=0')"
+BEFORE_S1="$(send 'STATUS id=1')"
+echo "   pre-kill:  $BEFORE_S0"
+echo "   pre-kill:  $BEFORE_S1"
+[[ "$BEFORE_S0" == *"steps=2"* ]] || {
+  echo "FAIL: expected 2 steps before the kill" >&2
+  exit 1
+}
+
+echo "== kill -9 the daemon mid-tuning"
+kill -9 "$DAEMON_PID"
+wait "$DAEMON_PID" 2> /dev/null || true
+DAEMON_PID=""
+[[ -f "$CKPT" ]] || {
+  echo "FAIL: autosave checkpoint $CKPT missing" >&2
+  exit 1
+}
+
+echo "== restart with --restore"
+"$SERVE" --listen "$SOCKET" --checkpoint "$CKPT" --restore &
+DAEMON_PID=$!
+wait_ready
+
+AFTER_S0="$(send 'STATUS id=0')"
+AFTER_S1="$(send 'STATUS id=1')"
+echo "   restored:  $AFTER_S0"
+echo "   restored:  $AFTER_S1"
+if [[ "$AFTER_S0" != "$BEFORE_S0" || "$AFTER_S1" != "$BEFORE_S1" ]]; then
+  echo "FAIL: restored session status differs from pre-kill status" >&2
+  exit 1
+fi
+
+echo "== finish tuning on the restored server"
+FINAL_ROUND="$(send 'ROUND n=10')"
+echo "   $FINAL_ROUND"
+[[ "$FINAL_ROUND" == OK* ]] || {
+  echo "FAIL: post-restore ROUND failed" >&2
+  exit 1
+}
+for id in 0 1; do
+  CLOSED="$(send "CLOSE id=$id")"
+  echo "   $CLOSED"
+  [[ "$CLOSED" == OK* && "$CLOSED" == *"steps=5"* ]] || {
+    echo "FAIL: session $id did not finish its 5-step budget" >&2
+    exit 1
+  }
+done
+send SHUTDOWN > /dev/null
+wait "$DAEMON_PID" 2> /dev/null || true
+DAEMON_PID=""
+
+echo "PASS: kill -9 + --restore resumed the exact pre-kill trajectory"

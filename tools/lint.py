@@ -19,6 +19,12 @@ blocking-socket  Raw socket syscalls (::socket/::connect/::accept/::recv/...)
                  or <sys/socket.h>/<sys/un.h> includes in src/ outside
                  src/server/io — all blocking socket I/O goes through the
                  io::Socket wrapper so shutdown semantics stay in one place.
+raw-checkpoint-write
+                 `std::ofstream` (or <fstream> includes) in the model/replay
+                 state trees (src/nn, src/rl, src/tuner, src/server) outside
+                 src/persist — checkpoint bytes must go through
+                 persist::AtomicWriteFile / ChunkWriter so every write is
+                 checksummed, committed atomically, and torn-write safe.
 
 Suppressions
 ------------
@@ -87,6 +93,12 @@ SOCKET_CALL_RE = re.compile(
     r"send(?:to|msg)?)\s*\("
 )
 SOCKET_INCLUDE_RE = re.compile(r"#\s*include\s*<sys/(?:socket|un)\.h>")
+
+OFSTREAM_RE = re.compile(r"\bstd::ofstream\b")
+FSTREAM_INCLUDE_RE = re.compile(r"#\s*include\s*<fstream>")
+# Subtrees whose serialized state is durable tuning state; raw file writes
+# there bypass the persist layer's CRC + atomic-rename guarantees.
+CHECKPOINT_STATE_DIRS = {"nn", "rl", "tuner", "server"}
 
 STATIC_DECL_RE = re.compile(r"^\s*static\s+(.*)$")
 NAMESPACE_GLOBAL_RE = re.compile(r"^[A-Za-z_][\w:<>,&\s\*]*\bg_\w+\s*[{=;]")
@@ -226,6 +238,8 @@ class Linter:
             self._check_raw_new_delete(path, rel, code, idx, lineno, allowed)
             self._check_mutable_global(path, rel, code, idx, lineno, allowed)
             self._check_blocking_socket(path, rel, code, idx, lineno, allowed)
+            self._check_raw_checkpoint_write(path, rel, code, idx, lineno,
+                                             allowed)
 
     def _check_ignored_status(self, path, rel, code, prev, idx, lineno,
                               status_fns, allowed) -> None:
@@ -295,6 +309,20 @@ class Linter:
             self.report(path, lineno, "blocking-socket",
                         "blocking socket call/include outside src/server/io; "
                         "use server::io::Socket instead")
+
+    def _check_raw_checkpoint_write(self, path, rel, code, idx, lineno,
+                                    allowed) -> None:
+        if rel.parts[0] != "src" or len(rel.parts) < 2:
+            return
+        if rel.parts[1] not in CHECKPOINT_STATE_DIRS:
+            return
+        hit = OFSTREAM_RE.search(code) or FSTREAM_INCLUDE_RE.search(code)
+        if hit and not allowed("raw-checkpoint-write", idx):
+            self.report(path, lineno, "raw-checkpoint-write",
+                        "raw std::ofstream/<fstream> write of model or replay "
+                        "state; route it through persist::AtomicWriteFile / "
+                        "ChunkWriter (src/persist) so it is checksummed and "
+                        "crash-atomic")
 
     def _check_mutable_global(self, path, rel, code, idx, lineno, allowed) -> None:
         if rel.parts[0] != "src":
