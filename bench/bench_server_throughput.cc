@@ -107,6 +107,9 @@ void BM_RecommendUnderLoad(benchmark::State& state) {
   }
   std::atomic<bool> stop{false};
   std::thread load([&] {
+    // lint: allow(atomic-ordering) — plain quit flag: the loader only needs
+    // to *eventually* observe the store, and no other data is published
+    // through it (join() below is the real synchronization point).
     while (!stop.load(std::memory_order_relaxed)) {
       auto stepped = srv.StepRound();
       if (!stepped.ok() || *stepped == 0) break;
@@ -116,6 +119,7 @@ void BM_RecommendUnderLoad(benchmark::State& state) {
   for (auto _ : state) {
     benchmark::DoNotOptimize(srv.Recommend(s));
   }
+  // lint: allow(atomic-ordering) — see the matching relaxed load above.
   stop.store(true, std::memory_order_relaxed);
   load.join();
   srv.DrainAndStop();

@@ -15,7 +15,7 @@ SocketServer::~SocketServer() { Stop(); }
 
 util::Status SocketServer::Start() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     if (started_) {
       return util::Status::FailedPrecondition("server already started");
     }
@@ -36,23 +36,30 @@ util::Status SocketServer::Start() {
 void SocketServer::AcceptLoop() {
   while (true) {
     auto connection = listener_.Accept();
+    bool refuse = false;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      util::MutexLock lock(mu_);
       if (stopping_) break;
       if (!connection.ok()) continue;  // Transient accept error; keep serving.
       if (pending_.size() >= options_.connection_queue) {
-        // Bounded queue: refuse rather than hoard. Best-effort notice; the
-        // refused socket closes when `connection` goes out of scope.
-        util::Status notice = connection->SendLine(
-            FormatError(util::Status::FailedPrecondition("server busy")));
-        if (!notice.ok()) {
-          CDBTUNE_LOG(Debug) << "busy notice failed: " << notice.ToString();
-        }
-        continue;
+        refuse = true;
+      } else {
+        pending_.push_back(std::move(*connection));
       }
-      pending_.push_back(std::move(*connection));
     }
-    work_cv_.notify_one();
+    if (refuse) {
+      // Bounded queue: refuse rather than hoard. The best-effort notice is a
+      // blocking send, so it runs *outside* mu_ — a stalled client must not
+      // wedge the workers' queue pops or Stop(). The refused socket closes
+      // when `connection` goes out of scope.
+      util::Status notice = connection->SendLine(
+          FormatError(util::Status::FailedPrecondition("server busy")));
+      if (!notice.ok()) {
+        CDBTUNE_LOG(Debug) << "busy notice failed: " << notice.ToString();
+      }
+      continue;
+    }
+    work_cv_.NotifyOne();
   }
 }
 
@@ -60,8 +67,8 @@ void SocketServer::WorkerLoop() {
   while (true) {
     Socket connection;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock, [&] { return stopping_ || !pending_.empty(); });
+      util::MutexLock lock(mu_);
+      while (!stopping_ && pending_.empty()) work_cv_.Wait(mu_);
       if (stopping_) return;
       connection = std::move(pending_.front());
       pending_.pop_front();
@@ -69,7 +76,7 @@ void SocketServer::WorkerLoop() {
     }
     int fd = connection.fd();
     ServeConnection(std::move(connection));
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     active_fds_.erase(fd);
   }
 }
@@ -83,36 +90,36 @@ void SocketServer::ServeConnection(Socket connection) {
     util::Status sent = connection.SendLine(response);
     if (!sent.ok()) return;
     if (shutdown) {
-      std::lock_guard<std::mutex> lock(mu_);
+      util::MutexLock lock(mu_);
       shutdown_requested_ = true;
-      shutdown_cv_.notify_all();
+      shutdown_cv_.NotifyAll();
       return;
     }
   }
 }
 
 void SocketServer::WaitForShutdown() {
-  std::unique_lock<std::mutex> lock(mu_);
-  shutdown_cv_.wait(lock, [&] { return shutdown_requested_ || stopping_; });
+  util::MutexLock lock(mu_);
+  while (!shutdown_requested_ && !stopping_) shutdown_cv_.Wait(mu_);
 }
 
 void SocketServer::Stop() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     if (!started_ || stopping_) return;
     stopping_ = true;
     // Unblock the acceptor (accept fails on a shut-down listener) and any
     // worker mid-RecvLine on an active connection.
     listener_.ShutdownReadWrite();
     for (int fd : active_fds_) Socket::ShutdownFd(fd);
-    work_cv_.notify_all();
-    shutdown_cv_.notify_all();
+    work_cv_.NotifyAll();
+    shutdown_cv_.NotifyAll();
   }
   if (acceptor_.joinable()) acceptor_.join();
   for (std::thread& worker : workers_) {
     if (worker.joinable()) worker.join();
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   pending_.clear();
   listener_.Close();
 }

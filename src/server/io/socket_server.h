@@ -1,9 +1,7 @@
 #ifndef CDBTUNE_SERVER_IO_SOCKET_SERVER_H_
 #define CDBTUNE_SERVER_IO_SOCKET_SERVER_H_
 
-#include <condition_variable>
 #include <deque>
-#include <mutex>
 #include <set>
 #include <string>
 #include <thread>
@@ -11,7 +9,9 @@
 
 #include "server/io/line_socket.h"
 #include "server/tuning_server.h"
+#include "util/mutex.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace cdbtune::server::io {
 
@@ -69,22 +69,24 @@ class SocketServer {
   std::thread acceptor_;
   std::vector<std::thread> workers_;
 
-  std::mutex mu_;
+  /// Outermost lock in the repo's rank order: socket workers call into the
+  /// TuningServer (kServerSessions/kServerAgent) below it.
+  util::Mutex mu_{util::lock_rank::kIoFrontEnd, "SocketServer::mu_"};
   /// Workers wait here for queued connections. Distinct from shutdown_cv_:
-  /// with one shared condition variable, the acceptor's notify_one can wake
+  /// with one shared condition variable, the acceptor's NotifyOne can wake
   /// a WaitForShutdown() waiter instead of a worker — that waiter re-sleeps
   /// (its predicate is false) and the wakeup is lost, stranding the queued
   /// connection forever.
-  std::condition_variable work_cv_;
+  util::CondVar work_cv_;
   /// WaitForShutdown() blocks here until SHUTDOWN arrives or Stop() runs.
-  std::condition_variable shutdown_cv_;
-  std::deque<Socket> pending_;
+  util::CondVar shutdown_cv_;
+  std::deque<Socket> pending_ CDBTUNE_GUARDED_BY(mu_);
   /// Descriptors currently being served; Stop() shuts them down so workers
   /// blocked in RecvLine return.
-  std::set<int> active_fds_;
-  bool started_ = false;
-  bool stopping_ = false;
-  bool shutdown_requested_ = false;
+  std::set<int> active_fds_ CDBTUNE_GUARDED_BY(mu_);
+  bool started_ CDBTUNE_GUARDED_BY(mu_) = false;
+  bool stopping_ CDBTUNE_GUARDED_BY(mu_) = false;
+  bool shutdown_requested_ CDBTUNE_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace cdbtune::server::io

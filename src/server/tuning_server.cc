@@ -164,6 +164,10 @@ util::Status LoadCollectorBlob(const std::string& blob,
 
 }  // namespace
 
+/// The per-tenant world: environment, exploration stream, experience shard.
+/// While a step is in flight exactly one thread owns the whole object (the
+/// Slot's busy flag / round exclusivity enforce that under mu_), so none of
+/// these members need a lock of their own.
 struct TuningServer::Session {
   Session(TuningServer* server, int id_in, SessionSpec spec_in, size_t shard_in,
           std::unique_ptr<env::DbInterface> db_in,
@@ -188,24 +192,23 @@ struct TuningServer::Session {
   ServerPolicy policy;
   ShardSink sink;
   std::unique_ptr<tuner::TuningSession> tuning;
-  bool busy = false;
-  SessionStatus status;
 };
 
 std::vector<double> TuningServer::ServerPolicy::ProposeAction(
     const std::vector<double>& state, bool explore) {
-  std::lock_guard<std::mutex> lock(server_->agent_mu_);
+  util::MutexLock lock(server_->agent_mu_);
   return server_->agent_->SelectAction(state, explore ? noise_ : nullptr);
 }
 
 std::vector<double> TuningServer::ServerPolicy::BestKnownAction() const {
-  std::lock_guard<std::mutex> lock(server_->agent_mu_);
+  util::MutexLock lock(server_->agent_mu_);
   return server_->best_offline_action_;
 }
 
 TuningServer::TuningServer(TuningServerOptions options)
     : options_(options),
-      shards_(options.max_sessions, options.shard_capacity) {
+      shards_(options.max_sessions, options.shard_capacity),
+      agent_mu_(util::lock_rank::kServerAgent, "TuningServer::agent_mu_") {
   CDBTUNE_CHECK(options_.max_sessions > 0) << "server needs session slots";
   // Highest index on top so pop_back hands out shard 0 first: session ids
   // and shard indices stay aligned in the common open-in-order case.
@@ -218,7 +221,7 @@ TuningServer::TuningServer(TuningServerOptions options)
 TuningServer::~TuningServer() { DrainAndStop(); }
 
 util::Status TuningServer::AdoptModel(tuner::CdbTuner& trained) {
-  std::lock_guard<std::mutex> lock(agent_mu_);
+  util::MutexLock lock(agent_mu_);
   if (agent_ != nullptr) {
     return util::Status::FailedPrecondition("model already adopted");
   }
@@ -230,7 +233,7 @@ util::Status TuningServer::AdoptModel(tuner::CdbTuner& trained) {
 }
 
 bool TuningServer::model_ready() const {
-  std::lock_guard<std::mutex> lock(agent_mu_);
+  util::MutexLock lock(agent_mu_);
   return agent_ != nullptr;
 }
 
@@ -251,20 +254,21 @@ util::StatusOr<std::unique_ptr<env::DbInterface>> TuningServer::MakeDb(
                                        "' (want sim|mini)");
 }
 
-void TuningServer::RefreshStatus(Session* session) {
-  const tuner::OnlineTuneResult& result = session->tuning->result();
-  SessionStatus& status = session->status;
-  status.id = session->id;
-  status.phase = session->tuning->phase();
-  status.engine = session->spec.engine;
-  status.workload = session->spec.workload.name;
+void TuningServer::RefreshStatus(Slot* slot) {
+  const Session& session = *slot->session;
+  const tuner::OnlineTuneResult& result = session.tuning->result();
+  SessionStatus& status = slot->status;
+  status.id = session.id;
+  status.phase = session.tuning->phase();
+  status.engine = session.spec.engine;
+  status.workload = session.spec.workload.name;
   status.steps_done = result.steps;
   status.initial_throughput = result.initial.throughput;
   status.initial_latency = result.initial.latency;
   status.best_throughput = result.best.throughput;
   status.best_latency = result.best.latency;
   status.last_reward = result.history.empty() ? 0.0 : result.history.back().reward;
-  status.busy = session->busy;
+  status.busy = slot->busy;
 }
 
 util::StatusOr<int> TuningServer::Open(const SessionSpec& spec) {
@@ -276,7 +280,7 @@ util::StatusOr<int> TuningServer::Open(const SessionSpec& spec) {
   double noise_sigma;
   tuner::MetricsCollector collector;
   {
-    std::lock_guard<std::mutex> lock(agent_mu_);
+    util::MutexLock lock(agent_mu_);
     if (agent_ == nullptr) {
       return util::Status::FailedPrecondition(
           "no model adopted; call AdoptModel first");
@@ -292,7 +296,7 @@ util::StatusOr<int> TuningServer::Open(const SessionSpec& spec) {
   int id;
   size_t shard;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     if (draining_) {
       return util::Status::FailedPrecondition("server is draining");
     }
@@ -309,7 +313,7 @@ util::StatusOr<int> TuningServer::Open(const SessionSpec& spec) {
   // lock — a mini-engine bulk load or a 150 s baseline must not stall the
   // other tenants.
   auto release_shard = [&] {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     free_shards_.push_back(shard);
   };
 
@@ -341,20 +345,25 @@ util::StatusOr<int> TuningServer::Open(const SessionSpec& spec) {
     release_shard();
     return begun;
   }
-  RefreshStatus(session.get());
 
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   if (draining_) {
     free_shards_.push_back(shard);
     return util::Status::FailedPrecondition("server is draining");
   }
-  sessions_.emplace(id, std::move(session));
+  Slot slot;
+  slot.session = std::move(session);
+  // Snapshot under mu_ like every other refresh — RefreshStatus's contract
+  // is REQUIRES(mu_), and taking it here (previously the snapshot ran
+  // unlocked) costs nothing since registration takes the lock anyway.
+  RefreshStatus(&slot);
+  sessions_.emplace(id, std::move(slot));
   return id;
 }
 
 util::StatusOr<TuningServer::Session*> TuningServer::BeginStep(int id) {
-  std::unique_lock<std::mutex> lock(mu_);
-  cv_.wait(lock, [&] { return !exclusive_; });
+  util::MutexLock lock(mu_);
+  while (exclusive_) cv_.Wait(mu_);
   if (draining_) {
     return util::Status::FailedPrecondition("server is draining");
   }
@@ -362,47 +371,51 @@ util::StatusOr<TuningServer::Session*> TuningServer::BeginStep(int id) {
   if (it == sessions_.end()) {
     return util::Status::NotFound("no session " + std::to_string(id));
   }
-  Session* session = it->second.get();
-  if (session->busy) {
+  Slot& slot = it->second;
+  if (slot.busy) {
     return util::Status::FailedPrecondition(
         "session " + std::to_string(id) + " is busy");
   }
-  if (session->tuning->phase() != tuner::SessionPhase::kTuning) {
+  if (slot.session->tuning->phase() != tuner::SessionPhase::kTuning) {
     return util::Status::FailedPrecondition(
         "session " + std::to_string(id) + " is in phase " +
-        tuner::SessionPhaseName(session->tuning->phase()));
+        tuner::SessionPhaseName(slot.session->tuning->phase()));
   }
-  session->busy = true;
-  session->status.busy = true;
+  slot.busy = true;
+  slot.status.busy = true;
   ++in_flight_;
-  return session;
+  return slot.session.get();
 }
 
-void TuningServer::EndStep(Session* session) {
-  std::lock_guard<std::mutex> lock(mu_);
-  session->busy = false;
-  RefreshStatus(session);
+void TuningServer::EndStep(int id) {
+  util::MutexLock lock(mu_);
+  auto it = sessions_.find(id);
+  // The busy flag pins the slot: Close/DrainAndStop refuse busy sessions,
+  // so the entry BeginStep marked must still be here.
+  CDBTUNE_CHECK(it != sessions_.end()) << "EndStep for vanished session " << id;
+  it->second.busy = false;
+  RefreshStatus(&it->second);
   --in_flight_;
-  cv_.notify_all();
+  cv_.NotifyAll();
 }
 
 util::StatusOr<tuner::StepRecord> TuningServer::Step(int id) {
   auto session = BeginStep(id);
   if (!session.ok()) return session.status();
   util::StatusOr<tuner::StepRecord> record = (*session)->tuning->Step();
-  EndStep(*session);
+  EndStep(id);
   return record;
 }
 
-void TuningServer::BeginExclusive(std::unique_lock<std::mutex>& lock) {
-  cv_.wait(lock, [&] { return !exclusive_ && in_flight_ == 0; });
+void TuningServer::BeginExclusive() {
+  while (exclusive_ || in_flight_ != 0) cv_.Wait(mu_);
   exclusive_ = true;
 }
 
 void TuningServer::EndExclusive() {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   exclusive_ = false;
-  cv_.notify_all();
+  cv_.NotifyAll();
 }
 
 void TuningServer::MergeAndTrain(int iters) {
@@ -410,7 +423,7 @@ void TuningServer::MergeAndTrain(int iters) {
   // CollectNew's (shard index, arrival) order makes what the shared agent
   // sees independent of how the round's steps were scheduled.
   std::vector<tuner::Experience> fresh = shards_.CollectNew();
-  std::lock_guard<std::mutex> lock(agent_mu_);
+  util::MutexLock lock(agent_mu_);
   if (agent_ == nullptr) return;
   for (tuner::Experience& experience : fresh) {
     agent_->Observe(std::move(experience.transition));
@@ -423,16 +436,16 @@ void TuningServer::MergeAndTrain(int iters) {
 util::StatusOr<size_t> TuningServer::StepRound() {
   std::vector<Session*> round;
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     if (draining_) {
       return util::Status::FailedPrecondition("server is draining");
     }
-    BeginExclusive(lock);
-    for (auto& [id, session] : sessions_) {
-      if (session->tuning->phase() == tuner::SessionPhase::kTuning) {
-        session->busy = true;
-        session->status.busy = true;
-        round.push_back(session.get());
+    BeginExclusive();
+    for (auto& [id, slot] : sessions_) {
+      if (slot.session->tuning->phase() == tuner::SessionPhase::kTuning) {
+        slot.busy = true;
+        slot.status.busy = true;
+        round.push_back(slot.session.get());
       }
     }
   }
@@ -457,11 +470,14 @@ util::StatusOr<size_t> TuningServer::StepRound() {
 
   uint64_t rounds = 0;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     rounds = ++rounds_completed_;
     for (Session* session : round) {
-      session->busy = false;
-      RefreshStatus(session);
+      auto it = sessions_.find(session->id);
+      CDBTUNE_CHECK(it != sessions_.end())
+          << "round session " << session->id << " vanished";
+      it->second.busy = false;
+      RefreshStatus(&it->second);
     }
   }
   // Autosave at the barrier, while still exclusive: the checkpoint sees the
@@ -484,8 +500,8 @@ util::Status TuningServer::Train(int iters) {
     return util::Status::InvalidArgument("iters must be non-negative");
   }
   {
-    std::unique_lock<std::mutex> lock(mu_);
-    BeginExclusive(lock);
+    util::MutexLock lock(mu_);
+    BeginExclusive();
   }
   MergeAndTrain(iters);
   EndExclusive();
@@ -494,7 +510,7 @@ util::Status TuningServer::Train(int iters) {
 
 util::StatusOr<std::vector<double>> TuningServer::Recommend(
     const std::vector<double>& state) {
-  std::lock_guard<std::mutex> lock(agent_mu_);
+  util::MutexLock lock(agent_mu_);
   if (agent_ == nullptr) {
     return util::Status::FailedPrecondition("no model adopted");
   }
@@ -507,35 +523,36 @@ util::StatusOr<std::vector<double>> TuningServer::Recommend(
 }
 
 util::StatusOr<SessionStatus> TuningServer::GetStatus(int id) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   auto it = sessions_.find(id);
   if (it == sessions_.end()) {
     return util::Status::NotFound("no session " + std::to_string(id));
   }
-  return it->second->status;
+  return it->second.status;
 }
 
 std::vector<SessionStatus> TuningServer::ListStatus() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   std::vector<SessionStatus> out;
   out.reserve(sessions_.size());
-  for (const auto& [id, session] : sessions_) {
-    out.push_back(session->status);
+  for (const auto& [id, slot] : sessions_) {
+    out.push_back(slot.status);
   }
   return out;
 }
 
 util::StatusOr<std::string> TuningServer::RenderBestConfig(int id) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   auto it = sessions_.find(id);
   if (it == sessions_.end()) {
     return util::Status::NotFound("no session " + std::to_string(id));
   }
-  const Session& session = *it->second;
-  if (session.busy) {
+  const Slot& slot = it->second;
+  if (slot.busy) {
     return util::Status::FailedPrecondition(
         "session " + std::to_string(id) + " is busy");
   }
+  const Session& session = *slot.session;
   const knobs::KnobRegistry& registry = session.db->registry();
   const knobs::Config defaults = registry.DefaultConfig();
   const knobs::Config& best = session.tuning->result().best_config;
@@ -553,17 +570,17 @@ util::StatusOr<std::string> TuningServer::RenderBestConfig(int id) const {
 util::StatusOr<tuner::OnlineTuneResult> TuningServer::Close(int id) {
   std::unique_ptr<Session> session;
   {
-    std::unique_lock<std::mutex> lock(mu_);
-    cv_.wait(lock, [&] { return !exclusive_; });
+    util::MutexLock lock(mu_);
+    while (exclusive_) cv_.Wait(mu_);
     auto it = sessions_.find(id);
     if (it == sessions_.end()) {
       return util::Status::NotFound("no session " + std::to_string(id));
     }
-    if (it->second->busy) {
+    if (it->second.busy) {
       return util::Status::FailedPrecondition(
           "session " + std::to_string(id) + " is busy");
     }
-    session = std::move(it->second);
+    session = std::move(it->second.session);
     sessions_.erase(it);
     free_shards_.push_back(session->shard);
   }
@@ -578,17 +595,17 @@ util::StatusOr<tuner::OnlineTuneResult> TuningServer::Close(int id) {
 void TuningServer::DrainAndStop() {
   std::vector<std::unique_ptr<Session>> remaining;
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     draining_ = true;
-    cv_.wait(lock, [&] { return !exclusive_ && in_flight_ == 0; });
-    for (auto& [id, session] : sessions_) {
-      remaining.push_back(std::move(session));
+    while (exclusive_ || in_flight_ != 0) cv_.Wait(mu_);
+    for (auto& [id, slot] : sessions_) {
+      remaining.push_back(std::move(slot.session));
     }
     sessions_.clear();
     for (const auto& session : remaining) {
       free_shards_.push_back(session->shard);
     }
-    cv_.notify_all();
+    cv_.NotifyAll();
   }
   for (auto& session : remaining) {
     if (session->tuning->phase() == tuner::SessionPhase::kTuning) {
@@ -599,7 +616,7 @@ void TuningServer::DrainAndStop() {
 
 void TuningServer::AppendCheckpointChunks(persist::ChunkWriter& writer) {
   {
-    std::lock_guard<std::mutex> lock(agent_mu_);
+    util::MutexLock lock(agent_mu_);
     CDBTUNE_CHECK(agent_ != nullptr) << "checkpoint needs an adopted model";
     agent_->AppendChunks(writer);
     persist::Encoder enc;
@@ -613,28 +630,32 @@ void TuningServer::AppendCheckpointChunks(persist::ChunkWriter& writer) {
     shards_.SaveBinary(enc);
     writer.Add("server/pool", enc.Release());
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  // Chunk order is part of the checkpoint's bitwise contract — the locks
+  // above/below are sequential (never nested), which also keeps this path
+  // off the mu_ -> agent_mu_ ordering entirely.
+  util::MutexLock lock(mu_);
   {
     persist::Encoder enc;
     enc.WriteI64(next_id_);
     enc.WriteU64(rounds_completed_);
     enc.WriteU64(sessions_.size());
-    for (const auto& [id, session] : sessions_) enc.WriteI64(id);
+    for (const auto& [id, slot] : sessions_) enc.WriteI64(id);
     writer.Add("server/meta", enc.Release());
   }
-  for (const auto& [id, session] : sessions_) {
+  for (const auto& [id, slot] : sessions_) {
+    const Session& session = *slot.session;
     const std::string base = "session/" + std::to_string(id) + "/";
     {
       persist::Encoder enc;
-      SaveSessionSpecBinary(enc, session->spec);
-      enc.WriteU64(session->shard);
+      SaveSessionSpecBinary(enc, session.spec);
+      enc.WriteU64(session.shard);
       writer.Add(base + "spec", enc.Release());
     }
     {
       persist::Encoder enc;
-      session->noise.SaveBinary(enc);
-      enc.WriteString(CollectorBlob(session->collector));
-      session->tuning->SaveBinary(enc);
+      session.noise.SaveBinary(enc);
+      enc.WriteString(CollectorBlob(session.collector));
+      session.tuning->SaveBinary(enc);
       writer.Add(base + "state", enc.Release());
     }
   }
@@ -642,7 +663,7 @@ void TuningServer::AppendCheckpointChunks(persist::ChunkWriter& writer) {
 
 util::Status TuningServer::SaveCheckpointExclusive(const std::string& path) {
   {
-    std::lock_guard<std::mutex> lock(agent_mu_);
+    util::MutexLock lock(agent_mu_);
     if (agent_ == nullptr) {
       return util::Status::FailedPrecondition(
           "no model adopted; nothing to checkpoint");
@@ -656,8 +677,8 @@ util::Status TuningServer::SaveCheckpointExclusive(const std::string& path) {
 
 util::Status TuningServer::SaveCheckpoint(const std::string& path) {
   {
-    std::unique_lock<std::mutex> lock(mu_);
-    BeginExclusive(lock);
+    util::MutexLock lock(mu_);
+    BeginExclusive();
   }
   util::Status saved = SaveCheckpointExclusive(path);
   EndExclusive();
@@ -676,14 +697,14 @@ util::StatusOr<RestoreReport> TuningServer::RestoreCheckpoint(
   }
 
   {
-    std::unique_lock<std::mutex> lock(mu_);
-    BeginExclusive(lock);
+    util::MutexLock lock(mu_);
+    BeginExclusive();
   }
   // Everything below stages into locals and only swaps into the server at
   // the very end — a torn or mismatched checkpoint leaves it untouched.
   auto result = [&]() -> util::StatusOr<RestoreReport> {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      util::MutexLock lock(mu_);
       if (draining_) {
         return util::Status::FailedPrecondition("server is draining");
       }
@@ -750,7 +771,7 @@ util::StatusOr<RestoreReport> TuningServer::RestoreCheckpoint(
     const double noise_sigma = options_.noise_sigma >= 0.0
                                    ? options_.noise_sigma
                                    : agent_options.noise_sigma;
-    std::map<int, std::unique_ptr<Session>> staged_sessions;
+    std::map<int, Slot> staged_sessions;
     std::vector<bool> shard_used(options_.max_sessions, false);
     for (int id : ids) {
       const std::string base = "session/" + std::to_string(id) + "/";
@@ -793,8 +814,16 @@ util::StatusOr<RestoreReport> TuningServer::RestoreCheckpoint(
                 LoadCollectorBlob(blob, &session->collector));
             return session->tuning->RestoreBinary(dec);
           }));
-      RefreshStatus(session.get());
-      staged_sessions.emplace(id, std::move(session));
+      Slot slot;
+      slot.session = std::move(session);
+      {
+        // The slot is still a local, but RefreshStatus's static contract is
+        // REQUIRES(mu_); a brief uncontended lock keeps one honest contract
+        // instead of a second "trust me" unlocked variant.
+        util::MutexLock lock(mu_);
+        RefreshStatus(&slot);
+      }
+      staged_sessions.emplace(id, std::move(slot));
     }
 
     RestoreReport report;
@@ -806,9 +835,11 @@ util::StatusOr<RestoreReport> TuningServer::RestoreCheckpoint(
 
     // Commit. Session sinks/policies hold pointers to the server and its
     // shards_ member, both of which keep their addresses through the swap.
-    std::lock_guard<std::mutex> lock(mu_);
+    // The only place in the repo where mu_ and agent_mu_ nest — in the
+    // rank order (kServerSessions < kServerAgent) the annotations encode.
+    util::MutexLock lock(mu_);
     {
-      std::lock_guard<std::mutex> agent_lock(agent_mu_);
+      util::MutexLock agent_lock(agent_mu_);
       agent_ = std::move(staged_agent);
       collector_template_ = std::move(staged_collector);
       best_offline_action_ = std::move(staged_best_action);
@@ -832,14 +863,14 @@ util::StatusOr<RebuildReport> TuningServer::Rebuild(const RebuildSpec& spec) {
     return util::Status::InvalidArgument("train_iters must be non-negative");
   }
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     if (draining_) {
       return util::Status::FailedPrecondition("server is draining");
     }
-    BeginExclusive(lock);
+    BeginExclusive();
   }
   auto result = [&]() -> util::StatusOr<RebuildReport> {
-    std::lock_guard<std::mutex> lock(agent_mu_);
+    util::MutexLock lock(agent_mu_);
     if (agent_ == nullptr) {
       return util::Status::FailedPrecondition("no model adopted");
     }
@@ -876,12 +907,12 @@ util::StatusOr<RebuildReport> TuningServer::Rebuild(const RebuildSpec& spec) {
 }
 
 uint64_t TuningServer::rounds_completed() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return rounds_completed_;
 }
 
 size_t TuningServer::open_sessions() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return sessions_.size();
 }
 

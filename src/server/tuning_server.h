@@ -1,10 +1,8 @@
 #ifndef CDBTUNE_SERVER_TUNING_SERVER_H_
 #define CDBTUNE_SERVER_TUNING_SERVER_H_
 
-#include <condition_variable>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
@@ -16,7 +14,9 @@
 #include "tuner/memory_pool.h"
 #include "tuner/metrics_collector.h"
 #include "tuner/tuning_session.h"
+#include "util/mutex.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 #include "workload/workload.h"
 
 namespace cdbtune::server {
@@ -235,6 +235,22 @@ class TuningServer {
  private:
   struct Session;
 
+  /// One registry entry: the session object plus the server-side bookkeeping
+  /// the registry lock protects. The map itself is CDBTUNE_GUARDED_BY(mu_),
+  /// so every path to `busy` / `status` is lock-checked at compile time;
+  /// `session` is handed out as a raw pointer to exactly one stepping thread
+  /// at a time (busy flag / round exclusivity), which is an ownership
+  /// discipline the static analysis cannot express — see DESIGN.md "Lock
+  /// discipline".
+  struct Slot {
+    std::unique_ptr<Session> session;
+    /// A step is in flight on another thread; reject concurrent Step/Close.
+    bool busy = false;
+    /// Point-in-time snapshot served to GetStatus/ListStatus, refreshed
+    /// under mu_ after every state change.
+    SessionStatus status;
+  };
+
   /// PolicySource over the shared agent: serializes inference with the
   /// model lock and injects the *session's* exploration stream.
   class ServerPolicy : public tuner::PolicySource {
@@ -269,51 +285,61 @@ class TuningServer {
   static util::StatusOr<std::unique_ptr<env::DbInterface>> MakeDb(
       const SessionSpec& spec);
 
-  /// Refreshes `session`'s status snapshot from its TuningSession. Caller
-  /// holds mu_ and the session is not being stepped.
-  static void RefreshStatus(Session* session);
+  /// Refreshes `slot`'s status snapshot from its TuningSession. The slot's
+  /// session must not be mid-step on another thread.
+  void RefreshStatus(Slot* slot) CDBTUNE_REQUIRES(mu_);
 
   /// Marks `id` busy for a step. Fails when unknown, busy, draining, or in
   /// an exclusive phase.
-  util::StatusOr<Session*> BeginStep(int id);
-  void EndStep(Session* session);
+  util::StatusOr<Session*> BeginStep(int id) CDBTUNE_EXCLUDES(mu_);
+  void EndStep(int id) CDBTUNE_EXCLUDES(mu_);
 
   /// Waits until no step is in flight, then claims exclusive access
-  /// (training / drain). Returns false if the server started draining.
-  void BeginExclusive(std::unique_lock<std::mutex>& lock);
-  void EndExclusive();
+  /// (training / checkpoint / drain).
+  void BeginExclusive() CDBTUNE_REQUIRES(mu_);
+  void EndExclusive() CDBTUNE_EXCLUDES(mu_);
 
   /// Feeds every un-merged experience to the agent and runs `iters`
   /// gradient steps. Caller holds exclusivity (no Add in flight).
-  void MergeAndTrain(int iters);
+  void MergeAndTrain(int iters) CDBTUNE_EXCLUDES(mu_, agent_mu_);
 
   /// Serializes the full server state into `writer`. Caller holds
   /// exclusivity (round barrier); takes mu_ / agent_mu_ internally.
-  void AppendCheckpointChunks(persist::ChunkWriter& writer);
+  void AppendCheckpointChunks(persist::ChunkWriter& writer)
+      CDBTUNE_EXCLUDES(mu_, agent_mu_);
 
   /// SaveCheckpoint body without the exclusivity dance — called by
   /// SaveCheckpoint and by StepRound's autosave while already exclusive.
-  util::Status SaveCheckpointExclusive(const std::string& path);
+  util::Status SaveCheckpointExclusive(const std::string& path)
+      CDBTUNE_EXCLUDES(mu_, agent_mu_);
 
   TuningServerOptions options_;
+  /// Guarded by the exclusivity barrier, not a mutex: sessions Add to their
+  /// own shard while stepping; CollectNew/Save/Snapshot only run while
+  /// `exclusive_` holds the step count at zero (DESIGN.md §8).
   tuner::ShardedExperiencePool shards_;
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::map<int, std::unique_ptr<Session>> sessions_;
-  std::vector<size_t> free_shards_;
-  int next_id_ = 0;
-  size_t in_flight_ = 0;
-  bool exclusive_ = false;
-  bool draining_ = false;
-  uint64_t rounds_completed_ = 0;
+  /// Session-registry lock (lock_rank::kServerSessions).
+  mutable util::Mutex mu_{util::lock_rank::kServerSessions,
+                          "TuningServer::mu_"};
+  util::CondVar cv_;
+  std::map<int, Slot> sessions_ CDBTUNE_GUARDED_BY(mu_);
+  std::vector<size_t> free_shards_ CDBTUNE_GUARDED_BY(mu_);
+  int next_id_ CDBTUNE_GUARDED_BY(mu_) = 0;
+  size_t in_flight_ CDBTUNE_GUARDED_BY(mu_) = 0;
+  bool exclusive_ CDBTUNE_GUARDED_BY(mu_) = false;
+  bool draining_ CDBTUNE_GUARDED_BY(mu_) = false;
+  uint64_t rounds_completed_ CDBTUNE_GUARDED_BY(mu_) = 0;
 
-  /// Shared-model state, guarded by agent_mu_ (independent of mu_; never
-  /// hold both except mu_ -> agent_mu_).
-  mutable std::mutex agent_mu_;
-  std::unique_ptr<rl::DdpgAgent> agent_;
-  tuner::MetricsCollector collector_template_;
-  std::vector<double> best_offline_action_;
+  /// Shared-model lock (lock_rank::kServerAgent; initialized in the
+  /// constructor — an attribute between declarator and brace-initializer
+  /// does not parse). Independent of mu_; the only nesting ever allowed is
+  /// mu_ -> agent_mu_ (the restore commit), which both the rank order and
+  /// the acquired_after annotation encode.
+  mutable util::Mutex agent_mu_ CDBTUNE_ACQUIRED_AFTER(mu_);
+  std::unique_ptr<rl::DdpgAgent> agent_ CDBTUNE_GUARDED_BY(agent_mu_);
+  tuner::MetricsCollector collector_template_ CDBTUNE_GUARDED_BY(agent_mu_);
+  std::vector<double> best_offline_action_ CDBTUNE_GUARDED_BY(agent_mu_);
 };
 
 }  // namespace cdbtune::server

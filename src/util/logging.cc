@@ -2,11 +2,26 @@
 
 #include <atomic>
 #include <cstring>
+#include <string>
+
+#include "util/mutex.h"
 
 namespace cdbtune::util {
 
 namespace {
 std::atomic<LogLevel> g_log_level{LogLevel::kInfo};
+
+/// Serializes sink writes so concurrent log lines never interleave
+/// mid-line. Ranked innermost (kLogSink): logging is legal while holding
+/// any other lock in the repo.
+Mutex& LogSinkMutex() {
+  // lint: allow(raw-new, mutable-global) — intentionally leaked process
+  // singleton, same pattern as ComputeContext::Get: the magic static makes
+  // initialization thread-safe and never destroying it avoids shutdown
+  // races with threads that log while the process exits.
+  static Mutex* mu = new Mutex(lock_rank::kLogSink, "LogSink");
+  return *mu;
+}
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -44,7 +59,9 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line, bool fatal)
 LogMessage::~LogMessage() {
   if (enabled_) {
     stream_ << "\n";
-    std::cerr << stream_.str();
+    const std::string line = stream_.str();
+    MutexLock lock(LogSinkMutex());
+    std::cerr << line;
   }
   if (fatal_) {
     std::cerr.flush();

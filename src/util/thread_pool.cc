@@ -3,7 +3,6 @@
 // lint: allow-file(std-function) — see thread_pool.h: the task queue is the
 // sanctioned type-erasure boundary; cost is per-task, not per-element.
 
-#include <atomic>
 #include <cstdlib>
 #include <string>
 
@@ -22,20 +21,20 @@ class BlockingCounter {
   explicit BlockingCounter(size_t count) : count_(count) {}
 
   void DecrementCount() {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     CDBTUNE_CHECK(count_ > 0) << "BlockingCounter underflow";
-    if (--count_ == 0) cv_.notify_all();
+    if (--count_ == 0) cv_.NotifyAll();
   }
 
   void Wait() {
-    std::unique_lock<std::mutex> lock(mu_);
-    cv_.wait(lock, [this] { return count_ == 0; });
+    MutexLock lock(mu_);
+    while (count_ != 0) cv_.Wait(mu_);
   }
 
  private:
-  std::mutex mu_;
-  std::condition_variable cv_;
-  size_t count_;
+  Mutex mu_{lock_rank::kBlockingCounter, "BlockingCounter::mu_"};
+  CondVar cv_;
+  size_t count_ CDBTUNE_GUARDED_BY(mu_);
 };
 
 size_t DefaultThreads() {
@@ -59,19 +58,19 @@ ThreadPool::ThreadPool(size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stop_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   for (std::thread& w : workers_) w.join();
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     queue_.push_back(std::move(task));
   }
-  cv_.notify_one();
+  cv_.NotifyOne();
 }
 
 bool ThreadPool::InWorker() { return tls_in_pool_worker; }
@@ -81,8 +80,8 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      MutexLock lock(mu_);
+      while (!stop_ && queue_.empty()) cv_.Wait(mu_);
       if (stop_ && queue_.empty()) return;
       task = std::move(queue_.front());
       queue_.pop_front();

@@ -5,13 +5,14 @@
 // boundary: one std::function per submitted task, amortized over the whole
 // parallel region. Kernels below this layer take template callables.
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace cdbtune::util {
 
@@ -38,10 +39,10 @@ class ThreadPool {
  private:
   void WorkerLoop();
 
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<std::function<void()>> queue_;
-  bool stop_ = false;
+  Mutex mu_{lock_rank::kThreadPool, "ThreadPool::mu_"};
+  CondVar cv_;
+  std::deque<std::function<void()>> queue_ CDBTUNE_GUARDED_BY(mu_);
+  bool stop_ CDBTUNE_GUARDED_BY(mu_) = false;
   std::vector<std::thread> workers_;
 };
 

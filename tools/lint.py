@@ -25,6 +25,21 @@ raw-checkpoint-write
                  src/persist — checkpoint bytes must go through
                  persist::AtomicWriteFile / ChunkWriter so every write is
                  checksummed, committed atomically, and torn-write safe.
+raw-mutex        `std::mutex` / `std::condition_variable` / std lock guards
+                 (or their includes) anywhere outside src/util/mutex.* — all
+                 locking goes through util::Mutex / util::MutexLock /
+                 util::CondVar so every lock carries thread-safety
+                 annotations, a rank, and a name for deadlock reports.
+naked-notify     A CondVar notify in a function that never visibly acquires
+                 a lock (no MutexLock / Lock() / Wait() above it in the same
+                 function body). Notifying without having mutated the
+                 predicate's state under the mutex is the classic lost-wakeup
+                 recipe; hoisted helpers that notify on behalf of a locked
+                 caller annotate why they are safe.
+atomic-ordering  An explicit std::memory_order_* argument. Relaxed/acquire/
+                 release orderings are easy to get subtly wrong; each use
+                 must carry an allow() stating why the weaker order is
+                 sufficient (default seq_cst operations are untouched).
 
 Suppressions
 ------------
@@ -99,6 +114,19 @@ FSTREAM_INCLUDE_RE = re.compile(r"#\s*include\s*<fstream>")
 # Subtrees whose serialized state is durable tuning state; raw file writes
 # there bypass the persist layer's CRC + atomic-rename guarantees.
 CHECKPOINT_STATE_DIRS = {"nn", "rl", "tuner", "server"}
+
+RAW_MUTEX_RE = re.compile(
+    r"\bstd::(?:mutex|timed_mutex|recursive_mutex|shared_mutex|"
+    r"condition_variable(?:_any)?|lock_guard|unique_lock|scoped_lock)\b"
+)
+MUTEX_INCLUDE_RE = re.compile(
+    r"#\s*include\s*<(?:mutex|condition_variable|shared_mutex)>"
+)
+NOTIFY_RE = re.compile(r"\b(?:NotifyOne|NotifyAll|notify_one|notify_all)\s*\(")
+# Evidence that the enclosing function participates in the lock protocol:
+# a scoped lock, an explicit Lock(), or a CondVar wait (which requires it).
+LOCK_EVIDENCE_RE = re.compile(r"\bMutexLock\b|\bLock\s*\(\s*\)|\bWait\s*\(")
+MEMORY_ORDER_RE = re.compile(r"\bstd::memory_order_\w+")
 
 STATIC_DECL_RE = re.compile(r"^\s*static\s+(.*)$")
 NAMESPACE_GLOBAL_RE = re.compile(r"^[A-Za-z_][\w:<>,&\s\*]*\bg_\w+\s*[{=;]")
@@ -240,6 +268,10 @@ class Linter:
             self._check_blocking_socket(path, rel, code, idx, lineno, allowed)
             self._check_raw_checkpoint_write(path, rel, code, idx, lineno,
                                              allowed)
+            self._check_raw_mutex(path, rel, code, idx, lineno, allowed)
+            self._check_naked_notify(path, rel, code, code_lines, idx, lineno,
+                                     allowed)
+            self._check_atomic_ordering(path, rel, code, idx, lineno, allowed)
 
     def _check_ignored_status(self, path, rel, code, prev, idx, lineno,
                               status_fns, allowed) -> None:
@@ -324,6 +356,57 @@ class Linter:
                         "ChunkWriter (src/persist) so it is checksummed and "
                         "crash-atomic")
 
+    @staticmethod
+    def _is_mutex_home(rel: Path) -> bool:
+        """src/util/mutex.{h,cc} is the one sanctioned home of the raw
+        primitives — everything else goes through its wrappers."""
+        return rel.parts[:2] == ("src", "util") and rel.name in (
+            "mutex.h", "mutex.cc")
+
+    def _check_raw_mutex(self, path, rel, code, idx, lineno, allowed) -> None:
+        if self._is_mutex_home(rel):
+            return
+        hit = RAW_MUTEX_RE.search(code) or MUTEX_INCLUDE_RE.search(code)
+        if hit and not allowed("raw-mutex", idx):
+            self.report(path, lineno, "raw-mutex",
+                        "raw std::mutex/condition_variable/lock outside "
+                        "src/util/mutex.*; use util::Mutex / util::MutexLock "
+                        "/ util::CondVar so the lock is annotated and ranked")
+
+    def _check_naked_notify(self, path, rel, code, code_lines, idx, lineno,
+                            allowed) -> None:
+        if rel.parts[0] != "src" or self._is_mutex_home(rel):
+            return
+        if not NOTIFY_RE.search(code):
+            return
+        # Walk back through the enclosing function body (clang-format style:
+        # every function closes with a column-0 '}', so that brace bounds the
+        # scan). Any scoped lock / Lock() / Wait() above the notify means the
+        # function participates in the lock protocol and the notify is paired
+        # with a guarded mutation.
+        j = idx
+        while j >= 0:
+            line = code_lines[j]
+            if j < idx and line.startswith("}"):
+                break
+            if LOCK_EVIDENCE_RE.search(line):
+                return
+            j -= 1
+        if not allowed("naked-notify", idx):
+            self.report(path, lineno, "naked-notify",
+                        "notify with no lock acquisition in the enclosing "
+                        "function; mutate the predicate state under the "
+                        "mutex (or annotate why the caller holds it)")
+
+    def _check_atomic_ordering(self, path, rel, code, idx, lineno,
+                               allowed) -> None:
+        match = MEMORY_ORDER_RE.search(code)
+        if match and not allowed("atomic-ordering", idx):
+            self.report(path, lineno, "atomic-ordering",
+                        f"explicit {match.group(0)} — justify why a "
+                        f"non-default memory order is correct here, or drop "
+                        f"the argument for seq_cst")
+
     def _check_mutable_global(self, path, rel, code, idx, lineno, allowed) -> None:
         if rel.parts[0] != "src":
             return
@@ -359,12 +442,18 @@ def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("paths", nargs="*",
                         help="files or directories to lint (default: repo)")
+    parser.add_argument("--root", type=Path, default=REPO_ROOT,
+                        help="tree root the dir-gated rules are resolved "
+                             "against (tools/lint_selftest.py points this at "
+                             "a fixture tree so fixture files under "
+                             "<root>/src lint exactly like src/)")
     args = parser.parse_args()
+    repo_root = args.root.resolve()
 
     if args.paths:
         roots = [Path(p).resolve() for p in args.paths]
     else:
-        roots = [REPO_ROOT / d for d in SCAN_DIRS]
+        roots = [repo_root / d for d in SCAN_DIRS]
     files: list[Path] = []
     for root in roots:
         if root.is_file():
@@ -374,14 +463,14 @@ def main() -> int:
                          if p.suffix in SOURCE_SUFFIXES)
 
     status_fns = collect_status_functions(
-        [p for p in (REPO_ROOT / "src").rglob("*.h")])
+        [p for p in (repo_root / "src").rglob("*.h")])
 
-    linter = Linter(REPO_ROOT)
+    linter = Linter(repo_root)
     for path in files:
         linter.lint_file(path, status_fns)
 
     for path, lineno, rule, message in linter.violations:
-        rel = path.relative_to(REPO_ROOT) if path.is_relative_to(REPO_ROOT) else path
+        rel = path.relative_to(repo_root) if path.is_relative_to(repo_root) else path
         print(f"{rel}:{lineno}: [{rule}] {message}")
 
     if linter.violations:

@@ -1,0 +1,32 @@
+// Lint self-test fixture: every construct in this file must be FLAGGED.
+// tools/lint_selftest.py runs lint.py --root tools/lint_fixtures and asserts
+// the exact (line, rule) set below. Never compiled; not part of the build.
+
+#include <condition_variable>  // expect: raw-mutex
+#include <mutex>               // expect: raw-mutex
+
+namespace cdbtune::server {
+
+std::mutex g_registry_mu;  // expect: raw-mutex
+
+void TouchRegistry() {
+  std::lock_guard<std::mutex> lock(g_registry_mu);  // expect: raw-mutex
+}
+
+struct Queue {
+  util::Mutex mu_;
+  util::CondVar cv_;
+  std::atomic<int> hint{0};
+
+  void BadNotify() {
+    // No lock acquisition anywhere in this function: the predicate state
+    // this notify advertises cannot have been mutated under the mutex.
+    cv_.NotifyAll();  // expect: naked-notify
+  }
+
+  int BadOrdering() {
+    return hint.load(std::memory_order_acquire);  // expect: atomic-ordering
+  }
+};
+
+}  // namespace cdbtune::server

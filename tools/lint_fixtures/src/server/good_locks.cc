@@ -1,0 +1,38 @@
+// Lint self-test fixture: every construct in this file must be CLEAN —
+// either inherently (wrapper types, locked notify) or via a justified
+// allow() suppression. tools/lint_selftest.py asserts zero findings here.
+// Never compiled; not part of the build.
+
+namespace cdbtune::server {
+
+struct Queue {
+  util::Mutex mu_;
+  util::CondVar cv_;
+  bool ready_ CDBTUNE_GUARDED_BY(mu_) = false;
+  std::atomic<bool> stop{false};
+
+  void LockedNotify() {
+    util::MutexLock lock(mu_);
+    ready_ = true;
+    cv_.NotifyAll();  // clean: mutation above happens under the lock
+  }
+
+  void HoistedNotify() {
+    // lint: allow(naked-notify) — helper called with mu_ held by the caller
+    // (CDBTUNE_REQUIRES(mu_) on the real declaration); the predicate write
+    // happened under that lock.
+    cv_.NotifyOne();
+  }
+
+  bool JustifiedOrdering() {
+    // lint: allow(atomic-ordering) — quit flag: eventual visibility is
+    // enough and no data is published through it.
+    return stop.load(std::memory_order_relaxed);
+  }
+};
+
+// lint: allow(raw-mutex) — fixture demonstrating a justified suppression;
+// real code would only earn this inside a vendored third-party shim.
+#include <mutex>
+
+}  // namespace cdbtune::server

@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Self-test for tools/lint.py against the fixture tree.
+
+Runs the linter with --root tools/lint_fixtures (so the fixture's src/
+subtree is dir-gated exactly like the real src/) and asserts:
+
+  - bad_locks.cc produces exactly the expected (rule, count) findings —
+    the concurrency rules actually fire;
+  - good_locks.cc produces none — wrapper usage, locked notifies, and
+    justified allow() suppressions are all accepted.
+
+Run directly or via tools/run_checks.sh. Exit 0 on success.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from collections import Counter
+from pathlib import Path
+
+TOOLS = Path(__file__).resolve().parent
+FIXTURES = TOOLS / "lint_fixtures"
+
+# Every rule the fixture exercises, with how many findings it must produce.
+EXPECTED_BAD = Counter({
+    "raw-mutex": 4,        # two includes, one global, one lock_guard line
+    "naked-notify": 1,
+    "atomic-ordering": 1,
+})
+
+
+def run_lint() -> tuple[int, str]:
+    proc = subprocess.run(
+        [sys.executable, str(TOOLS / "lint.py"), "--root", str(FIXTURES)],
+        capture_output=True, text=True, check=False)
+    return proc.returncode, proc.stdout + proc.stderr
+
+
+def main() -> int:
+    code, output = run_lint()
+    failures: list[str] = []
+
+    if code == 0:
+        failures.append("linter exited 0 on a fixture tree with violations")
+
+    bad = Counter()
+    for line in output.splitlines():
+        if "bad_locks.cc" in line and "[" in line:
+            bad[line.split("[", 1)[1].split("]", 1)[0]] += 1
+        if "good_locks.cc" in line and "[" in line:
+            failures.append(f"good fixture flagged: {line.strip()}")
+
+    for rule, want in EXPECTED_BAD.items():
+        got = bad.get(rule, 0)
+        if got != want:
+            failures.append(
+                f"rule {rule}: expected {want} finding(s) in bad_locks.cc, "
+                f"got {got}")
+    for rule in bad:
+        if rule not in EXPECTED_BAD:
+            failures.append(f"unexpected rule fired on bad_locks.cc: {rule}")
+
+    if failures:
+        print("lint self-test FAILED:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        print("\nlinter output was:\n" + output, file=sys.stderr)
+        return 1
+    print(f"lint self-test: ok ({sum(EXPECTED_BAD.values())} expected "
+          f"findings fired, good fixture clean)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

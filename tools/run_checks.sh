@@ -9,8 +9,15 @@
 # Each sanitizer gets its own build tree under build-<name>/ so incremental
 # reruns are cheap. Debug-mode invariant validators (CDBTUNE_DCHECK=ON) are
 # enabled in every sanitizer build: the gate checks logic invariants and
-# memory/threading errors in the same run. TSan runs with CDBTUNE_THREADS=4
-# so the ComputeContext worker pool actually contends.
+# memory/threading errors in the same run — including the util::Mutex
+# lock-rank detector and its death tests (tests/mutex_test.cc), which are
+# DCHECK-gated. TSan runs with CDBTUNE_THREADS=4 so the ComputeContext
+# worker pool actually contends.
+#
+# The *static* half of the lock-discipline gate — clang -Wthread-safety
+# -Werror over the CDBTUNE_GUARDED_BY annotations — needs clang++ and runs
+# as the `thread-safety` job in .github/workflows/checks.yml; when clang++
+# is on PATH this script runs it too (skipped with a note otherwise).
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
@@ -26,16 +33,34 @@ failures=()
 
 if [[ "${SKIP_LINT:-0}" != "1" ]]; then
   echo "==== lint ===="
-  if python3 tools/lint.py; then
+  if python3 tools/lint.py && python3 tools/lint_selftest.py; then
     echo "lint: OK"
   else
     failures+=("lint")
   fi
   echo
 fi
+
 if [[ $# -gt 0 && "$1" == "lint" ]]; then
   if [[ ${#failures[@]} -gt 0 ]]; then exit 1; fi
   exit 0
+fi
+
+if [[ "${SKIP_TSA:-0}" != "1" ]] && command -v clang++ >/dev/null 2>&1; then
+  echo "==== clang thread-safety analysis ===="
+  if cmake -B build-tsa -S . \
+       -DCMAKE_CXX_COMPILER=clang++ \
+       -DCMAKE_BUILD_TYPE=Debug \
+       -DCDBTUNE_WERROR=ON >/dev/null &&
+     cmake --build build-tsa -j "$jobs" >/dev/null; then
+    echo "thread-safety: OK"
+  else
+    failures+=("thread-safety")
+  fi
+  echo
+elif [[ "${SKIP_TSA:-0}" != "1" ]]; then
+  echo "==== clang thread-safety analysis: SKIPPED (no clang++ on PATH) ===="
+  echo
 fi
 
 for san in "${sanitizers[@]}"; do
