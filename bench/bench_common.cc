@@ -1,8 +1,56 @@
 #include "bench_common.h"
 
+#include <cstdlib>
+#include <fstream>
 #include <iostream>
+#include <sstream>
+
+#include "benchmark/benchmark.h"
+#include "nn/simd/dispatch.h"
 
 namespace cdbtune::bench {
+
+namespace {
+
+/// First three fields of /proc/loadavg (1/5/15-minute load averages), or
+/// "unavailable" on non-Linux hosts.
+std::string ReadLoadAvg() {
+  std::ifstream in("/proc/loadavg");
+  std::string l1, l5, l15;
+  if (!(in >> l1 >> l5 >> l15)) return "unavailable";
+  return l1 + " " + l5 + " " + l15;
+}
+
+/// The first "model name" line of /proc/cpuinfo, or "unavailable".
+std::string ReadCpuModel() {
+  std::ifstream in("/proc/cpuinfo");
+  std::string line;
+  while (std::getline(in, line)) {
+    const std::string key = "model name";
+    if (line.compare(0, key.size(), key) != 0) continue;
+    const size_t colon = line.find(':');
+    if (colon == std::string::npos) break;
+    size_t start = line.find_first_not_of(" \t", colon + 1);
+    if (start == std::string::npos) break;
+    return line.substr(start);
+  }
+  return "unavailable";
+}
+
+}  // namespace
+
+void AddBenchEnvironmentContext() {
+  benchmark::AddCustomContext("load_avg", ReadLoadAvg());
+  benchmark::AddCustomContext("cpu_model", ReadCpuModel());
+  benchmark::AddCustomContext("simd_tier",
+                              nn::simd::TierName(nn::simd::ActiveTier()));
+  benchmark::AddCustomContext(
+      "threads", std::to_string(util::ComputeContext::Get().threads()));
+  const char* env_threads = std::getenv("CDBTUNE_THREADS");
+  benchmark::AddCustomContext(
+      "cdbtune_threads_env",
+      env_threads != nullptr && *env_threads != '\0' ? env_threads : "unset");
+}
 
 ContenderResult RunCdbTune(env::DbInterface& db, const knobs::KnobSpace& space,
                            const workload::WorkloadSpec& workload,

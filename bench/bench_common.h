@@ -16,6 +16,14 @@
 
 namespace cdbtune::bench {
 
+/// Attaches host/environment metadata to the google-benchmark JSON context
+/// (load_avg, cpu_model, simd_tier, threads) so a recorded
+/// BENCH_exec_time.json is diagnosable on its own: a regression caused by a
+/// loaded box, a different CPU, or a forced CDBTUNE_SIMD/CDBTUNE_THREADS
+/// shows up in the report header instead of needing archaeology. Call after
+/// benchmark::Initialize and before RunSpecifiedBenchmarks.
+void AddBenchEnvironmentContext();
+
 /// Evaluates `cells` independent sweep cells — (tuner x workload x seed)
 /// combinations — on the global compute pool and returns fn(i) for each, in
 /// cell order. Every cell must construct its own database / tuner from its

@@ -11,6 +11,8 @@
 // test; simulated here).
 #include <benchmark/benchmark.h>
 
+#include "bench_common.h"
+
 #include "env/simulated_cdb.h"
 #include "rl/ddpg.h"
 #include "rl/replay.h"
@@ -119,4 +121,14 @@ BENCHMARK(BM_ActorCriticForwardBatch)->Unit(benchmark::kMicrosecond);
 }  // namespace
 }  // namespace cdbtune
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): records host/environment
+// metadata (load average, CPU model, SIMD tier, thread count) into the
+// JSON context so saved reports are self-describing.
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  cdbtune::bench::AddBenchEnvironmentContext();
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,108 @@
+// GEMM microkernel shape sweep: the actor/critic layer shapes from the
+// paper's architecture (Table 5 / Table 6 — state_dim 63, action_dim 266,
+// hidden 128/256/64, training batch 32) run against every SIMD dispatch
+// tier the machine supports. Registered dynamically so a scalar-only box
+// still produces a (shorter) report, and merged into BENCH_exec_time.json
+// by bench/run_benchmarks.sh: per-tier numbers side by side are what make
+// a "the SIMD speedup regressed" report diagnosable from the JSON alone.
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "nn/matrix.h"
+#include "nn/simd/dispatch.h"
+#include "util/random.h"
+
+namespace cdbtune {
+namespace {
+
+struct GemmShape {
+  size_t n, k, m;
+  const char* note;
+};
+
+// n x k times k x m. Forward-batch shapes cover the actor trunk
+// (63->128->128->...->266) and critic trunk (256->256->64) at the paper's
+// training batch of 32, plus the single-row online recommendation forward.
+constexpr GemmShape kShapes[] = {
+    {32, 63, 128, "actor_in"},     {32, 128, 128, "actor_hidden"},
+    {32, 128, 266, "actor_out"},   {32, 266, 128, "critic_action_embed"},
+    {32, 256, 256, "critic_trunk"}, {32, 256, 64, "critic_neck"},
+    {1, 63, 128, "recommend_in"},
+};
+
+std::string BenchName(const char* kernel, nn::simd::Tier tier,
+                      const GemmShape& s) {
+  return std::string(kernel) + "/" + nn::simd::TierName(tier) + "/" +
+         std::to_string(s.n) + "x" + std::to_string(s.k) + "x" +
+         std::to_string(s.m);
+}
+
+void RunMatMul(benchmark::State& state, nn::simd::Tier tier, GemmShape s) {
+  nn::simd::SetTier(tier);
+  util::Rng rng(7);
+  nn::Matrix a = nn::Matrix::RandomGaussian(s.n, s.k, 0.0, 1.0, rng);
+  nn::Matrix b = nn::Matrix::RandomGaussian(s.k, s.m, 0.0, 1.0, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.MatMul(b));
+  }
+}
+
+// dW shape: input(n x k)^T * grad(n x m).
+void RunTransposedA(benchmark::State& state, nn::simd::Tier tier,
+                    GemmShape s) {
+  nn::simd::SetTier(tier);
+  util::Rng rng(8);
+  nn::Matrix a = nn::Matrix::RandomGaussian(s.n, s.k, 0.0, 1.0, rng);
+  nn::Matrix g = nn::Matrix::RandomGaussian(s.n, s.m, 0.0, 1.0, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.MatMulTransposedA(g));
+  }
+}
+
+// dX shape: grad(n x m) * weight(k x m)^T.
+void RunTransposedB(benchmark::State& state, nn::simd::Tier tier,
+                    GemmShape s) {
+  nn::simd::SetTier(tier);
+  util::Rng rng(9);
+  nn::Matrix g = nn::Matrix::RandomGaussian(s.n, s.m, 0.0, 1.0, rng);
+  nn::Matrix w = nn::Matrix::RandomGaussian(s.k, s.m, 0.0, 1.0, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(g.MatMulTransposedB(w));
+  }
+}
+
+void RegisterAll() {
+  for (int ti = 0; ti < nn::simd::kNumTiers; ++ti) {
+    const auto tier = static_cast<nn::simd::Tier>(ti);
+    if (!nn::simd::TierSupported(tier)) continue;
+    for (const GemmShape& s : kShapes) {
+      benchmark::RegisterBenchmark(BenchName("BM_GemmMatMul", tier, s).c_str(),
+                                   RunMatMul, tier, s)
+          ->Unit(benchmark::kMicrosecond);
+      benchmark::RegisterBenchmark(
+          BenchName("BM_GemmTransposedA", tier, s).c_str(), RunTransposedA,
+          tier, s)
+          ->Unit(benchmark::kMicrosecond);
+      benchmark::RegisterBenchmark(
+          BenchName("BM_GemmTransposedB", tier, s).c_str(), RunTransposedB,
+          tier, s)
+          ->Unit(benchmark::kMicrosecond);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cdbtune
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  cdbtune::bench::AddBenchEnvironmentContext();
+  cdbtune::RegisterAll();
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -5,6 +5,8 @@
 // via bench/run_benchmarks.sh.
 #include <benchmark/benchmark.h>
 
+#include "bench_common.h"
+
 #include <atomic>
 #include <memory>
 #include <thread>
@@ -130,4 +132,14 @@ BENCHMARK(BM_RecommendUnderLoad)->Unit(benchmark::kMicrosecond);
 }  // namespace
 }  // namespace cdbtune
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): records host/environment
+// metadata (load average, CPU model, SIMD tier, thread count) into the
+// JSON context so saved reports are self-describing.
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  cdbtune::bench::AddBenchEnvironmentContext();
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

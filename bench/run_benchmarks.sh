@@ -14,7 +14,7 @@ BUILD="${BUILD_DIR:-$ROOT/build}"
 
 cmake -S "$ROOT" -B "$BUILD" > /dev/null
 cmake --build "$BUILD" --target bench_exec_time bench_server_throughput \
-  bench_checkpoint -j "$(nproc)" > /dev/null
+  bench_checkpoint bench_gemm_kernels -j "$(nproc)" > /dev/null
 
 "$BUILD/bench/bench_exec_time" \
   --benchmark_out="$ROOT/BENCH_exec_time.json" \
@@ -23,7 +23,8 @@ cmake --build "$BUILD" --target bench_exec_time bench_server_throughput \
 
 SERVER_OUT="$(mktemp /tmp/bench_server_throughput.XXXXXX.json)"
 CKPT_OUT="$(mktemp /tmp/bench_checkpoint.XXXXXX.json)"
-trap 'rm -f "$SERVER_OUT" "$CKPT_OUT"' EXIT
+GEMM_OUT="$(mktemp /tmp/bench_gemm_kernels.XXXXXX.json)"
+trap 'rm -f "$SERVER_OUT" "$CKPT_OUT" "$GEMM_OUT"' EXIT
 "$BUILD/bench/bench_server_throughput" \
   --benchmark_out="$SERVER_OUT" \
   --benchmark_out_format=json \
@@ -32,9 +33,15 @@ trap 'rm -f "$SERVER_OUT" "$CKPT_OUT"' EXIT
   --benchmark_out="$CKPT_OUT" \
   --benchmark_out_format=json \
   "$@"
+# Per-tier GEMM shape sweep (actor/critic shapes x every supported SIMD
+# tier) so tier-vs-tier speedups live in the same report.
+"$BUILD/bench/bench_gemm_kernels" \
+  --benchmark_out="$GEMM_OUT" \
+  --benchmark_out_format=json \
+  "$@"
 
 # Fold the extra suites' "benchmarks" arrays into the main report.
-python3 - "$ROOT/BENCH_exec_time.json" "$SERVER_OUT" "$CKPT_OUT" <<'PY'
+python3 - "$ROOT/BENCH_exec_time.json" "$SERVER_OUT" "$CKPT_OUT" "$GEMM_OUT" <<'PY'
 import json
 import sys
 

@@ -119,58 +119,67 @@ Linear::Linear(size_t in_features, size_t out_features, util::Rng& rng,
 Matrix Linear::Forward(const Matrix& input, bool /*training*/) {
   CDBTUNE_DCHECK_EQ(input.cols(), in_features());
   input_cache_ = input;
-  Matrix out = input.MatMul(weight_.value);
-  out.AddRowBroadcast(bias_.value);
-  return out;
+  return input.MatMulBias(weight_.value, bias_.value);
 }
 
 Matrix Linear::Backward(const Matrix& grad_output, bool param_grads) {
   CDBTUNE_CHECK(!input_cache_.empty()) << "Backward before Forward";
   CDBTUNE_DCHECK_EQ(grad_output.cols(), out_features());
   CDBTUNE_DCHECK_EQ(grad_output.rows(), input_cache_.rows());
-  // Fused kernels: dW = input^T * g and dX = g * W^T without materializing
-  // either transpose.
+  // Fused kernels: dW = input^T * g accumulated straight into the grad
+  // buffer and dX = g * W^T, without materializing either transpose or a
+  // dW temporary.
   if (param_grads) {
-    weight_.grad.AddInPlace(input_cache_.MatMulTransposedA(grad_output));
+    input_cache_.MatMulTransposedAAccumulate(grad_output, &weight_.grad);
     bias_.grad.AddInPlace(grad_output.SumRows());
   }
   return grad_output.MatMulTransposedB(weight_.value);
 }
 
 Matrix Relu::Forward(const Matrix& input, bool /*training*/) {
-  input_cache_ = input;
-  return input.Map([](double x) { return x > 0.0 ? x : 0.0; });
+  if (!mask_.SameShape(input)) mask_ = Matrix(input.rows(), input.cols());
+  Matrix out(input.rows(), input.cols());
+  const double* x = input.data();
+  double* m = mask_.data();
+  double* y = out.data();
+  const size_t n = input.size();
+  for (size_t i = 0; i < n; ++i) {
+    const bool positive = x[i] > 0.0;
+    m[i] = positive ? 1.0 : 0.0;
+    y[i] = positive ? x[i] : 0.0;
+  }
+  return out;
 }
 
 Matrix Relu::Backward(const Matrix& grad_output, bool /*param_grads*/) {
-  CDBTUNE_DCHECK(grad_output.SameShape(input_cache_))
-      << "Relu gradient shape does not match the cached forward input";
+  CDBTUNE_DCHECK(grad_output.SameShape(mask_))
+      << "Relu gradient shape does not match the cached forward mask";
   Matrix grad = grad_output;
-  double* g = grad.data();
-  const double* x = input_cache_.data();
-  const size_t n = grad.size();
-  for (size_t i = 0; i < n; ++i) {
-    if (x[i] <= 0.0) g[i] = 0.0;
-  }
+  grad.MulInPlace(mask_);
   return grad;
 }
 
 Matrix LeakyRelu::Forward(const Matrix& input, bool /*training*/) {
-  input_cache_ = input;
+  if (!mask_.SameShape(input)) mask_ = Matrix(input.rows(), input.cols());
+  Matrix out(input.rows(), input.cols());
   const double slope = slope_;
-  return input.Map([slope](double x) { return x > 0.0 ? x : slope * x; });
+  const double* x = input.data();
+  double* m = mask_.data();
+  double* y = out.data();
+  const size_t n = input.size();
+  for (size_t i = 0; i < n; ++i) {
+    const bool positive = x[i] > 0.0;
+    m[i] = positive ? 1.0 : slope;
+    y[i] = positive ? x[i] : slope * x[i];
+  }
+  return out;
 }
 
 Matrix LeakyRelu::Backward(const Matrix& grad_output, bool /*param_grads*/) {
-  CDBTUNE_DCHECK(grad_output.SameShape(input_cache_))
-      << "LeakyRelu gradient shape does not match the cached forward input";
+  CDBTUNE_DCHECK(grad_output.SameShape(mask_))
+      << "LeakyRelu gradient shape does not match the cached forward mask";
   Matrix grad = grad_output;
-  double* g = grad.data();
-  const double* x = input_cache_.data();
-  const size_t n = grad.size();
-  for (size_t i = 0; i < n; ++i) {
-    if (x[i] <= 0.0) g[i] *= slope_;
-  }
+  grad.MulInPlace(mask_);
   return grad;
 }
 

@@ -107,7 +107,10 @@ class Relu : public Layer {
   std::string Name() const override { return "Relu"; }
 
  private:
-  Matrix input_cache_;
+  /// Per-element gradient factor (1.0 where x > 0, else 0.0), derived once
+  /// in Forward so Backward is a single contiguous Hadamard product. The
+  /// buffer persists across steps and is only reallocated on shape change.
+  Matrix mask_;
 };
 
 /// x for x > 0, slope * x otherwise. The paper's Table 5 lists "ReLU 0.2",
@@ -122,7 +125,9 @@ class LeakyRelu : public Layer {
 
  private:
   double slope_;
-  Matrix input_cache_;
+  /// Per-element gradient factor (1.0 where x > 0, else slope), derived once
+  /// in Forward; see Relu::mask_.
+  Matrix mask_;
 };
 
 class Tanh : public Layer {

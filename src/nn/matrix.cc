@@ -1,26 +1,17 @@
 #include "nn/matrix.h"
 
 #include <cmath>
+#include <cstring>
 #include <ostream>
 
+#include "nn/simd/dispatch.h"
+#include "nn/simd/gemm.h"
 #include "util/check.h"
 #include "util/thread_pool.h"
 
 namespace cdbtune::nn {
 
 namespace {
-
-/// Inner-dimension block: 64 doubles of A's row plus the matching 64 rows of
-/// B stay hot in cache while an output row accumulates.
-constexpr size_t kBlockK = 64;
-
-/// B operands at most this large (bytes) skip k-blocking: when the whole
-/// right-hand matrix fits in L2 there is nothing to keep hot, and the extra
-/// output-row sweeps per block only cost. Paper-sized layers (<= 329x256,
-/// 674 KB) stay on the unblocked path; blocking kicks in for genuinely
-/// large operands. Both paths accumulate each output in ascending-k order,
-/// so the choice never changes results.
-constexpr size_t kBlockedGemmBytes = 1 << 21;
 
 /// Multiply-add count below which parallel dispatch costs more than it
 /// saves; ranges were picked so batch-32 layer matmuls (32x329x256 ≈ 2.7M
@@ -30,114 +21,52 @@ constexpr size_t kParallelFlops = 256 * 1024;
 /// Minimum rows per chunk when splitting an output across threads.
 constexpr size_t kRowGrain = 4;
 
-/// Straight ikj GEMM over output rows [r0, r1): the whole B operand streams
-/// through cache once per output row. Outputs are freshly allocated by the
-/// callers, hence __restrict__ — without it the compiler must assume
-/// o_row may alias b_row and gives up on vectorizing the axpy.
-void GemmRows(const double* __restrict__ a_data,
-              const double* __restrict__ b_data, double* __restrict__ o_data,
-              size_t k, size_t m, size_t r0, size_t r1) {
-  for (size_t i = r0; i < r1; ++i) {
-    const double* a_row = a_data + i * k;
-    double* o_row = o_data + i * m;
-    for (size_t p = 0; p < k; ++p) {
-      const double a = a_row[p];
-      if (a == 0.0) continue;  // ReLU-sparse activations skip whole rows.
-      const double* b_row = b_data + p * m;
-      for (size_t j = 0; j < m; ++j) o_row[j] += a * b_row[j];
+/// Batches smaller than this never pack B: the pack pass streams the whole
+/// operand once, which only amortizes when enough output rows reuse it.
+/// Row-vector recommendation forwards (n = 1) always take the raw-B path.
+constexpr size_t kPackMinRows = 8;
+
+/// O += A * B via the active tier's row kernel. The output must be
+/// pre-initialized (zeros, or bias rows for the fused path). B is packed
+/// into column strips when the tier packs and the shape is large enough to
+/// amortize the pass — a decision that depends only on the shape and tier,
+/// never the thread count, and packed/raw kernels accumulate in the same
+/// order, so it cannot affect results.
+void GemmInto(const double* a_data, const double* b_data, double* o_data,
+              size_t n, size_t k, size_t m) {
+  const simd::GemmKernels* kern = &simd::ActiveKernels();
+  const bool parallel = n * k * m >= kParallelFlops;
+  std::vector<double> packed;
+  const double* bp = nullptr;
+  if (kern->pack_width != 0 && n >= kPackMinRows && parallel) {
+    packed.resize(simd::PackedBSize(kern->pack_width, k, m));
+    if (!packed.empty()) {
+      kern->pack_b(b_data, packed.data(), k, m);
+      bp = packed.data();
     }
+  }
+  if (parallel) {
+    util::ComputeContext::Get().ParallelFor(
+        0, n, kRowGrain, [=](size_t r0, size_t r1) {
+          kern->gemm_rows(a_data, b_data, bp, o_data, k, m, r0, r1);
+        });
+  } else {
+    kern->gemm_rows(a_data, b_data, bp, o_data, k, m, 0, n);
   }
 }
 
-/// Cache-blocked variant for B operands that overflow L2: a kBlockK-row
-/// panel of B stays hot across all output rows of the chunk. Contributions
-/// still arrive in ascending-k order, so both variants produce bitwise
-/// identical results. Kept as a separate function (not a runtime block-size
-/// parameter) so the compiler optimizes each inner loop independently.
-void GemmRowsBlocked(const double* __restrict__ a_data,
-                     const double* __restrict__ b_data,
-                     double* __restrict__ o_data, size_t k, size_t m,
-                     size_t r0, size_t r1) {
-  for (size_t kb = 0; kb < k; kb += kBlockK) {
-    const size_t k_end = std::min(k, kb + kBlockK);
-    for (size_t i = r0; i < r1; ++i) {
-      const double* a_row = a_data + i * k;
-      double* o_row = o_data + i * m;
-      for (size_t p = kb; p < k_end; ++p) {
-        const double a = a_row[p];
-        if (a == 0.0) continue;
-        const double* b_row = b_data + p * m;
-        for (size_t j = 0; j < m; ++j) o_row[j] += a * b_row[j];
-      }
-    }
-  }
-}
-
-/// out[p][j] += sum_i a[i][p] * b[i][j] for p in [p0, p1) — the A^T * B
-/// kernel. Four i's in flight per output sweep quarter the store traffic
-/// (the output is re-swept n/4 instead of n times). Each element's
-/// accumulation order is a fixed function of i alone, so the result does
-/// not depend on the p split and is identical at every thread count.
-void GemmTransposedACols(const double* __restrict__ a_data,
-                         const double* __restrict__ b_data,
-                         double* __restrict__ o_data, size_t n, size_t k,
-                         size_t m, size_t p0, size_t p1) {
-  size_t i = 0;
-  for (; i + 4 <= n; i += 4) {
-    const double* a0 = a_data + i * k;
-    const double* a1 = a0 + k;
-    const double* a2 = a1 + k;
-    const double* a3 = a2 + k;
-    const double* b0 = b_data + i * m;
-    const double* b1 = b0 + m;
-    const double* b2 = b1 + m;
-    const double* b3 = b2 + m;
-    for (size_t p = p0; p < p1; ++p) {
-      const double v0 = a0[p], v1 = a1[p], v2 = a2[p], v3 = a3[p];
-      if (v0 == 0.0 && v1 == 0.0 && v2 == 0.0 && v3 == 0.0) continue;
-      double* o_row = o_data + p * m;
-      for (size_t j = 0; j < m; ++j) {
-        o_row[j] += v0 * b0[j] + v1 * b1[j] + v2 * b2[j] + v3 * b3[j];
-      }
-    }
-  }
-  for (; i < n; ++i) {
-    const double* a_row = a_data + i * k;
-    const double* b_row = b_data + i * m;
-    for (size_t p = p0; p < p1; ++p) {
-      const double a = a_row[p];
-      if (a == 0.0) continue;
-      double* o_row = o_data + p * m;
-      for (size_t j = 0; j < m; ++j) o_row[j] += a * b_row[j];
-    }
-  }
-}
-
-/// out[i][j] = dot(a row i, b row j) for i in [r0, r1) — the A * B^T
-/// kernel. Four partial sums break the FP add dependency chain (a
-/// single-accumulator dot is latency-bound); the summation order is fixed,
-/// so results are deterministic at every thread count.
-void GemmTransposedBRows(const double* __restrict__ a_data,
-                         const double* __restrict__ b_data,
-                         double* __restrict__ o_data, size_t k, size_t m,
-                         size_t r0, size_t r1) {
-  const size_t k4 = k - k % 4;
-  for (size_t i = r0; i < r1; ++i) {
-    const double* a_row = a_data + i * k;
-    double* o_row = o_data + i * m;
-    for (size_t j = 0; j < m; ++j) {
-      const double* b_row = b_data + j * k;
-      double acc0 = 0.0, acc1 = 0.0, acc2 = 0.0, acc3 = 0.0;
-      for (size_t p = 0; p < k4; p += 4) {
-        acc0 += a_row[p] * b_row[p];
-        acc1 += a_row[p + 1] * b_row[p + 1];
-        acc2 += a_row[p + 2] * b_row[p + 2];
-        acc3 += a_row[p + 3] * b_row[p + 3];
-      }
-      double acc = (acc0 + acc1) + (acc2 + acc3);
-      for (size_t p = k4; p < k; ++p) acc += a_row[p] * b_row[p];
-      o_row[j] = acc;
-    }
+/// O += A^T * B via the active tier. Threads own disjoint p ranges (rows of
+/// the output); each runs the full ascending-i accumulation itself.
+void GemmTransposedAInto(const double* a_data, const double* b_data,
+                         double* o_data, size_t n, size_t k, size_t m) {
+  const simd::GemmKernels* kern = &simd::ActiveKernels();
+  if (n * k * m >= kParallelFlops) {
+    util::ComputeContext::Get().ParallelFor(
+        0, k, kRowGrain, [=](size_t p0, size_t p1) {
+          kern->gemm_ta_cols(a_data, b_data, o_data, n, k, m, p0, p1);
+        });
+  } else {
+    kern->gemm_ta_cols(a_data, b_data, o_data, n, k, m, 0, k);
   }
 }
 
@@ -189,22 +118,27 @@ Matrix Matrix::MatMul(const Matrix& other) const {
       << "matmul shape mismatch: " << rows_ << "x" << cols_ << " * "
       << other.rows_ << "x" << other.cols_;
   Matrix out(rows_, other.cols_);
-  const size_t n = rows_, k = cols_, m = other.cols_;
-  const double* a_data = data_.data();
-  const double* b_data = other.data_.data();
-  double* o_data = out.data_.data();
-  const bool blocked = k * m * sizeof(double) > kBlockedGemmBytes;
-  if (n * k * m >= kParallelFlops) {
-    util::ComputeContext::Get().ParallelFor(
-        0, n, kRowGrain, [=](size_t r0, size_t r1) {
-          blocked ? GemmRowsBlocked(a_data, b_data, o_data, k, m, r0, r1)
-                  : GemmRows(a_data, b_data, o_data, k, m, r0, r1);
-        });
-  } else if (blocked) {
-    GemmRowsBlocked(a_data, b_data, o_data, k, m, 0, n);
-  } else {
-    GemmRows(a_data, b_data, o_data, k, m, 0, n);
+  GemmInto(data_.data(), other.data_.data(), out.data_.data(), rows_, cols_,
+           other.cols_);
+  return out;
+}
+
+Matrix Matrix::MatMulBias(const Matrix& other, const Matrix& bias) const {
+  CDBTUNE_CHECK(cols_ == other.rows_)
+      << "matmul shape mismatch: " << rows_ << "x" << cols_ << " * "
+      << other.rows_ << "x" << other.cols_;
+  CDBTUNE_CHECK(bias.rows_ == 1 && bias.cols_ == other.cols_)
+      << "bias must be 1x" << other.cols_;
+  Matrix out(rows_, other.cols_);
+  // Seed every output row with the bias, then accumulate the product on
+  // top: one pass over the output instead of matmul + broadcast-add.
+  const size_t m = other.cols_;
+  for (size_t r = 0; r < rows_; ++r) {
+    std::memcpy(out.data_.data() + r * m, bias.data_.data(),
+                m * sizeof(double));
   }
+  GemmInto(data_.data(), other.data_.data(), out.data_.data(), rows_, cols_,
+           m);
   return out;
 }
 
@@ -213,21 +147,20 @@ Matrix Matrix::MatMulTransposedA(const Matrix& other) const {
       << "matmul^T_A shape mismatch: (" << rows_ << "x" << cols_ << ")^T * "
       << other.rows_ << "x" << other.cols_;
   Matrix out(cols_, other.cols_);
-  const size_t n = rows_, k = cols_, m = other.cols_;
-  const double* a_data = data_.data();
-  const double* b_data = other.data_.data();
-  double* o_data = out.data_.data();
-  // Threads own disjoint p ranges (rows of the output); each runs the full
-  // ascending-i accumulation itself.
-  if (n * k * m >= kParallelFlops) {
-    util::ComputeContext::Get().ParallelFor(
-        0, k, kRowGrain, [=](size_t p0, size_t p1) {
-          GemmTransposedACols(a_data, b_data, o_data, n, k, m, p0, p1);
-        });
-  } else {
-    GemmTransposedACols(a_data, b_data, o_data, n, k, m, 0, k);
-  }
+  GemmTransposedAInto(data_.data(), other.data_.data(), out.data_.data(),
+                      rows_, cols_, other.cols_);
   return out;
+}
+
+void Matrix::MatMulTransposedAAccumulate(const Matrix& other,
+                                         Matrix* acc) const {
+  CDBTUNE_CHECK(rows_ == other.rows_)
+      << "matmul^T_A shape mismatch: (" << rows_ << "x" << cols_ << ")^T * "
+      << other.rows_ << "x" << other.cols_;
+  CDBTUNE_CHECK(acc->rows_ == cols_ && acc->cols_ == other.cols_)
+      << "accumulator must be " << cols_ << "x" << other.cols_;
+  GemmTransposedAInto(data_.data(), other.data_.data(), acc->data_.data(),
+                      rows_, cols_, other.cols_);
 }
 
 Matrix Matrix::MatMulTransposedB(const Matrix& other) const {
@@ -239,13 +172,14 @@ Matrix Matrix::MatMulTransposedB(const Matrix& other) const {
   const double* a_data = data_.data();
   const double* b_data = other.data_.data();
   double* o_data = out.data_.data();
+  const simd::GemmKernels* kern = &simd::ActiveKernels();
   if (n * k * m >= kParallelFlops) {
     util::ComputeContext::Get().ParallelFor(
         0, n, kRowGrain, [=](size_t r0, size_t r1) {
-          GemmTransposedBRows(a_data, b_data, o_data, k, m, r0, r1);
+          kern->gemm_tb_rows(a_data, b_data, o_data, k, m, r0, r1);
         });
   } else {
-    GemmTransposedBRows(a_data, b_data, o_data, k, m, 0, n);
+    kern->gemm_tb_rows(a_data, b_data, o_data, k, m, 0, n);
   }
   return out;
 }

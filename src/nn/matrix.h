@@ -14,11 +14,14 @@ namespace cdbtune::nn {
 /// library needs. A batch of N state vectors of dimension D is an N x D
 /// matrix; a Linear layer's weight is in_features x out_features.
 ///
-/// Matmul kernels are cache-blocked over the inner dimension and dispatch
-/// row ranges onto util::ComputeContext's pool above a flop threshold.
-/// Each output element is accumulated in a fixed k-ascending order by
-/// exactly one thread, so results are bitwise identical at any thread
-/// count (the determinism contract in DESIGN.md "Parallelism & kernels").
+/// Matmul entry points dispatch to the SIMD microkernel tier selected at
+/// runtime (nn/simd/dispatch.h: scalar / AVX2 / AVX-512, overridable via
+/// CDBTUNE_SIMD) and split row ranges onto util::ComputeContext's pool
+/// above a flop threshold. Each output element is accumulated in a fixed
+/// order by exactly one thread, and every tier implements the same
+/// reference accumulation semantics (nn/simd/gemm.h), so results are
+/// bitwise identical at any thread count AND any dispatch tier (the
+/// determinism contract in DESIGN.md "Parallelism & kernels").
 class Matrix {
  public:
   Matrix() : rows_(0), cols_(0) {}
@@ -58,10 +61,21 @@ class Matrix {
   /// Matrix product this(NxK) * other(KxM) -> NxM.
   Matrix MatMul(const Matrix& other) const;
 
+  /// Fused this(NxK) * other(KxM) + bias(1xM) broadcast to every row:
+  /// the Linear-forward path. Seeds the output with the bias and
+  /// accumulates the product on top, saving a full output sweep versus
+  /// MatMul + AddRowBroadcast.
+  Matrix MatMulBias(const Matrix& other, const Matrix& bias) const;
+
   /// Fused this^T * other: this(NxK), other(NxM) -> KxM, without
   /// materializing the transpose. Backprop weight gradients
   /// (input^T * grad_output) hit this kernel every minibatch.
   Matrix MatMulTransposedA(const Matrix& other) const;
+
+  /// MatMulTransposedA accumulated into an existing KxM matrix (`*acc +=
+  /// this^T * other`): the weight-gradient path, which adds into the
+  /// parameter's grad buffer without a temporary.
+  void MatMulTransposedAAccumulate(const Matrix& other, Matrix* acc) const;
 
   /// Fused this * other^T: this(NxK), other(MxK) -> NxM. Each output is a
   /// dot product of two contiguous rows — the input-gradient kernel

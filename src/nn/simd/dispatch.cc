@@ -1,0 +1,122 @@
+#include "nn/simd/dispatch.h"
+
+#include <atomic>
+#include <cstdlib>
+
+#include "util/logging.h"
+
+namespace cdbtune::nn::simd {
+
+namespace {
+
+const GemmKernels* KernelTable(Tier tier) {
+  switch (tier) {
+    case Tier::kScalar:
+      return &kScalarKernels;
+    case Tier::kAvx2:
+      return &kAvx2Kernels;
+    case Tier::kAvx512:
+      return &kAvx512Kernels;
+  }
+  return &kScalarKernels;
+}
+
+/// Does the running CPU implement the tier's ISA? Compile-time support is
+/// checked separately via GemmKernels::supported.
+bool CpuSupports(Tier tier) {
+#if defined(__x86_64__) || defined(__i386__)
+  switch (tier) {
+    case Tier::kScalar:
+      return true;
+    case Tier::kAvx2:
+      // The AVX2 kernel file is built with -mavx2 -mfma; require both so
+      // the compiler is free to use either ISA anywhere in that unit.
+      return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+    case Tier::kAvx512:
+      return __builtin_cpu_supports("avx512f");
+  }
+  return false;
+#else
+  return tier == Tier::kScalar;
+#endif
+}
+
+Tier BestSupported() {
+  if (TierSupported(Tier::kAvx512)) return Tier::kAvx512;
+  if (TierSupported(Tier::kAvx2)) return Tier::kAvx2;
+  return Tier::kScalar;
+}
+
+Tier Detect() {
+  Tier best = BestSupported();
+  const char* env = std::getenv("CDBTUNE_SIMD");
+  if (env == nullptr || *env == '\0') return best;
+  Tier requested;
+  if (!ParseTier(env, &requested)) {
+    CDBTUNE_LOG(Warning) << "CDBTUNE_SIMD=" << env
+                         << " is not scalar|avx2|avx512; using "
+                         << TierName(best);
+    return best;
+  }
+  if (!TierSupported(requested)) {
+    CDBTUNE_LOG(Warning) << "CDBTUNE_SIMD=" << env
+                         << " not supported on this CPU/build; using "
+                         << TierName(best);
+    return best;
+  }
+  return requested;
+}
+
+/// -1 = not yet resolved. Concurrent first calls race benignly: Detect() is
+/// a pure function of the environment, so every racer stores the same tier.
+std::atomic<int> g_active_tier{-1};
+
+}  // namespace
+
+const char* TierName(Tier tier) {
+  switch (tier) {
+    case Tier::kScalar:
+      return "scalar";
+    case Tier::kAvx2:
+      return "avx2";
+    case Tier::kAvx512:
+      return "avx512";
+  }
+  return "unknown";
+}
+
+bool ParseTier(const std::string& text, Tier* out) {
+  if (text == "scalar") {
+    *out = Tier::kScalar;
+  } else if (text == "avx2") {
+    *out = Tier::kAvx2;
+  } else if (text == "avx512") {
+    *out = Tier::kAvx512;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+bool TierSupported(Tier tier) {
+  return KernelTable(tier)->supported && CpuSupports(tier);
+}
+
+Tier ActiveTier() {
+  int tier = g_active_tier.load();
+  if (tier < 0) {
+    tier = static_cast<int>(Detect());
+    g_active_tier.store(tier);
+  }
+  return static_cast<Tier>(tier);
+}
+
+const GemmKernels& ActiveKernels() { return *KernelTable(ActiveTier()); }
+
+bool SetTier(Tier tier) {
+  if (!TierSupported(tier)) return false;
+  g_active_tier.store(static_cast<int>(tier));
+  return true;
+}
+
+}  // namespace cdbtune::nn::simd

@@ -1,0 +1,44 @@
+#ifndef CDBTUNE_NN_SIMD_DISPATCH_H_
+#define CDBTUNE_NN_SIMD_DISPATCH_H_
+
+#include <string>
+
+#include "nn/simd/gemm.h"
+
+namespace cdbtune::nn::simd {
+
+/// Instruction-set tiers for the GEMM microkernels, ordered by preference.
+/// All tiers produce bitwise identical results (see gemm.h), so dispatch is
+/// purely a performance decision.
+enum class Tier { kScalar = 0, kAvx2 = 1, kAvx512 = 2 };
+
+inline constexpr int kNumTiers = 3;
+
+const char* TierName(Tier tier);
+
+/// Parses "scalar" / "avx2" / "avx512" (the CDBTUNE_SIMD vocabulary).
+/// Returns false on anything else.
+bool ParseTier(const std::string& text, Tier* out);
+
+/// True when the tier's kernels were compiled in AND the running CPU
+/// reports the matching ISA. kScalar is always available.
+bool TierSupported(Tier tier);
+
+/// The tier every Matrix GEMM currently dispatches to. Resolved once on
+/// first use: the CDBTUNE_SIMD environment variable if set to a supported
+/// tier (an unsupported or unknown value logs a warning and falls through),
+/// otherwise the best tier the CPU supports.
+Tier ActiveTier();
+
+/// Kernel table for ActiveTier().
+const GemmKernels& ActiveKernels();
+
+/// Overrides the active tier (tests and the per-tier GEMM bench). Returns
+/// false — leaving the active tier unchanged — when the tier is not
+/// supported on this machine. Not thread-safe against concurrent GEMMs;
+/// call from the top level, like ComputeContext::SetThreads.
+bool SetTier(Tier tier);
+
+}  // namespace cdbtune::nn::simd
+
+#endif  // CDBTUNE_NN_SIMD_DISPATCH_H_

@@ -1,0 +1,92 @@
+#ifndef CDBTUNE_NN_SIMD_GEMM_H_
+#define CDBTUNE_NN_SIMD_GEMM_H_
+
+#include <cstddef>
+
+namespace cdbtune::nn::simd {
+
+/// GEMM microkernel tables — one per dispatch tier (scalar / AVX2 / AVX-512).
+///
+/// Every tier implements the SAME reference accumulation semantics, so the
+/// results are bitwise identical across tiers and thread counts (DESIGN.md
+/// "Parallelism & kernels"). The reference semantics are:
+///
+///   gemm_rows    o[i][j] += sum over p ascending of a[i][p] * b[p][j],
+///                every term a separate IEEE multiply then add (two
+///                roundings — never a fused multiply-add), terms with
+///                a[i][p] == 0.0 skipped entirely (ReLU-sparse rows).
+///   gemm_ta_cols o[p][j] += A^T B contributions with i consumed in quads:
+///                for each ascending group i, i+1, i+2, i+3 the term
+///                (((v0*b0 + v1*b1) + v2*b2) + v3*b3) is added, skipped
+///                when all four v's are zero; leftover i's (n % 4) are
+///                appended one at a time with a per-i zero skip.
+///   gemm_tb_rows o[i][j] = dot(a row i, b row j) reduced in kTbLanes
+///                fixed strided lanes (lane l sums p == l mod kTbLanes),
+///                combined by folding the lane array in halves
+///                (lane[x] += lane[x + h] for h = 8, 4, 2, 1), then the
+///                k % kTbLanes tail added sequentially.
+///
+/// Because each output element is owned by exactly one thread and its
+/// accumulation order is a fixed property of these semantics, any register
+/// blocking, panel packing, or row/column partitioning is free to vary per
+/// tier without changing a single bit of the result.
+///
+/// FMA note: the AVX2/AVX-512 translation units are compiled with the FMA
+/// ISA enabled but all kernels use explicit mul+add vectors and the files
+/// are built with -ffp-contract=off. A fused multiply-add rounds once where
+/// the portable scalar tier rounds twice, so contraction would break the
+/// cross-tier bitwise contract; this deliberate relaxation (vector width
+/// without fused arithmetic) is documented in DESIGN.md §6.
+struct GemmKernels {
+  const char* name;
+  /// False when the translation unit was built without the tier's ISA (non
+  /// x86 target or a compiler without the -m flags); the dispatcher treats
+  /// such a tier as absent. Runtime CPUID gating is layered on top.
+  bool supported;
+
+  /// Panel width W (doubles) used by pack_b, or 0 when the tier reads the
+  /// raw row-major B operand directly and never packs.
+  size_t pack_width;
+  /// Packs the leading (m / W) * W columns of B (k x m, row-major) into
+  /// column strips of width W: bp[s * k * W + p * W + w] = b[p][s * W + w].
+  /// The ragged tail columns stay unpacked; kernels read them from B.
+  void (*pack_b)(const double* b, double* bp, size_t k, size_t m);
+
+  /// C = A * B rows [r0, r1): accumulates into o (caller pre-initializes
+  /// the output with zeros or a fused bias row). `bp` is a PackB panel or
+  /// null; when null the kernel streams the raw B.
+  void (*gemm_rows)(const double* a, const double* b, const double* bp,
+                    double* o, size_t k, size_t m, size_t r0, size_t r1);
+
+  /// O = A^T * B output rows [p0, p1), accumulating into o. A is n x k,
+  /// B is n x m, O is k x m.
+  void (*gemm_ta_cols)(const double* a, const double* b, double* o, size_t n,
+                       size_t k, size_t m, size_t p0, size_t p1);
+
+  /// O = A * B^T output rows [r0, r1), overwriting o. A is n x k, B is
+  /// m x k, O is n x m.
+  void (*gemm_tb_rows)(const double* a, const double* b, double* o, size_t k,
+                       size_t m, size_t r0, size_t r1);
+};
+
+/// Fixed reduction width of gemm_tb_rows. Every tier accumulates dot
+/// products in exactly this many strided lanes regardless of its vector
+/// width (scalar: a 16-double array; AVX2: four 4-lane registers; AVX-512:
+/// two 8-lane registers), which is what makes the tiers bit-compatible.
+inline constexpr size_t kTbLanes = 16;
+
+/// Doubles required for a pack_b panel buffer: full strips only.
+inline constexpr size_t PackedBSize(size_t pack_width, size_t k, size_t m) {
+  return pack_width == 0 ? 0 : (m / pack_width) * k * pack_width;
+}
+
+/// Tier tables, defined in gemm_scalar.cc / gemm_avx2.cc / gemm_avx512.cc.
+/// The vector tables degrade to {supported = false} when their translation
+/// unit is compiled without the matching ISA flags.
+extern const GemmKernels kScalarKernels;
+extern const GemmKernels kAvx2Kernels;
+extern const GemmKernels kAvx512Kernels;
+
+}  // namespace cdbtune::nn::simd
+
+#endif  // CDBTUNE_NN_SIMD_GEMM_H_

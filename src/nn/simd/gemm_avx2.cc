@@ -1,0 +1,251 @@
+// AVX2 tier: 256-bit register-blocked GEMM microkernels. Compiled with
+// -mavx2 -mfma -ffp-contract=off; every kernel uses explicit mul-then-add
+// vectors (never an FMA intrinsic) so each element accumulates with the
+// same two-rounding arithmetic as the scalar tier — the -ffp-contract=off
+// keeps the compiler from re-fusing them. On a non-AVX2 build this file
+// degrades to a {supported = false} table and the dispatcher skips it.
+#include "nn/simd/gemm.h"
+
+#if defined(__AVX2__) && defined(__FMA__)
+
+#include <immintrin.h>
+
+#include <algorithm>
+
+namespace cdbtune::nn::simd {
+
+namespace {
+
+/// Column-strip width: one microtile row spans two ymm registers.
+constexpr size_t kW = 8;
+/// Microtile height. 6 rows x 2 vectors = 12 accumulators, 2 B vectors and
+/// 1 broadcast leave one of the 16 ymm registers spare.
+constexpr size_t kTileRows = 6;
+
+void Avx2PackB(const double* b, double* bp, size_t k, size_t m) {
+  const size_t strips = m / kW;
+  for (size_t s = 0; s < strips; ++s) {
+    const double* src = b + s * kW;
+    double* dst = bp + s * k * kW;
+    for (size_t p = 0; p < k; ++p) {
+      _mm256_storeu_pd(dst, _mm256_loadu_pd(src));
+      _mm256_storeu_pd(dst + 4, _mm256_loadu_pd(src + 4));
+      src += m;
+      dst += kW;
+    }
+  }
+}
+
+/// One kRows x 8 output tile: accumulators live in registers across the
+/// whole k sweep. The per-row a == 0.0 test skips the row's term exactly
+/// like the scalar kernel (required for bit-identity: 0 * inf and -0.0
+/// cases aside, a skipped term must stay skipped).
+template <int kRows>
+void RowTile(const double* a, size_t lda, const double* bsrc, size_t bstride,
+             double* o, size_t ldo, size_t k) {
+  __m256d acc[kRows][2];
+  for (int r = 0; r < kRows; ++r) {
+    acc[r][0] = _mm256_loadu_pd(o + r * ldo);
+    acc[r][1] = _mm256_loadu_pd(o + r * ldo + 4);
+  }
+  for (size_t p = 0; p < k; ++p) {
+    const double* b_row = bsrc + p * bstride;
+    const __m256d b0 = _mm256_loadu_pd(b_row);
+    const __m256d b1 = _mm256_loadu_pd(b_row + 4);
+    for (int r = 0; r < kRows; ++r) {
+      const double av = a[r * lda + p];
+      if (av == 0.0) continue;
+      const __m256d av_v = _mm256_set1_pd(av);
+      acc[r][0] = _mm256_add_pd(acc[r][0], _mm256_mul_pd(av_v, b0));
+      acc[r][1] = _mm256_add_pd(acc[r][1], _mm256_mul_pd(av_v, b1));
+    }
+  }
+  for (int r = 0; r < kRows; ++r) {
+    _mm256_storeu_pd(o + r * ldo, acc[r][0]);
+    _mm256_storeu_pd(o + r * ldo + 4, acc[r][1]);
+  }
+}
+
+void RowTileDispatch(int rows, const double* a, size_t lda, const double* bsrc,
+                     size_t bstride, double* o, size_t ldo, size_t k) {
+  switch (rows) {
+    case 6:
+      RowTile<6>(a, lda, bsrc, bstride, o, ldo, k);
+      break;
+    case 5:
+      RowTile<5>(a, lda, bsrc, bstride, o, ldo, k);
+      break;
+    case 4:
+      RowTile<4>(a, lda, bsrc, bstride, o, ldo, k);
+      break;
+    case 3:
+      RowTile<3>(a, lda, bsrc, bstride, o, ldo, k);
+      break;
+    case 2:
+      RowTile<2>(a, lda, bsrc, bstride, o, ldo, k);
+      break;
+    default:
+      RowTile<1>(a, lda, bsrc, bstride, o, ldo, k);
+      break;
+  }
+}
+
+void Avx2GemmRows(const double* a, const double* b, const double* bp,
+                  double* o, size_t k, size_t m, size_t r0, size_t r1) {
+  const size_t strips = m / kW;
+  const size_t tail_c = strips * kW;
+  for (size_t i = r0; i < r1; i += kTileRows) {
+    const int rows = static_cast<int>(std::min(kTileRows, r1 - i));
+    const double* a_tile = a + i * k;
+    double* o_tile = o + i * m;
+    for (size_t s = 0; s < strips; ++s) {
+      if (bp != nullptr) {
+        RowTileDispatch(rows, a_tile, k, bp + s * k * kW, kW, o_tile + s * kW,
+                        m, k);
+      } else {
+        RowTileDispatch(rows, a_tile, k, b + s * kW, m, o_tile + s * kW, m, k);
+      }
+    }
+    // Ragged tail columns (m % 8) read raw B with the scalar reference loop.
+    for (int r = 0; r < rows; ++r) {
+      const double* a_row = a_tile + r * k;
+      double* o_row = o_tile + r * m;
+      for (size_t p = 0; p < k; ++p) {
+        const double av = a_row[p];
+        if (av == 0.0) continue;
+        const double* b_row = b + p * m;
+        for (size_t j = tail_c; j < m; ++j) o_row[j] += av * b_row[j];
+      }
+    }
+  }
+}
+
+void Avx2GemmTaCols(const double* a, const double* b, double* o, size_t n,
+                    size_t k, size_t m, size_t p0, size_t p1) {
+  const size_t m4 = m - m % 4;
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const double* a0 = a + i * k;
+    const double* a1 = a0 + k;
+    const double* a2 = a1 + k;
+    const double* a3 = a2 + k;
+    const double* b0 = b + i * m;
+    const double* b1 = b0 + m;
+    const double* b2 = b1 + m;
+    const double* b3 = b2 + m;
+    for (size_t p = p0; p < p1; ++p) {
+      const double v0 = a0[p], v1 = a1[p], v2 = a2[p], v3 = a3[p];
+      if (v0 == 0.0 && v1 == 0.0 && v2 == 0.0 && v3 == 0.0) continue;
+      double* o_row = o + p * m;
+      const __m256d w0 = _mm256_set1_pd(v0);
+      const __m256d w1 = _mm256_set1_pd(v1);
+      const __m256d w2 = _mm256_set1_pd(v2);
+      const __m256d w3 = _mm256_set1_pd(v3);
+      size_t j = 0;
+      for (; j < m4; j += 4) {
+        // Same association as the scalar quad term:
+        // (((v0*b0 + v1*b1) + v2*b2) + v3*b3).
+        __m256d t = _mm256_add_pd(_mm256_mul_pd(w0, _mm256_loadu_pd(b0 + j)),
+                                  _mm256_mul_pd(w1, _mm256_loadu_pd(b1 + j)));
+        t = _mm256_add_pd(t, _mm256_mul_pd(w2, _mm256_loadu_pd(b2 + j)));
+        t = _mm256_add_pd(t, _mm256_mul_pd(w3, _mm256_loadu_pd(b3 + j)));
+        _mm256_storeu_pd(o_row + j, _mm256_add_pd(_mm256_loadu_pd(o_row + j), t));
+      }
+      for (; j < m; ++j) {
+        o_row[j] += v0 * b0[j] + v1 * b1[j] + v2 * b2[j] + v3 * b3[j];
+      }
+    }
+  }
+  for (; i < n; ++i) {
+    const double* a_row = a + i * k;
+    const double* b_row = b + i * m;
+    for (size_t p = p0; p < p1; ++p) {
+      const double av = a_row[p];
+      if (av == 0.0) continue;
+      double* o_row = o + p * m;
+      const __m256d av_v = _mm256_set1_pd(av);
+      size_t j = 0;
+      for (; j < m4; j += 4) {
+        _mm256_storeu_pd(
+            o_row + j,
+            _mm256_add_pd(_mm256_loadu_pd(o_row + j),
+                          _mm256_mul_pd(av_v, _mm256_loadu_pd(b_row + j))));
+      }
+      for (; j < m; ++j) o_row[j] += av * b_row[j];
+    }
+  }
+}
+
+void Avx2GemmTbRows(const double* a, const double* b, double* o, size_t k,
+                    size_t m, size_t r0, size_t r1) {
+  const size_t k16 = k - k % kTbLanes;
+  for (size_t i = r0; i < r1; ++i) {
+    const double* a_row = a + i * k;
+    double* o_row = o + i * m;
+    for (size_t j = 0; j < m; ++j) {
+      const double* b_row = b + j * k;
+      // Four ymm accumulators hold the 16 reference lanes: acc0 = lanes
+      // 0-3, acc1 = 4-7, acc2 = 8-11, acc3 = 12-15.
+      __m256d acc0 = _mm256_setzero_pd();
+      __m256d acc1 = _mm256_setzero_pd();
+      __m256d acc2 = _mm256_setzero_pd();
+      __m256d acc3 = _mm256_setzero_pd();
+      for (size_t p = 0; p < k16; p += kTbLanes) {
+        acc0 = _mm256_add_pd(acc0, _mm256_mul_pd(_mm256_loadu_pd(a_row + p),
+                                                 _mm256_loadu_pd(b_row + p)));
+        acc1 = _mm256_add_pd(
+            acc1, _mm256_mul_pd(_mm256_loadu_pd(a_row + p + 4),
+                                _mm256_loadu_pd(b_row + p + 4)));
+        acc2 = _mm256_add_pd(
+            acc2, _mm256_mul_pd(_mm256_loadu_pd(a_row + p + 8),
+                                _mm256_loadu_pd(b_row + p + 8)));
+        acc3 = _mm256_add_pd(
+            acc3, _mm256_mul_pd(_mm256_loadu_pd(a_row + p + 12),
+                                _mm256_loadu_pd(b_row + p + 12)));
+      }
+      // Reference fold-by-halves: h=8 -> acc0+=acc2, acc1+=acc3;
+      // h=4 -> acc0+=acc1; h=2 and h=1 inside the low xmm.
+      acc0 = _mm256_add_pd(acc0, acc2);
+      acc1 = _mm256_add_pd(acc1, acc3);
+      acc0 = _mm256_add_pd(acc0, acc1);
+      __m128d lo = _mm256_castpd256_pd128(acc0);
+      const __m128d hi = _mm256_extractf128_pd(acc0, 1);
+      lo = _mm_add_pd(lo, hi);
+      double acc = _mm_cvtsd_f64(_mm_add_sd(lo, _mm_unpackhi_pd(lo, lo)));
+      for (size_t p = k16; p < k; ++p) acc += a_row[p] * b_row[p];
+      o_row[j] = acc;
+    }
+  }
+}
+
+}  // namespace
+
+const GemmKernels kAvx2Kernels = {
+    /*name=*/"avx2",
+    /*supported=*/true,
+    /*pack_width=*/kW,
+    /*pack_b=*/&Avx2PackB,
+    /*gemm_rows=*/&Avx2GemmRows,
+    /*gemm_ta_cols=*/&Avx2GemmTaCols,
+    /*gemm_tb_rows=*/&Avx2GemmTbRows,
+};
+
+}  // namespace cdbtune::nn::simd
+
+#else  // !(__AVX2__ && __FMA__)
+
+namespace cdbtune::nn::simd {
+
+const GemmKernels kAvx2Kernels = {
+    /*name=*/"avx2",
+    /*supported=*/false,
+    /*pack_width=*/0,
+    /*pack_b=*/nullptr,
+    /*gemm_rows=*/nullptr,
+    /*gemm_ta_cols=*/nullptr,
+    /*gemm_tb_rows=*/nullptr,
+};
+
+}  // namespace cdbtune::nn::simd
+
+#endif

@@ -1,0 +1,308 @@
+// AVX-512 tier: 512-bit register-blocked GEMM microkernels using only the
+// AVX512F subset (no DQ/VL, so any avx512f CPU qualifies). Compiled with
+// -mavx512f -ffp-contract=off; like the AVX2 tier, every kernel is explicit
+// mul-then-add — never a fused multiply-add — so results stay bitwise
+// identical to the scalar reference. Ragged column tails use masked
+// loads/stores instead of a scalar loop: a zero-masked load yields 0.0 in
+// the dead lanes and the masked store discards them, so tail arithmetic is
+// still per-element identical to the reference.
+#include "nn/simd/gemm.h"
+
+#if defined(__AVX512F__)
+
+#include <immintrin.h>
+
+#include <algorithm>
+
+namespace cdbtune::nn::simd {
+
+namespace {
+
+/// Column-strip width: one microtile row spans two zmm registers.
+constexpr size_t kW = 16;
+/// Microtile height. 8 rows x 2 vectors = 16 accumulators, 2 B vectors and
+/// 1 broadcast of the 32 zmm registers.
+constexpr size_t kTileRows = 8;
+
+void Avx512PackB(const double* b, double* bp, size_t k, size_t m) {
+  const size_t strips = m / kW;
+  for (size_t s = 0; s < strips; ++s) {
+    const double* src = b + s * kW;
+    double* dst = bp + s * k * kW;
+    for (size_t p = 0; p < k; ++p) {
+      _mm512_storeu_pd(dst, _mm512_loadu_pd(src));
+      _mm512_storeu_pd(dst + 8, _mm512_loadu_pd(src + 8));
+      src += m;
+      dst += kW;
+    }
+  }
+}
+
+/// One kRows x 16 output tile over a full-width strip.
+template <int kRows>
+void RowTile(const double* a, size_t lda, const double* bsrc, size_t bstride,
+             double* o, size_t ldo, size_t k) {
+  __m512d acc[kRows][2];
+  for (int r = 0; r < kRows; ++r) {
+    acc[r][0] = _mm512_loadu_pd(o + r * ldo);
+    acc[r][1] = _mm512_loadu_pd(o + r * ldo + 8);
+  }
+  for (size_t p = 0; p < k; ++p) {
+    const double* b_row = bsrc + p * bstride;
+    const __m512d b0 = _mm512_loadu_pd(b_row);
+    const __m512d b1 = _mm512_loadu_pd(b_row + 8);
+    for (int r = 0; r < kRows; ++r) {
+      const double av = a[r * lda + p];
+      if (av == 0.0) continue;  // Preserve the reference zero-skip exactly.
+      const __m512d av_v = _mm512_set1_pd(av);
+      acc[r][0] = _mm512_add_pd(acc[r][0], _mm512_mul_pd(av_v, b0));
+      acc[r][1] = _mm512_add_pd(acc[r][1], _mm512_mul_pd(av_v, b1));
+    }
+  }
+  for (int r = 0; r < kRows; ++r) {
+    _mm512_storeu_pd(o + r * ldo, acc[r][0]);
+    _mm512_storeu_pd(o + r * ldo + 8, acc[r][1]);
+  }
+}
+
+/// One kRows x width tile over the ragged tail strip (width in 1..15),
+/// reading raw B. Masked loads keep dead lanes at 0.0 and never touch
+/// memory past the row end; masked stores write only the live lanes.
+template <int kRows>
+void TailTile(const double* a, size_t lda, const double* b, size_t bstride,
+              double* o, size_t ldo, size_t k, size_t width) {
+  const __mmask8 m0 =
+      static_cast<__mmask8>(width >= 8 ? 0xFF : (1U << width) - 1U);
+  const __mmask8 m1 =
+      static_cast<__mmask8>(width > 8 ? (1U << (width - 8)) - 1U : 0U);
+  __m512d acc[kRows][2];
+  for (int r = 0; r < kRows; ++r) {
+    acc[r][0] = _mm512_maskz_loadu_pd(m0, o + r * ldo);
+    acc[r][1] = _mm512_maskz_loadu_pd(m1, o + r * ldo + 8);
+  }
+  for (size_t p = 0; p < k; ++p) {
+    const double* b_row = b + p * bstride;
+    const __m512d b0 = _mm512_maskz_loadu_pd(m0, b_row);
+    const __m512d b1 = _mm512_maskz_loadu_pd(m1, b_row + 8);
+    for (int r = 0; r < kRows; ++r) {
+      const double av = a[r * lda + p];
+      if (av == 0.0) continue;
+      const __m512d av_v = _mm512_set1_pd(av);
+      acc[r][0] = _mm512_add_pd(acc[r][0], _mm512_mul_pd(av_v, b0));
+      acc[r][1] = _mm512_add_pd(acc[r][1], _mm512_mul_pd(av_v, b1));
+    }
+  }
+  for (int r = 0; r < kRows; ++r) {
+    _mm512_mask_storeu_pd(o + r * ldo, m0, acc[r][0]);
+    _mm512_mask_storeu_pd(o + r * ldo + 8, m1, acc[r][1]);
+  }
+}
+
+void RowTileDispatch(int rows, const double* a, size_t lda, const double* bsrc,
+                     size_t bstride, double* o, size_t ldo, size_t k) {
+  switch (rows) {
+    case 8:
+      RowTile<8>(a, lda, bsrc, bstride, o, ldo, k);
+      break;
+    case 7:
+      RowTile<7>(a, lda, bsrc, bstride, o, ldo, k);
+      break;
+    case 6:
+      RowTile<6>(a, lda, bsrc, bstride, o, ldo, k);
+      break;
+    case 5:
+      RowTile<5>(a, lda, bsrc, bstride, o, ldo, k);
+      break;
+    case 4:
+      RowTile<4>(a, lda, bsrc, bstride, o, ldo, k);
+      break;
+    case 3:
+      RowTile<3>(a, lda, bsrc, bstride, o, ldo, k);
+      break;
+    case 2:
+      RowTile<2>(a, lda, bsrc, bstride, o, ldo, k);
+      break;
+    default:
+      RowTile<1>(a, lda, bsrc, bstride, o, ldo, k);
+      break;
+  }
+}
+
+void TailTileDispatch(int rows, const double* a, size_t lda, const double* b,
+                      size_t bstride, double* o, size_t ldo, size_t k,
+                      size_t width) {
+  switch (rows) {
+    case 8:
+      TailTile<8>(a, lda, b, bstride, o, ldo, k, width);
+      break;
+    case 7:
+      TailTile<7>(a, lda, b, bstride, o, ldo, k, width);
+      break;
+    case 6:
+      TailTile<6>(a, lda, b, bstride, o, ldo, k, width);
+      break;
+    case 5:
+      TailTile<5>(a, lda, b, bstride, o, ldo, k, width);
+      break;
+    case 4:
+      TailTile<4>(a, lda, b, bstride, o, ldo, k, width);
+      break;
+    case 3:
+      TailTile<3>(a, lda, b, bstride, o, ldo, k, width);
+      break;
+    case 2:
+      TailTile<2>(a, lda, b, bstride, o, ldo, k, width);
+      break;
+    default:
+      TailTile<1>(a, lda, b, bstride, o, ldo, k, width);
+      break;
+  }
+}
+
+void Avx512GemmRows(const double* a, const double* b, const double* bp,
+                    double* o, size_t k, size_t m, size_t r0, size_t r1) {
+  const size_t strips = m / kW;
+  const size_t tail_c = strips * kW;
+  const size_t tail = m - tail_c;
+  for (size_t i = r0; i < r1; i += kTileRows) {
+    const int rows = static_cast<int>(std::min(kTileRows, r1 - i));
+    const double* a_tile = a + i * k;
+    double* o_tile = o + i * m;
+    for (size_t s = 0; s < strips; ++s) {
+      if (bp != nullptr) {
+        RowTileDispatch(rows, a_tile, k, bp + s * k * kW, kW, o_tile + s * kW,
+                        m, k);
+      } else {
+        RowTileDispatch(rows, a_tile, k, b + s * kW, m, o_tile + s * kW, m, k);
+      }
+    }
+    if (tail != 0) {
+      TailTileDispatch(rows, a_tile, k, b + tail_c, m, o_tile + tail_c, m, k,
+                       tail);
+    }
+  }
+}
+
+void Avx512GemmTaCols(const double* a, const double* b, double* o, size_t n,
+                      size_t k, size_t m, size_t p0, size_t p1) {
+  const size_t m8 = m - m % 8;
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const double* a0 = a + i * k;
+    const double* a1 = a0 + k;
+    const double* a2 = a1 + k;
+    const double* a3 = a2 + k;
+    const double* b0 = b + i * m;
+    const double* b1 = b0 + m;
+    const double* b2 = b1 + m;
+    const double* b3 = b2 + m;
+    for (size_t p = p0; p < p1; ++p) {
+      const double v0 = a0[p], v1 = a1[p], v2 = a2[p], v3 = a3[p];
+      if (v0 == 0.0 && v1 == 0.0 && v2 == 0.0 && v3 == 0.0) continue;
+      double* o_row = o + p * m;
+      const __m512d w0 = _mm512_set1_pd(v0);
+      const __m512d w1 = _mm512_set1_pd(v1);
+      const __m512d w2 = _mm512_set1_pd(v2);
+      const __m512d w3 = _mm512_set1_pd(v3);
+      size_t j = 0;
+      for (; j < m8; j += 8) {
+        // Same association as the scalar quad term:
+        // (((v0*b0 + v1*b1) + v2*b2) + v3*b3).
+        __m512d t = _mm512_add_pd(_mm512_mul_pd(w0, _mm512_loadu_pd(b0 + j)),
+                                  _mm512_mul_pd(w1, _mm512_loadu_pd(b1 + j)));
+        t = _mm512_add_pd(t, _mm512_mul_pd(w2, _mm512_loadu_pd(b2 + j)));
+        t = _mm512_add_pd(t, _mm512_mul_pd(w3, _mm512_loadu_pd(b3 + j)));
+        _mm512_storeu_pd(o_row + j,
+                         _mm512_add_pd(_mm512_loadu_pd(o_row + j), t));
+      }
+      for (; j < m; ++j) {
+        o_row[j] += v0 * b0[j] + v1 * b1[j] + v2 * b2[j] + v3 * b3[j];
+      }
+    }
+  }
+  for (; i < n; ++i) {
+    const double* a_row = a + i * k;
+    const double* b_row = b + i * m;
+    for (size_t p = p0; p < p1; ++p) {
+      const double av = a_row[p];
+      if (av == 0.0) continue;
+      double* o_row = o + p * m;
+      const __m512d av_v = _mm512_set1_pd(av);
+      size_t j = 0;
+      for (; j < m8; j += 8) {
+        _mm512_storeu_pd(
+            o_row + j,
+            _mm512_add_pd(_mm512_loadu_pd(o_row + j),
+                          _mm512_mul_pd(av_v, _mm512_loadu_pd(b_row + j))));
+      }
+      for (; j < m; ++j) o_row[j] += av * b_row[j];
+    }
+  }
+}
+
+void Avx512GemmTbRows(const double* a, const double* b, double* o, size_t k,
+                      size_t m, size_t r0, size_t r1) {
+  const size_t k16 = k - k % kTbLanes;
+  for (size_t i = r0; i < r1; ++i) {
+    const double* a_row = a + i * k;
+    double* o_row = o + i * m;
+    for (size_t j = 0; j < m; ++j) {
+      const double* b_row = b + j * k;
+      // Two zmm accumulators hold the 16 reference lanes: acc0 = lanes
+      // 0-7, acc1 = lanes 8-15.
+      __m512d acc0 = _mm512_setzero_pd();
+      __m512d acc1 = _mm512_setzero_pd();
+      for (size_t p = 0; p < k16; p += kTbLanes) {
+        acc0 = _mm512_add_pd(acc0, _mm512_mul_pd(_mm512_loadu_pd(a_row + p),
+                                                 _mm512_loadu_pd(b_row + p)));
+        acc1 = _mm512_add_pd(
+            acc1, _mm512_mul_pd(_mm512_loadu_pd(a_row + p + 8),
+                                _mm512_loadu_pd(b_row + p + 8)));
+      }
+      // Reference fold-by-halves: h=8 -> acc0+=acc1; h=4 -> low ymm +=
+      // high ymm; h=2 and h=1 inside the low xmm.
+      acc0 = _mm512_add_pd(acc0, acc1);
+      __m256d ylo = _mm512_castpd512_pd256(acc0);
+      const __m256d yhi = _mm512_extractf64x4_pd(acc0, 1);
+      ylo = _mm256_add_pd(ylo, yhi);
+      __m128d lo = _mm256_castpd256_pd128(ylo);
+      const __m128d hi = _mm256_extractf128_pd(ylo, 1);
+      lo = _mm_add_pd(lo, hi);
+      double acc = _mm_cvtsd_f64(_mm_add_sd(lo, _mm_unpackhi_pd(lo, lo)));
+      for (size_t p = k16; p < k; ++p) acc += a_row[p] * b_row[p];
+      o_row[j] = acc;
+    }
+  }
+}
+
+}  // namespace
+
+const GemmKernels kAvx512Kernels = {
+    /*name=*/"avx512",
+    /*supported=*/true,
+    /*pack_width=*/kW,
+    /*pack_b=*/&Avx512PackB,
+    /*gemm_rows=*/&Avx512GemmRows,
+    /*gemm_ta_cols=*/&Avx512GemmTaCols,
+    /*gemm_tb_rows=*/&Avx512GemmTbRows,
+};
+
+}  // namespace cdbtune::nn::simd
+
+#else  // !__AVX512F__
+
+namespace cdbtune::nn::simd {
+
+const GemmKernels kAvx512Kernels = {
+    /*name=*/"avx512",
+    /*supported=*/false,
+    /*pack_width=*/0,
+    /*pack_b=*/nullptr,
+    /*gemm_rows=*/nullptr,
+    /*gemm_ta_cols=*/nullptr,
+    /*gemm_tb_rows=*/nullptr,
+};
+
+}  // namespace cdbtune::nn::simd
+
+#endif

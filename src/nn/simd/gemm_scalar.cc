@@ -1,0 +1,161 @@
+// Portable reference tier. These are the kernels every other tier must
+// reproduce bitwise (see gemm.h for the exact accumulation semantics); the
+// MatMul path is the pre-SIMD blocked kernel unchanged. Built with
+// -ffp-contract=off like the vector tiers, so a host compiler with FMA
+// codegen enabled (-march=native builds) cannot contract mul+add pairs here
+// while the SSE2 baseline build leaves them split.
+#include <algorithm>
+
+#include "nn/simd/gemm.h"
+
+namespace cdbtune::nn::simd {
+
+namespace {
+
+/// Inner-dimension block: 64 doubles of A's row plus the matching 64 rows of
+/// B stay hot in cache while an output row accumulates.
+constexpr size_t kBlockK = 64;
+
+/// B operands at most this large (bytes) skip k-blocking: when the whole
+/// right-hand matrix fits in L2 there is nothing to keep hot, and the extra
+/// output-row sweeps per block only cost. Paper-sized layers (<= 329x256,
+/// 674 KB) stay on the unblocked path. Both paths accumulate each output in
+/// ascending-k order, so the choice never changes results.
+constexpr size_t kBlockedGemmBytes = 1 << 21;
+
+/// Straight ikj GEMM over output rows [r0, r1): the whole B operand streams
+/// through cache once per output row. Outputs never alias the operands
+/// (they are freshly allocated or a distinct gradient buffer), hence
+/// __restrict__ — without it the compiler must assume o_row may alias b_row
+/// and gives up on vectorizing the axpy.
+void GemmRowsUnblocked(const double* __restrict__ a_data,
+                       const double* __restrict__ b_data,
+                       double* __restrict__ o_data, size_t k, size_t m,
+                       size_t r0, size_t r1) {
+  for (size_t i = r0; i < r1; ++i) {
+    const double* a_row = a_data + i * k;
+    double* o_row = o_data + i * m;
+    for (size_t p = 0; p < k; ++p) {
+      const double a = a_row[p];
+      if (a == 0.0) continue;  // ReLU-sparse activations skip whole rows.
+      const double* b_row = b_data + p * m;
+      for (size_t j = 0; j < m; ++j) o_row[j] += a * b_row[j];
+    }
+  }
+}
+
+/// Cache-blocked variant for B operands that overflow L2: a kBlockK-row
+/// panel of B stays hot across all output rows of the chunk. Contributions
+/// still arrive in ascending-k order, so both variants produce bitwise
+/// identical results.
+void GemmRowsBlocked(const double* __restrict__ a_data,
+                     const double* __restrict__ b_data,
+                     double* __restrict__ o_data, size_t k, size_t m,
+                     size_t r0, size_t r1) {
+  for (size_t kb = 0; kb < k; kb += kBlockK) {
+    const size_t k_end = std::min(k, kb + kBlockK);
+    for (size_t i = r0; i < r1; ++i) {
+      const double* a_row = a_data + i * k;
+      double* o_row = o_data + i * m;
+      for (size_t p = kb; p < k_end; ++p) {
+        const double a = a_row[p];
+        if (a == 0.0) continue;
+        const double* b_row = b_data + p * m;
+        for (size_t j = 0; j < m; ++j) o_row[j] += a * b_row[j];
+      }
+    }
+  }
+}
+
+void ScalarGemmRows(const double* a, const double* b, const double* /*bp*/,
+                    double* o, size_t k, size_t m, size_t r0, size_t r1) {
+  if (k * m * sizeof(double) > kBlockedGemmBytes) {
+    GemmRowsBlocked(a, b, o, k, m, r0, r1);
+  } else {
+    GemmRowsUnblocked(a, b, o, k, m, r0, r1);
+  }
+}
+
+/// out[p][j] += sum_i a[i][p] * b[i][j] for p in [p0, p1) — the A^T * B
+/// kernel. Four i's in flight per output sweep quarter the store traffic
+/// (the output is re-swept n/4 instead of n times). Each element's
+/// accumulation order is a fixed function of i alone, so the result does
+/// not depend on the p split and is identical at every thread count.
+void ScalarGemmTaCols(const double* __restrict__ a_data,
+                      const double* __restrict__ b_data,
+                      double* __restrict__ o_data, size_t n, size_t k,
+                      size_t m, size_t p0, size_t p1) {
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const double* a0 = a_data + i * k;
+    const double* a1 = a0 + k;
+    const double* a2 = a1 + k;
+    const double* a3 = a2 + k;
+    const double* b0 = b_data + i * m;
+    const double* b1 = b0 + m;
+    const double* b2 = b1 + m;
+    const double* b3 = b2 + m;
+    for (size_t p = p0; p < p1; ++p) {
+      const double v0 = a0[p], v1 = a1[p], v2 = a2[p], v3 = a3[p];
+      if (v0 == 0.0 && v1 == 0.0 && v2 == 0.0 && v3 == 0.0) continue;
+      double* o_row = o_data + p * m;
+      for (size_t j = 0; j < m; ++j) {
+        o_row[j] += v0 * b0[j] + v1 * b1[j] + v2 * b2[j] + v3 * b3[j];
+      }
+    }
+  }
+  for (; i < n; ++i) {
+    const double* a_row = a_data + i * k;
+    const double* b_row = b_data + i * m;
+    for (size_t p = p0; p < p1; ++p) {
+      const double a = a_row[p];
+      if (a == 0.0) continue;
+      double* o_row = o_data + p * m;
+      for (size_t j = 0; j < m; ++j) o_row[j] += a * b_row[j];
+    }
+  }
+}
+
+/// out[i][j] = dot(a row i, b row j) for i in [r0, r1) — the A * B^T
+/// kernel. kTbLanes (16) strided partial sums break the FP add dependency
+/// chain and define the lane layout every vector tier reproduces: lane l
+/// owns p == l (mod 16), lanes fold in halves, the tail is sequential.
+void ScalarGemmTbRows(const double* __restrict__ a_data,
+                      const double* __restrict__ b_data,
+                      double* __restrict__ o_data, size_t k, size_t m,
+                      size_t r0, size_t r1) {
+  const size_t k16 = k - k % kTbLanes;
+  for (size_t i = r0; i < r1; ++i) {
+    const double* a_row = a_data + i * k;
+    double* o_row = o_data + i * m;
+    for (size_t j = 0; j < m; ++j) {
+      const double* b_row = b_data + j * k;
+      double lane[kTbLanes] = {0.0};
+      for (size_t p = 0; p < k16; p += kTbLanes) {
+        for (size_t l = 0; l < kTbLanes; ++l) {
+          lane[l] += a_row[p + l] * b_row[p + l];
+        }
+      }
+      for (size_t h = kTbLanes / 2; h >= 1; h /= 2) {
+        for (size_t l = 0; l < h; ++l) lane[l] += lane[l + h];
+      }
+      double acc = lane[0];
+      for (size_t p = k16; p < k; ++p) acc += a_row[p] * b_row[p];
+      o_row[j] = acc;
+    }
+  }
+}
+
+}  // namespace
+
+const GemmKernels kScalarKernels = {
+    /*name=*/"scalar",
+    /*supported=*/true,
+    /*pack_width=*/0,
+    /*pack_b=*/nullptr,
+    /*gemm_rows=*/&ScalarGemmRows,
+    /*gemm_ta_cols=*/&ScalarGemmTaCols,
+    /*gemm_tb_rows=*/&ScalarGemmTbRows,
+};
+
+}  // namespace cdbtune::nn::simd

@@ -3,6 +3,7 @@
 
 #include "gtest/gtest.h"
 #include "nn/matrix.h"
+#include "nn/simd/dispatch.h"
 #include "util/random.h"
 #include "util/thread_pool.h"
 
@@ -253,6 +254,155 @@ TEST(MatrixKernelTest, KernelsBitwiseIdenticalAcrossThreadCounts) {
   ExpectBitwiseEqual(parallel_mm, serial_mm);
   ExpectBitwiseEqual(parallel_ta, serial_ta);
   ExpectBitwiseEqual(parallel_tb, serial_tb);
+}
+
+// --- SIMD dispatch-tier equivalence --------------------------------------
+
+TEST(SimdDispatchTest, TierNamesAndParsing) {
+  EXPECT_STREQ(simd::TierName(simd::Tier::kScalar), "scalar");
+  EXPECT_STREQ(simd::TierName(simd::Tier::kAvx2), "avx2");
+  EXPECT_STREQ(simd::TierName(simd::Tier::kAvx512), "avx512");
+  simd::Tier t;
+  EXPECT_TRUE(simd::ParseTier("scalar", &t));
+  EXPECT_EQ(t, simd::Tier::kScalar);
+  EXPECT_TRUE(simd::ParseTier("avx2", &t));
+  EXPECT_EQ(t, simd::Tier::kAvx2);
+  EXPECT_TRUE(simd::ParseTier("avx512", &t));
+  EXPECT_EQ(t, simd::Tier::kAvx512);
+  EXPECT_FALSE(simd::ParseTier("AVX2", &t));
+  EXPECT_FALSE(simd::ParseTier("", &t));
+  EXPECT_FALSE(simd::ParseTier("sse2", &t));
+}
+
+TEST(SimdDispatchTest, SetTierHonorsSupport) {
+  const simd::Tier old_tier = simd::ActiveTier();
+  // The scalar tier is supported everywhere.
+  EXPECT_TRUE(simd::TierSupported(simd::Tier::kScalar));
+  EXPECT_TRUE(simd::SetTier(simd::Tier::kScalar));
+  EXPECT_EQ(simd::ActiveTier(), simd::Tier::kScalar);
+  // A vector tier either switches in cleanly or is rejected, leaving the
+  // active tier untouched.
+  for (simd::Tier t : {simd::Tier::kAvx2, simd::Tier::kAvx512}) {
+    if (simd::TierSupported(t)) {
+      EXPECT_TRUE(simd::SetTier(t));
+      EXPECT_EQ(simd::ActiveTier(), t);
+      ASSERT_TRUE(simd::SetTier(simd::Tier::kScalar));
+    } else {
+      EXPECT_FALSE(simd::SetTier(t));
+      EXPECT_EQ(simd::ActiveTier(), simd::Tier::kScalar);
+    }
+  }
+  ASSERT_TRUE(simd::SetTier(old_tier));
+}
+
+// Zeroes out every negative element — the post-ReLU activation pattern the
+// kernels' zero-skip branches key on. Tier equivalence must hold with the
+// skips actually taken.
+Matrix Sparsify(Matrix m) {
+  double* d = m.data();
+  for (size_t i = 0; i < m.size(); ++i) {
+    if (d[i] < 0.0) d[i] = 0.0;
+  }
+  return m;
+}
+
+struct GemmResults {
+  Matrix mm, bias, ta, ta_acc, tb;
+};
+
+/// Runs the five GEMM entry points on one shape with the current tier and
+/// thread count. Inputs are derived from the seed alone, so every
+/// tier/thread combination sees identical operands.
+GemmResults RunGemms(const GemmShape& s, uint64_t seed) {
+  util::Rng rng(seed);
+  GemmResults out;
+  Matrix a = Sparsify(Matrix::RandomGaussian(s.n, s.k, 0.0, 1.0, rng));
+  Matrix b = Matrix::RandomGaussian(s.k, s.m, 0.0, 1.0, rng);
+  Matrix bias_row = Matrix::RandomGaussian(1, s.m, 0.0, 1.0, rng);
+  Matrix ta_a = Sparsify(Matrix::RandomGaussian(s.n, s.k, 0.0, 1.0, rng));
+  Matrix ta_b = Matrix::RandomGaussian(s.n, s.m, 0.0, 1.0, rng);
+  Matrix bt = Matrix::RandomGaussian(s.m, s.k, 0.0, 1.0, rng);
+  out.mm = a.MatMul(b);
+  out.bias = a.MatMulBias(b, bias_row);
+  out.ta = ta_a.MatMulTransposedA(ta_b);
+  out.ta_acc = Matrix::RandomGaussian(s.k, s.m, 0.0, 1.0, rng);
+  ta_a.MatMulTransposedAAccumulate(ta_b, &out.ta_acc);
+  out.tb = a.MatMulTransposedB(bt);
+  return out;
+}
+
+// The tentpole contract (DESIGN.md "Parallelism & kernels"): every dispatch
+// tier and every thread count produces bitwise identical results on all
+// GEMM entry points, including ragged shapes that exercise the microtile
+// edge handling (rows not multiples of 6/8, columns not multiples of 8/16)
+// and ReLU-sparse inputs that take the zero-skip branches.
+TEST(SimdDispatchTest, KernelsBitwiseIdenticalAcrossTiersAndThreads) {
+  // Shapes straddle the microtile sizes (6x8 AVX2, 8x16 AVX-512), the
+  // parallel-flop threshold, and the B-packing gate.
+  const GemmShape shapes[] = {
+      {1, 63, 266},    // recommendation forward: single row, no packing
+      {3, 7, 5},       // everything ragged and tiny
+      {6, 16, 8},      // exact AVX2 tile, exact AVX-512 strip at k
+      {7, 17, 15},     // one past the AVX2 tile, masked AVX-512 tail
+      {8, 64, 16},     // exact AVX-512 tile
+      {13, 40, 23},    // ragged everywhere
+      {32, 329, 256},  // batch-32 critic layer: parallel + packed
+      {70, 130, 90},   // crosses thread-chunk boundaries
+  };
+  auto& ctx = util::ComputeContext::Get();
+  const size_t old_threads = ctx.threads();
+  const simd::Tier old_tier = simd::ActiveTier();
+
+  uint64_t seed = 1500;
+  for (const GemmShape& s : shapes) {
+    ++seed;  // Fresh operands per shape, identical across tiers/threads.
+    ASSERT_TRUE(simd::SetTier(simd::Tier::kScalar));
+    ctx.SetThreads(1);
+    const GemmResults want = RunGemms(s, seed);
+    for (int ti = 0; ti < simd::kNumTiers; ++ti) {
+      const simd::Tier tier = static_cast<simd::Tier>(ti);
+      if (!simd::TierSupported(tier)) continue;
+      ASSERT_TRUE(simd::SetTier(tier));
+      for (size_t threads : {size_t{1}, size_t{4}}) {
+        ctx.SetThreads(threads);
+        const GemmResults got = RunGemms(s, seed);
+        SCOPED_TRACE(std::string("tier=") + simd::TierName(tier) +
+                     " threads=" + std::to_string(threads) +
+                     " shape=" + std::to_string(s.n) + "x" +
+                     std::to_string(s.k) + "x" + std::to_string(s.m));
+        ExpectBitwiseEqual(got.mm, want.mm);
+        ExpectBitwiseEqual(got.bias, want.bias);
+        ExpectBitwiseEqual(got.ta, want.ta);
+        ExpectBitwiseEqual(got.ta_acc, want.ta_acc);
+        ExpectBitwiseEqual(got.tb, want.tb);
+      }
+    }
+  }
+
+  ctx.SetThreads(old_threads);
+  ASSERT_TRUE(simd::SetTier(old_tier));
+}
+
+TEST(SimdDispatchTest, FusedPathsMatchUnfusedSemantics) {
+  util::Rng rng(16);
+  Matrix a = Matrix::RandomGaussian(9, 33, 0.0, 1.0, rng);
+  Matrix b = Matrix::RandomGaussian(33, 21, 0.0, 1.0, rng);
+  Matrix bias_row = Matrix::RandomGaussian(1, 21, 0.0, 1.0, rng);
+  // Bias-fused matmul == matmul + broadcast add, up to summation order.
+  Matrix unfused = a.MatMul(b);
+  unfused.AddRowBroadcast(bias_row);
+  ExpectNear(a.MatMulBias(b, bias_row), unfused, 1e-12);
+  // Accumulating A^T B into a zero matrix is exactly MatMulTransposedA.
+  Matrix other = Matrix::RandomGaussian(9, 21, 0.0, 1.0, rng);
+  Matrix acc(33, 21);
+  a.MatMulTransposedAAccumulate(other, &acc);
+  ExpectBitwiseEqual(acc, a.MatMulTransposedA(other));
+  // Accumulating into a non-zero matrix adds on top of it.
+  Matrix seeded = Matrix::RandomGaussian(33, 21, 0.0, 1.0, rng);
+  Matrix expected = seeded;
+  expected.AddInPlace(a.MatMulTransposedA(other));
+  a.MatMulTransposedAAccumulate(other, &seeded);
+  ExpectNear(seeded, expected, 1e-12);
 }
 
 }  // namespace

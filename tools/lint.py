@@ -40,6 +40,12 @@ atomic-ordering  An explicit std::memory_order_* argument. Relaxed/acquire/
                  release orderings are easy to get subtly wrong; each use
                  must carry an allow() stating why the weaker order is
                  sufficient (default seq_cst operations are untouched).
+raw-intrinsics   An <immintrin.h>-family include or a raw SIMD token
+                 (_mm*_* intrinsic, __m128/__m256/__m512 vector type,
+                 __mmask*) outside src/nn/simd/. All SIMD lives in the
+                 kernel subsystem behind the GemmKernels dispatch table so
+                 the rest of the tree compiles portably and the bitwise
+                 scalar-equivalence contract stays enforceable in one place.
 
 Suppressions
 ------------
@@ -127,6 +133,15 @@ NOTIFY_RE = re.compile(r"\b(?:NotifyOne|NotifyAll|notify_one|notify_all)\s*\(")
 # a scoped lock, an explicit Lock(), or a CondVar wait (which requires it).
 LOCK_EVIDENCE_RE = re.compile(r"\bMutexLock\b|\bLock\s*\(\s*\)|\bWait\s*\(")
 MEMORY_ORDER_RE = re.compile(r"\bstd::memory_order_\w+")
+
+INTRINSIC_INCLUDE_RE = re.compile(
+    r"#\s*include\s*<(?:immintrin|x86intrin|xmmintrin|emmintrin|pmmintrin|"
+    r"tmmintrin|smmintrin|nmmintrin|wmmintrin|ammintrin|avxintrin|"
+    r"avx2intrin|avx512\w*intrin|fmaintrin)\.h>"
+)
+INTRINSIC_TOKEN_RE = re.compile(
+    r"\b(?:_mm(?:256|512)?_\w+|__m(?:128|256|512)[di]?\b|__mmask(?:8|16|32|64)\b)"
+)
 
 STATIC_DECL_RE = re.compile(r"^\s*static\s+(.*)$")
 NAMESPACE_GLOBAL_RE = re.compile(r"^[A-Za-z_][\w:<>,&\s\*]*\bg_\w+\s*[{=;]")
@@ -272,6 +287,7 @@ class Linter:
             self._check_naked_notify(path, rel, code, code_lines, idx, lineno,
                                      allowed)
             self._check_atomic_ordering(path, rel, code, idx, lineno, allowed)
+            self._check_raw_intrinsics(path, rel, code, idx, lineno, allowed)
 
     def _check_ignored_status(self, path, rel, code, prev, idx, lineno,
                               status_fns, allowed) -> None:
@@ -406,6 +422,18 @@ class Linter:
                         f"explicit {match.group(0)} — justify why a "
                         f"non-default memory order is correct here, or drop "
                         f"the argument for seq_cst")
+
+    def _check_raw_intrinsics(self, path, rel, code, idx, lineno,
+                              allowed) -> None:
+        if rel.parts[:3] == ("src", "nn", "simd"):
+            return  # The sanctioned home of all SIMD intrinsics.
+        hit = INTRINSIC_INCLUDE_RE.search(code) or INTRINSIC_TOKEN_RE.search(code)
+        if hit and not allowed("raw-intrinsics", idx):
+            self.report(path, lineno, "raw-intrinsics",
+                        "raw SIMD intrinsic/include outside src/nn/simd/; "
+                        "add a kernel to the GemmKernels dispatch table "
+                        "instead so portability and the cross-tier bitwise "
+                        "contract stay in one subsystem")
 
     def _check_mutable_global(self, path, rel, code, idx, lineno, allowed) -> None:
         if rel.parts[0] != "src":

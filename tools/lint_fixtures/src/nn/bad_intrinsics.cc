@@ -1,0 +1,15 @@
+// Lint fixture (never compiled): SIMD intrinsics outside src/nn/simd/.
+// Every line below that touches an intrinsic include, vector type, or
+// _mm* call must be flagged by the raw-intrinsics rule — vectorized code
+// belongs in the kernel subsystem behind the GemmKernels dispatch table.
+#include <immintrin.h>
+
+namespace cdbtune::nn {
+
+double SumPair(const double* p) {
+  __m128d v = _mm_loadu_pd(p);
+  v = _mm_add_pd(v, v);
+  return p[0] + p[1];
+}
+
+}  // namespace cdbtune::nn

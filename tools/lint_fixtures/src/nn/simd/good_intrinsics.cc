@@ -1,0 +1,14 @@
+// Lint fixture (never compiled): the same intrinsics as bad_intrinsics.cc,
+// but inside src/nn/simd/ — the sanctioned home of all SIMD — so the
+// raw-intrinsics rule must stay silent here.
+#include <immintrin.h>
+
+namespace cdbtune::nn::simd {
+
+double SumPairFixture(const double* p) {
+  __m128d v = _mm_loadu_pd(p);
+  v = _mm_add_pd(v, v);
+  return p[0] + p[1];
+}
+
+}  // namespace cdbtune::nn::simd

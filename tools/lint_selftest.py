@@ -4,10 +4,11 @@
 Runs the linter with --root tools/lint_fixtures (so the fixture's src/
 subtree is dir-gated exactly like the real src/) and asserts:
 
-  - bad_locks.cc produces exactly the expected (rule, count) findings —
-    the concurrency rules actually fire;
-  - good_locks.cc produces none — wrapper usage, locked notifies, and
-    justified allow() suppressions are all accepted.
+  - each bad_*.cc fixture produces exactly the expected (rule, count)
+    findings — the dir-gated rules actually fire;
+  - each good_*.cc fixture produces none — wrapper usage, locked notifies,
+    sanctioned-directory intrinsics, and justified allow() suppressions
+    are all accepted.
 
 Run directly or via tools/run_checks.sh. Exit 0 on success.
 """
@@ -22,12 +23,19 @@ from pathlib import Path
 TOOLS = Path(__file__).resolve().parent
 FIXTURES = TOOLS / "lint_fixtures"
 
-# Every rule the fixture exercises, with how many findings it must produce.
-EXPECTED_BAD = Counter({
-    "raw-mutex": 4,        # two includes, one global, one lock_guard line
-    "naked-notify": 1,
-    "atomic-ordering": 1,
-})
+# Every rule the fixtures exercise, per bad fixture, with how many findings
+# each must produce. Findings in any file listed in GOOD are failures.
+EXPECTED_BAD = {
+    "bad_locks.cc": Counter({
+        "raw-mutex": 4,        # two includes, one global, one lock_guard line
+        "naked-notify": 1,
+        "atomic-ordering": 1,
+    }),
+    "bad_intrinsics.cc": Counter({
+        "raw-intrinsics": 3,   # the include, the __m128d decl, the _mm call
+    }),
+}
+GOOD = ["good_locks.cc", "good_intrinsics.cc"]
 
 
 def run_lint() -> tuple[int, str]:
@@ -44,22 +52,28 @@ def main() -> int:
     if code == 0:
         failures.append("linter exited 0 on a fixture tree with violations")
 
-    bad = Counter()
+    bad: dict[str, Counter] = {name: Counter() for name in EXPECTED_BAD}
     for line in output.splitlines():
-        if "bad_locks.cc" in line and "[" in line:
-            bad[line.split("[", 1)[1].split("]", 1)[0]] += 1
-        if "good_locks.cc" in line and "[" in line:
-            failures.append(f"good fixture flagged: {line.strip()}")
+        if "[" not in line:
+            continue
+        rule = line.split("[", 1)[1].split("]", 1)[0]
+        for name, counts in bad.items():
+            if name in line:
+                counts[rule] += 1
+        for name in GOOD:
+            if name in line:
+                failures.append(f"good fixture flagged: {line.strip()}")
 
-    for rule, want in EXPECTED_BAD.items():
-        got = bad.get(rule, 0)
-        if got != want:
-            failures.append(
-                f"rule {rule}: expected {want} finding(s) in bad_locks.cc, "
-                f"got {got}")
-    for rule in bad:
-        if rule not in EXPECTED_BAD:
-            failures.append(f"unexpected rule fired on bad_locks.cc: {rule}")
+    for name, expected in EXPECTED_BAD.items():
+        got = bad[name]
+        for rule, want in expected.items():
+            if got.get(rule, 0) != want:
+                failures.append(
+                    f"rule {rule}: expected {want} finding(s) in {name}, "
+                    f"got {got.get(rule, 0)}")
+        for rule in got:
+            if rule not in expected:
+                failures.append(f"unexpected rule fired on {name}: {rule}")
 
     if failures:
         print("lint self-test FAILED:", file=sys.stderr)
@@ -67,8 +81,9 @@ def main() -> int:
             print(f"  - {failure}", file=sys.stderr)
         print("\nlinter output was:\n" + output, file=sys.stderr)
         return 1
-    print(f"lint self-test: ok ({sum(EXPECTED_BAD.values())} expected "
-          f"findings fired, good fixture clean)")
+    total = sum(sum(c.values()) for c in EXPECTED_BAD.values())
+    print(f"lint self-test: ok ({total} expected findings fired across "
+          f"{len(EXPECTED_BAD)} bad fixtures, {len(GOOD)} good fixtures clean)")
     return 0
 
 

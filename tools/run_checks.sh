@@ -1,10 +1,13 @@
 #!/usr/bin/env bash
-# Full correctness gate: repo lint, then the test suite under each sanitizer.
+# Full correctness gate: repo lint, the test suite pinned to each SIMD
+# dispatch tier, then the test suite under each sanitizer.
 #
-#   tools/run_checks.sh                 # lint + ASan + UBSan + TSan
+#   tools/run_checks.sh                 # lint + SIMD tiers + ASan/UBSan/TSan
 #   tools/run_checks.sh lint            # lint only
+#   tools/run_checks.sh simd            # lint + SIMD-tier legs only
 #   tools/run_checks.sh address         # lint + one sanitizer
-#   SKIP_LINT=1 tools/run_checks.sh     # sanitizers only
+#   SKIP_LINT=1 tools/run_checks.sh     # skip lint
+#   SKIP_SIMD=1 tools/run_checks.sh     # skip the SIMD-tier legs
 #
 # Each sanitizer gets its own build tree under build-<name>/ so incremental
 # reruns are cheap. Debug-mode invariant validators (CDBTUNE_DCHECK=ON) are
@@ -25,8 +28,19 @@ cd "$repo_root"
 
 jobs="$(nproc 2>/dev/null || echo 4)"
 sanitizers=(address undefined thread)
+run_simd=1
 if [[ $# -gt 0 && "$1" != "lint" ]]; then
-  sanitizers=("$@")
+  if [[ "$1" == "simd" ]]; then
+    sanitizers=()
+  else
+    # An explicit sanitizer list runs just those legs (CI's sanitizer
+    # matrix fans out one job per sanitizer; the tier legs have their own).
+    sanitizers=("$@")
+    run_simd=0
+  fi
+fi
+if [[ "${SKIP_SIMD:-0}" == "1" ]]; then
+  run_simd=0
 fi
 
 failures=()
@@ -43,6 +57,44 @@ fi
 
 if [[ $# -gt 0 && "$1" == "lint" ]]; then
   if [[ ${#failures[@]} -gt 0 ]]; then exit 1; fi
+  exit 0
+fi
+
+if [[ "$run_simd" == "1" ]]; then
+  # Pin the GEMM dispatch tier via CDBTUNE_SIMD and rerun the whole suite:
+  # the scalar leg always runs (scalar is the reference semantics every
+  # vector kernel must reproduce bitwise — DESIGN.md §6), the AVX2 leg only
+  # when the host CPU can execute it. The cross-tier equivalence test also
+  # flips tiers internally, but these legs additionally prove every *other*
+  # test (training trajectories, checkpoints, server) is tier-invariant.
+  echo "==== SIMD dispatch tiers ===="
+  cmake -B build-simd -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+  cmake --build build-simd -j "$jobs" >/dev/null
+  simd_tiers=(scalar)
+  if grep -q avx2 /proc/cpuinfo 2>/dev/null && \
+     grep -q fma /proc/cpuinfo 2>/dev/null; then
+    simd_tiers+=(avx2)
+  else
+    echo "(host CPU lacks avx2+fma; running the scalar leg only)"
+  fi
+  for tier in "${simd_tiers[@]}"; do
+    echo "---- CDBTUNE_SIMD=${tier} ----"
+    if (cd build-simd && CDBTUNE_SIMD="$tier" ctest --output-on-failure -j "$jobs"); then
+      echo "simd-${tier}: OK"
+    else
+      failures+=("simd-${tier}")
+    fi
+  done
+  echo
+fi
+
+if [[ ${#sanitizers[@]} -eq 0 ]]; then
+  echo "==== summary ===="
+  if [[ ${#failures[@]} -gt 0 ]]; then
+    echo "FAILED: ${failures[*]}"
+    exit 1
+  fi
+  echo "all checks passed (lint + simd tiers)"
   exit 0
 fi
 
@@ -100,4 +152,6 @@ if [[ ${#failures[@]} -gt 0 ]]; then
   echo "FAILED: ${failures[*]}"
   exit 1
 fi
-echo "all checks passed (lint + ${sanitizers[*]})"
+simd_note=""
+if [[ "$run_simd" == "1" ]]; then simd_note="simd tiers + "; fi
+echo "all checks passed (lint + ${simd_note}${sanitizers[*]})"
