@@ -198,7 +198,11 @@ knobs::Config DbaTuner::RecommendSubset(const knobs::KnobRegistry& registry,
   size_t ruled = 0;
   std::unordered_set<std::string> rule_names;
   for (const char* n : kDbaPriorityNames) rule_names.insert(n);
-  for (size_t idx : allowed) {
+  // Walk the caller's vector, not the `allowed` hash set: the writes are
+  // keyed so order could not leak, but the vector keeps the walk
+  // deterministic by construction (nondet-iteration stays structurally
+  // impossible here, not just currently true).
+  for (size_t idx : allowed_vec) {
     const knobs::KnobDef& def = registry.def(idx);
     if (rule_names.count(def.name)) {
       ++ruled;

@@ -2,7 +2,6 @@
 #define CDBTUNE_ENGINE_DISK_MANAGER_H_
 
 #include <cstring>
-#include <unordered_map>
 #include <vector>
 
 #include "engine/common.h"

@@ -61,6 +61,9 @@ util::StatusOr<std::string> ReadFile(const std::string& path) {
 
 util::Status AtomicWriteFile(const std::string& path,
                              std::string_view contents) {
+  // lint: allow(nondet-source) — pid only uniquifies the temp-file *name*
+  // so concurrent writers cannot collide; the name is renamed away and
+  // never reaches checkpoint bytes or tuning state.
   const std::string tmp = path + ".tmp." + std::to_string(::getpid());
   int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
   if (fd < 0) return util::Status::Internal(Errno("open", tmp));

@@ -1,9 +1,5 @@
 #include "server/tuning_server.h"
 
-// lint: allow-file(std-function) — RunConcurrent's task vector is the
-// documented type-erasure boundary of the compute substrate; the server
-// builds one closure per session step, amortized over a whole round.
-
 #include <functional>
 #include <sstream>
 #include <utility>

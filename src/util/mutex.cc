@@ -14,8 +14,6 @@ namespace {
 /// acquire must strictly exceed the rank of everything already held, the
 /// stack is always sorted ascending by rank even when locks are released
 /// out of LIFO order, so back() is the maximum held rank.
-// lint: allow(mutable-global) — thread_local by definition has no
-// cross-thread concurrency; this is the per-thread held-lock registry.
 thread_local std::vector<const Mutex*> tls_held;
 
 /// Death reporting bypasses CDBTUNE_LOG on purpose: the log sink itself is

@@ -1,0 +1,1215 @@
+#!/usr/bin/env python3
+"""Determinism-contract analyzer: token/scope-aware C++ analysis.
+
+Where tools/lint.py matches per-line regexes, this tool runs a real lexer
+over each translation unit (comments and string literals removed, #if 0
+regions masked, backslash splices folded), resolves quoted includes to
+collect the declared types of variables and members, and checks a family
+of *determinism* rules that guard the repo's bitwise-reproducibility
+contracts (DESIGN.md §6 SIMD-tier equivalence, §8 thread-count-invariant
+training, §9 bitwise checkpoint resume, §11 static analysis layers).
+
+Rules
+-----
+nondet-iteration  A range-for or iterator loop over a std::unordered_map /
+                  std::unordered_set whose body is order-sensitive: it
+                  accumulates floats (or advances a cursor), appends to a
+                  sequence / stream / log, reaches a persist:: or
+                  ChunkWriter / Encoder sink, or exits early (return /
+                  break) — hash order would leak into training state,
+                  protocol bytes or checkpoint bytes. Loops whose bodies
+                  only do keyed writes, integer counting and membership
+                  checks are proven order-independent and pass.
+nondet-source     std::rand / random_device / time() / steady_clock /
+                  system_clock etc. anywhere in src/ outside
+                  src/util/random.* — all stochasticity flows through the
+                  seeded util::Rng streams; timing sites that never feed
+                  state must carry an allow() explaining that.
+float-contract    std::fma / FMA intrinsics / #pragma FP_CONTRACT in C++,
+                  and -ffast-math / -funsafe-math-optimizations in CMake,
+                  plus any CMake vector-ISA flag (-mfma / -mavx512*) in a
+                  file that never pins -ffp-contract=off. Guards the §6
+                  FMA-exclusion rule: every SIMD tier must round exactly
+                  like the scalar reference (mul then add, two roundings).
+padding-serialize Whole-object memcpy / write of a non-scalar into the
+                  checkpoint-state trees (src/persist + src/nn, src/rl,
+                  src/tuner, src/server): struct padding bytes are
+                  uninitialized, so the checkpoint image would differ
+                  between bit-identical logical states. Encode field-wise
+                  through persist::Encoder instead.
+pointer-order     Ordering or keying by pointer value: map/set keyed on a
+                  pointer type, std::less/greater/hash<T*>, or relational
+                  comparison of addresses / smart-pointer .get()s. ASLR
+                  makes pointer order differ run to run.
+
+Suppressions use the same annotation language as tools/lint.py:
+
+    for (auto& [k, v] : m_) {  // lint: allow(nondet-iteration) — why
+
+on the offending line or in the contiguous comment block directly above;
+`// lint: allow-file(rule) — why` opts a whole file out. In CMake files
+the comment leader is `#`. A bare allow() without a reason is itself a
+violation, and `tools/lint.py --report-suppressions` fails suppressions
+that no longer suppress anything (this module exports its engine so the
+debt gate can check liveness across both tools).
+
+Scope: C++ rules scan src/ only — tests, benches and examples may use
+clocks and ad-hoc ordering freely; the determinism contract binds shipped
+code. The CMake half of float-contract scans the top-level and per-target
+CMakeLists.txt files.
+
+Exit status 0 when clean, 1 when any unsuppressed finding remains.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+RULES = frozenset({
+    "nondet-iteration",
+    "nondet-source",
+    "float-contract",
+    "padding-serialize",
+    "pointer-order",
+})
+
+SOURCE_SUFFIXES = {".h", ".cc"}
+# C++ rules bind shipped code only; CMake files are scanned from these
+# roots (build trees and the fixture tree under tools/ are never walked).
+CXX_SCAN_DIRS = ["src"]
+CMAKE_SCAN_DIRS = ["src", "tests", "bench", "examples"]
+
+ALLOW_RE = re.compile(r"lint:\s*allow\(([\w\-, ]+)\)(\s*[—–-]\s*\S.*)?")
+ALLOW_FILE_RE = re.compile(r"lint:\s*allow-file\(([\w\-, ]+)\)(\s*[—–-]\s*\S.*)?")
+
+# ---------------------------------------------------------------------------
+# Findings / annotations
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Annotation:
+    path: Path
+    line: int  # 1-based
+    kind: str  # "allow" | "allow-file"
+    rules: tuple[str, ...]
+    has_reason: bool
+    text: str
+
+
+@dataclass
+class Finding:
+    path: Path
+    line: int
+    rule: str
+    message: str
+    suppressed: bool = False
+    suppressor: Annotation | None = None
+
+
+@dataclass
+class AnalysisResult:
+    findings: list[Finding] = field(default_factory=list)
+    annotations: list[Annotation] = field(default_factory=list)
+    files_scanned: int = 0
+
+    def active(self) -> list[Finding]:
+        return [f for f in self.findings if not f.suppressed]
+
+
+def scan_annotations(path: Path, raw_lines: list[str]) -> list[Annotation]:
+    out: list[Annotation] = []
+    for idx, line in enumerate(raw_lines):
+        for regex, kind in ((ALLOW_RE, "allow"), (ALLOW_FILE_RE, "allow-file")):
+            match = regex.search(line)
+            # ALLOW_RE also matches inside "allow-file(...)"; keep the
+            # more specific classification only.
+            if match and not (kind == "allow" and ALLOW_FILE_RE.search(line)):
+                out.append(Annotation(
+                    path=path, line=idx + 1, kind=kind,
+                    rules=tuple(r.strip() for r in match.group(1).split(",")
+                                if r.strip()),
+                    has_reason=bool(match.group(2)),
+                    text=line.strip()))
+    return out
+
+
+class SuppressionIndex:
+    """Resolves `allowed(rule, line)` queries against a file's annotations,
+    honoring the on-line / contiguous-comment-block-above convention, and
+    records which annotation discharged each suppressed finding."""
+
+    def __init__(self, path: Path, raw_lines: list[str],
+                 annotations: list[Annotation], comment_leader: str = "//"):
+        self.path = path
+        self.raw_lines = raw_lines
+        self.comment_leader = comment_leader
+        self.by_line: dict[int, list[Annotation]] = {}
+        self.file_level: dict[str, Annotation] = {}
+        for ann in annotations:
+            if ann.kind == "allow-file":
+                for rule in ann.rules:
+                    self.file_level.setdefault(rule, ann)
+            else:
+                self.by_line.setdefault(ann.line, []).append(ann)
+
+    def lookup(self, rule: str, lineno: int) -> Annotation | None:
+        if rule in self.file_level:
+            return self.file_level[rule]
+        candidates = [lineno]
+        j = lineno - 2  # 0-based index of the line above
+        while j >= 0 and self.raw_lines[j].lstrip().startswith(
+                self.comment_leader):
+            candidates.append(j + 1)
+            j -= 1
+        for line in candidates:
+            for ann in self.by_line.get(line, []):
+                if rule in ann.rules:
+                    return ann
+        return None
+
+
+# ---------------------------------------------------------------------------
+# Lexer
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Token:
+    kind: str  # "id" | "num" | "str" | "chr" | "punct"
+    text: str
+    line: int
+
+
+_PUNCTS = [
+    "<<=", ">>=", "...", "->*", "::", "->", "<<", ">>", "<=", ">=", "==",
+    "!=", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "&&", "||", "++",
+    "--",
+]
+
+_ID_START = set("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_")
+_ID_CONT = _ID_START | set("0123456789")
+
+
+def preprocess(text: str) -> tuple[list[str], list[tuple[int, str]]]:
+    """Returns (code_lines, directives). Directives are removed from the
+    code lines (replaced with blanks) and returned as (1-based line, text)
+    pairs with backslash splices folded. Lines inside #if 0 regions (and
+    the #else branch of #if 1) are blanked: the analyzer sees exactly the
+    code a compiler would."""
+    raw = text.splitlines()
+    code = list(raw)
+    directives: list[tuple[int, str]] = []
+
+    # Fold splices inside directives and find directive extents.
+    i = 0
+    # Conditional stack entries: "on" (this branch active),
+    # "off" (dead branch), "unknown" (cannot evaluate: scan both branches).
+    cond: list[str] = []
+
+    def region_active() -> bool:
+        return all(state != "off" for state in cond)
+
+    while i < len(raw):
+        stripped = raw[i].lstrip()
+        if not stripped.startswith("#"):
+            if not region_active():
+                code[i] = ""
+            i += 1
+            continue
+        start = i
+        full = raw[i]
+        while full.rstrip().endswith("\\") and i + 1 < len(raw):
+            full = full.rstrip()[:-1] + " " + raw[i + 1]
+            i += 1
+        for j in range(start, i + 1):
+            code[j] = ""
+        i += 1
+        directive = full.lstrip().lstrip("#").strip()
+        directives.append((start + 1, directive))
+        word = directive.split(None, 1)[0] if directive else ""
+        cond_rest = directive[len(word):].strip() if word else ""
+        if word == "if":
+            if cond_rest == "0":
+                cond.append("off")
+            elif cond_rest == "1":
+                cond.append("on")
+            else:
+                cond.append("unknown")
+        elif word in ("ifdef", "ifndef"):
+            cond.append("unknown")
+        elif word == "elif":
+            if cond:
+                cond[-1] = "off" if cond[-1] == "on" else "unknown"
+        elif word == "else":
+            if cond:
+                if cond[-1] == "off":
+                    cond[-1] = "on"
+                elif cond[-1] == "on":
+                    cond[-1] = "off"
+        elif word == "endif":
+            if cond:
+                cond.pop()
+    return code, directives
+
+
+def lex(code_lines: list[str]) -> list[Token]:
+    tokens: list[Token] = []
+    in_block_comment = False
+    for lineno, line in enumerate(code_lines, start=1):
+        i, n = 0, len(line)
+        while i < n:
+            c = line[i]
+            if in_block_comment:
+                end = line.find("*/", i)
+                if end < 0:
+                    i = n
+                else:
+                    in_block_comment = False
+                    i = end + 2
+                continue
+            if c in " \t\r\f\v":
+                i += 1
+                continue
+            if c == "/" and i + 1 < n:
+                if line[i + 1] == "/":
+                    break
+                if line[i + 1] == "*":
+                    in_block_comment = True
+                    i += 2
+                    continue
+            if c == "R" and line.startswith('R"', i):
+                # Raw string: R"delim( ... )delim" — assume single-line
+                # (multi-line raw strings do not appear in this tree; if
+                # one ever does, the remainder of its first line is
+                # consumed and later lines lex as code, which is safe for
+                # these rules and loud in selftests).
+                m = re.match(r'R"([^(\s]*)\(', line[i:])
+                if m:
+                    close = ")" + m.group(1) + '"'
+                    end = line.find(close, i)
+                    i = n if end < 0 else end + len(close)
+                    tokens.append(Token("str", '""', lineno))
+                    continue
+                # else fall through: plain identifier R
+            if c == '"':
+                j = i + 1
+                while j < n:
+                    if line[j] == "\\":
+                        j += 2
+                        continue
+                    if line[j] == '"':
+                        break
+                    j += 1
+                tokens.append(Token("str", '""', lineno))
+                i = j + 1
+                continue
+            if c == "'" and not (tokens and tokens[-1].kind in ("num",)):
+                j = i + 1
+                while j < n:
+                    if line[j] == "\\":
+                        j += 2
+                        continue
+                    if line[j] == "'":
+                        break
+                    j += 1
+                tokens.append(Token("chr", "''", lineno))
+                i = j + 1
+                continue
+            if c in _ID_START:
+                j = i + 1
+                while j < n and line[j] in _ID_CONT:
+                    j += 1
+                tokens.append(Token("id", line[i:j], lineno))
+                i = j
+                continue
+            if c.isdigit() or (c == "." and i + 1 < n and line[i + 1].isdigit()):
+                j = i + 1
+                while j < n and (line[j] in _ID_CONT or line[j] in ".+-'"
+                                 and (line[j] != "+" and line[j] != "-"
+                                      or line[j - 1] in "eEpP")):
+                    j += 1
+                tokens.append(Token("num", line[i:j], lineno))
+                i = j
+                continue
+            matched = False
+            for p in _PUNCTS:
+                if line.startswith(p, i):
+                    tokens.append(Token("punct", p, lineno))
+                    i += len(p)
+                    matched = True
+                    break
+            if not matched:
+                tokens.append(Token("punct", c, lineno))
+                i += 1
+    return tokens
+
+
+# ---------------------------------------------------------------------------
+# Scope / symbol collection
+# ---------------------------------------------------------------------------
+
+FLOAT_TYPES = {"float", "double"}
+INT_TYPES = {
+    "bool", "char", "short", "int", "long", "signed", "unsigned", "size_t",
+    "ssize_t", "ptrdiff_t", "intptr_t", "uintptr_t", "wchar_t", "char8_t",
+    "char16_t", "char32_t",
+    "int8_t", "int16_t", "int32_t", "int64_t",
+    "uint8_t", "uint16_t", "uint32_t", "uint64_t",
+}
+ARITH_TYPES = FLOAT_TYPES | INT_TYPES
+
+UNORDERED_TYPES = {"unordered_map": "umap", "unordered_set": "uset",
+                   "unordered_multimap": "umap", "unordered_multiset": "uset"}
+
+
+def match_angle(tokens: list[Token], open_idx: int) -> int:
+    """Index of the '>' closing the '<' at open_idx, treating '>>' as two
+    closers. Returns -1 when unbalanced."""
+    depth = 0
+    i = open_idx
+    while i < len(tokens):
+        t = tokens[i]
+        if t.kind == "punct":
+            if t.text == "<":
+                depth += 1
+            elif t.text == ">":
+                depth -= 1
+                if depth == 0:
+                    return i
+            elif t.text == ">>":
+                depth -= 2
+                if depth <= 0:
+                    return i
+            elif t.text in ("(", ";", "{"):
+                # '<' was a comparison, not a template open.
+                return -1
+        i += 1
+    return -1
+
+
+def first_template_arg(tokens: list[Token], open_idx: int,
+                       close_idx: int) -> list[Token]:
+    depth_a = 0
+    depth_p = 0
+    out: list[Token] = []
+    for t in tokens[open_idx + 1:close_idx]:
+        if t.kind == "punct":
+            if t.text == "<":
+                depth_a += 1
+            elif t.text == ">":
+                depth_a -= 1
+            elif t.text == ">>":
+                depth_a -= 2
+            elif t.text in ("(", "["):
+                depth_p += 1
+            elif t.text in (")", "]"):
+                depth_p -= 1
+            elif t.text == "," and depth_a == 0 and depth_p == 0:
+                break
+        out.append(t)
+    return out
+
+
+def match_paren(tokens: list[Token], open_idx: int,
+                open_c: str = "(", close_c: str = ")") -> int:
+    depth = 0
+    for i in range(open_idx, len(tokens)):
+        t = tokens[i]
+        if t.kind == "punct":
+            if t.text == open_c:
+                depth += 1
+            elif t.text == close_c:
+                depth -= 1
+                if depth == 0:
+                    return i
+    return -1
+
+
+def collect_symbols(tokens: list[Token], symbols: dict[str, str],
+                    aliases: dict[str, str]) -> None:
+    """Walks a token stream recording name -> category:
+    'umap'/'uset' (unordered containers), 'float', 'int', 'ptr'
+    (pointer to anything). Also records `using X = unordered_*<...>`
+    aliases so `X m_;` declares an unordered member."""
+    n = len(tokens)
+    i = 0
+    while i < n:
+        t = tokens[i]
+        if t.kind != "id":
+            i += 1
+            continue
+        if t.text in UNORDERED_TYPES:
+            cat = UNORDERED_TYPES[t.text]
+            j = i + 1
+            if j < n and tokens[j].kind == "punct" and tokens[j].text == "<":
+                close = match_angle(tokens, j)
+                if close > 0:
+                    # `using Alias = std::unordered_map<...>`?
+                    alias = None
+                    k = i - 1
+                    while k >= 0 and tokens[k].kind == "punct" and \
+                            tokens[k].text == "::":
+                        k -= 2  # skip qualifier id
+                    if k >= 1 and tokens[k].kind == "punct" and \
+                            tokens[k].text == "=" and tokens[k - 1].kind == "id":
+                        if k >= 2 and tokens[k - 2].kind == "id" and \
+                                tokens[k - 2].text in ("using", "typedef"):
+                            alias = tokens[k - 1].text
+                        elif k >= 2 and tokens[k - 2].text == "using":
+                            alias = tokens[k - 1].text
+                    if alias:
+                        aliases[alias] = cat
+                        i = close + 1
+                        continue
+                    j = close + 1
+                    while j < n and tokens[j].kind == "punct" and \
+                            tokens[j].text in ("*", "&", "&&"):
+                        j += 1
+                    if j < n and tokens[j].kind == "id":
+                        symbols[tokens[j].text] = cat
+                    i = close + 1
+                    continue
+            i += 1
+            continue
+        if t.text in aliases:
+            j = i + 1
+            while j < n and tokens[j].kind == "punct" and \
+                    tokens[j].text in ("*", "&", "&&"):
+                j += 1
+            if j < n and tokens[j].kind == "id" and j + 1 < n and \
+                    tokens[j + 1].kind == "punct" and \
+                    tokens[j + 1].text in ("=", ";", ",", ")", "{"):
+                symbols[tokens[j].text] = aliases[t.text]
+            i += 1
+            continue
+        if t.text in ARITH_TYPES:
+            # Consume a multi-word arithmetic type (`unsigned long long`),
+            # then pointer/ref decorations, then the declared name.
+            j = i + 1
+            while j < n and tokens[j].kind == "id" and \
+                    tokens[j].text in ARITH_TYPES:
+                j += 1
+            is_ptr = False
+            while j < n and tokens[j].kind == "punct" and \
+                    tokens[j].text in ("*", "&", "&&"):
+                is_ptr = is_ptr or tokens[j].text == "*"
+                j += 1
+            if j < n and tokens[j].kind == "id" and j + 1 < n and \
+                    tokens[j + 1].kind == "punct" and \
+                    tokens[j + 1].text in ("=", ";", ",", ")", "{", "["):
+                cat = "ptr" if is_ptr else (
+                    "float" if t.text in FLOAT_TYPES else "int")
+                symbols.setdefault(tokens[j].text, cat)
+            i = j if j > i else i + 1
+            continue
+        i += 1
+    # Range-for bindings and lambdas may shadow; last-wins flatness is an
+    # accepted simplification — annotations escape any misclassification.
+
+
+INCLUDE_RE = re.compile(r'include\s*"([^"]+)"')
+
+
+class HeaderSymbolCache:
+    """Transitively collects declared symbols from a file's quoted
+    includes, resolved against <root>/src (the repo's include root) and
+    the including file's directory."""
+
+    def __init__(self, root: Path):
+        self.root = root
+        self.cache: dict[Path, tuple[dict[str, str], dict[str, str]]] = {}
+
+    def resolve(self, include: str, from_dir: Path) -> Path | None:
+        for base in (self.root / "src", from_dir):
+            candidate = (base / include).resolve()
+            if candidate.is_file():
+                return candidate
+        return None
+
+    def symbols_for(self, path: Path,
+                    visiting: frozenset[Path] = frozenset()
+                    ) -> tuple[dict[str, str], dict[str, str]]:
+        path = path.resolve()
+        if path in self.cache:
+            return self.cache[path]
+        if path in visiting:
+            return {}, {}
+        symbols: dict[str, str] = {}
+        aliases: dict[str, str] = {}
+        try:
+            text = path.read_text(encoding="utf-8", errors="replace")
+        except OSError:
+            return {}, {}
+        code_lines, directives = preprocess(text)
+        for _, directive in directives:
+            m = INCLUDE_RE.match(directive)
+            if m:
+                dep = self.resolve(m.group(1), path.parent)
+                if dep and dep != path:
+                    dep_syms, dep_aliases = self.symbols_for(
+                        dep, visiting | {path})
+                    symbols.update(dep_syms)
+                    aliases.update(dep_aliases)
+        collect_symbols(lex(code_lines), symbols, aliases)
+        self.cache[path] = (symbols, aliases)
+        return self.cache[path]
+
+
+# ---------------------------------------------------------------------------
+# C++ rules
+# ---------------------------------------------------------------------------
+
+APPEND_METHODS = {"push_back", "emplace_back", "append", "push", "push_front",
+                  "emplace_front", "Add", "AppendLog"}
+NONDET_SOURCE_IDS = {
+    "random_device": "std::random_device draws from the OS entropy pool",
+    "steady_clock": "std::chrono::steady_clock reads wall time",
+    "system_clock": "std::chrono::system_clock reads wall time",
+    "high_resolution_clock": "high_resolution_clock reads wall time",
+    "clock_gettime": "clock_gettime reads wall time",
+    "gettimeofday": "gettimeofday reads wall time",
+    "getpid": "getpid varies per process",
+}
+NONDET_SOURCE_CALLS = {
+    "rand": "std::rand draws from unseeded/global PRNG state",
+    "srand": "srand reseeds global PRNG state",
+    "time": "time() reads wall time",
+    "clock": "clock() reads CPU time",
+}
+FMA_INTRINSIC_RE = re.compile(r"^_mm(?:256|512)?_(?:mask[z23]?_)?f(?:n?m(?:add|sub))")
+RELOPS = {"<", ">", "<=", ">="}
+
+CHECKPOINT_STATE_DIRS = {"persist", "nn", "rl", "tuner", "server"}
+
+
+class FileAnalyzer:
+    def __init__(self, path: Path, rel: Path, result: AnalysisResult,
+                 header_cache: HeaderSymbolCache):
+        self.path = path
+        self.rel = rel
+        self.result = result
+        self.header_cache = header_cache
+
+        text = path.read_text(encoding="utf-8", errors="replace")
+        self.raw_lines = text.splitlines()
+        self.annotations = scan_annotations(path, self.raw_lines)
+        self.result.annotations.extend(self.annotations)
+        self.supp = SuppressionIndex(path, self.raw_lines, self.annotations)
+
+        self.code_lines, self.directives = preprocess(text)
+        self.tokens = lex(self.code_lines)
+
+        # Symbol table: included headers first, own declarations shadow.
+        self.symbols: dict[str, str] = {}
+        self.aliases: dict[str, str] = {}
+        for _, directive in self.directives:
+            m = INCLUDE_RE.match(directive)
+            if m:
+                dep = header_cache.resolve(m.group(1), path.parent)
+                if dep and dep.resolve() != path.resolve():
+                    syms, aliases = header_cache.symbols_for(dep)
+                    self.symbols.update(syms)
+                    self.aliases.update(aliases)
+        collect_symbols(self.tokens, self.symbols, self.aliases)
+
+    def report(self, line: int, rule: str, message: str) -> None:
+        ann = self.supp.lookup(rule, line)
+        self.result.findings.append(Finding(
+            path=self.path, line=line, rule=rule, message=message,
+            suppressed=ann is not None, suppressor=ann))
+
+    # -- nondet-iteration ---------------------------------------------------
+
+    def run_nondet_iteration(self) -> None:
+        toks = self.tokens
+        n = len(toks)
+        for i in range(n - 1):
+            if toks[i].kind == "id" and toks[i].text == "for" and \
+                    toks[i + 1].kind == "punct" and toks[i + 1].text == "(":
+                close = match_paren(toks, i + 1)
+                if close < 0:
+                    continue
+                header = toks[i + 2:close]
+                container, loop_vars = self._loop_container(header)
+                if not container:
+                    continue
+                body_start, body_end = self._body_range(close)
+                sinks = list(dict.fromkeys(self._order_sensitive_sinks(
+                    toks[body_start:body_end], loop_vars)))
+                if sinks:
+                    self.report(
+                        toks[i].line, "nondet-iteration",
+                        f"iteration over unordered container `{container}` "
+                        f"with an order-sensitive body ({'; '.join(sinks[:3])})"
+                        f" — hash order leaks; use std::map / a sorted "
+                        f"vector, restructure the body, or annotate why "
+                        f"order cannot escape")
+
+    def _loop_container(self, header: list[Token]
+                        ) -> tuple[str | None, set[str]]:
+        # Range-for: a top-level ':' splits declaration from range expr.
+        depth = 0
+        colon = -1
+        for idx, t in enumerate(header):
+            if t.kind == "punct":
+                if t.text in ("(", "[", "{"):
+                    depth += 1
+                elif t.text in (")", "]", "}"):
+                    depth -= 1
+                elif t.text == ":" and depth == 0:
+                    colon = idx
+                    break
+        if colon >= 0:
+            decl, rng = header[:colon], header[colon + 1:]
+            container = None
+            for t in rng:
+                if t.kind == "id" and self._category(t.text) in ("umap",
+                                                                 "uset"):
+                    container = t.text
+                    break
+            loop_vars: set[str] = set()
+            bracket = [t for t in decl if t.kind == "punct" and t.text == "["]
+            if bracket:
+                inside = False
+                for t in decl:
+                    if t.kind == "punct" and t.text == "[":
+                        inside = True
+                    elif t.kind == "punct" and t.text == "]":
+                        inside = False
+                    elif inside and t.kind == "id":
+                        loop_vars.add(t.text)
+            else:
+                ids = [t.text for t in decl if t.kind == "id"
+                       and t.text not in {"auto", "const"} | ARITH_TYPES]
+                if ids:
+                    loop_vars.add(ids[-1])
+            return container, loop_vars
+        # Iterator loop: `for (auto it = c.begin(); ...)`.
+        for idx in range(len(header) - 3):
+            if header[idx].kind == "id" and \
+                    header[idx + 1].kind == "punct" and \
+                    header[idx + 1].text in (".", "->") and \
+                    header[idx + 2].kind == "id" and \
+                    header[idx + 2].text in ("begin", "cbegin"):
+                if self._category(header[idx].text) in ("umap", "uset"):
+                    loop_vars = set()
+                    for j in range(idx - 1, -1, -1):
+                        if header[j].kind == "punct" and header[j].text == "=":
+                            if j > 0 and header[j - 1].kind == "id":
+                                loop_vars.add(header[j - 1].text)
+                            break
+                    return header[idx].text, loop_vars
+        return None, set()
+
+    def _category(self, name: str) -> str | None:
+        return self.symbols.get(name)
+
+    def _body_range(self, close_paren: int) -> tuple[int, int]:
+        toks = self.tokens
+        i = close_paren + 1
+        if i < len(toks) and toks[i].kind == "punct" and toks[i].text == "{":
+            end = match_paren(toks, i, "{", "}")
+            return i + 1, end if end > 0 else len(toks)
+        # Single-statement body: to the ';' at depth 0.
+        depth = 0
+        for j in range(i, len(toks)):
+            t = toks[j]
+            if t.kind == "punct":
+                if t.text in ("(", "[", "{"):
+                    depth += 1
+                elif t.text in (")", "]", "}"):
+                    depth -= 1
+                elif t.text == ";" and depth <= 0:
+                    return i, j
+        return i, len(toks)
+
+    def _subscript_has_loop_var(self, toks: list[Token], rb_idx: int,
+                                loop_vars: set[str]) -> bool:
+        """toks[rb_idx] is ']'; checks whether the matching subscript
+        contains one of the loop bindings (a keyed write)."""
+        depth = 0
+        for j in range(rb_idx, -1, -1):
+            t = toks[j]
+            if t.kind == "punct":
+                if t.text == "]":
+                    depth += 1
+                elif t.text == "[":
+                    depth -= 1
+                    if depth == 0:
+                        return any(
+                            x.kind == "id" and x.text in loop_vars
+                            for x in toks[j + 1:rb_idx])
+        return False
+
+    def _order_sensitive_sinks(self, body: list[Token],
+                               loop_vars: set[str]) -> list[str]:
+        sinks: list[str] = []
+        # Names declared inside the body are loop-local: assigning to them
+        # cannot leak order past the iteration.
+        body_locals: set[str] = set()
+        body_syms: dict[str, str] = {}
+        collect_symbols(body, body_syms, dict(self.aliases))
+        body_locals.update(body_syms)
+        for idx, t in enumerate(body):
+            if t.kind == "punct" and t.text in ("&", "&&"):
+                # `auto& f = ...` / `const Frame& f = ...` declarations.
+                if idx + 2 < len(body) and body[idx + 1].kind == "id" and \
+                        body[idx + 2].kind == "punct" and \
+                        body[idx + 2].text == "=":
+                    body_locals.add(body[idx + 1].text)
+            if t.kind == "id" and t.text == "auto":
+                j = idx + 1
+                while j < len(body) and body[j].kind == "punct" and \
+                        body[j].text in ("*", "&", "&&", "const"):
+                    j += 1
+                if j < len(body) and body[j].kind == "id":
+                    body_locals.add(body[j].text)
+
+        n = len(body)
+        for idx, t in enumerate(body):
+            prev = body[idx - 1] if idx > 0 else None
+            if t.kind == "id":
+                if prev is not None and prev.kind == "punct" and \
+                        prev.text in (".", "->"):
+                    if t.text in APPEND_METHODS:
+                        sinks.append(f"appends via .{t.text}()")
+                        continue
+                    if t.text.startswith("Write") or t.text.startswith(
+                            "Serialize"):
+                        sinks.append(f"writes output via .{t.text}()")
+                        continue
+                if t.text == "ChunkWriter" or (
+                        t.text == "persist" and idx + 1 < n and
+                        body[idx + 1].kind == "punct" and
+                        body[idx + 1].text == "::"):
+                    sinks.append("reaches a persist:: / ChunkWriter sink")
+                    continue
+                if t.text in ("CDBTUNE_LOG", "CDBTUNE_CHECK"):
+                    sinks.append(f"emits log/diagnostic output ({t.text})")
+                    continue
+                if t.text in ("return", "break", "throw", "goto"):
+                    sinks.append(
+                        f"exits early via `{t.text}` — which element "
+                        f"triggers it depends on hash order")
+                    continue
+            if t.kind == "punct":
+                if t.text == "<<":
+                    # A shift on a known-integer LHS is arithmetic, not a
+                    # stream append.
+                    if prev is not None and prev.kind == "id" and \
+                            self._category(prev.text) == "int":
+                        continue
+                    if prev is not None and prev.kind == "num":
+                        continue
+                    sinks.append("streams output via <<")
+                    continue
+                if t.text in ("+=", "-=", "*=", "/=", "|=", "&=", "^="):
+                    if prev is None:
+                        continue
+                    if prev.kind == "punct" and prev.text == "]":
+                        if self._subscript_has_loop_var(body, idx - 1,
+                                                        loop_vars):
+                            continue  # keyed update: order-independent
+                        sinks.append("accumulates into a non-keyed element")
+                        continue
+                    if prev.kind == "id":
+                        cat = body_syms.get(prev.text) or \
+                            self._category(prev.text)
+                        if prev.text in body_locals and cat != "float":
+                            continue
+                        if cat == "int" or t.text in ("|=", "&="):
+                            continue  # commutative on integers
+                        if cat == "float":
+                            sinks.append(
+                                f"accumulates floats into `{prev.text}` "
+                                f"(rounding is order-dependent)")
+                        elif cat == "ptr":
+                            sinks.append(
+                                f"advances cursor `{prev.text}`")
+                        else:
+                            sinks.append(
+                                f"accumulates into `{prev.text}` "
+                                f"(type unresolved — possibly float)")
+                        continue
+                if t.text == "=" and prev is not None:
+                    if prev.kind == "punct" and prev.text == "]":
+                        if not self._subscript_has_loop_var(body, idx - 1,
+                                                            loop_vars):
+                            sinks.append(
+                                "assigns a non-keyed element (last-writer-"
+                                "wins depends on hash order)")
+                        continue
+                    if prev.kind == "id" and prev.text.endswith("_") and \
+                            prev.text not in body_locals:
+                        sinks.append(
+                            f"overwrites member `{prev.text}` (final value "
+                            f"is the hash-order-last element)")
+                        continue
+        return sinks
+
+    # -- nondet-source ------------------------------------------------------
+
+    def run_nondet_source(self) -> None:
+        if self.rel.parts[:2] == ("src", "util") and \
+                self.rel.name in ("random.h", "random.cc"):
+            return  # The sanctioned home of stochasticity.
+        toks = self.tokens
+        n = len(toks)
+        for i, t in enumerate(toks):
+            if t.kind != "id":
+                continue
+            prev = toks[i - 1] if i > 0 else None
+            is_member = prev is not None and prev.kind == "punct" and \
+                prev.text in (".", "->")
+            if t.text in NONDET_SOURCE_IDS and not is_member:
+                self.report(t.line, "nondet-source",
+                            f"{NONDET_SOURCE_IDS[t.text]}; all nondeterminism "
+                            f"must flow through util::Rng (src/util/random.*) "
+                            f"or carry an allow() naming the timing site")
+                continue
+            if t.text in NONDET_SOURCE_CALLS and not is_member and \
+                    i + 1 < n and toks[i + 1].kind == "punct" and \
+                    toks[i + 1].text == "(":
+                self.report(t.line, "nondet-source",
+                            f"{NONDET_SOURCE_CALLS[t.text]}; seed util::Rng "
+                            f"streams instead (or annotate an allowed timing "
+                            f"site)")
+
+    # -- float-contract (C++ half) ------------------------------------------
+
+    def run_float_contract(self) -> None:
+        for i, t in enumerate(self.tokens):
+            if t.kind != "id":
+                continue
+            if t.text in ("fma", "fmaf", "fmal") and \
+                    i + 1 < len(self.tokens) and \
+                    self.tokens[i + 1].kind == "punct" and \
+                    self.tokens[i + 1].text == "(":
+                prev = self.tokens[i - 1] if i > 0 else None
+                if prev is not None and prev.kind == "punct" and \
+                        prev.text in (".", "->"):
+                    continue
+                self.report(t.line, "float-contract",
+                            f"{t.text}() fuses multiply-add into one "
+                            f"rounding; DESIGN.md §6 requires mul-then-add "
+                            f"with two roundings in every tier")
+                continue
+            if t.text.startswith("__builtin_fma"):
+                self.report(t.line, "float-contract",
+                            f"{t.text} is a fused multiply-add; the §6 "
+                            f"cross-tier bitwise contract excludes FMA")
+                continue
+            if FMA_INTRINSIC_RE.match(t.text):
+                self.report(t.line, "float-contract",
+                            f"FMA intrinsic {t.text} breaks bitwise "
+                            f"equivalence with the scalar reference kernel")
+        for line, directive in self.directives:
+            if "FP_CONTRACT" in directive and re.search(
+                    r"\b(?:ON|FAST|DEFAULT)\b", directive):
+                self.report(line, "float-contract",
+                            "#pragma FP_CONTRACT permits fused contraction; "
+                            "kernels are built with -ffp-contract=off and "
+                            "must stay contraction-free")
+
+    # -- padding-serialize --------------------------------------------------
+
+    def run_padding_serialize(self) -> None:
+        if len(self.rel.parts) < 2 or self.rel.parts[0] != "src" or \
+                self.rel.parts[1] not in CHECKPOINT_STATE_DIRS:
+            return
+        toks = self.tokens
+        n = len(toks)
+        for i, t in enumerate(toks):
+            if t.kind != "id" or t.text not in ("memcpy", "write", "fwrite"):
+                continue
+            if i + 1 >= n or toks[i + 1].kind != "punct" or \
+                    toks[i + 1].text != "(":
+                continue
+            close = match_paren(toks, i + 1)
+            if close < 0:
+                continue
+            args = toks[i + 2:close]
+            if t.text in ("write", "fwrite"):
+                # Only the serialize-an-object shape is suspect:
+                # write(reinterpret_cast<...>(&obj), sizeof(obj)).
+                texts = {a.text for a in args if a.kind == "id"}
+                if "reinterpret_cast" not in texts or "sizeof" not in texts:
+                    continue
+            culprit = self._padded_sizeof_operand(args)
+            if culprit is not None:
+                self.report(
+                    t.line, "padding-serialize",
+                    f"whole-object {t.text}() of sizeof({culprit}) — if "
+                    f"`{culprit}` has padding, the uninitialized bytes make "
+                    f"checkpoint images nondeterministic; encode field-wise "
+                    f"via persist::Encoder or annotate why it is packed/"
+                    f"scalar")
+
+    def _padded_sizeof_operand(self, args: list[Token]) -> str | None:
+        for idx, t in enumerate(args):
+            if t.kind == "id" and t.text == "sizeof":
+                operand: list[Token]
+                if idx + 1 < len(args) and args[idx + 1].kind == "punct" \
+                        and args[idx + 1].text == "(":
+                    close = match_paren(args, idx + 1)
+                    if close < 0:
+                        continue
+                    operand = args[idx + 2:close]
+                else:
+                    operand = args[idx + 1:idx + 2]
+                ids = [x.text for x in operand if x.kind == "id"]
+                if not ids:
+                    continue
+                base = ids[-1]
+                if base in ARITH_TYPES:
+                    continue
+                if all(x in ARITH_TYPES for x in ids):
+                    continue
+                cat = self._category(base)
+                if cat in ("float", "int", "ptr"):
+                    continue  # scalar object: no padding bytes
+                has_deref = any(x.kind == "punct" and x.text == "*"
+                                for x in operand)
+                if has_deref and cat in ("float", "int"):
+                    continue
+                return "".join(x.text for x in operand) or base
+        return None
+
+    # -- pointer-order ------------------------------------------------------
+
+    ORDERED_KEYED = {"map", "set", "multimap", "multiset",
+                     "unordered_map", "unordered_set", "less", "greater",
+                     "hash"}
+
+    def run_pointer_order(self) -> None:
+        toks = self.tokens
+        n = len(toks)
+        for i, t in enumerate(toks):
+            if t.kind == "id" and t.text in self.ORDERED_KEYED and \
+                    i + 1 < n and toks[i + 1].kind == "punct" and \
+                    toks[i + 1].text == "<":
+                close = match_angle(toks, i + 1)
+                if close < 0:
+                    continue
+                arg = first_template_arg(toks, i + 1, close)
+                if arg and arg[-1].kind == "punct" and arg[-1].text == "*":
+                    spelled = " ".join(x.text for x in arg)
+                    self.report(
+                        t.line, "pointer-order",
+                        f"{t.text}<{spelled}> keys/orders by pointer value "
+                        f"— ASLR makes the order differ run to run; key by "
+                        f"a stable id instead")
+                continue
+            if t.kind == "punct" and t.text in RELOPS:
+                # &a < &b
+                if i >= 2 and i + 2 < n and \
+                        toks[i - 2].kind == "punct" and \
+                        toks[i - 2].text == "&" and \
+                        toks[i - 1].kind == "id" and \
+                        toks[i + 1].kind == "punct" and \
+                        toks[i + 1].text == "&" and \
+                        toks[i + 2].kind == "id":
+                    self.report(t.line, "pointer-order",
+                                f"relational comparison of addresses "
+                                f"(&{toks[i - 1].text} {t.text} "
+                                f"&{toks[i + 2].text}) is unstable across "
+                                f"runs")
+                    continue
+                # x.get() < y.get()
+                left_get = i >= 3 and toks[i - 1].text == ")" and \
+                    toks[i - 2].text == "(" and toks[i - 3].kind == "id" and \
+                    toks[i - 3].text == "get"
+                right_get = any(
+                    toks[j].kind == "id" and toks[j].text == "get"
+                    for j in range(i + 1, min(i + 6, n)))
+                if left_get and right_get:
+                    self.report(t.line, "pointer-order",
+                                "relational comparison of smart-pointer "
+                                ".get() addresses is unstable across runs")
+
+    def run_all(self) -> None:
+        self.run_nondet_iteration()
+        self.run_nondet_source()
+        self.run_float_contract()
+        self.run_padding_serialize()
+        self.run_pointer_order()
+
+
+# ---------------------------------------------------------------------------
+# CMake half of float-contract
+# ---------------------------------------------------------------------------
+
+CMAKE_FAST_MATH_RE = re.compile(
+    r"-ffast-math|-funsafe-math-optimizations|(?<![\w-])-Ofast\b")
+CMAKE_VECTOR_ISA_RE = re.compile(r"-m(?:fma|avx512\w*)\b")
+CMAKE_FP_CONTRACT_OFF = "-ffp-contract=off"
+
+
+def analyze_cmake_file(path: Path, result: AnalysisResult) -> None:
+    text = path.read_text(encoding="utf-8", errors="replace")
+    raw_lines = text.splitlines()
+    annotations = scan_annotations(path, raw_lines)
+    result.annotations.extend(annotations)
+    supp = SuppressionIndex(path, raw_lines, annotations, comment_leader="#")
+    # Only non-comment text grants the contraction waiver — a '#' comment
+    # merely *mentioning* the flag must not count.
+    has_contract_off = any(
+        CMAKE_FP_CONTRACT_OFF in raw.split("#", 1)[0] for raw in raw_lines)
+
+    def report(lineno: int, message: str) -> None:
+        ann = supp.lookup("float-contract", lineno)
+        result.findings.append(Finding(
+            path=path, line=lineno, rule="float-contract", message=message,
+            suppressed=ann is not None, suppressor=ann))
+
+    for idx, raw in enumerate(raw_lines):
+        line = raw.split("#", 1)[0]
+        if CMAKE_FAST_MATH_RE.search(line):
+            report(idx + 1,
+                   "fast-math flags reassociate and contract float ops — "
+                   "every bitwise determinism contract (§6/§8/§9) breaks; "
+                   "remove the flag")
+        elif CMAKE_VECTOR_ISA_RE.search(line) and not has_contract_off:
+            report(idx + 1,
+                   f"vector-ISA flag without {CMAKE_FP_CONTRACT_OFF} "
+                   f"anywhere in this file — a compiler given FMA hardware "
+                   f"will contract mul+add pairs and break cross-tier "
+                   f"bitwise equality (DESIGN.md §6)")
+
+
+# ---------------------------------------------------------------------------
+# Driver
+# ---------------------------------------------------------------------------
+
+
+def gather_files(root: Path, paths: list[str]) -> tuple[list[Path], list[Path]]:
+    """Returns (cxx_files, cmake_files) honoring explicit path arguments."""
+    if paths:
+        cxx: list[Path] = []
+        cmake: list[Path] = []
+        for p in paths:
+            path = Path(p).resolve()
+            if path.is_file():
+                if path.suffix in SOURCE_SUFFIXES:
+                    cxx.append(path)
+                elif path.name == "CMakeLists.txt" or path.suffix == ".cmake":
+                    cmake.append(path)
+            elif path.is_dir():
+                cxx.extend(f for f in sorted(path.rglob("*"))
+                           if f.suffix in SOURCE_SUFFIXES)
+                cmake.extend(sorted(path.rglob("CMakeLists.txt")))
+        return cxx, cmake
+    cxx = []
+    for d in CXX_SCAN_DIRS:
+        base = root / d
+        if base.is_dir():
+            cxx.extend(f for f in sorted(base.rglob("*"))
+                       if f.suffix in SOURCE_SUFFIXES)
+    cmake = []
+    top = root / "CMakeLists.txt"
+    if top.is_file():
+        cmake.append(top)
+    for d in CMAKE_SCAN_DIRS:
+        base = root / d
+        if base.is_dir():
+            cmake.extend(sorted(base.rglob("CMakeLists.txt")))
+    return cxx, cmake
+
+
+def analyze_tree(root: Path, paths: list[str] | None = None) -> AnalysisResult:
+    result = AnalysisResult()
+    header_cache = HeaderSymbolCache(root)
+    cxx_files, cmake_files = gather_files(root, paths or [])
+    for path in cxx_files:
+        try:
+            rel = path.relative_to(root)
+        except ValueError:
+            rel = Path("src") / path.name
+        analyzer = FileAnalyzer(path, rel, result, header_cache)
+        analyzer.run_all()
+        result.files_scanned += 1
+    for path in cmake_files:
+        analyze_cmake_file(path, result)
+        result.files_scanned += 1
+    # Bare allow() annotations are themselves findings (reason mandatory),
+    # matching tools/lint.py. Only annotations naming analyzer rules are
+    # checked here; lint.py owns its own.
+    for ann in result.annotations:
+        if not ann.has_reason and any(r in RULES for r in ann.rules):
+            result.findings.append(Finding(
+                path=ann.path, line=ann.line, rule="lint-annotation",
+                message=f"{ann.kind}() without a reason"))
+    return result
+
+
+def rel_str(path: Path, root: Path) -> str:
+    try:
+        return str(path.relative_to(root))
+    except ValueError:
+        return str(path)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__.splitlines()[0])
+    parser.add_argument("paths", nargs="*",
+                        help="files or directories to analyze (default: "
+                             "src/ and the CMake tree under the root)")
+    parser.add_argument("--root", type=Path, default=REPO_ROOT,
+                        help="tree root dir-gated rules resolve against "
+                             "(the selftest points this at the fixture tree)")
+    parser.add_argument("--json", action="store_true",
+                        help="emit findings as JSON (for CI annotations)")
+    parser.add_argument("--include-suppressed", action="store_true",
+                        help="with --json, include suppressed findings "
+                             "(marked) in the output")
+    args = parser.parse_args()
+    root = args.root.resolve()
+
+    result = analyze_tree(root, args.paths)
+    active = result.active()
+
+    if args.json:
+        findings = result.findings if args.include_suppressed else active
+        payload = {
+            "tool": "analyze",
+            "root": str(root),
+            "files_scanned": result.files_scanned,
+            "findings": [{
+                "file": rel_str(f.path, root),
+                "line": f.line,
+                "rule": f.rule,
+                "message": f.message,
+                "suppressed": f.suppressed,
+            } for f in findings],
+            "counts": {},
+            "suppressed_count": sum(1 for f in result.findings
+                                    if f.suppressed),
+        }
+        for f in active:
+            payload["counts"][f.rule] = payload["counts"].get(f.rule, 0) + 1
+        json.dump(payload, sys.stdout, indent=2)
+        print()
+        return 1 if active else 0
+
+    for f in active:
+        print(f"{rel_str(f.path, root)}:{f.line}: [{f.rule}] {f.message}")
+    if active:
+        print(f"\nanalyze: {len(active)} finding(s)", file=sys.stderr)
+        return 1
+    suppressed = sum(1 for f in result.findings if f.suppressed)
+    print(f"analyze: clean ({result.files_scanned} files, "
+          f"{suppressed} suppressed finding(s))")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

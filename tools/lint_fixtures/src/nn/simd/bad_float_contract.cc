@@ -1,0 +1,28 @@
+// Lint fixture: fused multiply-add in every form the float-contract rule
+// knows. Fusing drops one rounding, so any of these breaks the DESIGN.md §6
+// cross-tier bitwise-equivalence contract. Lives under src/nn/simd/ so the
+// regex linter's raw-intrinsics rule stays silent and the analyzer finding
+// is isolated. Never compiled; tools/lint_selftest.py asserts one finding
+// per marked site.
+
+#include <cmath>
+#include <immintrin.h>
+
+namespace cdbtune::nn {
+
+float FusedScalar(float a, float b, float c) {
+  return std::fma(a, b, c);  // finding: libm fused multiply-add
+}
+
+double FusedBuiltin(double a, double b, double c) {
+  return __builtin_fma(a, b, c);  // finding: builtin fused multiply-add
+}
+
+__m256 FusedVector(__m256 a, __m256 b, __m256 c) {
+  return _mm256_fmadd_ps(a, b, c);  // finding: FMA intrinsic
+}
+
+#pragma STDC FP_CONTRACT ON
+// finding: the pragma re-enables contraction the build flags turned off
+
+}  // namespace cdbtune::nn

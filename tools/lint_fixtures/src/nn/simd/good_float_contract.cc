@@ -1,0 +1,26 @@
+// Lint fixture twin of bad_float_contract.cc: multiply-then-add with two
+// explicit roundings (the §6-conformant shape in both scalar and vector
+// form), plus one annotated FMA proving the allow() form works. Never
+// compiled; tools/lint_selftest.py asserts zero active findings.
+
+#include <immintrin.h>
+
+namespace cdbtune::nn {
+
+float MulThenAdd(float a, float b, float c) {
+  float product = a * b;  // rounded once
+  return product + c;     // rounded again — matches the scalar reference
+}
+
+__m256 VectorMulAdd(__m256 a, __m256 b, __m256 c) {
+  return _mm256_add_ps(_mm256_mul_ps(a, b), c);
+}
+
+float ThroughputProbe(float a, float b, float c) {
+  // lint: allow(float-contract) — FMA-port throughput probe: the numeric
+  // result is discarded, only the timing is reported, so no §6-covered
+  // output depends on the fused rounding.
+  return __builtin_fma(a, b, c);
+}
+
+}  // namespace cdbtune::nn

@@ -1,0 +1,31 @@
+// Lint fixture: whole-object writes of a padded struct into checkpoint
+// bytes. The 7 padding bytes after `magic` are uninitialized, so two
+// otherwise-identical checkpoints differ bitwise. Never compiled;
+// tools/lint_selftest.py asserts one padding-serialize finding per
+// marked call.
+
+#include <cstdio>
+#include <cstring>
+
+namespace cdbtune::persist {
+
+struct SnapshotHeader {
+  char magic;      // 7 padding bytes follow before `version` on LP64
+  double version;
+};
+
+void EncodeHeader(char* dst, const SnapshotHeader& header) {
+  std::memcpy(dst, &header, sizeof(header));  // finding: whole-struct memcpy
+}
+
+void WriteHeader(int fd, const SnapshotHeader& header) {
+  // finding: whole-struct write()
+  write(fd, reinterpret_cast<const char*>(&header), sizeof(header));
+}
+
+void StoreHeader(std::FILE* f, const SnapshotHeader& header) {
+  // finding: whole-struct fwrite()
+  fwrite(reinterpret_cast<const void*>(&header), sizeof(header), 1, f);
+}
+
+}  // namespace cdbtune::persist

@@ -1,0 +1,32 @@
+// Lint fixture: raw entropy, wall-clock, and pid sources outside
+// src/util/random.* — each one makes training runs unreproducible.
+// Never compiled; tools/lint_selftest.py asserts one nondet-source
+// finding per marked line.
+
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+namespace cdbtune::rl {
+
+int EntropySeed() {
+  std::random_device rd;  // finding: OS entropy pool
+  return static_cast<int>(rd());
+}
+
+long JitterNs() {
+  auto now = std::chrono::steady_clock::now();  // finding: wall time
+  return now.time_since_epoch().count();
+}
+
+int LegacySample() {
+  std::srand(42);          // finding: global PRNG state
+  return std::rand();      // finding: unseeded global PRNG
+}
+
+long Stamp() {
+  return std::time(nullptr);  // finding: wall time
+}
+
+}  // namespace cdbtune::rl

@@ -1,0 +1,24 @@
+// Lint fixture twin of bad_nondet_source.cc: stochasticity flows through
+// util::Rng, member functions that merely share a libc name are not
+// flagged, and one annotated timing site proves the allow() form works.
+// Never compiled; tools/lint_selftest.py asserts zero active findings.
+
+#include "util/random.h"
+
+namespace cdbtune::rl {
+
+struct Telemetry;  // has double time() const and double clock() const
+
+// All randomness comes from an explicitly seeded util::Rng stream.
+double Sample(util::Rng* rng) { return rng->Uniform(); }
+
+// Member access named like libc time sources is not the libc call.
+double Elapsed(const Telemetry& t) { return t.time() + t.clock(); }
+
+long BannerTimestamp() {
+  // lint: allow(nondet-source) — wall clock only feeds the human-readable
+  // startup banner, never checkpoint bytes or tuning state.
+  return time(nullptr);
+}
+
+}  // namespace cdbtune::rl

@@ -1,0 +1,28 @@
+// Lint fixture: pointer-keyed ordered containers and address comparisons.
+// ASLR re-randomizes the heap every run, so any ordering derived from
+// addresses differs run to run. Never compiled; tools/lint_selftest.py
+// asserts one pointer-order finding per marked site.
+
+#include <map>
+#include <memory>
+#include <set>
+
+namespace cdbtune::server {
+
+struct Session;
+
+struct SessionIndex {
+  std::map<Session*, int> priority_by_session;  // finding: pointer key
+  std::set<const Session*> active;              // finding: pointer key
+};
+
+bool Before(const Session& a, const Session& b) {
+  return &a < &b;  // finding: address ordering
+}
+
+bool OwnerBefore(const std::unique_ptr<Session>& x,
+                 const std::unique_ptr<Session>& y) {
+  return x.get() < y.get();  // finding: smart-pointer address ordering
+}
+
+}  // namespace cdbtune::server

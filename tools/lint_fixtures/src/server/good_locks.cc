@@ -11,17 +11,17 @@ struct Queue {
   bool ready_ CDBTUNE_GUARDED_BY(mu_) = false;
   std::atomic<bool> stop{false};
 
-  void LockedNotify() {
-    util::MutexLock lock(mu_);
-    ready_ = true;
-    cv_.NotifyAll();  // clean: mutation above happens under the lock
-  }
-
   void HoistedNotify() {
     // lint: allow(naked-notify) — helper called with mu_ held by the caller
     // (CDBTUNE_REQUIRES(mu_) on the real declaration); the predicate write
     // happened under that lock.
     cv_.NotifyOne();
+  }
+
+  void LockedNotify() {
+    util::MutexLock lock(mu_);
+    ready_ = true;
+    cv_.NotifyAll();  // clean: mutation above happens under the lock
   }
 
   bool JustifiedOrdering() {

@@ -1,0 +1,29 @@
+// Lint fixture twin of bad_pointer_order.cc: key by stable ids, compare
+// pointers only for equality (stable within a process), and one annotated
+// two-lock ordering proving the allow() form works. Never compiled;
+// tools/lint_selftest.py asserts zero active findings.
+
+#include <cstdint>
+#include <map>
+#include <set>
+
+namespace cdbtune::server {
+
+struct Session;
+
+struct SessionIndex {
+  std::map<uint64_t, Session*> session_by_id;  // pointer as VALUE is fine
+  std::set<uint64_t> active_ids;
+};
+
+// Equality of pointers is stable; only relational order is not.
+bool SameSession(const Session* a, const Session* b) { return a == b; }
+
+bool LockPairOrdered(const Session& a, const Session& b) {
+  // lint: allow(pointer-order) — two-lock acquisition ordering: any strict
+  // total order prevents the deadlock, it only has to be consistent within
+  // one process lifetime, never across runs.
+  return &a < &b;
+}
+
+}  // namespace cdbtune::server

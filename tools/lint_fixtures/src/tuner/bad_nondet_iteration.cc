@@ -1,0 +1,51 @@
+// Lint fixture: every loop here iterates an unordered container with an
+// order-sensitive body, one per sink class the nondet-iteration rule knows.
+// This file is never compiled; tools/lint_selftest.py runs tools/analyze.py
+// with --root pointed at the fixture tree and asserts exactly one finding
+// per loop below.
+
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace cdbtune::tuner {
+
+std::unordered_map<std::string, double> rewards;
+std::unordered_set<int> live_ids;
+
+// Float accumulation: addition rounds, so the sum depends on hash order.
+double TotalReward() {
+  double total = 0.0;
+  for (const auto& [name, value] : rewards) {
+    total += value;
+  }
+  return total;
+}
+
+// Sequence append: the output vector's order IS the hash order.
+std::vector<int> LiveIdList() {
+  std::vector<int> out;
+  for (int id : live_ids) {
+    out.push_back(id);
+  }
+  return out;
+}
+
+// Checkpoint-reachable sink: hash order becomes checkpoint bytes, which
+// breaks bitwise resume (DESIGN.md §9). The acceptance-criteria case.
+void SerializeRewards(ChunkWriter* writer) {
+  for (const auto& [name, value] : rewards) {
+    persist::AppendField(writer, name, value);
+  }
+}
+
+// Early exit: which element wins the race depends on hash order.
+int AnyLiveId() {
+  for (auto it = live_ids.begin(); it != live_ids.end(); ++it) {
+    return *it;
+  }
+  return -1;
+}
+
+}  // namespace cdbtune::tuner

@@ -1,0 +1,54 @@
+// Lint fixture twin of bad_nondet_iteration.cc: unordered iteration whose
+// bodies are provably order-independent (keyed writes, integer
+// accumulation, loop-local maxima), plus one annotated validator loop that
+// proves the allow() suppression form works for analyzer rules. This file
+// is never compiled; tools/lint_selftest.py asserts it produces zero
+// active findings.
+
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace cdbtune::tuner {
+
+std::unordered_map<std::string, double> rewards;
+std::unordered_set<int> live_ids;
+
+// Keyed write: each element lands at its own key, so order cannot leak.
+void Snapshot(std::map<std::string, double>* out) {
+  for (const auto& [name, value] : rewards) {
+    (*out)[name] = value;
+  }
+}
+
+// Integer accumulation is commutative and associative: order-independent.
+size_t TotalNameBytes() {
+  size_t n = 0;
+  for (const auto& [name, value] : rewards) {
+    n += name.size();
+  }
+  return n;
+}
+
+// Max over floats is commutative; no sink the rule knows fires here.
+double MaxReward() {
+  double best = 0.0;
+  for (const auto& [name, value] : rewards) {
+    if (value > best) best = value;
+  }
+  return best;
+}
+
+// A genuinely order-sensitive body (early exit) whose order-independence
+// needs human justification — the annotation suppresses the finding.
+bool AllRewardsNonNegative() {
+  // lint: allow(nondet-iteration) — validator: every branch returns the
+  // same fixed answer regardless of which element trips it first.
+  for (const auto& [name, value] : rewards) {
+    if (value < 0.0) return false;
+  }
+  return true;
+}
+
+}  // namespace cdbtune::tuner

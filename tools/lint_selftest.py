@@ -1,31 +1,41 @@
 #!/usr/bin/env python3
-"""Self-test for tools/lint.py against the fixture tree.
+"""Self-test for tools/lint.py and tools/analyze.py against the fixture tree.
 
-Runs the linter with --root tools/lint_fixtures (so the fixture's src/
+Runs both tools with --root tools/lint_fixtures (so the fixture's src/
 subtree is dir-gated exactly like the real src/) and asserts:
 
-  - each bad_*.cc fixture produces exactly the expected (rule, count)
-    findings — the dir-gated rules actually fire;
-  - each good_*.cc fixture produces none — wrapper usage, locked notifies,
-    sanctioned-directory intrinsics, and justified allow() suppressions
-    are all accepted.
+  - each bad_* fixture produces exactly the expected (rule, count)
+    findings in the tool that owns the rule — every rule provably bites;
+  - neither tool reports anything in the other tool's bad fixtures — the
+    rule sets stay disjoint;
+  - each good_* fixture produces zero active findings, AND each good twin
+    of an analyzer rule contains at least one *suppressed* finding — the
+    allow() forms (// in C++, # in CMake) demonstrably discharge findings
+    rather than the rule simply not firing;
+  - --json output of both tools parses and carries the shared schema;
+  - the suppression-debt gate passes on the fixture tree (all annotations
+    reasoned and live) and fails on synthetic trees seeded with a bare
+    allow(), a stale allow(), and an unknown rule name.
 
 Run directly or via tools/run_checks.sh. Exit 0 on success.
 """
 
 from __future__ import annotations
 
+import json
 import subprocess
 import sys
+import tempfile
 from collections import Counter
 from pathlib import Path
 
 TOOLS = Path(__file__).resolve().parent
 FIXTURES = TOOLS / "lint_fixtures"
 
-# Every rule the fixtures exercise, per bad fixture, with how many findings
-# each must produce. Findings in any file listed in GOOD are failures.
-EXPECTED_BAD = {
+# Expected active findings per bad fixture, per owning tool. Fixture files
+# are identified by a path fragment so the CMake fixtures (both named
+# CMakeLists.txt) resolve by their directory.
+EXPECTED_LINT = {
     "bad_locks.cc": Counter({
         "raw-mutex": 4,        # two includes, one global, one lock_guard line
         "naked-notify": 1,
@@ -35,55 +45,150 @@ EXPECTED_BAD = {
         "raw-intrinsics": 3,   # the include, the __m128d decl, the _mm call
     }),
 }
-GOOD = ["good_locks.cc", "good_intrinsics.cc"]
+EXPECTED_ANALYZE = {
+    "bad_nondet_iteration.cc": Counter({"nondet-iteration": 4}),
+    "bad_nondet_source.cc": Counter({"nondet-source": 5}),
+    "bad_float_contract.cc": Counter({"float-contract": 4}),
+    "bad_padding_serialize.cc": Counter({"padding-serialize": 3}),
+    "bad_pointer_order.cc": Counter({"pointer-order": 4}),
+    "bad_flags_cmake": Counter({"float-contract": 2}),
+}
+
+# Each analyzer good twin must contain >= 1 SUPPRESSED finding of its rule:
+# the suppression forms are proven to discharge real findings.
+EXPECTED_SUPPRESSED = {
+    "good_nondet_iteration.cc": "nondet-iteration",
+    "good_nondet_source.cc": "nondet-source",
+    "good_float_contract.cc": "float-contract",
+    "good_padding_serialize.cc": "padding-serialize",
+    "good_pointer_order.cc": "pointer-order",
+    "good_flags_cmake": "float-contract",   # the '#'-comment CMake form
+}
 
 
-def run_lint() -> tuple[int, str]:
+def run_tool(tool: str, root: Path, *flags: str) -> tuple[int, str]:
     proc = subprocess.run(
-        [sys.executable, str(TOOLS / "lint.py"), "--root", str(FIXTURES)],
+        [sys.executable, str(TOOLS / tool), "--root", str(root), *flags],
         capture_output=True, text=True, check=False)
     return proc.returncode, proc.stdout + proc.stderr
 
 
+def run_json(tool: str, root: Path, *flags: str) -> tuple[int, dict]:
+    proc = subprocess.run(
+        [sys.executable, str(TOOLS / tool), "--root", str(root), "--json",
+         *flags],
+        capture_output=True, text=True, check=False)
+    return proc.returncode, json.loads(proc.stdout)
+
+
+def classify(findings: list[dict], expected: dict[str, Counter],
+             tool: str, failures: list[str]) -> None:
+    got: dict[str, Counter] = {name: Counter() for name in expected}
+    for f in findings:
+        name = next((n for n in expected if n in f["file"]), None)
+        if name is not None:
+            got[name][f["rule"]] += 1
+        elif "good_" in f["file"]:
+            failures.append(f"{tool}: good fixture flagged: "
+                            f"{f['file']}:{f['line']} [{f['rule']}]")
+        else:
+            failures.append(f"{tool}: unexpected finding outside its bad "
+                            f"fixtures: {f['file']}:{f['line']} [{f['rule']}]")
+    for name, want in expected.items():
+        if got[name] != want:
+            failures.append(f"{tool}: {name}: expected {dict(want)}, "
+                            f"got {dict(got[name])}")
+
+
+def check_fixture_tree(failures: list[str]) -> None:
+    lint_code, lint_out = run_json("lint.py", FIXTURES)
+    ana_code, ana_out = run_json("analyze.py", FIXTURES)
+    if lint_code == 0:
+        failures.append("lint.py exited 0 on a fixture tree with violations")
+    if ana_code == 0:
+        failures.append("analyze.py exited 0 on a fixture tree with "
+                        "violations")
+    for tool, out in (("lint", lint_out), ("analyze", ana_out)):
+        for key in ("tool", "root", "files_scanned", "findings", "counts",
+                    "suppressed_count"):
+            if key not in out:
+                failures.append(f"{tool} --json output missing key `{key}`")
+    classify(lint_out["findings"], EXPECTED_LINT, "lint", failures)
+    classify(ana_out["findings"], EXPECTED_ANALYZE, "analyze", failures)
+
+    # The checkpoint-reachable case specifically: an unordered_map iteration
+    # feeding a persist:: sink must be caught and say so.
+    _, ana_text = run_tool("analyze.py", FIXTURES)
+    if not any("bad_nondet_iteration" in line and "persist" in line
+               for line in ana_text.splitlines()):
+        failures.append("the checkpoint-reachable unordered iteration "
+                        "(persist:: sink) was not reported as such")
+
+    # Suppression forms must discharge real findings in the good twins.
+    _, ana_all = run_json("analyze.py", FIXTURES, "--include-suppressed")
+    suppressed = [(f["file"], f["rule"]) for f in ana_all["findings"]
+                  if f["suppressed"]]
+    for name, rule in EXPECTED_SUPPRESSED.items():
+        if not any(name in file and r == rule for file, r in suppressed):
+            failures.append(f"{name}: expected a suppressed {rule} finding "
+                            f"(the allow() must discharge a live finding)")
+
+    # The debt gate passes on the fixture tree: every annotation is
+    # reasoned and live.
+    code, out = run_tool("lint.py", FIXTURES, "--report-suppressions")
+    if code != 0:
+        failures.append(f"suppression-debt gate failed on the fixture "
+                        f"tree:\n{out}")
+    if "suppression-debt:" not in out:
+        failures.append("suppression-debt trend line missing from gate "
+                        "output")
+
+
+def check_debt_gate_failures(failures: list[str]) -> None:
+    cases = [
+        ("bare allow", "without a reason",
+         "// lint: allow(raw-mutex)\n"
+         "std::mutex mu;\n"),
+        ("stale allow", "suppresses nothing",
+         "// lint: allow(raw-mutex) — historical; the mutex is long gone.\n"
+         "int x = 0;\n"),
+        ("unknown rule", "names a rule no tool defines",
+         "// lint: allow(no-such-rule) — confidently wrong.\n"
+         "int x = 0;\n"),
+    ]
+    for label, needle, body in cases:
+        with tempfile.TemporaryDirectory() as tmp:
+            src = Path(tmp) / "src" / "util"
+            src.mkdir(parents=True)
+            (src / "case.cc").write_text(body, encoding="utf-8")
+            code, out = run_tool("lint.py", Path(tmp),
+                                 "--report-suppressions")
+            if code == 0:
+                failures.append(f"debt gate passed a tree seeded with a "
+                                f"{label}")
+            elif needle not in out:
+                failures.append(f"debt gate failed the {label} tree but "
+                                f"without the expected diagnostic "
+                                f"({needle!r}):\n{out}")
+
+
 def main() -> int:
-    code, output = run_lint()
     failures: list[str] = []
-
-    if code == 0:
-        failures.append("linter exited 0 on a fixture tree with violations")
-
-    bad: dict[str, Counter] = {name: Counter() for name in EXPECTED_BAD}
-    for line in output.splitlines():
-        if "[" not in line:
-            continue
-        rule = line.split("[", 1)[1].split("]", 1)[0]
-        for name, counts in bad.items():
-            if name in line:
-                counts[rule] += 1
-        for name in GOOD:
-            if name in line:
-                failures.append(f"good fixture flagged: {line.strip()}")
-
-    for name, expected in EXPECTED_BAD.items():
-        got = bad[name]
-        for rule, want in expected.items():
-            if got.get(rule, 0) != want:
-                failures.append(
-                    f"rule {rule}: expected {want} finding(s) in {name}, "
-                    f"got {got.get(rule, 0)}")
-        for rule in got:
-            if rule not in expected:
-                failures.append(f"unexpected rule fired on {name}: {rule}")
+    check_fixture_tree(failures)
+    check_debt_gate_failures(failures)
 
     if failures:
         print("lint self-test FAILED:", file=sys.stderr)
         for failure in failures:
             print(f"  - {failure}", file=sys.stderr)
-        print("\nlinter output was:\n" + output, file=sys.stderr)
         return 1
-    total = sum(sum(c.values()) for c in EXPECTED_BAD.values())
+    total = sum(sum(c.values())
+                for c in (*EXPECTED_LINT.values(),
+                          *EXPECTED_ANALYZE.values()))
     print(f"lint self-test: ok ({total} expected findings fired across "
-          f"{len(EXPECTED_BAD)} bad fixtures, {len(GOOD)} good fixtures clean)")
+          f"{len(EXPECTED_LINT) + len(EXPECTED_ANALYZE)} bad fixtures, "
+          f"{len(EXPECTED_SUPPRESSED)} suppression forms proven live, "
+          f"debt gate verified on pass and 3 failure modes)")
     return 0
 
 

@@ -8,6 +8,14 @@
 #   tools/run_checks.sh address         # lint + one sanitizer
 #   SKIP_LINT=1 tools/run_checks.sh     # skip lint
 #   SKIP_SIMD=1 tools/run_checks.sh     # skip the SIMD-tier legs
+#   SKIP_TIDY=1 tools/run_checks.sh     # skip the clang-tidy leg
+#
+# The lint leg runs the regex linter (tools/lint.py), the token/scope-aware
+# determinism analyzer (tools/analyze.py), their fixture self-test, and the
+# suppression-debt gate (lint.py --report-suppressions). The clang-tidy leg
+# runs on full (no-argument) invocations when clang-tidy is on PATH; like
+# the -Wthread-safety leg it is otherwise CI-enforced
+# (.github/workflows/checks.yml, job `clang-tidy`).
 #
 # Each sanitizer gets its own build tree under build-<name>/ so incremental
 # reruns are cheap. Debug-mode invariant validators (CDBTUNE_DCHECK=ON) are
@@ -47,7 +55,10 @@ failures=()
 
 if [[ "${SKIP_LINT:-0}" != "1" ]]; then
   echo "==== lint ===="
-  if python3 tools/lint.py && python3 tools/lint_selftest.py; then
+  if python3 tools/lint.py &&
+     python3 tools/analyze.py &&
+     python3 tools/lint_selftest.py &&
+     python3 tools/lint.py --report-suppressions; then
     echo "lint: OK"
   else
     failures+=("lint")
@@ -58,6 +69,24 @@ fi
 if [[ $# -gt 0 && "$1" == "lint" ]]; then
   if [[ ${#failures[@]} -gt 0 ]]; then exit 1; fi
   exit 0
+fi
+
+# clang-tidy leg: full runs only (explicit sanitizer/simd invocations are
+# targeted legs and should not pay for it).
+if [[ $# -eq 0 && "${SKIP_TIDY:-0}" != "1" ]]; then
+  if command -v clang-tidy >/dev/null 2>&1; then
+    echo "==== clang-tidy ===="
+    if cmake -B build-tidy -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null &&
+       python3 tools/run_clang_tidy.py --build-dir build-tidy -j "$jobs"; then
+      echo "clang-tidy: OK"
+    else
+      failures+=("clang-tidy")
+    fi
+    echo
+  else
+    echo "==== clang-tidy: SKIPPED (no clang-tidy on PATH) ===="
+    echo
+  fi
 fi
 
 if [[ "$run_simd" == "1" ]]; then

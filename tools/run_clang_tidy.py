@@ -1,0 +1,138 @@
+#!/usr/bin/env python3
+"""Runs clang-tidy over the repo's src/ translation units, with caching.
+
+Reads compile_commands.json from the build directory (exported by default —
+CMakeLists.txt sets CMAKE_EXPORT_COMPILE_COMMANDS ON), filters it to TUs
+under src/, and runs clang-tidy with the repo's .clang-tidy config on each.
+
+Per-TU results are cached as stamp files in <build>/.tidy-cache/, keyed on
+a digest of the clang-tidy version, the .clang-tidy config, the TU's source
+bytes, and every header under src/ — so unchanged TUs cost nothing on rerun
+and CI can persist the cache directory across runs (the clang-tidy job in
+.github/workflows/checks.yml does, via actions/cache). A header edit
+invalidates every stamp; that is deliberate, headers change what tidy sees
+in every includer.
+
+When clang-tidy is not on PATH the script prints a note and exits 0: the
+container used for local development does not ship clang-tidy, so this gate
+is CI-enforced (mirroring the -Wthread-safety leg). Set CLANG_TIDY to point
+at a specific binary.
+
+    tools/run_clang_tidy.py --build-dir build          # all src/ TUs
+    tools/run_clang_tidy.py --build-dir build src/nn   # subset by prefix
+
+Exit 0 when clean or skipped, 1 on findings, 2 on setup errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import concurrent.futures
+import hashlib
+import json
+import os
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def headers_digest(root: Path) -> str:
+    h = hashlib.sha256()
+    for p in sorted((root / "src").rglob("*.h")):
+        h.update(str(p.relative_to(root)).encode())
+        h.update(p.read_bytes())
+    return h.hexdigest()
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--build-dir", default="build",
+                        help="build tree holding compile_commands.json")
+    parser.add_argument("-j", "--jobs", type=int,
+                        default=os.cpu_count() or 4)
+    parser.add_argument("paths", nargs="*",
+                        help="restrict to TUs under these path prefixes")
+    args = parser.parse_args()
+
+    tidy = os.environ.get("CLANG_TIDY", "clang-tidy")
+    if shutil.which(tidy) is None:
+        print("run_clang_tidy: clang-tidy not on PATH; skipping "
+              "(the clang-tidy job in CI enforces this gate)")
+        return 0
+
+    build = Path(args.build_dir).resolve()
+    db_path = build / "compile_commands.json"
+    if not db_path.is_file():
+        print(f"run_clang_tidy: {db_path} not found; configure first "
+              f"(cmake -B {args.build_dir} -S . — compile-command export "
+              f"is on by default)", file=sys.stderr)
+        return 2
+
+    db = json.loads(db_path.read_text(encoding="utf-8"))
+    src_root = (REPO_ROOT / "src").resolve()
+    tus: list[Path] = []
+    for entry in db:
+        f = Path(entry["file"])
+        if not f.is_absolute():
+            f = Path(entry["directory"]) / f
+        f = f.resolve()
+        if src_root in f.parents and f not in tus:
+            tus.append(f)
+    if args.paths:
+        prefixes = [Path(p).resolve() for p in args.paths]
+        tus = [f for f in tus
+               if any(f == p or p in f.parents for p in prefixes)]
+    tus.sort()
+
+    version = subprocess.run([tidy, "--version"], capture_output=True,
+                             text=True, check=False).stdout
+    config = (REPO_ROOT / ".clang-tidy").read_bytes()
+    hdr_digest = headers_digest(REPO_ROOT)
+    cache = build / ".tidy-cache"
+    cache.mkdir(exist_ok=True)
+
+    def stamp_for(f: Path) -> Path:
+        h = hashlib.sha256()
+        h.update(version.encode())
+        h.update(config)
+        h.update(hdr_digest.encode())
+        h.update(str(f).encode())
+        h.update(f.read_bytes())
+        return cache / (h.hexdigest() + ".ok")
+
+    todo: list[tuple[Path, Path]] = []
+    cached = 0
+    for f in tus:
+        stamp = stamp_for(f)
+        if stamp.exists():
+            cached += 1
+        else:
+            todo.append((f, stamp))
+
+    def run_one(f: Path, stamp: Path):
+        proc = subprocess.run(
+            [tidy, "-p", str(build), "--quiet", str(f)],
+            capture_output=True, text=True, check=False)
+        return f, stamp, proc
+
+    failed: list[Path] = []
+    with concurrent.futures.ThreadPoolExecutor(
+            max_workers=max(1, args.jobs)) as pool:
+        for f, stamp, proc in pool.map(lambda t: run_one(*t), todo):
+            if proc.returncode != 0:
+                failed.append(f)
+                print(f"--- {f.relative_to(REPO_ROOT)}")
+                print((proc.stdout + proc.stderr).strip())
+            else:
+                stamp.write_text("")
+
+    print(f"clang-tidy: {len(tus)} TU(s), {cached} cached, "
+          f"{len(todo)} checked, {len(failed)} failed")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
