@@ -4,13 +4,49 @@
 # BENCH_exec_time.json at the repo root — the perf trajectory that future
 # PRs compare against. Usage:
 #
-#   bench/run_benchmarks.sh [extra google-benchmark flags...]
+#   bench/run_benchmarks.sh [--strict] [extra google-benchmark flags...]
+#
+# Machine-load hygiene: the 1-minute load average is sampled before and
+# after the run and stamped into the report as context.env.loaded, so a
+# reader can tell a regression from a noisy-neighbor artifact. With
+# --strict the script refuses to run at all on a busy box (load per core
+# above LOAD_THRESHOLD, default 0.5) — use it for runs whose numbers will
+# be compared or committed.
 #
 # BUILD_DIR overrides the build tree (default: <repo>/build).
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD="${BUILD_DIR:-$ROOT/build}"
+LOAD_THRESHOLD="${LOAD_THRESHOLD:-0.5}"
+
+STRICT=0
+if [[ "${1:-}" == "--strict" ]]; then
+  STRICT=1
+  shift
+fi
+
+load_avg() {
+  cut -d' ' -f1 /proc/loadavg
+}
+
+load_per_core() {
+  awk -v load="$(load_avg)" -v cores="$(nproc)" \
+    'BEGIN { printf "%.3f", load / cores }'
+}
+
+is_loaded() {
+  awk -v per_core="$(load_per_core)" -v limit="$LOAD_THRESHOLD" \
+    'BEGIN { exit !(per_core > limit) }'
+}
+
+LOAD_BEFORE="$(load_avg)"
+if [[ "$STRICT" == 1 ]] && is_loaded; then
+  echo "run_benchmarks.sh --strict: refusing to benchmark on a busy box" >&2
+  echo "  load_avg=$LOAD_BEFORE per_core=$(load_per_core)" \
+       "threshold=$LOAD_THRESHOLD (override with LOAD_THRESHOLD=...)" >&2
+  exit 2
+fi
 
 cmake -S "$ROOT" -B "$BUILD" > /dev/null
 cmake --build "$BUILD" --target bench_exec_time bench_server_throughput \
@@ -40,20 +76,42 @@ trap 'rm -f "$SERVER_OUT" "$CKPT_OUT" "$GEMM_OUT"' EXIT
   --benchmark_out_format=json \
   "$@"
 
-# Fold the extra suites' "benchmarks" arrays into the main report.
-python3 - "$ROOT/BENCH_exec_time.json" "$SERVER_OUT" "$CKPT_OUT" "$GEMM_OUT" <<'PY'
+LOAD_AFTER="$(load_avg)"
+LOADED=0
+if is_loaded || awk -v before="$LOAD_BEFORE" -v cores="$(nproc)" \
+     -v limit="$LOAD_THRESHOLD" 'BEGIN { exit !(before / cores > limit) }'
+then
+  LOADED=1
+fi
+
+# Fold the extra suites' "benchmarks" arrays into the main report and stamp
+# the load-hygiene context.
+python3 - "$ROOT/BENCH_exec_time.json" "$LOAD_BEFORE" "$LOAD_AFTER" \
+  "$LOADED" "$STRICT" "$SERVER_OUT" "$CKPT_OUT" "$GEMM_OUT" <<'PY'
 import json
 import sys
 
-main_path, extra_paths = sys.argv[1], sys.argv[2:]
+main_path = sys.argv[1]
+load_before, load_after = float(sys.argv[2]), float(sys.argv[3])
+loaded, strict = bool(int(sys.argv[4])), bool(int(sys.argv[5]))
+extra_paths = sys.argv[6:]
 with open(main_path) as f:
     main = json.load(f)
 for extra_path in extra_paths:
     with open(extra_path) as f:
         extra = json.load(f)
     main["benchmarks"].extend(extra["benchmarks"])
+main.setdefault("context", {})["env"] = {
+    "load_avg_before": load_before,
+    "load_avg_after": load_after,
+    # True when either bracketing sample crossed the per-core threshold:
+    # treat the numbers in this report as indicative, not comparable.
+    "loaded": loaded,
+    "strict": strict,
+}
 with open(main_path, "w") as f:
     json.dump(main, f, indent=2)
     f.write("\n")
 PY
-echo "merged server + checkpoint sweeps into BENCH_exec_time.json"
+echo "merged server + checkpoint sweeps into BENCH_exec_time.json" \
+     "(load ${LOAD_BEFORE} -> ${LOAD_AFTER}, loaded=${LOADED})"

@@ -3,7 +3,9 @@
 //
 //   $ ./cdbtune_serve                 # in-process demo: 8 concurrent sessions
 //   $ ./cdbtune_serve --listen NAME [--checkpoint PATH] [--restore]
-//                     [--autosave N] # daemon on abstract AF_UNIX socket NAME
+//                     [--autosave N] [--safety on|off] [--safety-margin F]
+//                     [--safety-k N] [--safety-tr F] [--safety-drift F]
+//                                     # daemon on abstract AF_UNIX socket NAME
 //   $ ./cdbtune_serve --send NAME 'OPEN engine=sim' 'STEP id=0' ...
 //                                     # one-shot client: send lines, print replies
 //
@@ -316,6 +318,13 @@ struct ListenFlags {
   std::string checkpoint;
   bool restore = false;
   int autosave_rounds = 1;
+  /// Server-wide guardrail defaults (DESIGN.md §12); sessions can still
+  /// override enablement per-OPEN with safety=0|1.
+  bool safety = false;
+  double safety_margin = -1.0;
+  int safety_k = -1;
+  double safety_tr = -1.0;
+  double safety_drift = -1.0;
 };
 
 int RunListen(const ListenFlags& flags) {
@@ -323,6 +332,15 @@ int RunListen(const ListenFlags& flags) {
   if (!flags.checkpoint.empty()) {
     server_options.autosave_path = flags.checkpoint;
     server_options.autosave_every_rounds = flags.autosave_rounds;
+  }
+  server_options.safety.enabled = flags.safety;
+  if (flags.safety_margin >= 0.0) {
+    server_options.safety.regression_margin = flags.safety_margin;
+  }
+  if (flags.safety_k >= 1) server_options.safety.rollback_after = flags.safety_k;
+  if (flags.safety_tr > 0.0) server_options.safety.tr_initial = flags.safety_tr;
+  if (flags.safety_drift > 0.0) {
+    server_options.safety.drift_threshold = flags.safety_drift;
   }
   server::TuningServer srv(server_options);
 
@@ -413,6 +431,24 @@ int main(int argc, char** argv) {
         flags.restore = true;
       } else if (std::strcmp(argv[i], "--autosave") == 0 && i + 1 < argc) {
         flags.autosave_rounds = std::atoi(argv[++i]);
+      } else if (std::strcmp(argv[i], "--safety") == 0 && i + 1 < argc) {
+        const char* value = argv[++i];
+        if (std::strcmp(value, "on") == 0) {
+          flags.safety = true;
+        } else if (std::strcmp(value, "off") == 0) {
+          flags.safety = false;
+        } else {
+          std::fprintf(stderr, "--safety wants on|off, got '%s'\n", value);
+          return 2;
+        }
+      } else if (std::strcmp(argv[i], "--safety-margin") == 0 && i + 1 < argc) {
+        flags.safety_margin = std::atof(argv[++i]);
+      } else if (std::strcmp(argv[i], "--safety-k") == 0 && i + 1 < argc) {
+        flags.safety_k = std::atoi(argv[++i]);
+      } else if (std::strcmp(argv[i], "--safety-tr") == 0 && i + 1 < argc) {
+        flags.safety_tr = std::atof(argv[++i]);
+      } else if (std::strcmp(argv[i], "--safety-drift") == 0 && i + 1 < argc) {
+        flags.safety_drift = std::atof(argv[++i]);
       } else {
         std::fprintf(stderr, "unknown --listen flag '%s'\n", argv[i]);
         return 2;
@@ -426,7 +462,10 @@ int main(int argc, char** argv) {
   if (argc > 1) {
     std::fprintf(stderr,
                  "usage: cdbtune_serve [--listen NAME [--checkpoint PATH] "
-                 "[--restore] [--autosave N] | --send NAME LINE...]\n");
+                 "[--restore] [--autosave N] [--safety on|off] "
+                 "[--safety-margin F] [--safety-k N] [--safety-tr F] "
+                 "[--safety-drift F] | "
+                 "--send NAME LINE...]\n");
     return 2;
   }
   return RunDemo();

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "safety/apply.h"
 #include "util/check.h"
 #include "util/logging.h"
 
@@ -69,7 +70,7 @@ BaselineResult BestConfig::Search(const workload::WorkloadSpec& spec,
     for (const auto& action : samples) {
       ++used;
       knobs::Config config = space_.ActionToConfig(action, base);
-      if (!db_->ApplyConfig(config).ok()) {
+      if (!safety::ApplyConfig(*db_, config).ok()) {
         ++out.crashes;
         out.step_throughput.push_back(0.0);
         continue;
@@ -106,7 +107,7 @@ BaselineResult BestConfig::Search(const workload::WorkloadSpec& spec,
   }
   out.steps = used;
 
-  util::Status final_deploy = db_->ApplyConfig(out.best_config);
+  util::Status final_deploy = safety::ApplyConfig(*db_, out.best_config);
   if (!final_deploy.ok()) {
     CDBTUNE_LOG(Warning) << "BestConfig final deploy failed: "
                          << final_deploy.ToString();

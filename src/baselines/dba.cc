@@ -4,6 +4,7 @@
 #include <cmath>
 #include <unordered_set>
 
+#include "safety/apply.h"
 #include "util/logging.h"
 
 namespace cdbtune::baselines {
@@ -229,7 +230,7 @@ BaselineResult DbaTuner::TuneOnce(env::DbInterface& db,
 
   knobs::Config rec = Recommend(db.registry(), db.hardware(), workload,
                                 db.current_config(), knob_budget);
-  if (!db.ApplyConfig(rec).ok()) {
+  if (!safety::ApplyConfig(db, rec).ok()) {
     ++out.crashes;  // A DBA would back out; keep the baseline result.
     return out;
   }
@@ -247,7 +248,7 @@ BaselineResult DbaTuner::TuneOnce(env::DbInterface& db,
     out.best_config = rec;
   } else {
     // Recommendation did not help; the DBA reverts.
-    util::Status revert = db.ApplyConfig(out.best_config);
+    util::Status revert = safety::ApplyConfig(db, out.best_config);
     if (!revert.ok()) {
       CDBTUNE_LOG(Warning) << "DBA revert failed: " << revert.ToString();
     }

@@ -6,6 +6,7 @@
 #include <memory>
 
 #include "nn/optimizer.h"
+#include "safety/apply.h"
 #include "nn/sequential.h"
 #include "util/check.h"
 #include "util/logging.h"
@@ -67,7 +68,7 @@ void OtterTune::CollectSamples(const workload::WorkloadSpec& spec, int count) {
     obs.action = action;
     obs.workload_features = WorkloadFeatures(spec);
     obs.workload_name = spec.name;
-    if (!db_->ApplyConfig(config).ok()) {
+    if (!safety::ApplyConfig(*db_, config).ok()) {
       obs.score = -1.0;  // Crashed configuration: strongly undesirable.
       AddObservation(std::move(obs));
       continue;
@@ -270,7 +271,7 @@ BaselineResult OtterTune::Tune(const workload::WorkloadSpec& spec, int steps) {
     obs.workload_name = spec.name;
 
     double score;
-    if (!db_->ApplyConfig(config).ok()) {
+    if (!safety::ApplyConfig(*db_, config).ok()) {
       ++out.crashes;
       score = -1.0;
       out.step_throughput.push_back(0.0);
@@ -301,7 +302,7 @@ BaselineResult OtterTune::Tune(const workload::WorkloadSpec& spec, int steps) {
   }
 
   // Leave the instance on the best configuration found.
-  util::Status final_deploy = db_->ApplyConfig(out.best_config);
+  util::Status final_deploy = safety::ApplyConfig(*db_, out.best_config);
   if (!final_deploy.ok()) {
     CDBTUNE_LOG(Warning) << "OtterTune final deploy failed: "
                          << final_deploy.ToString();

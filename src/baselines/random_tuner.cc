@@ -1,5 +1,6 @@
 #include "baselines/random_tuner.h"
 
+#include "safety/apply.h"
 #include "util/check.h"
 #include "util/logging.h"
 
@@ -31,7 +32,7 @@ BaselineResult RandomTuner::Search(const workload::WorkloadSpec& spec,
     for (double& a : action) a = rng_.Uniform();
     knobs::Config config = space_.ActionToConfig(action, base);
     out.steps = step;
-    if (!db_->ApplyConfig(config).ok()) {
+    if (!safety::ApplyConfig(*db_, config).ok()) {
       ++out.crashes;
       out.step_throughput.push_back(0.0);
       continue;
@@ -50,7 +51,7 @@ BaselineResult RandomTuner::Search(const workload::WorkloadSpec& spec,
       out.best_config = db_->current_config();
     }
   }
-  util::Status final_deploy = db_->ApplyConfig(out.best_config);
+  util::Status final_deploy = safety::ApplyConfig(*db_, out.best_config);
   if (!final_deploy.ok()) {
     CDBTUNE_LOG(Warning) << "random tuner final deploy failed: "
                          << final_deploy.ToString();

@@ -71,6 +71,25 @@ util::Status SimulatedCdb::ApplyConfig(const knobs::Config& config) {
   return util::Status::Ok();
 }
 
+util::Status SimulatedCdb::SetDegrade(const DegradeSpec& spec) {
+  if (spec.severity < 0.0 || spec.severity >= 1.0) {
+    return util::Status::InvalidArgument(
+        "degrade severity must be in [0, 1)");
+  }
+  if (spec.severity > 0.0) {
+    auto index = registry_.FindIndex(spec.knob);
+    if (!index.has_value()) {
+      return util::Status::InvalidArgument("unknown degrade knob: " +
+                                           spec.knob);
+    }
+    degrade_index_ = *index;
+    degrade_default_norm_ =
+        registry_.Normalize(registry_.DefaultConfig())[degrade_index_];
+  }
+  degrade_ = spec;
+  return util::Status::Ok();
+}
+
 PerfOutcome SimulatedCdb::EvaluateNoiseless(
     const knobs::Config& config, const workload::WorkloadSpec& spec) const {
   knobs::Config sanitized = registry_.Sanitize(config);
@@ -93,6 +112,17 @@ util::StatusOr<StressResult> SimulatedCdb::RunStress(
   PerfOutcome perf =
       EvaluatePerformance(in, hardware_, spec, profile_.base_cpu_us);
 
+  ++stress_calls_;
+  if (degrade_.severity > 0.0 && stress_calls_ > degrade_.after_stress_calls) {
+    const double dev = std::fabs(registry_.Normalize(config_)[degrade_index_] -
+                                 degrade_default_norm_);
+    const double factor =
+        std::max(0.05, 1.0 - degrade_.severity * std::min(1.0, dev));
+    perf.throughput_tps *= factor;
+    perf.latency_mean_ms /= factor;
+    perf.latency_p99_ms /= factor;
+  }
+
   // Measurement noise: external metrics are 5 s samples averaged over the
   // run (Section 2.2.2), so the aggregate noise shrinks with duration.
   const double samples = std::max(1.0, duration_s / 5.0);
@@ -114,6 +144,7 @@ void SimulatedCdb::Reset() {
   config_ = registry_.DefaultConfig();
   counters_ = MetricsSnapshot{};
   crash_count_ = 0;
+  stress_calls_ = 0;
 }
 
 void SimulatedCdb::FillStateGauges(const PerfOutcome& perf,

@@ -2,6 +2,7 @@
 #define CDBTUNE_ENV_SIMULATED_CDB_H_
 
 #include <memory>
+#include <string>
 
 #include "env/db_interface.h"
 #include "env/perf_model.h"
@@ -54,6 +55,22 @@ class SimulatedCdb : public DbInterface {
 
   const EngineProfile& profile() const { return profile_; }
 
+  /// Injected mid-run performance regression, used by the guardrail scenario
+  /// tests and the crash-recovery smoke: from the stress call *after*
+  /// `after_stress_calls`, throughput is scaled by 1 - severity * dev and
+  /// latencies by its inverse, where dev is how far `knob` sits from its
+  /// default in normalized [0,1] space. Near-default configs (the typical
+  /// last-known-good) stay healthy while tuned ones regress — exactly the
+  /// shape a rollback must recover from. Deterministic in (call count,
+  /// config), so the checkpoint env-op replay reproduces it bitwise.
+  struct DegradeSpec {
+    std::string knob;
+    uint64_t after_stress_calls = 0;
+    /// Fraction of throughput lost at maximum knob deviation; 0 disables.
+    double severity = 0.0;
+  };
+  util::Status SetDegrade(const DegradeSpec& spec);
+
  private:
   void FillStateGauges(const PerfOutcome& perf, const ModelInputs& in,
                        const workload::WorkloadSpec& spec);
@@ -68,6 +85,11 @@ class SimulatedCdb : public DbInterface {
   MetricsSnapshot counters_{};
   util::Rng rng_;
   int crash_count_ = 0;
+
+  DegradeSpec degrade_;
+  size_t degrade_index_ = 0;
+  double degrade_default_norm_ = 0.0;
+  uint64_t stress_calls_ = 0;
 };
 
 }  // namespace cdbtune::env

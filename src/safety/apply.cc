@@ -1,0 +1,9 @@
+#include "safety/apply.h"
+
+namespace cdbtune::safety {
+
+util::Status ApplyConfig(env::DbInterface& db, const knobs::Config& config) {
+  return db.ApplyConfig(config);
+}
+
+}  // namespace cdbtune::safety

@@ -1,0 +1,20 @@
+#ifndef CDBTUNE_SAFETY_APPLY_H_
+#define CDBTUNE_SAFETY_APPLY_H_
+
+#include "env/db_interface.h"
+#include "knobs/registry.h"
+#include "util/status.h"
+
+namespace cdbtune::safety {
+
+/// The one sanctioned deployment chokepoint: every config that reaches a
+/// database outside the env backends themselves goes through here, so the
+/// `unguarded-apply` lint rule can hold the rest of src/ to it. Guarded
+/// sessions arrive with trust-region-clipped actions (GuardedPolicySource);
+/// unguarded callers (offline training resets, baselines) still funnel
+/// through so a future policy change has a single seam.
+util::Status ApplyConfig(env::DbInterface& db, const knobs::Config& config);
+
+}  // namespace cdbtune::safety
+
+#endif  // CDBTUNE_SAFETY_APPLY_H_

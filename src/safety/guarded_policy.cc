@@ -1,0 +1,29 @@
+#include "safety/guarded_policy.h"
+
+#include <utility>
+
+#include "util/check.h"
+
+namespace cdbtune::safety {
+
+GuardedPolicySource::GuardedPolicySource(tuner::PolicySource* inner,
+                                         Guardrail* guard)
+    : inner_(inner), guard_(guard) {
+  CDBTUNE_CHECK(inner_ != nullptr);
+  CDBTUNE_CHECK(guard_ != nullptr);
+}
+
+std::vector<double> GuardedPolicySource::ProposeAction(
+    const std::vector<double>& state, bool explore) {
+  return guard_->ClipAction(inner_->ProposeAction(state, explore));
+}
+
+std::vector<double> GuardedPolicySource::BestKnownAction() const {
+  std::vector<double> action = inner_->BestKnownAction();
+  // Empty means "no offline candidate" — the session falls back to
+  // ProposeAction, which clips there instead.
+  if (action.empty()) return action;
+  return guard_->ClipAction(std::move(action));
+}
+
+}  // namespace cdbtune::safety

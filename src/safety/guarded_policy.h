@@ -1,0 +1,32 @@
+#ifndef CDBTUNE_SAFETY_GUARDED_POLICY_H_
+#define CDBTUNE_SAFETY_GUARDED_POLICY_H_
+
+#include <vector>
+
+#include "safety/guardrail.h"
+#include "tuner/policy_source.h"
+
+namespace cdbtune::safety {
+
+/// PolicySource decorator: every action the wrapped policy proposes —
+/// including the remembered best-known candidate — passes through the
+/// guardrail's trust-region clamp before the session deploys it. This is
+/// the insertion point the issue calls for: the session keeps talking to a
+/// plain PolicySource and never learns whether it is guarded.
+class GuardedPolicySource : public tuner::PolicySource {
+ public:
+  /// `inner` and `guard` must outlive this wrapper.
+  GuardedPolicySource(tuner::PolicySource* inner, Guardrail* guard);
+
+  std::vector<double> ProposeAction(const std::vector<double>& state,
+                                    bool explore) override;
+  std::vector<double> BestKnownAction() const override;
+
+ private:
+  tuner::PolicySource* inner_;  // Not owned.
+  Guardrail* guard_;            // Not owned.
+};
+
+}  // namespace cdbtune::safety
+
+#endif  // CDBTUNE_SAFETY_GUARDED_POLICY_H_

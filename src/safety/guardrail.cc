@@ -1,0 +1,401 @@
+#include "safety/guardrail.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "env/metrics.h"
+#include "util/check.h"
+
+namespace cdbtune::safety {
+
+util::Status GuardrailOptions::Validate() const {
+  if (!(baseline_alpha > 0.0 && baseline_alpha <= 1.0)) {
+    return util::Status::InvalidArgument("baseline_alpha must be in (0, 1]");
+  }
+  if (warmup_steps < 1) {
+    return util::Status::InvalidArgument("warmup_steps must be >= 1");
+  }
+  if (!(regression_margin >= 0.0 && regression_margin < 1.0)) {
+    return util::Status::InvalidArgument(
+        "regression_margin must be in [0, 1)");
+  }
+  if (!(tr_min > 0.0 && tr_min <= tr_initial && tr_initial <= tr_max &&
+        tr_max <= 1.0)) {
+    return util::Status::InvalidArgument(
+        "trust region needs 0 < tr_min <= tr_initial <= tr_max <= 1");
+  }
+  if (!(tr_grow >= 1.0) || tr_grow_after < 1) {
+    return util::Status::InvalidArgument(
+        "trust region growth needs tr_grow >= 1 and tr_grow_after >= 1");
+  }
+  if (!(tr_shrink > 0.0 && tr_shrink <= 1.0)) {
+    return util::Status::InvalidArgument("tr_shrink must be in (0, 1]");
+  }
+  if (rollback_after < 1) {
+    return util::Status::InvalidArgument("rollback_after must be >= 1");
+  }
+  if (!(drift_alpha > 0.0 && drift_alpha <= 1.0)) {
+    return util::Status::InvalidArgument("drift_alpha must be in (0, 1]");
+  }
+  if (!(drift_threshold > 0.0) || drift_warmup < 1) {
+    return util::Status::InvalidArgument(
+        "drift detector needs drift_threshold > 0 and drift_warmup >= 1");
+  }
+  return util::Status::Ok();
+}
+
+// --- BaselineTracker ---
+
+void BaselineTracker::Observe(const tuner::PerfPoint& perf) {
+  if (count_ == 0) {
+    ewma_ = perf;
+  } else {
+    ewma_.throughput =
+        alpha_ * perf.throughput + (1.0 - alpha_) * ewma_.throughput;
+    ewma_.latency = alpha_ * perf.latency + (1.0 - alpha_) * ewma_.latency;
+  }
+  ++count_;
+}
+
+bool BaselineTracker::IsRegression(const tuner::PerfPoint& perf,
+                                   double margin) const {
+  if (!ready()) return false;
+  return perf.throughput < (1.0 - margin) * ewma_.throughput ||
+         perf.latency > (1.0 + margin) * ewma_.latency;
+}
+
+void BaselineTracker::Reset() {
+  ewma_ = tuner::PerfPoint{};
+  count_ = 0;
+}
+
+void BaselineTracker::SaveBinary(persist::Encoder& enc) const {
+  enc.WriteDouble(ewma_.throughput);
+  enc.WriteDouble(ewma_.latency);
+  enc.WriteI64(count_);
+}
+
+util::Status BaselineTracker::RestoreBinary(persist::Decoder& dec) {
+  int64_t count = 0;
+  if (!dec.ReadDouble(&ewma_.throughput) || !dec.ReadDouble(&ewma_.latency) ||
+      !dec.ReadI64(&count)) {
+    return dec.status();
+  }
+  if (count < 0) {
+    return util::Status::DataLoss("baseline tracker count is negative");
+  }
+  count_ = static_cast<int>(count);
+  return util::Status::Ok();
+}
+
+// --- TrustRegion ---
+
+std::vector<double> TrustRegion::Clip(
+    std::vector<double> action, const std::vector<double>& anchor) const {
+  if (anchor.empty()) return action;
+  CDBTUNE_CHECK_EQ(action.size(), anchor.size())
+      << "trust region anchor dimension mismatch";
+  for (size_t i = 0; i < action.size(); ++i) {
+    const double lo = std::max(0.0, anchor[i] - width_);
+    const double hi = std::min(1.0, anchor[i] + width_);
+    action[i] = std::clamp(action[i], lo, hi);
+  }
+  return action;
+}
+
+void TrustRegion::OnCleanStep() {
+  if (++clean_streak_ >= options_->tr_grow_after) {
+    width_ = std::min(options_->tr_max, width_ * options_->tr_grow);
+    clean_streak_ = 0;
+  }
+}
+
+void TrustRegion::OnViolation() {
+  width_ = std::max(options_->tr_min, width_ * options_->tr_shrink);
+  clean_streak_ = 0;
+}
+
+void TrustRegion::Reset() {
+  width_ = options_->tr_initial;
+  clean_streak_ = 0;
+}
+
+void TrustRegion::SaveBinary(persist::Encoder& enc) const {
+  enc.WriteDouble(width_);
+  enc.WriteI64(clean_streak_);
+}
+
+util::Status TrustRegion::RestoreBinary(persist::Decoder& dec) {
+  int64_t streak = 0;
+  if (!dec.ReadDouble(&width_) || !dec.ReadI64(&streak)) return dec.status();
+  if (!(width_ >= options_->tr_min && width_ <= options_->tr_max) ||
+      streak < 0) {
+    return util::Status::DataLoss("trust region state is out of range");
+  }
+  clean_streak_ = static_cast<int>(streak);
+  return util::Status::Ok();
+}
+
+// --- DriftDetector ---
+
+namespace {
+
+double MaxRelativeChange(const std::vector<double>& features,
+                         const std::vector<double>& ewma) {
+  double max_change = 0.0;
+  for (size_t i = 0; i < features.size(); ++i) {
+    const double scale = std::max(std::fabs(ewma[i]), 1e-3);
+    max_change = std::max(max_change, std::fabs(features[i] - ewma[i]) / scale);
+  }
+  return max_change;
+}
+
+}  // namespace
+
+bool DriftDetector::Observe(const std::vector<double>& features) {
+  if (ewma_.empty()) {
+    ewma_ = features;
+    count_ = 1;
+    return false;
+  }
+  CDBTUNE_CHECK_EQ(features.size(), ewma_.size())
+      << "drift feature dimension mismatch";
+  const bool drifted =
+      count_ >= options_->drift_warmup &&
+      MaxRelativeChange(features, ewma_) > options_->drift_threshold;
+  const double a = options_->drift_alpha;
+  for (size_t i = 0; i < ewma_.size(); ++i) {
+    ewma_[i] = a * features[i] + (1.0 - a) * ewma_[i];
+  }
+  ++count_;
+  return drifted;
+}
+
+void DriftDetector::Recenter(const std::vector<double>& features) {
+  ewma_ = features;
+  count_ = 1;
+}
+
+void DriftDetector::SaveBinary(persist::Encoder& enc) const {
+  enc.WriteDoubleVec(ewma_);
+  enc.WriteI64(count_);
+}
+
+util::Status DriftDetector::RestoreBinary(persist::Decoder& dec) {
+  int64_t count = 0;
+  if (!dec.ReadDoubleVec(&ewma_) || !dec.ReadI64(&count)) return dec.status();
+  if (count < 0) {
+    return util::Status::DataLoss("drift detector count is negative");
+  }
+  count_ = static_cast<int>(count);
+  return util::Status::Ok();
+}
+
+// --- Workload features ---
+
+std::vector<double> WorkloadFeatures(const std::vector<double>& raw) {
+  namespace mi = env::metric_index;
+  CDBTUNE_CHECK_EQ(raw.size(), env::kNumInternalMetrics);
+  const double questions = std::max(1.0, raw[mi::kQuestions]);
+  const double read_requests = std::max(1.0, raw[mi::kBpReadRequests]);
+  return {
+      raw[mi::kComSelect] / questions,
+      (raw[mi::kComInsert] + raw[mi::kComUpdate]) / questions,
+      raw[mi::kThreadsConnected],
+      raw[mi::kBpReads] / read_requests,
+  };
+}
+
+// --- Guardrail ---
+
+Guardrail::Guardrail(GuardrailOptions options)
+    : options_(std::move(options)),
+      baseline_(options_.baseline_alpha, options_.warmup_steps),
+      trust_(options_),
+      drift_(options_) {
+  CDBTUNE_CHECK_OK(options_.Validate());
+}
+
+void Guardrail::BeginSession(const knobs::Config& base_config,
+                             const std::vector<double>& base_action,
+                             const tuner::PerfPoint& initial_perf,
+                             const std::vector<double>& features) {
+  CDBTUNE_CHECK(!began_) << "BeginSession() called twice";
+  began_ = true;
+  lkg_config_ = base_config;
+  lkg_action_ = base_action;
+  baseline_.Observe(initial_perf);
+  drift_.Recenter(features);
+  CheckInvariants();
+}
+
+std::vector<double> Guardrail::ClipAction(std::vector<double> action) const {
+  return trust_.Clip(std::move(action), lkg_action_);
+}
+
+StepVerdict Guardrail::ObserveStep(const knobs::Config& deployed_config,
+                                   const std::vector<double>& deployed_action,
+                                   const tuner::PerfPoint& perf,
+                                   const std::vector<double>& features) {
+  CDBTUNE_CHECK(began_) << "ObserveStep() before BeginSession()";
+  StepVerdict verdict;
+  verdict.violation = baseline_.IsRegression(perf, options_.regression_margin);
+
+  if (verdict.violation) {
+    ++violations_;
+    ++consecutive_violations_;
+    trust_.OnViolation();
+    if (consecutive_violations_ >= options_.rollback_after) {
+      // The caller restores lkg_config_. The baseline restarts its warmup so
+      // post-rollback reality is re-learned instead of judged against the
+      // regressed tail.
+      ++rollbacks_;
+      consecutive_violations_ = 0;
+      baseline_.Reset();
+      verdict.action = GuardAction::kRollback;
+    }
+  } else {
+    consecutive_violations_ = 0;
+    trust_.OnCleanStep();
+    lkg_config_ = deployed_config;
+    lkg_action_ = deployed_action;
+    baseline_.Observe(perf);
+  }
+
+  if (drift_.Observe(features) && verdict.action == GuardAction::kNone) {
+    // Mid-tune workload shift: the old baseline and trust-region posture
+    // describe a workload that no longer exists. Re-warm-start around the
+    // last-known-good config (kept — it is still the safest anchor).
+    ++rewarms_;
+    baseline_.Reset();
+    trust_.Reset();
+    drift_.Recenter(features);
+    verdict.action = GuardAction::kRewarm;
+  }
+  CheckInvariants();
+  return verdict;
+}
+
+StepVerdict Guardrail::ObserveCrash() {
+  CDBTUNE_CHECK(began_) << "ObserveCrash() before BeginSession()";
+  StepVerdict verdict;
+  verdict.violation = true;
+  ++violations_;
+  ++consecutive_violations_;
+  trust_.OnViolation();
+  if (consecutive_violations_ >= options_.rollback_after) {
+    ++rollbacks_;
+    consecutive_violations_ = 0;
+    baseline_.Reset();
+    verdict.action = GuardAction::kRollback;
+  }
+  CheckInvariants();
+  return verdict;
+}
+
+void Guardrail::SaveBinary(persist::Encoder& enc) const {
+  // Options first: restoring a guardrail whose thresholds changed would
+  // silently re-interpret the saved counters, so mismatches are fatal.
+  enc.WriteBool(options_.enabled);
+  enc.WriteDouble(options_.baseline_alpha);
+  enc.WriteI64(options_.warmup_steps);
+  enc.WriteDouble(options_.regression_margin);
+  enc.WriteDouble(options_.tr_initial);
+  enc.WriteDouble(options_.tr_min);
+  enc.WriteDouble(options_.tr_max);
+  enc.WriteDouble(options_.tr_grow);
+  enc.WriteI64(options_.tr_grow_after);
+  enc.WriteDouble(options_.tr_shrink);
+  enc.WriteI64(options_.rollback_after);
+  enc.WriteDouble(options_.drift_alpha);
+  enc.WriteDouble(options_.drift_threshold);
+  enc.WriteI64(options_.drift_warmup);
+
+  enc.WriteBool(began_);
+  enc.WriteDoubleVec(lkg_config_);
+  enc.WriteDoubleVec(lkg_action_);
+  enc.WriteI64(violations_);
+  enc.WriteI64(consecutive_violations_);
+  enc.WriteI64(rollbacks_);
+  enc.WriteI64(rewarms_);
+  baseline_.SaveBinary(enc);
+  trust_.SaveBinary(enc);
+  drift_.SaveBinary(enc);
+}
+
+util::Status Guardrail::RestoreBinary(persist::Decoder& dec) {
+  bool enabled = false;
+  double b_alpha = 0, margin = 0, tr_init = 0, tr_min = 0, tr_max = 0,
+         tr_grow = 0, tr_shrink = 0, d_alpha = 0, d_threshold = 0;
+  int64_t warmup = 0, grow_after = 0, rollback_after = 0, d_warmup = 0;
+  if (!dec.ReadBool(&enabled) || !dec.ReadDouble(&b_alpha) ||
+      !dec.ReadI64(&warmup) || !dec.ReadDouble(&margin) ||
+      !dec.ReadDouble(&tr_init) || !dec.ReadDouble(&tr_min) ||
+      !dec.ReadDouble(&tr_max) || !dec.ReadDouble(&tr_grow) ||
+      !dec.ReadI64(&grow_after) || !dec.ReadDouble(&tr_shrink) ||
+      !dec.ReadI64(&rollback_after) || !dec.ReadDouble(&d_alpha) ||
+      !dec.ReadDouble(&d_threshold) || !dec.ReadI64(&d_warmup)) {
+    return dec.status();
+  }
+  if (enabled != options_.enabled || b_alpha != options_.baseline_alpha ||
+      warmup != options_.warmup_steps ||
+      margin != options_.regression_margin ||
+      tr_init != options_.tr_initial || tr_min != options_.tr_min ||
+      tr_max != options_.tr_max || tr_grow != options_.tr_grow ||
+      grow_after != options_.tr_grow_after ||
+      tr_shrink != options_.tr_shrink ||
+      rollback_after != options_.rollback_after ||
+      d_alpha != options_.drift_alpha ||
+      d_threshold != options_.drift_threshold ||
+      d_warmup != options_.drift_warmup) {
+    return util::Status::DataLoss(
+        "guardrail checkpoint was written with different safety options");
+  }
+
+  bool began = false;
+  knobs::Config lkg_config;
+  std::vector<double> lkg_action;
+  int64_t violations = 0, consecutive = 0, rollbacks = 0, rewarms = 0;
+  if (!dec.ReadBool(&began) || !dec.ReadDoubleVec(&lkg_config) ||
+      !dec.ReadDoubleVec(&lkg_action) || !dec.ReadI64(&violations) ||
+      !dec.ReadI64(&consecutive) || !dec.ReadI64(&rollbacks) ||
+      !dec.ReadI64(&rewarms)) {
+    return dec.status();
+  }
+  if (violations < 0 || consecutive < 0 || rollbacks < 0 || rewarms < 0 ||
+      consecutive > violations || consecutive >= rollback_after) {
+    return util::Status::DataLoss("guardrail counters are implausible");
+  }
+  util::Status component = baseline_.RestoreBinary(dec);
+  if (component.ok()) component = trust_.RestoreBinary(dec);
+  if (component.ok()) component = drift_.RestoreBinary(dec);
+  if (!component.ok()) return component;
+
+  began_ = began;
+  lkg_config_ = std::move(lkg_config);
+  lkg_action_ = std::move(lkg_action);
+  violations_ = static_cast<int>(violations);
+  consecutive_violations_ = static_cast<int>(consecutive);
+  rollbacks_ = static_cast<int>(rollbacks);
+  rewarms_ = static_cast<int>(rewarms);
+  CheckInvariants();
+  return util::Status::Ok();
+}
+
+void Guardrail::CheckInvariants() const {
+  CDBTUNE_DCHECK_GE(trust_.width(), options_.tr_min);
+  CDBTUNE_DCHECK_LE(trust_.width(), options_.tr_max);
+  CDBTUNE_DCHECK_GE(violations_, 0);
+  CDBTUNE_DCHECK_GE(consecutive_violations_, 0);
+  CDBTUNE_DCHECK_LT(consecutive_violations_, options_.rollback_after)
+      << "rollback must fire before the streak exceeds K";
+  CDBTUNE_DCHECK_GE(rollbacks_, 0);
+  CDBTUNE_DCHECK_GE(rewarms_, 0);
+  if (began_) {
+    CDBTUNE_DCHECK_EQ(lkg_action_.empty(), lkg_config_.empty())
+        << "last-known-good config and action must travel together";
+  }
+}
+
+}  // namespace cdbtune::safety

@@ -1,0 +1,229 @@
+#ifndef CDBTUNE_SAFETY_GUARDRAIL_H_
+#define CDBTUNE_SAFETY_GUARDRAIL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "knobs/registry.h"
+#include "persist/encoding.h"
+#include "tuner/reward.h"
+#include "util/status.h"
+
+namespace cdbtune::safety {
+
+/// Tuning parameters of the guardrail layer (DESIGN.md §12). The defaults
+/// are conservative production values; tests and the serve flags override
+/// them. Everything here is part of the checkpoint contract: a restore into
+/// differently-configured guardrails fails loudly (DataLoss) instead of
+/// resuming a state machine whose thresholds changed under it.
+struct GuardrailOptions {
+  /// Master switch. Off by default: existing callers (offline training,
+  /// baselines, benchmarks) keep the paper's unguarded try-and-error loop.
+  bool enabled = false;
+
+  // --- Per-tenant baseline tracker ---
+  /// EWMA weight of the newest clean sample.
+  double baseline_alpha = 0.3;
+  /// Clean observations before the baseline defines "regression".
+  int warmup_steps = 2;
+  /// A step is a violation when throughput < (1 - margin) * baseline or
+  /// p99 latency > (1 + margin) * baseline.
+  double regression_margin = 0.10;
+
+  // --- Knob-delta trust region (normalized [0,1] action space) ---
+  double tr_initial = 0.25;
+  double tr_min = 0.05;
+  double tr_max = 1.0;
+  /// Width multiplier applied after `tr_grow_after` consecutive clean steps.
+  double tr_grow = 1.25;
+  int tr_grow_after = 2;
+  /// Width multiplier applied on every violation (and crash).
+  double tr_shrink = 0.5;
+
+  // --- Rollback state machine ---
+  /// Consecutive violating steps before the last-known-good config is
+  /// restored (the K of the issue).
+  int rollback_after = 2;
+
+  // --- Workload-drift detector ---
+  double drift_alpha = 0.25;
+  /// Max relative change of any workload feature vs. its EWMA that counts
+  /// as a mid-tune workload shift.
+  double drift_threshold = 0.5;
+  /// Feature observations before drift can fire (and again after each
+  /// re-warm-start recenters the detector).
+  int drift_warmup = 2;
+
+  util::Status Validate() const;
+};
+
+/// What the guardrail asks the session to do after observing a step.
+enum class GuardAction : uint8_t {
+  kNone = 0,
+  /// K consecutive violations: restore the last-known-good config now.
+  kRollback = 1,
+  /// Workload shifted mid-tune: the guardrail re-warm-started itself
+  /// (baseline + trust region reset); the session should surface it.
+  kRewarm = 2,
+};
+
+struct StepVerdict {
+  bool violation = false;
+  GuardAction action = GuardAction::kNone;
+};
+
+/// EWMA of clean-step performance; defines "regression" per tenant.
+class BaselineTracker {
+ public:
+  BaselineTracker(double alpha, int warmup) : alpha_(alpha), warmup_(warmup) {}
+
+  void Observe(const tuner::PerfPoint& perf);
+  bool ready() const { return count_ >= warmup_; }
+  /// True when `perf` regresses past the margin. Never fires before warmup.
+  bool IsRegression(const tuner::PerfPoint& perf, double margin) const;
+  void Reset();
+
+  double throughput() const { return ewma_.throughput; }
+  double latency() const { return ewma_.latency; }
+  int observations() const { return count_; }
+
+  void SaveBinary(persist::Encoder& enc) const;
+  util::Status RestoreBinary(persist::Decoder& dec);
+
+ private:
+  double alpha_;
+  int warmup_;
+  tuner::PerfPoint ewma_;
+  int count_ = 0;
+};
+
+/// Bounded step in normalized action space around the last-known-good
+/// action. Widens multiplicatively after sustained clean streaks, shrinks
+/// after every violation.
+class TrustRegion {
+ public:
+  explicit TrustRegion(const GuardrailOptions& options)
+      : options_(&options), width_(options.tr_initial) {}
+
+  /// Clamps each action entry to [anchor - width, anchor + width] ∩ [0, 1].
+  /// Pass-through when `anchor` is empty (session not begun).
+  std::vector<double> Clip(std::vector<double> action,
+                           const std::vector<double>& anchor) const;
+  void OnCleanStep();
+  void OnViolation();
+  void Reset();
+
+  double width() const { return width_; }
+
+  void SaveBinary(persist::Encoder& enc) const;
+  util::Status RestoreBinary(persist::Decoder& dec);
+
+ private:
+  const GuardrailOptions* options_;  // Not owned.
+  double width_;
+  int clean_streak_ = 0;
+};
+
+/// EWMA of the workload feature vector; flags a mid-tune shift when any
+/// feature moves too far, relative to its running mean, in one step.
+class DriftDetector {
+ public:
+  explicit DriftDetector(const GuardrailOptions& options)
+      : options_(&options) {}
+
+  /// Observes one feature vector; true when it constitutes drift. The
+  /// caller recenters (via Recenter) after acting on a drift verdict.
+  bool Observe(const std::vector<double>& features);
+  /// Re-anchors the EWMA on `features` and restarts the warmup window.
+  void Recenter(const std::vector<double>& features);
+
+  int observations() const { return count_; }
+
+  void SaveBinary(persist::Encoder& enc) const;
+  util::Status RestoreBinary(persist::Decoder& dec);
+
+ private:
+  const GuardrailOptions* options_;  // Not owned.
+  std::vector<double> ewma_;
+  int count_ = 0;
+};
+
+/// Workload features the drift detector watches, derived from the
+/// collector's raw (unstandardized) 63-dim vector: read share, write share,
+/// client concurrency, and buffer-pool miss ratio. Between them they move
+/// under all three canonical shift shapes (read/write ratio drift,
+/// working-set blowup, flash-crowd concurrency).
+std::vector<double> WorkloadFeatures(const std::vector<double>& raw);
+
+/// The guardrail proper: glues the baseline tracker, trust region, rollback
+/// state machine and drift detector together for one session. Every
+/// decision is a deterministic function of the observations fed in — there
+/// is no RNG here — so guarded sessions keep the thread-count-invariance
+/// and checkpoint-resume contracts for free.
+///
+/// Lifecycle: BeginSession once (baseline perf + base config), then per
+/// tuning step ClipAction (via GuardedPolicySource) before deployment and
+/// ObserveStep / ObserveCrash after, acting on the returned verdict.
+class Guardrail {
+ public:
+  explicit Guardrail(GuardrailOptions options);
+
+  void BeginSession(const knobs::Config& base_config,
+                    const std::vector<double>& base_action,
+                    const tuner::PerfPoint& initial_perf,
+                    const std::vector<double>& features);
+
+  /// Trust-region clamp around the last-known-good action.
+  std::vector<double> ClipAction(std::vector<double> action) const;
+
+  /// Feeds one completed (non-crashing) step. On a clean step the deployed
+  /// config/action become the new last-known-good pair. Returns kRollback
+  /// after `rollback_after` consecutive violations — the caller must then
+  /// deploy lkg_config(); kRewarm when the workload drifted (guardrail
+  /// already re-warm-started itself).
+  StepVerdict ObserveStep(const knobs::Config& deployed_config,
+                          const std::vector<double>& deployed_action,
+                          const tuner::PerfPoint& perf,
+                          const std::vector<double>& features);
+
+  /// A config that crashed the instance: counts as a violation (trust
+  /// region shrinks) and can trigger rollback like any other.
+  StepVerdict ObserveCrash();
+
+  const GuardrailOptions& options() const { return options_; }
+  const knobs::Config& lkg_config() const { return lkg_config_; }
+  const std::vector<double>& lkg_action() const { return lkg_action_; }
+  const BaselineTracker& baseline() const { return baseline_; }
+  double trust_width() const { return trust_.width(); }
+  int violations() const { return violations_; }
+  int consecutive_violations() const { return consecutive_violations_; }
+  int rollbacks() const { return rollbacks_; }
+  int rewarms() const { return rewarms_; }
+  bool began() const { return began_; }
+
+  /// Checkpoint round-trip, same options-validated-first idiom as the
+  /// session: a restore under different guardrail options is DataLoss.
+  void SaveBinary(persist::Encoder& enc) const;
+  util::Status RestoreBinary(persist::Decoder& dec);
+
+  /// Debug-build invariant sweep (CDBTUNE_DCHECK).
+  void CheckInvariants() const;
+
+ private:
+  GuardrailOptions options_;
+  BaselineTracker baseline_;
+  TrustRegion trust_;
+  DriftDetector drift_;
+
+  bool began_ = false;
+  knobs::Config lkg_config_;
+  std::vector<double> lkg_action_;
+  int violations_ = 0;
+  int consecutive_violations_ = 0;
+  int rollbacks_ = 0;
+  int rewarms_ = 0;
+};
+
+}  // namespace cdbtune::safety
+
+#endif  // CDBTUNE_SAFETY_GUARDRAIL_H_

@@ -25,6 +25,16 @@ void AppendStatus(const SessionStatus& status, KeyValues* out) {
   out->emplace_back("best_p99", FormatDouble(status.best_latency));
   out->emplace_back("last_reward", FormatDouble(status.last_reward));
   out->emplace_back("busy", status.busy ? "1" : "0");
+  out->emplace_back("safety", status.safety_enabled ? "1" : "0");
+  if (status.safety_enabled) {
+    out->emplace_back("base_tps", FormatDouble(status.baseline_throughput));
+    out->emplace_back("base_p99", FormatDouble(status.baseline_latency));
+    out->emplace_back("tr_width", FormatDouble(status.trust_width));
+    out->emplace_back("viol", std::to_string(status.violations));
+    out->emplace_back("rollbacks", std::to_string(status.rollbacks));
+    out->emplace_back("rewarms", std::to_string(status.rewarms));
+    out->emplace_back("on_lkg", status.on_last_known_good ? "1" : "0");
+  }
 }
 
 std::string HandleOpen(TuningServer& server, const Command& command) {
@@ -51,6 +61,22 @@ std::string HandleOpen(TuningServer& server, const Command& command) {
   auto stress_s = GetDoubleOr(command, "stress_s", spec.stress_duration_s);
   if (!stress_s.ok()) return FormatError(stress_s.status());
   spec.stress_duration_s = *stress_s;
+
+  auto safety = GetIntOr(command, "safety", spec.safety);
+  if (!safety.ok()) return FormatError(safety.status());
+  if (*safety < -1 || *safety > 1) {
+    return FormatError(util::Status::InvalidArgument(
+        "safety must be -1 (server default), 0 (off) or 1 (on)"));
+  }
+  spec.safety = static_cast<int>(*safety);
+
+  spec.degrade_knob = GetStringOr(command, "degrade", "");
+  auto degrade_after = GetIntOr(command, "degrade_after", 0);
+  if (!degrade_after.ok()) return FormatError(degrade_after.status());
+  spec.degrade_after = static_cast<uint64_t>(*degrade_after);
+  auto degrade_sev = GetDoubleOr(command, "degrade_sev", 0.0);
+  if (!degrade_sev.ok()) return FormatError(degrade_sev.status());
+  spec.degrade_severity = *degrade_sev;
 
   auto ram_gb = GetDoubleOr(command, "ram_gb", spec.hardware.ram_gb);
   if (!ram_gb.ok()) return FormatError(ram_gb.status());

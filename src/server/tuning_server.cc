@@ -99,6 +99,10 @@ void SaveSessionSpecBinary(persist::Encoder& enc, const SessionSpec& s) {
   enc.WriteI64(s.max_steps);
   enc.WriteU64(s.mini_table_rows);
   enc.WriteDouble(s.stress_duration_s);
+  enc.WriteI64(s.safety);
+  enc.WriteString(s.degrade_knob);
+  enc.WriteU64(s.degrade_after);
+  enc.WriteDouble(s.degrade_severity);
 }
 
 util::Status LoadSessionSpecBinary(persist::Decoder& dec, SessionSpec* out) {
@@ -106,16 +110,22 @@ util::Status LoadSessionSpecBinary(persist::Decoder& dec, SessionSpec* out) {
   if (!dec.ReadString(&s.engine)) return dec.status();
   CDBTUNE_RETURN_IF_ERROR(LoadWorkloadSpecBinary(dec, &s.workload));
   CDBTUNE_RETURN_IF_ERROR(LoadHardwareSpecBinary(dec, &s.hardware));
-  int64_t max_steps = 0;
+  int64_t max_steps = 0, safety = -1;
   if (!dec.ReadU64(&s.seed) || !dec.ReadI64(&max_steps) ||
       !dec.ReadU64(&s.mini_table_rows) ||
-      !dec.ReadDouble(&s.stress_duration_s)) {
+      !dec.ReadDouble(&s.stress_duration_s) || !dec.ReadI64(&safety) ||
+      !dec.ReadString(&s.degrade_knob) || !dec.ReadU64(&s.degrade_after) ||
+      !dec.ReadDouble(&s.degrade_severity)) {
     return dec.status();
   }
   if (max_steps <= 0) {
     return util::Status::DataLoss("checkpoint session has no step budget");
   }
+  if (safety < -1 || safety > 1) {
+    return util::Status::DataLoss("checkpoint session safety flag is invalid");
+  }
   s.max_steps = static_cast<int>(max_steps);
+  s.safety = static_cast<int>(safety);
   *out = std::move(s);
   return util::Status::Ok();
 }
@@ -135,6 +145,9 @@ tuner::TuningSessionOptions SessionOptionsFor(
   session_options.latency_coeff = server_options.latency_coeff;
   session_options.reward_clip = server_options.reward_clip;
   session_options.reward_scale = server_options.reward_scale;
+  session_options.safety = server_options.safety;
+  if (spec.safety == 0) session_options.safety.enabled = false;
+  if (spec.safety == 1) session_options.safety.enabled = true;
   return session_options;
 }
 
@@ -235,9 +248,22 @@ bool TuningServer::model_ready() const {
 
 util::StatusOr<std::unique_ptr<env::DbInterface>> TuningServer::MakeDb(
     const SessionSpec& spec) {
+  const bool degrade =
+      !spec.degrade_knob.empty() && spec.degrade_severity > 0.0;
   if (spec.engine == "sim") {
-    return std::unique_ptr<env::DbInterface>(
-        env::SimulatedCdb::MysqlCdb(spec.hardware, spec.seed));
+    auto db = env::SimulatedCdb::MysqlCdb(spec.hardware, spec.seed);
+    if (degrade) {
+      env::SimulatedCdb::DegradeSpec degrade_spec;
+      degrade_spec.knob = spec.degrade_knob;
+      degrade_spec.after_stress_calls = spec.degrade_after;
+      degrade_spec.severity = spec.degrade_severity;
+      CDBTUNE_RETURN_IF_ERROR(db->SetDegrade(degrade_spec));
+    }
+    return std::unique_ptr<env::DbInterface>(std::move(db));
+  }
+  if (degrade) {
+    return util::Status::InvalidArgument(
+        "degrade injection is only supported by engine=sim");
   }
   if (spec.engine == "mini") {
     engine::MiniCdbOptions options;
@@ -265,6 +291,18 @@ void TuningServer::RefreshStatus(Slot* slot) {
   status.best_latency = result.best.latency;
   status.last_reward = result.history.empty() ? 0.0 : result.history.back().reward;
   status.busy = slot->busy;
+  const safety::Guardrail* guard = session.tuning->guardrail();
+  status.safety_enabled = guard != nullptr;
+  if (guard != nullptr) {
+    status.baseline_throughput = guard->baseline().throughput();
+    status.baseline_latency = guard->baseline().latency();
+    status.trust_width = guard->trust_width();
+    status.violations = guard->violations();
+    status.rollbacks = guard->rollbacks();
+    status.rewarms = guard->rewarms();
+    status.on_last_known_good =
+        guard->began() && session.db->current_config() == guard->lkg_config();
+  }
 }
 
 util::StatusOr<int> TuningServer::Open(const SessionSpec& spec) {

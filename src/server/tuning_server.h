@@ -44,6 +44,15 @@ struct SessionSpec {
   uint64_t mini_table_rows = 20000;
   /// Seconds per stress test; < 0 uses the server default.
   double stress_duration_s = -1.0;
+  /// Guardrail override: -1 inherits the server's safety options, 0 forces
+  /// the guardrail off for this session, 1 forces it on.
+  int safety = -1;
+  /// Injected perf regression for the "sim" engine (guardrail drills and the
+  /// crash-recovery smoke; InvalidArgument on other engines). Empty knob or
+  /// zero severity disables. See SimulatedCdb::DegradeSpec.
+  std::string degrade_knob;
+  uint64_t degrade_after = 0;
+  double degrade_severity = 0.0;
 };
 
 /// Point-in-time view of one session, safe to read while the session is
@@ -61,6 +70,17 @@ struct SessionStatus {
   double best_latency = 0.0;
   double last_reward = 0.0;
   bool busy = false;
+  /// Guardrail scrape (DESIGN.md §12); meaningful only when safety_enabled.
+  bool safety_enabled = false;
+  double baseline_throughput = 0.0;
+  double baseline_latency = 0.0;
+  double trust_width = 0.0;
+  int violations = 0;
+  int rollbacks = 0;
+  int rewarms = 0;
+  /// The live config equals the guardrail's last-known-good config (set
+  /// after a rollback landed, or while nothing better has been accepted).
+  bool on_last_known_good = false;
 };
 
 struct TuningServerOptions {
@@ -95,6 +115,9 @@ struct TuningServerOptions {
   std::string autosave_path;
   int autosave_every_rounds = 1;
   int checkpoint_keep = 3;
+  /// Server-wide guardrail defaults; per-session SessionSpec::safety
+  /// overrides enablement (DESIGN.md §12).
+  safety::GuardrailOptions safety;
 };
 
 /// What RestoreCheckpoint actually loaded: which generation survived, which

@@ -8,6 +8,7 @@
 #include <sstream>
 
 #include "persist/atomic_file.h"
+#include "safety/apply.h"
 #include "tuner/tuning_session.h"
 #include "util/check.h"
 #include "util/logging.h"
@@ -303,7 +304,7 @@ OfflineTrainResult CdbTuner::OfflineTrain(
         // Put the instance back on defaults for the new episode. The
         // shipped defaults always start, so a failure here is a bug worth
         // hearing about rather than silently tuning from the wrong state.
-        util::Status reset_status = db_->ApplyConfig(base_config);
+        util::Status reset_status = safety::ApplyConfig(*db_, base_config);
         if (!reset_status.ok()) {
           CDBTUNE_LOG(Warning) << "resetting to defaults after evaluation "
                                   "failed: "
@@ -348,6 +349,7 @@ OnlineTuneResult CdbTuner::OnlineTune(const workload::WorkloadSpec& workload,
   session_options.latency_coeff = options_.latency_coeff;
   session_options.reward_clip = options_.reward_clip;
   session_options.reward_scale = options_.reward_scale;
+  session_options.safety = options_.safety;
 
   AgentPolicy policy(agent_.get(), &best_offline_action_);
   FineTuneSink sink(&pool_, agent_.get());

@@ -79,6 +79,12 @@ struct CdbTuneOptions {
   /// inside what its Tanh trunk can express.
   double reward_scale = 0.05;
 
+  /// Guardrail layer for OnlineTune (DESIGN.md §12): trust-region clipping,
+  /// baseline regression tracking, rollback-on-regression, drift rewarm.
+  /// Off by default (the paper's unguarded loop); offline training is never
+  /// guarded — it must explore crashing regions to learn them.
+  safety::GuardrailOptions safety;
+
   uint64_t seed = 17;
 };
 

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <cstdio>
 
+#include "safety/apply.h"
 #include "util/check.h"
 
 namespace cdbtune::tuner {
@@ -41,7 +42,7 @@ std::vector<std::string> Recommender::RenderCommands(
 
 util::Status Recommender::Deploy(env::DbInterface& db,
                                  const knobs::Config& config) const {
-  return db.ApplyConfig(config);
+  return safety::ApplyConfig(db, config);
 }
 
 }  // namespace cdbtune::tuner

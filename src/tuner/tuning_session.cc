@@ -43,6 +43,12 @@ TuningSession::TuningSession(env::DbInterface* db, knobs::KnobSpace space,
   CDBTUNE_CHECK(policy_ != nullptr);
   CDBTUNE_CHECK(sink_ != nullptr);
   CDBTUNE_CHECK(options_.max_steps > 0) << "session needs a step budget";
+  if (options_.safety.enabled) {
+    guard_ = std::make_unique<safety::Guardrail>(options_.safety);
+    guarded_policy_ =
+        std::make_unique<safety::GuardedPolicySource>(policy_, guard_.get());
+    policy_ = guarded_policy_.get();
+  }
 }
 
 double TuningSession::Score(const PerfPoint& point) const {
@@ -94,8 +100,24 @@ util::Status TuningSession::Begin() {
   result_.best_config = base_config_;
   state_ = collector_->Process(stress);
   prev_perf_ = result_.initial;
+  if (guard_) {
+    guard_->BeginSession(base_config_, space_.ConfigToAction(base_config_),
+                         result_.initial,
+                         safety::WorkloadFeatures(collector_->ProcessRaw(stress)));
+  }
   phase_ = SessionPhase::kTuning;
   return util::Status::Ok();
+}
+
+void TuningSession::RollbackToLastKnownGood() {
+  const knobs::Config lkg = guard_->lkg_config();
+  LogDeploy(lkg);
+  util::Status deploy = recommender_.Deploy(*db_, lkg);
+  if (!deploy.ok()) {
+    // The last-known-good config was healthy when it earned that title;
+    // deployment is idempotent, so this should be unreachable.
+    CDBTUNE_LOG(Warning) << "rollback deploy failed: " << deploy.ToString();
+  }
 }
 
 util::StatusOr<StepRecord> TuningSession::Step() {
@@ -131,6 +153,11 @@ util::StatusOr<StepRecord> TuningSession::Step() {
     r = reward_.crash_reward();
     record.crashed = true;
     terminal = true;
+    if (guard_ &&
+        guard_->ObserveCrash().action == safety::GuardAction::kRollback) {
+      record.rolled_back = true;
+      RollbackToLastKnownGood();
+    }
   } else {
     env::StressResult stress;
     if (!Stress(&stress)) {
@@ -148,6 +175,24 @@ util::StatusOr<StepRecord> TuningSession::Step() {
         result_.best_config = db_->current_config();
       }
       prev_perf_ = perf;
+      if (guard_) {
+        const safety::StepVerdict verdict = guard_->ObserveStep(
+            db_->current_config(), action, perf,
+            safety::WorkloadFeatures(collector_->ProcessRaw(stress)));
+        if (verdict.action == safety::GuardAction::kRollback) {
+          // Quarantine: the violating transition stays in the replay pool
+          // with its negative reward, marked terminal so it never
+          // bootstraps past the rollback.
+          terminal = true;
+          record.rolled_back = true;
+          RollbackToLastKnownGood();
+        } else if (verdict.action == safety::GuardAction::kRewarm) {
+          record.rewarmed = true;
+          CDBTUNE_LOG(Warning)
+              << "workload drift detected at step " << step
+              << "; guardrail re-warm-started (baseline + trust region)";
+        }
+      }
     }
   }
 
@@ -223,6 +268,8 @@ void TuningSession::SaveBinary(persist::Encoder& enc) const {
     enc.WriteDouble(r.latency);
     enc.WriteDouble(r.reward);
     enc.WriteBool(r.crashed);
+    enc.WriteBool(r.rolled_back);
+    enc.WriteBool(r.rewarmed);
   }
 
   enc.WriteU64(env_log_.size());
@@ -230,6 +277,9 @@ void TuningSession::SaveBinary(persist::Encoder& enc) const {
     enc.WriteBool(op.is_deploy);
     if (op.is_deploy) enc.WriteDoubleVec(op.config);
   }
+
+  enc.WriteBool(guard_ != nullptr);
+  if (guard_) guard_->SaveBinary(enc);
 }
 
 util::Status TuningSession::RestoreBinary(persist::Decoder& dec) {
@@ -287,7 +337,8 @@ util::Status TuningSession::RestoreBinary(persist::Decoder& dec) {
     int64_t step = 0;
     if (!dec.ReadI64(&step) || !dec.ReadDouble(&r.throughput) ||
         !dec.ReadDouble(&r.latency) || !dec.ReadDouble(&r.reward) ||
-        !dec.ReadBool(&r.crashed)) {
+        !dec.ReadBool(&r.crashed) || !dec.ReadBool(&r.rolled_back) ||
+        !dec.ReadBool(&r.rewarmed)) {
       return dec.status();
     }
     r.step = static_cast<int>(step);
@@ -302,6 +353,17 @@ util::Status TuningSession::RestoreBinary(persist::Decoder& dec) {
   for (EnvOp& op : log) {
     if (!dec.ReadBool(&op.is_deploy)) return dec.status();
     if (op.is_deploy && !dec.ReadDoubleVec(&op.config)) return dec.status();
+  }
+
+  bool has_guard = false;
+  if (!dec.ReadBool(&has_guard)) return dec.status();
+  if (has_guard != (guard_ != nullptr)) {
+    return util::Status::DataLoss(
+        "session checkpoint disagrees about guardrail presence");
+  }
+  if (guard_) {
+    util::Status guard_status = guard_->RestoreBinary(dec);
+    if (!guard_status.ok()) return guard_status;
   }
 
   // Replay the environment call sequence against the fresh db. The outcomes

@@ -1,13 +1,17 @@
 #ifndef CDBTUNE_TUNER_TUNING_SESSION_H_
 #define CDBTUNE_TUNER_TUNING_SESSION_H_
 
+#include <memory>
 #include <vector>
 
 #include "env/db_interface.h"
 #include "knobs/registry.h"
 #include "persist/encoding.h"
+#include "safety/guarded_policy.h"
+#include "safety/guardrail.h"
 #include "tuner/memory_pool.h"
 #include "tuner/metrics_collector.h"
+#include "tuner/policy_source.h"
 #include "tuner/recommender.h"
 #include "tuner/reward.h"
 #include "util/status.h"
@@ -22,6 +26,11 @@ struct StepRecord {
   double latency = 0.0;
   double reward = 0.0;
   bool crashed = false;
+  /// The guardrail restored the last-known-good config after this step
+  /// (K consecutive regressions, or a crash that exhausted the budget).
+  bool rolled_back = false;
+  /// The guardrail re-warm-started after this step (workload drift).
+  bool rewarmed = false;
 };
 
 /// Output of one online tuning request.
@@ -31,34 +40,6 @@ struct OnlineTuneResult {
   knobs::Config best_config;
   int steps = 0;
   std::vector<StepRecord> history;
-};
-
-/// Where a session's actions come from. The two implementations are the
-/// in-process tuner (CdbTuner's own agent, exploration noise and all) and
-/// the multi-session server's shared-model policy, which evaluates one
-/// frozen agent snapshot under a lock and adds *session-owned* exploration
-/// noise so concurrent sessions never share mutable noise state.
-class PolicySource {
- public:
-  virtual ~PolicySource() = default;
-
-  /// Action for `state`; `explore` asks for exploration noise on top of the
-  /// policy's deterministic output.
-  virtual std::vector<double> ProposeAction(const std::vector<double>& state,
-                                            bool explore) = 0;
-
-  /// Best action remembered from offline training (empty when unknown);
-  /// spent as one of the online candidates (Section 2.1.2).
-  virtual std::vector<double> BestKnownAction() const = 0;
-};
-
-/// Where a session's experiences go: CdbTuner fine-tunes its agent on each
-/// one immediately; the server appends to the session's shard of the shared
-/// pool and fine-tunes at round barriers.
-class ExperienceSink {
- public:
-  virtual ~ExperienceSink() = default;
-  virtual void Record(Experience experience) = 0;
 };
 
 /// Lifecycle of one tuning session. Begin() measures the user's baseline,
@@ -86,6 +67,13 @@ struct TuningSessionOptions {
   /// The step index that replays PolicySource::BestKnownAction() instead of
   /// querying the policy (0 disables the candidate).
   int best_known_step = 2;
+  /// Guardrail layer (DESIGN.md §12). When `safety.enabled`, the session
+  /// wraps its policy in a GuardedPolicySource (trust-region clipping),
+  /// tracks a per-tenant performance baseline, rolls back to the
+  /// last-known-good config after K consecutive regressions, and
+  /// re-warm-starts on workload drift. Off by default: the paper's
+  /// unguarded try-and-error loop.
+  safety::GuardrailOptions safety;
 };
 
 /// One user tuning request as an explicit state machine — the unit the
@@ -127,6 +115,8 @@ class TuningSession {
   const workload::WorkloadSpec& workload() const { return workload_; }
   const knobs::KnobSpace& space() const { return space_; }
   env::DbInterface& db() { return *db_; }
+  /// The session's guardrail, or nullptr when safety is disabled.
+  const safety::Guardrail* guardrail() const { return guard_.get(); }
 
   /// Composite objective C_T * (T/T0) + C_L * (L0/L) against this session's
   /// baseline; higher is better.
@@ -148,6 +138,9 @@ class TuningSession {
 
  private:
   bool Stress(env::StressResult* out);
+  /// Deploys the guardrail's last-known-good config after a kRollback
+  /// verdict (logged in the env-op replay stream like any deploy).
+  void RollbackToLastKnownGood();
 
   /// One replayable environment call: a config deployment or a stress run.
   struct EnvOp {
@@ -166,6 +159,10 @@ class TuningSession {
   TuningSessionOptions options_;
   Recommender recommender_;
   RewardFunction reward_;
+  /// Set when options_.safety.enabled; guarded_policy_ then shadows the
+  /// caller's policy behind the trust-region clamp and policy_ points at it.
+  std::unique_ptr<safety::Guardrail> guard_;
+  std::unique_ptr<safety::GuardedPolicySource> guarded_policy_;
 
   SessionPhase phase_ = SessionPhase::kCreated;
   knobs::Config base_config_;

@@ -1,0 +1,135 @@
+#ifndef CDBTUNE_TESTS_SCENARIO_HARNESS_H_
+#define CDBTUNE_TESTS_SCENARIO_HARNESS_H_
+
+#include <algorithm>
+#include <cstdint>
+
+#include "env/db_interface.h"
+#include "workload/workload.h"
+
+namespace cdbtune::tests {
+
+/// Deterministic mid-tune workload-shift shape: a pure function of the
+/// stress-call index. Because the shifted spec depends on nothing but
+/// (index, base spec), shifted runs keep both guardrail contracts for free —
+/// checkpoint restore re-issues the same RunStress sequence through the same
+/// decorator, and thread count never enters the picture.
+class WorkloadShiftDriver {
+ public:
+  virtual ~WorkloadShiftDriver() = default;
+
+  /// The spec the `index`-th stress call (0-based; index 0 is the session's
+  /// baseline measurement) actually runs.
+  virtual workload::WorkloadSpec SpecAt(uint64_t index,
+                                        workload::WorkloadSpec base) const = 0;
+};
+
+/// OLTP mix inversion: read_fraction ramps linearly from the base value to
+/// `target` over `ramp_calls` stress calls, starting at call `shift_at`.
+/// With ramp_calls == 1 the mix flips in a single step — the sharpest shape
+/// the drift detector must catch.
+class DriftingReadWriteRatio : public WorkloadShiftDriver {
+ public:
+  DriftingReadWriteRatio(uint64_t shift_at, uint64_t ramp_calls, double target)
+      : shift_at_(shift_at), ramp_calls_(ramp_calls), target_(target) {}
+
+  workload::WorkloadSpec SpecAt(uint64_t index,
+                                workload::WorkloadSpec base) const override {
+    if (index < shift_at_) return base;
+    const double progress =
+        ramp_calls_ == 0
+            ? 1.0
+            : std::min(1.0, static_cast<double>(index - shift_at_ + 1) /
+                                static_cast<double>(ramp_calls_));
+    base.read_fraction += progress * (target_ - base.read_fraction);
+    return base;
+  }
+
+ private:
+  uint64_t shift_at_;
+  uint64_t ramp_calls_;
+  double target_;
+};
+
+/// Working-set blowup: from call `shift_at` on, the hot set (and the resident
+/// data backing it) multiplies by `factor` — the "tenant imported a second
+/// dataset" shape that turns a comfortably cached workload IO-bound.
+class WorkingSetBlowup : public WorkloadShiftDriver {
+ public:
+  WorkingSetBlowup(uint64_t shift_at, double factor)
+      : shift_at_(shift_at), factor_(factor) {}
+
+  workload::WorkloadSpec SpecAt(uint64_t index,
+                                workload::WorkloadSpec base) const override {
+    if (index < shift_at_) return base;
+    base.data_size_gb *= factor_;
+    base.working_set_gb *= factor_;
+    return base;
+  }
+
+ private:
+  uint64_t shift_at_;
+  double factor_;
+};
+
+/// Flash crowd: offered concurrency multiplies by `multiplier` from call
+/// `shift_at` on (a launch event, a retry storm).
+class FlashCrowdConcurrency : public WorkloadShiftDriver {
+ public:
+  FlashCrowdConcurrency(uint64_t shift_at, double multiplier)
+      : shift_at_(shift_at), multiplier_(multiplier) {}
+
+  workload::WorkloadSpec SpecAt(uint64_t index,
+                                workload::WorkloadSpec base) const override {
+    if (index < shift_at_) return base;
+    base.client_threads = std::max(
+        1, static_cast<int>(base.client_threads * multiplier_));
+    return base;
+  }
+
+ private:
+  uint64_t shift_at_;
+  double multiplier_;
+};
+
+/// DbInterface decorator that routes every RunStress through a shift driver:
+/// call i runs driver->SpecAt(i, spec) instead of the caller's spec. The
+/// session under test keeps believing it tunes one fixed workload — exactly
+/// the blind spot the drift detector exists for.
+class ShiftingWorkloadDb : public env::DbInterface {
+ public:
+  ShiftingWorkloadDb(env::DbInterface* inner, const WorkloadShiftDriver* driver)
+      : inner_(inner), driver_(driver) {}
+
+  const knobs::KnobRegistry& registry() const override {
+    return inner_->registry();
+  }
+  const env::HardwareSpec& hardware() const override {
+    return inner_->hardware();
+  }
+  util::Status ApplyConfig(const knobs::Config& config) override {
+    return inner_->ApplyConfig(config);
+  }
+  const knobs::Config& current_config() const override {
+    return inner_->current_config();
+  }
+  util::StatusOr<env::StressResult> RunStress(
+      const workload::WorkloadSpec& spec, double duration_s) override {
+    return inner_->RunStress(driver_->SpecAt(calls_++, spec), duration_s);
+  }
+  void Reset() override {
+    inner_->Reset();
+    calls_ = 0;
+  }
+
+  uint64_t stress_calls() const { return calls_; }
+
+ private:
+  env::DbInterface* inner_;             // Not owned.
+  const WorkloadShiftDriver* driver_;   // Not owned.
+  uint64_t calls_ = 0;
+};
+
+}  // namespace cdbtune::tests
+
+#endif  // CDBTUNE_TESTS_SCENARIO_HARNESS_H_

@@ -402,6 +402,57 @@ TEST(DispatchTest, FullSessionLifecycle) {
   EXPECT_EQ(DispatchLine(server, "STATUS", &shutdown), "OK sessions=0");
 }
 
+TEST(DispatchTest, StatusReportsSafetyState) {
+  TuningServerOptions options;
+  options.safety.warmup_steps = 1;
+  options.safety.regression_margin = 0.02;
+  options.safety.rollback_after = 2;
+  TuningServer server(options);
+  ASSERT_TRUE(server.AdoptModel(SharedTrainedTuner()).ok());
+  bool shutdown = false;
+
+  // safety=1 turns the guardrail on for this tenant; the degrade knobs
+  // inject a mid-tune regression into its simulated instance.
+  std::string opened = DispatchLine(
+      server,
+      "OPEN engine=sim workload=sysbench_rw seed=61 steps=5 safety=1 "
+      "degrade=innodb_buffer_pool_size degrade_after=1 degrade_sev=0.9",
+      &shutdown);
+  ASSERT_EQ(opened.rfind("OK id=0", 0), 0u) << opened;
+  std::string status = DispatchLine(server, "STATUS id=0", &shutdown);
+  EXPECT_NE(status.find("safety=1"), std::string::npos) << status;
+  EXPECT_NE(status.find("base_tps="), std::string::npos) << status;
+  EXPECT_NE(status.find("tr_width="), std::string::npos) << status;
+  EXPECT_NE(status.find("rollbacks=0"), std::string::npos) << status;
+
+  // Two degraded steps reach K consecutive violations: the guardrail rolls
+  // the tenant back and STATUS shows it parked on last-known-good.
+  ASSERT_EQ(DispatchLine(server, "STEP id=0 n=2", &shutdown).rfind("OK", 0),
+            0u);
+  status = DispatchLine(server, "STATUS id=0", &shutdown);
+  EXPECT_NE(status.find("viol=2"), std::string::npos) << status;
+  EXPECT_NE(status.find("rollbacks=1"), std::string::npos) << status;
+  EXPECT_NE(status.find("on_lkg=1"), std::string::npos) << status;
+
+  // An unguarded tenant reports safety=0 and no guardrail telemetry.
+  opened = DispatchLine(
+      server, "OPEN engine=sim workload=sysbench_rw seed=62 safety=0",
+      &shutdown);
+  ASSERT_EQ(opened.rfind("OK id=1", 0), 0u) << opened;
+  status = DispatchLine(server, "STATUS id=1", &shutdown);
+  EXPECT_NE(status.find("safety=0"), std::string::npos) << status;
+  EXPECT_EQ(status.find("base_tps="), std::string::npos) << status;
+
+  EXPECT_EQ(DispatchLine(server, "OPEN engine=sim safety=2", &shutdown)
+                .rfind("ERR", 0),
+            0u);
+  EXPECT_EQ(
+      DispatchLine(server, "OPEN engine=sim degrade=nosuch_knob degrade_sev=0.5",
+                   &shutdown)
+          .rfind("ERR", 0),
+      0u);
+}
+
 TEST(SocketServerTest, ServesClientsAndStopsGracefully) {
   TuningServer server;
   ASSERT_TRUE(server.AdoptModel(SharedTrainedTuner()).ok());

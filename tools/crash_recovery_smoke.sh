@@ -3,7 +3,11 @@
 # round-interval autosave, tune for a few rounds, SIGKILL it mid-flight,
 # restart with --restore, and require the restored session trajectory to be
 # byte-identical to the pre-kill one — then keep tuning to completion over
-# the same socket. Usage:
+# the same socket. A second phase repeats the exercise against the safety
+# guardrail (DESIGN.md §12): a guarded session with an injected regression
+# is killed -9 right after its rollback fired, and the restore must land
+# the tenant back on its last-known-good config with identical guardrail
+# telemetry. Usage:
 #
 #   tools/crash_recovery_smoke.sh [path/to/cdbtune_serve]
 #
@@ -14,11 +18,12 @@ ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 SERVE="${1:-$ROOT/build/examples/cdbtune_serve}"
 SOCKET="cdbtune-smoke-$$"
 CKPT="$(mktemp -u /tmp/cdbtune_smoke_XXXXXX.ckpt)"
+CKPT2="$(mktemp -u /tmp/cdbtune_smoke_guard_XXXXXX.ckpt)"
 DAEMON_PID=""
 
 cleanup() {
   [[ -n "$DAEMON_PID" ]] && kill -9 "$DAEMON_PID" 2> /dev/null || true
-  rm -f "$CKPT" "$CKPT".[0-9]*
+  rm -f "$CKPT" "$CKPT".[0-9]* "$CKPT2" "$CKPT2".[0-9]*
 }
 trap cleanup EXIT
 
@@ -95,4 +100,76 @@ send SHUTDOWN > /dev/null
 wait "$DAEMON_PID" 2> /dev/null || true
 DAEMON_PID=""
 
-echo "PASS: kill -9 + --restore resumed the exact pre-kill trajectory"
+echo "== phase 2: guardrail rollback survives kill -9"
+echo "== start guarded daemon with autosave -> $CKPT2"
+"$SERVE" --listen "$SOCKET" --checkpoint "$CKPT2" --autosave 1 \
+  --safety on --safety-margin 0.02 --safety-k 2 --safety-drift 100 &
+DAEMON_PID=$!
+wait_ready
+
+# One guarded tenant whose simulated instance degrades every post-baseline
+# stress run in proportion to how far the buffer pool moved from default:
+# regressions are guaranteed, so K=2 consecutive violations (and the
+# rollback) arrive within the step budget.
+send 'OPEN engine=sim workload=sysbench_rw seed=19 steps=8 safety=1 degrade=innodb_buffer_pool_size degrade_after=1 degrade_sev=0.9' \
+  > /dev/null
+
+GUARD_STATUS=""
+for _ in $(seq 1 8); do
+  send 'ROUND n=1' > /dev/null
+  GUARD_STATUS="$(send 'STATUS id=0')"
+  if [[ "$GUARD_STATUS" != *"rollbacks=0"* && \
+        "$GUARD_STATUS" == *"on_lkg=1"* ]]; then
+    break
+  fi
+done
+echo "   pre-kill:  $GUARD_STATUS"
+[[ "$GUARD_STATUS" != *"rollbacks=0"* && "$GUARD_STATUS" == *"on_lkg=1"* ]] || {
+  echo "FAIL: guarded session never rolled back onto last-known-good" >&2
+  exit 1
+}
+
+echo "== kill -9 the daemon right after the rollback round autosaved"
+kill -9 "$DAEMON_PID"
+wait "$DAEMON_PID" 2> /dev/null || true
+DAEMON_PID=""
+[[ -f "$CKPT2" ]] || {
+  echo "FAIL: autosave checkpoint $CKPT2 missing" >&2
+  exit 1
+}
+
+echo "== restart with --restore (guardrail flags must match the save)"
+"$SERVE" --listen "$SOCKET" --checkpoint "$CKPT2" --restore \
+  --safety on --safety-margin 0.02 --safety-k 2 --safety-drift 100 &
+DAEMON_PID=$!
+wait_ready
+
+RESTORED_STATUS="$(send 'STATUS id=0')"
+echo "   restored:  $RESTORED_STATUS"
+if [[ "$RESTORED_STATUS" != "$GUARD_STATUS" ]]; then
+  echo "FAIL: restored guardrail status differs from pre-kill status" >&2
+  exit 1
+fi
+[[ "$RESTORED_STATUS" == *"on_lkg=1"* ]] || {
+  echo "FAIL: restored tenant is not on its last-known-good config" >&2
+  exit 1
+}
+
+echo "== finish tuning on the restored guarded server"
+FINAL_ROUND="$(send 'ROUND n=10')"
+[[ "$FINAL_ROUND" == OK* ]] || {
+  echo "FAIL: post-restore ROUND failed on the guarded server" >&2
+  exit 1
+}
+CLOSED="$(send 'CLOSE id=0')"
+echo "   $CLOSED"
+[[ "$CLOSED" == OK* && "$CLOSED" == *"steps=8"* ]] || {
+  echo "FAIL: guarded session did not finish its 8-step budget" >&2
+  exit 1
+}
+send SHUTDOWN > /dev/null
+wait "$DAEMON_PID" 2> /dev/null || true
+DAEMON_PID=""
+
+echo "PASS: kill -9 + --restore resumed the exact pre-kill trajectory," \
+     "guardrail state and last-known-good config included"

@@ -46,6 +46,13 @@ raw-intrinsics   An <immintrin.h>-family include or a raw SIMD token
                  kernel subsystem behind the GemmKernels dispatch table so
                  the rest of the tree compiles portably and the bitwise
                  scalar-equivalence contract stays enforceable in one place.
+unguarded-apply  A direct `db.ApplyConfig(...)` / `db->ApplyConfig(...)`
+                 call in src/ outside src/safety (the chokepoint) and the
+                 backend trees that implement the method (src/env,
+                 src/engine). Every config deployment must route through
+                 safety::ApplyConfig so the guardrail layer — trust-region
+                 clipping, rollback-on-regression — can never be bypassed
+                 by a new call site.
 
 The determinism-contract rules (nondet-iteration, nondet-source,
 float-contract, padding-serialize, pointer-order) live in the token/scope-
@@ -97,7 +104,7 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 LINT_RULES = frozenset({
     "ignored-status", "std-function", "raw-new", "raw-delete",
     "mutable-global", "blocking-socket", "raw-checkpoint-write", "raw-mutex",
-    "naked-notify", "atomic-ordering", "raw-intrinsics",
+    "naked-notify", "atomic-ordering", "raw-intrinsics", "unguarded-apply",
 })
 
 # Directories scanned for violations. Tests and benches are held to the same
@@ -169,6 +176,14 @@ INTRINSIC_INCLUDE_RE = re.compile(
 INTRINSIC_TOKEN_RE = re.compile(
     r"\b(?:_mm(?:256|512)?_\w+|__m(?:128|256|512)[di]?\b|__mmask(?:8|16|32|64)\b)"
 )
+
+# Receiver-qualified ApplyConfig call (`db.ApplyConfig(` / `db->ApplyConfig(`).
+# Declarations and overrides have no receiver and never match.
+APPLY_CONFIG_RE = re.compile(r"(?:\.|->)\s*ApplyConfig\s*\(")
+# Subtrees allowed to touch DbInterface::ApplyConfig directly: the safety
+# chokepoint itself, and the backends that implement (and may self-delegate)
+# the method.
+APPLY_EXEMPT_DIRS = {"safety", "env", "engine"}
 
 STATIC_DECL_RE = re.compile(r"^\s*static\s+(.*)$")
 NAMESPACE_GLOBAL_RE = re.compile(r"^[A-Za-z_][\w:<>,&\s\*]*\bg_\w+\s*[{=;]")
@@ -294,6 +309,7 @@ class Linter:
             self._check_naked_notify(path, rel, code, code_lines, idx)
             self._check_atomic_ordering(path, rel, code, idx)
             self._check_raw_intrinsics(path, rel, code, idx)
+            self._check_unguarded_apply(path, rel, code, idx)
 
     def _check_ignored_status(self, path, rel, code, prev, idx,
                               status_fns) -> None:
@@ -428,6 +444,18 @@ class Linter:
                         "add a kernel to the GemmKernels dispatch table "
                         "instead so portability and the cross-tier bitwise "
                         "contract stay in one subsystem")
+
+    def _check_unguarded_apply(self, path, rel, code, idx) -> None:
+        if rel.parts[0] != "src" or len(rel.parts) < 2:
+            return
+        if rel.parts[1] in APPLY_EXEMPT_DIRS:
+            return
+        if APPLY_CONFIG_RE.search(code):
+            self.report(path, idx, "unguarded-apply",
+                        "direct DbInterface::ApplyConfig call outside "
+                        "src/safety; route the deployment through "
+                        "safety::ApplyConfig so the guardrail layer cannot "
+                        "be bypassed")
 
     def _check_mutable_global(self, path, rel, code, idx) -> None:
         if rel.parts[0] != "src":

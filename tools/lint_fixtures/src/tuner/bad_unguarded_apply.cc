@@ -1,0 +1,24 @@
+// Lint fixture: direct DbInterface::ApplyConfig calls outside src/safety.
+// Every config deployment must route through the safety::ApplyConfig
+// chokepoint so the guardrail layer (trust-region clipping, rollback on
+// regression) can never be bypassed by a new call site. This file is never
+// compiled; tools/lint_selftest.py runs tools/lint.py with --root pointed at
+// the fixture tree and asserts exactly two unguarded-apply findings.
+
+namespace cdbtune::tuner {
+
+// A dotted receiver bypasses the guardrail chokepoint.
+void DeployByReference(env::DbInterface& db, const knobs::Config& config) {
+  if (!db.ApplyConfig(config).ok()) {
+    RestorePreviousConfig(db);
+  }
+}
+
+// So does an arrow receiver.
+void DeployByPointer(env::DbInterface* db, const knobs::Config& config) {
+  if (!db->ApplyConfig(config).ok()) {
+    RestorePreviousConfig(*db);
+  }
+}
+
+}  // namespace cdbtune::tuner

@@ -1,0 +1,23 @@
+// Lint fixture good twin of bad_unguarded_apply.cc: deployments routed
+// through the safety::ApplyConfig chokepoint never match the rule (the
+// qualified call has no member receiver), and the one sanctioned direct call
+// carries an allow() that provably discharges its finding.
+
+namespace cdbtune::tuner {
+
+// The blessed path: the chokepoint decides whether a guardrail applies.
+void DeployGuarded(env::DbInterface& db, const knobs::Config& config) {
+  if (!safety::ApplyConfig(db, config).ok()) {
+    RestorePreviousConfig(db);
+  }
+}
+
+void DeployForTiming(env::DbInterface& db, const knobs::Config& config) {
+  // lint: allow(unguarded-apply) — deployment-latency microbenchmark: the
+  // point is to time the raw backend call without the chokepoint's overhead.
+  if (!db.ApplyConfig(config).ok()) {
+    RestorePreviousConfig(db);
+  }
+}
+
+}  // namespace cdbtune::tuner

@@ -44,6 +44,9 @@ EXPECTED_LINT = {
     "bad_intrinsics.cc": Counter({
         "raw-intrinsics": 3,   # the include, the __m128d decl, the _mm call
     }),
+    "bad_unguarded_apply.cc": Counter({
+        "unguarded-apply": 2,  # one dotted receiver, one arrow receiver
+    }),
 }
 EXPECTED_ANALYZE = {
     "bad_nondet_iteration.cc": Counter({"nondet-iteration": 4}),
@@ -63,6 +66,12 @@ EXPECTED_SUPPRESSED = {
     "good_padding_serialize.cc": "padding-serialize",
     "good_pointer_order.cc": "pointer-order",
     "good_flags_cmake": "float-contract",   # the '#'-comment CMake form
+}
+
+# Same proof for the lint-owned guardrail rule: the good twin's one direct
+# ApplyConfig call must show up as a *suppressed* finding, not a non-match.
+EXPECTED_LINT_SUPPRESSED = {
+    "good_unguarded_apply.cc": "unguarded-apply",
 }
 
 
@@ -132,6 +141,13 @@ def check_fixture_tree(failures: list[str]) -> None:
         if not any(name in file and r == rule for file, r in suppressed):
             failures.append(f"{name}: expected a suppressed {rule} finding "
                             f"(the allow() must discharge a live finding)")
+    _, lint_all = run_json("lint.py", FIXTURES, "--include-suppressed")
+    lint_suppressed = [(f["file"], f["rule"]) for f in lint_all["findings"]
+                       if f["suppressed"]]
+    for name, rule in EXPECTED_LINT_SUPPRESSED.items():
+        if not any(name in file and r == rule for file, r in lint_suppressed):
+            failures.append(f"{name}: expected a suppressed {rule} finding "
+                            f"(the allow() must discharge a live finding)")
 
     # The debt gate passes on the fixture tree: every annotation is
     # reasoned and live.
@@ -187,7 +203,8 @@ def main() -> int:
                           *EXPECTED_ANALYZE.values()))
     print(f"lint self-test: ok ({total} expected findings fired across "
           f"{len(EXPECTED_LINT) + len(EXPECTED_ANALYZE)} bad fixtures, "
-          f"{len(EXPECTED_SUPPRESSED)} suppression forms proven live, "
+          f"{len(EXPECTED_SUPPRESSED) + len(EXPECTED_LINT_SUPPRESSED)} "
+          f"suppression forms proven live, "
           f"debt gate verified on pass and 3 failure modes)")
     return 0
 
