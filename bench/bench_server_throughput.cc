@@ -1,18 +1,27 @@
 // Multi-session tuning server throughput (the tentpole subsystem's perf
 // surface): complete tuning episodes per second as the number of concurrent
-// tenants grows 1 -> 16, and the latency of greedy model recommendations
-// while round-stepping is in flight. Results merge into BENCH_exec_time.json
-// via bench/run_benchmarks.sh.
+// tenants grows 1 -> 16 in-process and 64 -> 1024 over the epoll/TCP binary
+// front end (one live connection per tenant — the C10K surface), and the
+// latency of greedy model recommendations while round-stepping is in
+// flight. Results merge into BENCH_exec_time.json via
+// bench/run_benchmarks.sh.
 #include <benchmark/benchmark.h>
+
+#include <sys/resource.h>
 
 #include "bench_common.h"
 
 #include <atomic>
+#include <cstdio>
 #include <memory>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "env/simulated_cdb.h"
+#include "server/dispatch.h"
+#include "server/net/frame_client.h"
+#include "server/net/tcp_server.h"
 #include "server/tuning_server.h"
 #include "tuner/cdbtune.h"
 #include "util/thread_pool.h"
@@ -91,6 +100,93 @@ BENCHMARK(BM_ServerEpisodes)
     ->Arg(16)
     ->Unit(benchmark::kMillisecond);
 
+/// The same episode workload through the epoll/TCP binary front end, one
+/// live connection per tenant held open for the whole episode — so the
+/// reactor multiplexes `sessions` concurrent connections while an admin
+/// connection drives the rounds. Reported, like BM_ServerEpisodes, as
+/// sessions tuned per second: comparing the two series isolates the
+/// transport's overhead, and ~linear decay across 64 -> 1024 is the C10K
+/// acceptance gate.
+void BM_ServerEpisodesTcp(benchmark::State& state) {
+  const size_t sessions = static_cast<size_t>(state.range(0));
+  util::ComputeContext::Get().SetThreads(4);
+  uint64_t seed = 1;
+  for (auto _ : state) {
+    server::TuningServerOptions server_options;
+    server_options.max_sessions = sessions;
+    // Small per-shard rings keep 1024 tenants' unmerged experience bounded.
+    server_options.shard_capacity = 8;
+    server::TuningServer srv(server_options);
+    if (!srv.AdoptModel(TrainedTuner()).ok()) {
+      state.SkipWithError("AdoptModel failed");
+      break;
+    }
+    server::Dispatcher dispatcher(&srv);
+    server::net::TcpServerOptions tcp_options;
+    tcp_options.max_connections = sessions + 8;
+    server::net::TcpServer front(&dispatcher, tcp_options);
+    dispatcher.RegisterTransport(&front);
+    if (!front.Start().ok()) {
+      state.SkipWithError("TcpServer Start failed");
+      break;
+    }
+    std::vector<std::unique_ptr<server::net::FrameClient>> clients;
+    clients.reserve(sessions);
+    bool failed = false;
+    for (size_t i = 0; i < sessions && !failed; ++i) {
+      auto client = std::make_unique<server::net::FrameClient>();
+      if (!client->Connect("127.0.0.1", front.port()).ok()) {
+        state.SkipWithError("Connect failed");
+        failed = true;
+        break;
+      }
+      auto opened = client->Call("OPEN engine=sim seed=" +
+                                 std::to_string(seed++) + " steps=5");
+      if (!opened.ok() || opened->rfind("OK id=", 0) != 0) {
+        state.SkipWithError("OPEN over TCP failed");
+        failed = true;
+        break;
+      }
+      clients.push_back(std::move(client));
+    }
+    if (!failed) {
+      server::net::FrameClient admin;
+      if (!admin.Connect("127.0.0.1", front.port()).ok()) {
+        state.SkipWithError("admin Connect failed");
+        failed = true;
+      }
+      while (!failed) {
+        auto round = admin.Call("ROUND");
+        if (!round.ok()) {
+          state.SkipWithError("ROUND over TCP failed");
+          failed = true;
+          break;
+        }
+        if (round->find("sessions=0") != std::string::npos) break;
+      }
+      for (size_t i = 0; i < clients.size() && !failed; ++i) {
+        auto closed = clients[i]->Call("CLOSE id=" + std::to_string(i));
+        if (!closed.ok() || closed->rfind("OK", 0) != 0) {
+          state.SkipWithError("CLOSE over TCP failed");
+          failed = true;
+        }
+      }
+    }
+    clients.clear();
+    front.Stop();
+    if (failed) break;
+  }
+  state.counters["sessions_per_s"] = benchmark::Counter(
+      static_cast<double>(state.iterations() * sessions),
+      benchmark::Counter::kIsRate);
+  util::ComputeContext::Get().SetThreads(0);
+}
+BENCHMARK(BM_ServerEpisodesTcp)
+    ->Arg(64)
+    ->Arg(256)
+    ->Arg(1024)
+    ->Unit(benchmark::kMillisecond);
+
 /// Greedy recommendation latency while 8 tenants round-step in the
 /// background — measures contention on the shared-model lock.
 void BM_RecommendUnderLoad(benchmark::State& state) {
@@ -138,6 +234,23 @@ BENCHMARK(BM_RecommendUnderLoad)->Unit(benchmark::kMicrosecond);
 int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  // The 1024-tenant TCP series holds ~2x that many descriptors open at once
+  // (client + server end per connection); lift a default 1024 soft limit to
+  // whatever the hard limit allows before the reactor starts accepting.
+  rlimit files;
+  if (::getrlimit(RLIMIT_NOFILE, &files) == 0 && files.rlim_cur < 8192) {
+    rlimit raised = files;
+    raised.rlim_cur =
+        files.rlim_max == RLIM_INFINITY
+            ? 8192
+            : (files.rlim_max < 8192 ? files.rlim_max : rlim_t{8192});
+    if (::setrlimit(RLIMIT_NOFILE, &raised) != 0) {
+      std::fprintf(stderr,
+                   "warning: could not raise RLIMIT_NOFILE above %llu; "
+                   "BM_ServerEpisodesTcp/1024 may fail\n",
+                   static_cast<unsigned long long>(files.rlim_cur));
+    }
+  }
   cdbtune::bench::AddBenchEnvironmentContext();
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();

@@ -5,9 +5,15 @@
 //   $ ./cdbtune_serve --listen NAME [--checkpoint PATH] [--restore]
 //                     [--autosave N] [--safety on|off] [--safety-margin F]
 //                     [--safety-k N] [--safety-tr F] [--safety-drift F]
+//                     [--tcp HOST:PORT] [--max-conns N] [--sendq-bytes N]
 //                                     # daemon on abstract AF_UNIX socket NAME
+//                                     # (--tcp adds the epoll binary front end
+//                                     #  on HOST:PORT; both serve one verb
+//                                     #  table and one session registry)
 //   $ ./cdbtune_serve --send NAME 'OPEN engine=sim' 'STEP id=0' ...
 //                                     # one-shot client: send lines, print replies
+//   $ ./cdbtune_serve --send-tcp HOST:PORT 'PING' ...
+//                                     # same, over the TCP binary framing
 //
 // With --checkpoint the daemon autosaves its full state (model, pool, every
 // open session) every N rounds (default 1); --restore rebuilds the server
@@ -26,17 +32,21 @@
 // exercises REBUILD: a reshaped agent warm-started from the server's
 // experience pool must out-tune the same architecture starting cold.
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "engine/mini_cdb.h"
 #include "env/simulated_cdb.h"
 #include "server/dispatch.h"
 #include "server/io/socket_server.h"
+#include "server/net/frame_client.h"
+#include "server/net/tcp_server.h"
 #include "server/tuning_server.h"
 #include "tuner/cdbtune.h"
 #include "util/thread_pool.h"
@@ -313,11 +323,28 @@ int RunDemo() {
   return ok ? 0 : 1;
 }
 
+/// Splits "HOST:PORT" (IPv4 dotted quad + decimal port). Returns false on a
+/// missing colon or an out-of-range port.
+bool ParseHostPort(const std::string& spec, std::string* host,
+                   uint16_t* port) {
+  size_t colon = spec.rfind(':');
+  if (colon == std::string::npos || colon == 0) return false;
+  long parsed = std::atol(spec.c_str() + colon + 1);
+  if (parsed < 0 || parsed > 65535) return false;
+  *host = spec.substr(0, colon);
+  *port = static_cast<uint16_t>(parsed);
+  return true;
+}
+
 struct ListenFlags {
   std::string socket_name;
   std::string checkpoint;
   bool restore = false;
   int autosave_rounds = 1;
+  /// Optional epoll/TCP binary front end ("HOST:PORT"; empty = off).
+  std::string tcp;
+  size_t max_conns = 256;
+  size_t sendq_bytes = 256 * 1024;
   /// Server-wide guardrail defaults (DESIGN.md §12); sessions can still
   /// override enablement per-OPEN with safety=0|1.
   bool safety = false;
@@ -379,9 +406,30 @@ int RunListen(const ListenFlags& flags) {
       return 1;
     }
   }
+  // One dispatcher, N transports: the AF_UNIX text listener and (with
+  // --tcp) the epoll binary listener route every decoded request through
+  // the same verb table, and STATUS scrapes both front ends' telemetry.
+  server::Dispatcher dispatcher(&srv);
   server::io::SocketServerOptions socket_options;
   socket_options.socket_name = flags.socket_name;
-  server::io::SocketServer front(&srv, socket_options);
+  server::io::SocketServer front(&dispatcher, socket_options);
+  dispatcher.RegisterTransport(&front);
+
+  std::unique_ptr<server::net::TcpServer> tcp_front;
+  if (!flags.tcp.empty()) {
+    server::net::TcpServerOptions tcp_options;
+    if (!ParseHostPort(flags.tcp, &tcp_options.host, &tcp_options.port)) {
+      std::fprintf(stderr, "--tcp wants HOST:PORT, got '%s'\n",
+                   flags.tcp.c_str());
+      return 2;
+    }
+    tcp_options.max_connections = flags.max_conns;
+    tcp_options.sendq_bytes = flags.sendq_bytes;
+    tcp_front =
+        std::make_unique<server::net::TcpServer>(&dispatcher, tcp_options);
+    dispatcher.RegisterTransport(tcp_front.get());
+  }
+
   auto started = front.Start();
   if (!started.ok()) {
     std::fprintf(stderr, "Start: %s\n", started.ToString().c_str());
@@ -389,10 +437,53 @@ int RunListen(const ListenFlags& flags) {
   }
   std::printf("listening on abstract socket @%s (send SHUTDOWN to stop)\n",
               flags.socket_name.c_str());
-  front.WaitForShutdown();
+  if (tcp_front != nullptr) {
+    auto tcp_started = tcp_front->Start();
+    if (!tcp_started.ok()) {
+      std::fprintf(stderr, "TCP Start: %s\n", tcp_started.ToString().c_str());
+      front.Stop();
+      return 1;
+    }
+    std::printf("listening on tcp %s:%u (binary framing)\n",
+                flags.tcp.substr(0, flags.tcp.rfind(':')).c_str(),
+                tcp_front->port());
+    // Two front ends, either may receive SHUTDOWN: poll both (the waits
+    // are CV-based per front end; a cheap poll keeps the wiring simple).
+    while (!front.shutdown_requested() && !tcp_front->shutdown_requested()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+  } else {
+    front.WaitForShutdown();
+  }
   srv.DrainAndStop();
   front.Stop();
+  if (tcp_front != nullptr) tcp_front->Stop();
   std::printf("drained and stopped\n");
+  return 0;
+}
+
+int RunSendTcp(const std::string& spec, int argc, char** argv, int first) {
+  std::string host;
+  uint16_t port = 0;
+  if (!ParseHostPort(spec, &host, &port)) {
+    std::fprintf(stderr, "--send-tcp wants HOST:PORT, got '%s'\n",
+                 spec.c_str());
+    return 2;
+  }
+  server::net::FrameClient client;
+  auto connected = client.Connect(host, port);
+  if (!connected.ok()) {
+    std::fprintf(stderr, "Connect: %s\n", connected.ToString().c_str());
+    return 1;
+  }
+  for (int i = first; i < argc; ++i) {
+    auto reply = client.Call(argv[i]);
+    if (!reply.ok()) {
+      std::fprintf(stderr, "Call: %s\n", reply.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%s\n", reply->c_str());
+  }
   return 0;
 }
 
@@ -449,6 +540,12 @@ int main(int argc, char** argv) {
         flags.safety_tr = std::atof(argv[++i]);
       } else if (std::strcmp(argv[i], "--safety-drift") == 0 && i + 1 < argc) {
         flags.safety_drift = std::atof(argv[++i]);
+      } else if (std::strcmp(argv[i], "--tcp") == 0 && i + 1 < argc) {
+        flags.tcp = argv[++i];
+      } else if (std::strcmp(argv[i], "--max-conns") == 0 && i + 1 < argc) {
+        flags.max_conns = static_cast<size_t>(std::atol(argv[++i]));
+      } else if (std::strcmp(argv[i], "--sendq-bytes") == 0 && i + 1 < argc) {
+        flags.sendq_bytes = static_cast<size_t>(std::atol(argv[++i]));
       } else {
         std::fprintf(stderr, "unknown --listen flag '%s'\n", argv[i]);
         return 2;
@@ -459,13 +556,17 @@ int main(int argc, char** argv) {
   if (argc >= 4 && std::strcmp(argv[1], "--send") == 0) {
     return RunSend(argv[2], argc, argv, 3);
   }
+  if (argc >= 4 && std::strcmp(argv[1], "--send-tcp") == 0) {
+    return RunSendTcp(argv[2], argc, argv, 3);
+  }
   if (argc > 1) {
     std::fprintf(stderr,
                  "usage: cdbtune_serve [--listen NAME [--checkpoint PATH] "
                  "[--restore] [--autosave N] [--safety on|off] "
                  "[--safety-margin F] [--safety-k N] [--safety-tr F] "
-                 "[--safety-drift F] | "
-                 "--send NAME LINE...]\n");
+                 "[--safety-drift F] [--tcp HOST:PORT] [--max-conns N] "
+                 "[--sendq-bytes N] | "
+                 "--send NAME LINE... | --send-tcp HOST:PORT LINE...]\n");
     return 2;
   }
   return RunDemo();

@@ -144,7 +144,9 @@ std::string HandleTrain(TuningServer& server, const Command& command) {
   return FormatOk({{"trained", std::to_string(*n)}});
 }
 
-std::string HandleStatus(TuningServer& server, const Command& command) {
+std::string HandleStatus(
+    TuningServer& server, const Command& command,
+    const std::vector<const TransportStatsSource*>& transports) {
   if (command.args.count("id") > 0) {
     auto id = GetInt(command, "id");
     if (!id.ok()) return FormatError(id.status());
@@ -161,6 +163,19 @@ std::string HandleStatus(TuningServer& server, const Command& command) {
     pairs.emplace_back("s" + std::to_string(status.id),
                        std::string(tuner::SessionPhaseName(status.phase)) +
                            ":" + std::to_string(status.steps_done));
+  }
+  // Per-transport connection/back-pressure telemetry: one key block per
+  // registered front end, so an operator on either transport sees both.
+  for (const TransportStatsSource* source : transports) {
+    const TransportStats stats = source->Scrape();
+    const std::string& t = stats.name;
+    pairs.emplace_back(t + "_conns", std::to_string(stats.connections));
+    pairs.emplace_back(t + "_accepted", std::to_string(stats.accepted));
+    pairs.emplace_back(t + "_shed", std::to_string(stats.shed_busy));
+    pairs.emplace_back(t + "_paused", std::to_string(stats.read_pauses));
+    pairs.emplace_back(t + "_sendq_drops", std::to_string(stats.sendq_drops));
+    pairs.emplace_back(t + "_frames_in", std::to_string(stats.frames_in));
+    pairs.emplace_back(t + "_frames_out", std::to_string(stats.frames_out));
   }
   return FormatOk(pairs);
 }
@@ -273,29 +288,54 @@ std::string HandleClose(TuningServer& server, const Command& command) {
 
 }  // namespace
 
-std::string DispatchLine(TuningServer& server, const std::string& line,
-                         bool* shutdown) {
-  auto parsed = ParseCommand(line);
-  if (!parsed.ok()) return FormatError(parsed.status());
+DispatchResult Dispatcher::Dispatch(const std::string& request) const {
+  TuningServer& server = *server_;
+  DispatchResult result;
+  auto parsed = ParseCommand(request);
+  if (!parsed.ok()) {
+    result.response = FormatError(parsed.status());
+    return result;
+  }
   const Command& command = *parsed;
 
-  if (command.verb == "PING") return FormatOk({{"pong", "1"}});
-  if (command.verb == "OPEN") return HandleOpen(server, command);
-  if (command.verb == "STEP") return HandleStep(server, command);
-  if (command.verb == "ROUND") return HandleRound(server, command);
-  if (command.verb == "TRAIN") return HandleTrain(server, command);
-  if (command.verb == "STATUS") return HandleStatus(server, command);
-  if (command.verb == "BEST_CONFIG") return HandleBestConfig(server, command);
-  if (command.verb == "CLOSE") return HandleClose(server, command);
-  if (command.verb == "SAVE") return HandleSave(server, command);
-  if (command.verb == "RESTORE") return HandleRestore(server, command);
-  if (command.verb == "REBUILD") return HandleRebuild(server, command);
-  if (command.verb == "SHUTDOWN") {
-    if (shutdown != nullptr) *shutdown = true;
-    return FormatOk({{"bye", "1"}});
+  if (command.verb == "PING") {
+    result.response = FormatOk({{"pong", "1"}});
+  } else if (command.verb == "OPEN") {
+    result.response = HandleOpen(server, command);
+  } else if (command.verb == "STEP") {
+    result.response = HandleStep(server, command);
+  } else if (command.verb == "ROUND") {
+    result.response = HandleRound(server, command);
+  } else if (command.verb == "TRAIN") {
+    result.response = HandleTrain(server, command);
+  } else if (command.verb == "STATUS") {
+    result.response = HandleStatus(server, command, transports_);
+  } else if (command.verb == "BEST_CONFIG") {
+    result.response = HandleBestConfig(server, command);
+  } else if (command.verb == "CLOSE") {
+    result.response = HandleClose(server, command);
+  } else if (command.verb == "SAVE") {
+    result.response = HandleSave(server, command);
+  } else if (command.verb == "RESTORE") {
+    result.response = HandleRestore(server, command);
+  } else if (command.verb == "REBUILD") {
+    result.response = HandleRebuild(server, command);
+  } else if (command.verb == "SHUTDOWN") {
+    result.shutdown = true;
+    result.response = FormatOk({{"bye", "1"}});
+  } else {
+    result.response = FormatError(
+        util::Status::NotFound("unknown verb '" + command.verb + "'"));
   }
-  return FormatError(
-      util::Status::NotFound("unknown verb '" + command.verb + "'"));
+  return result;
+}
+
+std::string DispatchLine(TuningServer& server, const std::string& line,
+                         bool* shutdown) {
+  Dispatcher dispatcher(&server);
+  DispatchResult result = dispatcher.Dispatch(line);
+  if (shutdown != nullptr && result.shutdown) *shutdown = true;
+  return result.response;
 }
 
 }  // namespace cdbtune::server

@@ -105,6 +105,26 @@ util::Status Socket::SendLine(const std::string& line) {
   return util::Status::Ok();
 }
 
+util::Status Socket::TrySendLine(const std::string& line) {
+  if (!valid()) return util::Status::FailedPrecondition("send on closed socket");
+  std::string framed = line + "\n";
+  size_t sent = 0;
+  while (sent < framed.size()) {
+    ssize_t n = ::send(fd_, framed.data() + sent, framed.size() - sent,
+                       MSG_DONTWAIT | MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return util::Status::FailedPrecondition(
+            "socket buffer full; dropping notice");
+      }
+      return Errno("send");
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return util::Status::Ok();
+}
+
 util::StatusOr<std::string> Socket::RecvLine() {
   if (!valid()) return util::Status::FailedPrecondition("recv on closed socket");
   while (true) {

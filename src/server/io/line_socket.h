@@ -38,6 +38,12 @@ class Socket {
   /// Sends `line` plus a trailing '\n'. `line` must not contain '\n'.
   util::Status SendLine(const std::string& line);
 
+  /// Best-effort non-blocking SendLine: writes whatever the socket buffer
+  /// accepts right now and returns FailedPrecondition instead of blocking
+  /// when it is full. For shed paths (the "server busy" notice) where a
+  /// stalled peer must not wedge the calling thread.
+  util::Status TrySendLine(const std::string& line);
+
   /// Blocks until one full '\n'-terminated line arrives and returns it
   /// without the terminator. EOF or a shutdown mid-line is an error.
   util::StatusOr<std::string> RecvLine();

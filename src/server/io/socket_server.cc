@@ -8,8 +8,14 @@
 
 namespace cdbtune::server::io {
 
+SocketServer::SocketServer(const Dispatcher* dispatcher,
+                           SocketServerOptions options)
+    : dispatcher_(dispatcher), options_(std::move(options)) {}
+
 SocketServer::SocketServer(TuningServer* server, SocketServerOptions options)
-    : server_(server), options_(std::move(options)) {}
+    : owned_dispatcher_(std::make_unique<Dispatcher>(server)),
+      dispatcher_(owned_dispatcher_.get()),
+      options_(std::move(options)) {}
 
 SocketServer::~SocketServer() { Stop(); }
 
@@ -43,19 +49,25 @@ void SocketServer::AcceptLoop() {
       if (!connection.ok()) continue;  // Transient accept error; keep serving.
       if (pending_.size() >= options_.connection_queue) {
         refuse = true;
+        ++shed_busy_;
       } else {
+        ++accepted_;
         pending_.push_back(std::move(*connection));
       }
     }
     if (refuse) {
-      // Bounded queue: refuse rather than hoard. The best-effort notice is a
-      // blocking send, so it runs *outside* mu_ — a stalled client must not
-      // wedge the workers' queue pops or Stop(). The refused socket closes
-      // when `connection` goes out of scope.
-      util::Status notice = connection->SendLine(
+      // Bounded queue: refuse rather than hoard. The notice is best-effort
+      // AND non-blocking — a peer that connects and then never reads must
+      // not park the acceptor thread in send() (the classic slow-client
+      // wedge); whatever the socket buffer won't take right now is simply
+      // dropped, and the close that follows carries the message anyway. It
+      // still runs outside mu_ so even the syscall's cost is off the
+      // workers' lock. The refused socket closes when `connection` goes out
+      // of scope.
+      util::Status notice = connection->TrySendLine(
           FormatError(util::Status::FailedPrecondition("server busy")));
       if (!notice.ok()) {
-        CDBTUNE_LOG(Debug) << "busy notice failed: " << notice.ToString();
+        CDBTUNE_LOG(Debug) << "busy notice dropped: " << notice.ToString();
       }
       continue;
     }
@@ -85,17 +97,21 @@ void SocketServer::ServeConnection(Socket connection) {
   while (true) {
     auto line = connection.RecvLine();
     if (!line.ok()) return;  // Peer hung up (or Stop shut the socket down).
-    bool shutdown = false;
-    std::string response = DispatchLine(*server_, *line, &shutdown);
-    util::Status sent = connection.SendLine(response);
+    DispatchResult result = dispatcher_->Dispatch(*line);
+    util::Status sent = connection.SendLine(result.response);
     if (!sent.ok()) return;
-    if (shutdown) {
+    if (result.shutdown) {
       util::MutexLock lock(mu_);
       shutdown_requested_ = true;
       shutdown_cv_.NotifyAll();
       return;
     }
   }
+}
+
+bool SocketServer::shutdown_requested() const {
+  util::MutexLock lock(mu_);
+  return shutdown_requested_;
 }
 
 void SocketServer::WaitForShutdown() {
@@ -122,6 +138,16 @@ void SocketServer::Stop() {
   util::MutexLock lock(mu_);
   pending_.clear();
   listener_.Close();
+}
+
+TransportStats SocketServer::Scrape() const {
+  util::MutexLock lock(mu_);
+  TransportStats stats;
+  stats.name = "unix";
+  stats.connections = active_fds_.size() + pending_.size();
+  stats.accepted = accepted_;
+  stats.shed_busy = shed_busy_;
+  return stats;
 }
 
 }  // namespace cdbtune::server::io

@@ -1,12 +1,15 @@
 #ifndef CDBTUNE_SERVER_IO_SOCKET_SERVER_H_
 #define CDBTUNE_SERVER_IO_SOCKET_SERVER_H_
 
+#include <cstdint>
 #include <deque>
+#include <memory>
 #include <set>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "server/dispatch.h"
 #include "server/io/line_socket.h"
 #include "server/tuning_server.h"
 #include "util/mutex.h"
@@ -38,10 +41,17 @@ struct SocketServerOptions {
 ///   - the owner calls Stop() directly: the listener and every active
 ///     connection are shut down, which unblocks accept()/recv() so all
 ///     threads join; queued-but-unserved connections are dropped.
-class SocketServer {
+class SocketServer : public TransportStatsSource {
  public:
+  /// Serves an externally owned Dispatcher — the wiring that lets the
+  /// AF_UNIX text front end and the TCP binary front end share one verb
+  /// table (and one STATUS telemetry registry). `dispatcher` must outlive
+  /// the server.
+  SocketServer(const Dispatcher* dispatcher, SocketServerOptions options);
+  /// Convenience for single-transport embedding and tests: builds and owns
+  /// a private Dispatcher over `server`.
   SocketServer(TuningServer* server, SocketServerOptions options);
-  ~SocketServer();
+  ~SocketServer() override;
 
   SocketServer(const SocketServer&) = delete;
   SocketServer& operator=(const SocketServer&) = delete;
@@ -52,17 +62,27 @@ class SocketServer {
   /// Blocks until a client requests SHUTDOWN or Stop() is called.
   void WaitForShutdown();
 
+  /// True once a client's SHUTDOWN was dispatched (non-blocking peek, for
+  /// daemons multiplexing several front ends).
+  bool shutdown_requested() const;
+
   /// Idempotent graceful stop; joins every thread before returning.
   void Stop();
 
   const std::string& socket_name() const { return options_.socket_name; }
+
+  /// STATUS telemetry scrape (name "unix"); thread-safe. The framing
+  /// counters stay zero — this transport speaks newline text, not frames.
+  TransportStats Scrape() const override;
 
  private:
   void AcceptLoop();
   void WorkerLoop();
   void ServeConnection(Socket connection);
 
-  TuningServer* server_;  // Not owned.
+  /// Set when the primary ctor was bypassed (TuningServer* convenience).
+  std::unique_ptr<Dispatcher> owned_dispatcher_;
+  const Dispatcher* dispatcher_;  // Not owned (may point at owned_ above).
   SocketServerOptions options_;
 
   Socket listener_;
@@ -71,7 +91,7 @@ class SocketServer {
 
   /// Outermost lock in the repo's rank order: socket workers call into the
   /// TuningServer (kServerSessions/kServerAgent) below it.
-  util::Mutex mu_{util::lock_rank::kIoFrontEnd, "SocketServer::mu_"};
+  mutable util::Mutex mu_{util::lock_rank::kIoFrontEnd, "SocketServer::mu_"};
   /// Workers wait here for queued connections. Distinct from shutdown_cv_:
   /// with one shared condition variable, the acceptor's NotifyOne can wake
   /// a WaitForShutdown() waiter instead of a worker — that waiter re-sleeps
@@ -87,6 +107,10 @@ class SocketServer {
   bool started_ CDBTUNE_GUARDED_BY(mu_) = false;
   bool stopping_ CDBTUNE_GUARDED_BY(mu_) = false;
   bool shutdown_requested_ CDBTUNE_GUARDED_BY(mu_) = false;
+
+  // Telemetry (TransportStats).
+  uint64_t accepted_ CDBTUNE_GUARDED_BY(mu_) = 0;
+  uint64_t shed_busy_ CDBTUNE_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace cdbtune::server::io

@@ -1,0 +1,182 @@
+#include "server/net/event_loop.h"
+
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "util/check.h"
+#include "util/logging.h"
+
+namespace cdbtune::server::net {
+
+namespace {
+
+util::Status Errno(const char* what) {
+  return util::Status::Internal(std::string(what) + ": " +
+                                std::strerror(errno));
+}
+
+uint32_t ToEpoll(uint32_t interest) {
+  uint32_t events = 0;
+  if (interest & Ready::kRead) events |= EPOLLIN;
+  if (interest & Ready::kWrite) events |= EPOLLOUT;
+  // EPOLLERR/EPOLLHUP are always reported; no need to request them.
+  return events;
+}
+
+uint32_t FromEpoll(uint32_t events) {
+  uint32_t ready = 0;
+  if (events & (EPOLLIN | EPOLLPRI)) ready |= Ready::kRead;
+  if (events & EPOLLOUT) ready |= Ready::kWrite;
+  if (events & (EPOLLERR | EPOLLHUP)) ready |= Ready::kError;
+  return ready;
+}
+
+}  // namespace
+
+EventLoop::EventLoop() = default;
+
+EventLoop::~EventLoop() {
+  if (wakeup_fd_ >= 0) ::close(wakeup_fd_);
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+}
+
+util::Status EventLoop::Init() {
+  if (epoll_fd_ >= 0) {
+    return util::Status::FailedPrecondition("EventLoop already initialized");
+  }
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  if (epoll_fd_ < 0) return Errno("epoll_create1");
+  wakeup_fd_ = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  if (wakeup_fd_ < 0) return Errno("eventfd");
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = wakeup_fd_;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wakeup_fd_, &ev) != 0) {
+    return Errno("epoll_ctl(wakeup)");
+  }
+  return util::Status::Ok();
+}
+
+void EventLoop::Run() {
+  CDBTUNE_CHECK_GE(epoll_fd_, 0);
+  loop_thread_ = std::this_thread::get_id();
+  running_.store(true);
+  constexpr int kMaxEvents = 128;
+  epoll_event events[kMaxEvents];
+  while (true) {
+    {
+      util::MutexLock lock(tasks_mu_);
+      if (stop_requested_) break;
+    }
+    int n = ::epoll_wait(epoll_fd_, events, kMaxEvents, -1);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      CDBTUNE_LOG(Warning) << "epoll_wait: " << std::strerror(errno);
+      break;
+    }
+    for (int i = 0; i < n; ++i) {
+      const int fd = events[i].data.fd;
+      if (fd == wakeup_fd_) {
+        uint64_t drained;
+        // Nonblocking eventfd: EAGAIN just means another wave already read
+        // the counter, which is fine — the wakeup did its job.
+        while (::read(wakeup_fd_, &drained, sizeof(drained)) > 0) {
+        }
+        continue;
+      }
+      // A handler earlier in this wave may have torn this fd's connection
+      // down (e.g. a fatal error on a sibling); look the channel up fresh
+      // and skip if gone.
+      auto it = channels_.find(fd);
+      if (it == channels_.end() || !it->second.handler) continue;
+      it->second.handler(FromEpoll(events[i].events));
+    }
+    RunQueuedTasks();
+  }
+  running_.store(false);
+}
+
+void EventLoop::Stop() {
+  {
+    util::MutexLock lock(tasks_mu_);
+    stop_requested_ = true;
+  }
+  Wakeup();
+}
+
+util::Status EventLoop::AddChannel(int fd, uint32_t interest,
+                                   std::function<void(uint32_t)> handler) {
+  CDBTUNE_DCHECK(!running_.load() || IsLoopThread());
+  epoll_event ev{};
+  ev.events = ToEpoll(interest);
+  ev.data.fd = fd;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+    return Errno("epoll_ctl(add)");
+  }
+  channels_[fd] = Channel{std::move(handler), interest};
+  return util::Status::Ok();
+}
+
+util::Status EventLoop::SetInterest(int fd, uint32_t interest) {
+  CDBTUNE_DCHECK(!running_.load() || IsLoopThread());
+  auto it = channels_.find(fd);
+  if (it == channels_.end()) {
+    return util::Status::NotFound("fd not registered with the loop");
+  }
+  if (it->second.interest == interest) return util::Status::Ok();
+  epoll_event ev{};
+  ev.events = ToEpoll(interest);
+  ev.data.fd = fd;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev) != 0) {
+    return Errno("epoll_ctl(mod)");
+  }
+  it->second.interest = interest;
+  return util::Status::Ok();
+}
+
+void EventLoop::RemoveChannel(int fd) {
+  CDBTUNE_DCHECK(!running_.load() || IsLoopThread());
+  if (channels_.erase(fd) == 0) return;
+  // Failure here is benign (the fd may already be closed); epoll drops
+  // closed descriptors on its own.
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+}
+
+void EventLoop::QueueTask(std::function<void()> task) {
+  {
+    util::MutexLock lock(tasks_mu_);
+    tasks_.push_back(std::move(task));
+  }
+  Wakeup();
+}
+
+bool EventLoop::IsLoopThread() const {
+  return running_.load() && std::this_thread::get_id() == loop_thread_;
+}
+
+void EventLoop::RunQueuedTasks() {
+  // Swap the queue out under the lock, run lock-free: a task that calls
+  // QueueTask (self-rescheduling) must not deadlock, and tasks routinely
+  // take ranked locks far above kNetLoopTasks.
+  std::deque<std::function<void()>> batch;
+  {
+    util::MutexLock lock(tasks_mu_);
+    batch.swap(tasks_);
+  }
+  for (auto& task : batch) task();
+}
+
+void EventLoop::Wakeup() {
+  if (wakeup_fd_ < 0) return;
+  uint64_t one = 1;
+  // EAGAIN means the counter is already nonzero — the loop will wake.
+  ssize_t ignored = ::write(wakeup_fd_, &one, sizeof(one));
+  (void)ignored;
+}
+
+}  // namespace cdbtune::server::net

@@ -1,0 +1,110 @@
+#ifndef CDBTUNE_SERVER_NET_EVENT_LOOP_H_
+#define CDBTUNE_SERVER_NET_EVENT_LOOP_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <thread>
+#include <vector>
+
+#include "util/mutex.h"
+#include "util/status.h"
+#include "util/thread_annotations.h"
+
+namespace cdbtune::server::net {
+
+/// Readiness mask handed to a Channel's handler (a portable subset of the
+/// epoll event bits — handlers never see EPOLL* directly).
+struct Ready {
+  static constexpr uint32_t kRead = 1u << 0;
+  static constexpr uint32_t kWrite = 1u << 1;
+  /// Error or hangup: the fd is dead or half-dead; the handler should tear
+  /// the connection down (the loop never closes an fd it does not own).
+  static constexpr uint32_t kError = 1u << 2;
+};
+
+/// One registered fd: an interest mask plus the callback the loop invokes
+/// with the ready mask. Channels are created/modified/removed ONLY on the
+/// loop thread (DCHECK-enforced) — that single-writer rule is what lets
+/// connection state live entirely unlocked (DESIGN.md §13 ownership model).
+struct Channel {
+  std::function<void(uint32_t ready)> handler;
+  uint32_t interest = 0;  // Ready:: bits the fd currently wants.
+};
+
+/// A single-threaded epoll reactor with a cross-thread task queue.
+///
+/// Ownership model:
+///   - Exactly one thread calls Run(); every Channel operation and every
+///     queued task executes on that thread. Other threads interact solely
+///     through QueueTask()/Stop(), which append under `tasks_mu_` and wake
+///     the loop via an eventfd write.
+///   - The loop never blocks on anything but epoll_wait: handlers must not
+///     perform blocking work (dispatching a tuning step belongs on the
+///     worker pool, not here).
+///
+/// Lifetime: construct, Init(), hand to a thread that calls Run(); Stop()
+/// from anywhere makes Run() return after the current wave of events.
+class EventLoop {
+ public:
+  EventLoop();
+  ~EventLoop();
+
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  /// Creates the epoll instance and wakeup eventfd.
+  util::Status Init();
+
+  /// Runs the reactor until Stop(). The calling thread becomes the loop
+  /// thread.
+  void Run();
+
+  /// Makes Run() return; callable from any thread, idempotent.
+  void Stop();
+
+  /// Registers `fd` with `interest` (Ready:: bits) and `handler`. Loop
+  /// thread only. The caller keeps ownership of the descriptor.
+  util::Status AddChannel(int fd, uint32_t interest,
+                          std::function<void(uint32_t)> handler);
+
+  /// Updates the interest mask of a registered fd. Loop thread only.
+  util::Status SetInterest(int fd, uint32_t interest);
+
+  /// Deregisters `fd` (does not close it). Loop thread only; safe to call
+  /// from inside the fd's own handler.
+  void RemoveChannel(int fd);
+
+  /// Enqueues `task` to run on the loop thread after the current wave of
+  /// events; wakes the loop if it is parked in epoll_wait. Thread-safe.
+  void QueueTask(std::function<void()> task);
+
+  /// True when called on the thread currently inside Run().
+  bool IsLoopThread() const;
+
+ private:
+  void RunQueuedTasks();
+  void Wakeup();
+
+  int epoll_fd_ = -1;
+  int wakeup_fd_ = -1;
+  std::atomic<bool> running_{false};
+  std::thread::id loop_thread_;
+
+  /// fd -> channel. Loop-thread-owned: no lock, by the single-writer rule
+  /// above (TSan would catch a violation; IsLoopThread DCHECKs do too).
+  std::map<int, Channel> channels_;
+
+  /// Cross-thread task queue (lock_rank::kNetLoopTasks). Held only for the
+  /// push/swap — tasks themselves always run lock-free on the loop thread.
+  util::Mutex tasks_mu_{util::lock_rank::kNetLoopTasks,
+                        "EventLoop::tasks_mu_"};
+  std::deque<std::function<void()>> tasks_ CDBTUNE_GUARDED_BY(tasks_mu_);
+  bool stop_requested_ CDBTUNE_GUARDED_BY(tasks_mu_) = false;
+};
+
+}  // namespace cdbtune::server::net
+
+#endif  // CDBTUNE_SERVER_NET_EVENT_LOOP_H_

@@ -1,0 +1,110 @@
+#include "server/net/frame.h"
+
+#include <cstdio>
+#include <cstring>
+
+namespace cdbtune::server::net {
+
+namespace {
+
+void PutU32(std::string* out, uint32_t value) {
+  out->push_back(static_cast<char>(value & 0xff));
+  out->push_back(static_cast<char>((value >> 8) & 0xff));
+  out->push_back(static_cast<char>((value >> 16) & 0xff));
+  out->push_back(static_cast<char>((value >> 24) & 0xff));
+}
+
+uint32_t GetU32(const char* p) {
+  return static_cast<uint32_t>(static_cast<unsigned char>(p[0])) |
+         static_cast<uint32_t>(static_cast<unsigned char>(p[1])) << 8 |
+         static_cast<uint32_t>(static_cast<unsigned char>(p[2])) << 16 |
+         static_cast<uint32_t>(static_cast<unsigned char>(p[3])) << 24;
+}
+
+}  // namespace
+
+const char* FrameTypeName(FrameType type) {
+  switch (type) {
+    case FrameType::kRequest:
+      return "REQUEST";
+    case FrameType::kResponse:
+      return "RESPONSE";
+    case FrameType::kError:
+      return "ERROR";
+    case FrameType::kBusy:
+      return "BUSY";
+  }
+  return "UNKNOWN";
+}
+
+std::string EncodeFrame(FrameType type, std::string_view payload) {
+  std::string wire;
+  wire.reserve(kFrameHeaderBytes + payload.size());
+  PutU32(&wire, kFrameMagic);
+  wire.push_back(static_cast<char>(kFrameVersion));
+  wire.push_back(static_cast<char>(type));
+  wire.push_back('\0');  // reserved
+  wire.push_back('\0');  // reserved
+  PutU32(&wire, static_cast<uint32_t>(payload.size()));
+  wire.append(payload.data(), payload.size());
+  return wire;
+}
+
+void FrameDecoder::Feed(const char* data, size_t n) {
+  // Compact once the consumed prefix dominates, so a long-lived connection
+  // streaming many frames keeps the buffer O(one frame), not O(history).
+  if (consumed_ > 0 && consumed_ >= buffer_.size() / 2) {
+    buffer_.erase(0, consumed_);
+    consumed_ = 0;
+  }
+  buffer_.append(data, n);
+}
+
+util::StatusOr<bool> FrameDecoder::Next(Frame* out) {
+  if (!error_.ok()) return error_;
+  if (pending_bytes() < kFrameHeaderBytes) return false;
+  const char* header = buffer_.data() + consumed_;
+
+  const uint32_t magic = GetU32(header);
+  if (magic != kFrameMagic) {
+    char hex[16];
+    std::snprintf(hex, sizeof(hex), "0x%08x", magic);
+    error_ = util::Status::InvalidArgument(
+        std::string("bad frame magic ") + hex +
+        " (not a cdbtune binary-protocol peer?)");
+    return error_;
+  }
+  const uint8_t version = static_cast<unsigned char>(header[4]);
+  if (version != kFrameVersion) {
+    error_ = util::Status::InvalidArgument(
+        "unsupported frame version " + std::to_string(version) + " (want " +
+        std::to_string(kFrameVersion) + ")");
+    return error_;
+  }
+  if (header[6] != '\0' || header[7] != '\0') {
+    error_ = util::Status::InvalidArgument("nonzero reserved frame bytes");
+    return error_;
+  }
+  const uint8_t type = static_cast<unsigned char>(header[5]);
+  if (type < static_cast<uint8_t>(FrameType::kRequest) ||
+      type > static_cast<uint8_t>(FrameType::kBusy)) {
+    error_ = util::Status::InvalidArgument("unknown frame type " +
+                                           std::to_string(type));
+    return error_;
+  }
+  const uint32_t length = GetU32(header + 8);
+  if (length > max_payload_) {
+    error_ = util::Status::InvalidArgument(
+        "declared frame length " + std::to_string(length) +
+        " exceeds the " + std::to_string(max_payload_) + "-byte cap");
+    return error_;
+  }
+  if (pending_bytes() < kFrameHeaderBytes + length) return false;
+
+  out->type = static_cast<FrameType>(type);
+  out->payload.assign(buffer_, consumed_ + kFrameHeaderBytes, length);
+  consumed_ += kFrameHeaderBytes + length;
+  return true;
+}
+
+}  // namespace cdbtune::server::net

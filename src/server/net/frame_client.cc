@@ -1,0 +1,116 @@
+#include "server/net/frame_client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace cdbtune::server::net {
+
+namespace {
+
+util::Status Errno(const std::string& what) {
+  return util::Status::Internal(what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+FrameClient::~FrameClient() { Close(); }
+
+util::Status FrameClient::Connect(const std::string& host, uint16_t port) {
+  if (fd_ >= 0) {
+    return util::Status::FailedPrecondition("FrameClient already connected");
+  }
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return util::Status::InvalidArgument("bad IPv4 address '" + host + "'");
+  }
+  int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return Errno("socket");
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const util::Status status =
+        Errno("connect " + host + ":" + std::to_string(port));
+    ::close(fd);
+    return status;
+  }
+  int one = 1;
+  (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  fd_ = fd;
+  return util::Status::Ok();
+}
+
+util::StatusOr<std::string> FrameClient::Call(std::string_view request) {
+  CDBTUNE_RETURN_IF_ERROR(SendFrame(FrameType::kRequest, request));
+  auto frame = ReadFrame();
+  if (!frame.ok()) return frame.status();
+  switch (frame->type) {
+    case FrameType::kResponse:
+      return std::move(frame->payload);
+    case FrameType::kBusy:
+      return util::Status::FailedPrecondition("server busy: " +
+                                              frame->payload);
+    case FrameType::kError:
+      return util::Status::InvalidArgument("server protocol error: " +
+                                           frame->payload);
+    default:
+      return util::Status::Internal(
+          std::string("unexpected server frame type ") +
+          FrameTypeName(frame->type));
+  }
+}
+
+util::Status FrameClient::SendFrame(FrameType type, std::string_view payload) {
+  return SendBytes(EncodeFrame(type, payload));
+}
+
+util::StatusOr<Frame> FrameClient::ReadFrame() {
+  if (fd_ < 0) return util::Status::FailedPrecondition("not connected");
+  Frame frame;
+  while (true) {
+    auto got = decoder_.Next(&frame);
+    if (!got.ok()) return got.status();
+    if (*got) return frame;
+    char chunk[4096];
+    ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("recv");
+    }
+    if (n == 0) {
+      return util::Status::Internal("connection closed by server");
+    }
+    decoder_.Feed(chunk, static_cast<size_t>(n));
+  }
+}
+
+util::Status FrameClient::SendBytes(std::string_view bytes) {
+  if (fd_ < 0) return util::Status::FailedPrecondition("not connected");
+  size_t sent = 0;
+  while (sent < bytes.size()) {
+    ssize_t n = ::send(fd_, bytes.data() + sent, bytes.size() - sent,
+                       MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("send");
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return util::Status::Ok();
+}
+
+void FrameClient::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+}  // namespace cdbtune::server::net

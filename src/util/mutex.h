@@ -25,6 +25,16 @@ namespace lock_rank {
 /// Socket front end (SocketServer::mu_): connection queue + lifecycle. The
 /// outermost lock — socket workers call into the tuning server below it.
 inline constexpr int kIoFrontEnd = 100;
+/// TCP front end (net::TcpServer::mu_): dispatch work queue, lifecycle
+/// flags, transport telemetry. Like kIoFrontEnd it sits above the server
+/// locks (workers pop a request, release, then call into the tuning
+/// server); the two front-end locks are never held together.
+inline constexpr int kNetFrontEnd = 110;
+/// net::EventLoop::tasks_mu_: the cross-thread task queue. Held only for
+/// the push/swap — queued tasks always run lock-free on the loop thread —
+/// but ranked below the server locks because workers post completions
+/// after (never while) holding them.
+inline constexpr int kNetLoopTasks = 120;
 /// TuningServer::mu_: session registry, shard free list, round/exclusivity
 /// state.
 inline constexpr int kServerSessions = 200;

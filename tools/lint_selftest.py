@@ -47,6 +47,9 @@ EXPECTED_LINT = {
     "bad_unguarded_apply.cc": Counter({
         "unguarded-apply": 2,  # one dotted receiver, one arrow receiver
     }),
+    "bad_blocking_socket.cc": Counter({
+        "blocking-socket": 4,  # the include, ::socket, ::connect, ::send
+    }),
 }
 EXPECTED_ANALYZE = {
     "bad_nondet_iteration.cc": Counter({"nondet-iteration": 4}),
