@@ -40,7 +40,7 @@ class ChunkWriter {
   void Add(std::string name, std::string payload);
 
   /// Renders magic + frames + __end__ commit frame.
-  util::StatusOr<std::string> Finish() const;
+  [[nodiscard]] util::StatusOr<std::string> Finish() const;
 
   size_t chunk_count() const { return chunks_.size(); }
 

@@ -71,10 +71,10 @@ class Decoder {
   bool ok() const { return ok_; }
 
   /// kOk while no read failed; kDataLoss (with byte offset) afterwards.
-  util::Status status() const;
+  [[nodiscard]] util::Status status() const;
 
   /// Requires all bytes consumed; trailing garbage is corruption too.
-  util::Status Finish() const;
+  [[nodiscard]] util::Status Finish() const;
 
  private:
   bool Take(void* out, size_t size);

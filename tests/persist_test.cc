@@ -520,6 +520,80 @@ TEST(AgentCheckpointTest, OptionsMismatchIsRejectedBeforeAnyMutation) {
   std::remove((path + ".agent").c_str());
 }
 
+/// Rebuilds the container with chunk `name`'s payload swapped for `payload`.
+/// ChunkWriter recomputes every frame CRC, so the result passes Parse: the
+/// corruption is *semantic*, inside one chunk, and each decode path in
+/// RestoreFromChunks has to reject it on its own — the container CRC can't
+/// save it.
+std::string RebuildWithPayload(const ChunkFile& file, const std::string& name,
+                               const std::string& payload) {
+  ChunkWriter writer;
+  for (const std::string& n : file.Names()) {
+    auto original = file.Get(n);
+    EXPECT_TRUE(original.ok());
+    writer.Add(n, n == name ? payload : std::string(*original));
+  }
+  auto bytes = writer.Finish();
+  EXPECT_TRUE(bytes.ok());
+  return *bytes;
+}
+
+// Fuzz-style sweep: every chunk of a real checkpoint, truncated at several
+// lengths and replaced with fixed-seed garbage. Every mutant must surface as
+// a Status (no crash), and at the Load level must leave the target agent
+// bitwise untouched.
+TEST(AgentCheckpointTest, TruncatedOrGarbageChunkPayloadsFailCleanly) {
+  const std::string path = TempPath("fuzz");
+  rl::DdpgAgent agent(SmallDdpg());
+  util::Rng env_rng(7);
+  Drive(agent, env_rng, 12);
+  ChunkFile file = MustParse(SerializeAgent(agent));
+
+  rl::DdpgAgent victim(SmallDdpg());
+  Drive(victim, env_rng, 3);
+  const std::string before = SerializeAgent(victim);
+
+  util::Rng garbage_rng(99);
+  for (const std::string& name : file.Names()) {
+    auto original = file.Get(name);
+    ASSERT_TRUE(original.ok());
+    const std::string payload(*original);
+
+    std::vector<std::string> mutants;
+    for (size_t len : {size_t{0}, size_t{1}, payload.size() / 2,
+                       payload.empty() ? size_t{0} : payload.size() - 1}) {
+      if (len < payload.size()) mutants.push_back(payload.substr(0, len));
+    }
+    std::string garbage(payload.size() + 16, '\0');
+    for (char& c : garbage) {
+      c = static_cast<char>(garbage_rng.UniformInt(0, 255));
+    }
+    mutants.push_back(garbage);
+
+    for (size_t m = 0; m < mutants.size(); ++m) {
+      const std::string container = RebuildWithPayload(file, name, mutants[m]);
+      ChunkFile mutated = MustParse(container);
+
+      // RestoreFromChunks itself: a Status comes back, nothing throws.
+      rl::DdpgAgent scratch(SmallDdpg());
+      util::Status direct = scratch.RestoreFromChunks(mutated);
+      EXPECT_FALSE(direct.ok())
+          << "chunk " << name << " mutant " << m
+          << " (payload " << mutants[m].size() << "B of " << payload.size()
+          << "B) restored successfully";
+
+      // Load: validate-then-apply means the victim stays bitwise intact.
+      ASSERT_TRUE(AtomicWriteFile(path + ".agent", container).ok());
+      util::Status loaded = victim.Load(path);
+      EXPECT_FALSE(loaded.ok());
+      EXPECT_EQ(SerializeAgent(victim), before)
+          << "chunk " << name << " mutant " << m
+          << " partially applied through Load";
+    }
+  }
+  std::remove((path + ".agent").c_str());
+}
+
 // A shared model checkpoint must be loadable into agents constructed with any
 // seed: `seed` only names the initial rng/noise streams, and Load restores the
 // live stream state from the checkpoint. After Load the adopter is bitwise

@@ -260,7 +260,11 @@ def preprocess(text: str) -> tuple[list[str], list[tuple[int, str]]]:
     return code, directives
 
 
-def lex(code_lines: list[str]) -> list[Token]:
+def lex(code_lines: list[str], keep_strings: bool = False) -> list[Token]:
+    """Tokenizes preprocessed code lines. String/char literal *contents* are
+    discarded by default (the determinism rules never need them); pass
+    keep_strings=True to retain the quoted text verbatim — tools/schema.py
+    needs literal chunk names to pair writer.Add()/file.Decode() sites."""
     tokens: list[Token] = []
     in_block_comment = False
     for lineno, line in enumerate(code_lines, start=1):
@@ -295,8 +299,10 @@ def lex(code_lines: list[str]) -> list[Token]:
                 if m:
                     close = ")" + m.group(1) + '"'
                     end = line.find(close, i)
+                    raw_text = line[i:(n if end < 0 else end + len(close))]
                     i = n if end < 0 else end + len(close)
-                    tokens.append(Token("str", '""', lineno))
+                    tokens.append(Token(
+                        "str", raw_text if keep_strings else '""', lineno))
                     continue
                 # else fall through: plain identifier R
             if c == '"':
@@ -308,7 +314,9 @@ def lex(code_lines: list[str]) -> list[Token]:
                     if line[j] == '"':
                         break
                     j += 1
-                tokens.append(Token("str", '""', lineno))
+                tokens.append(Token(
+                    "str", line[i:min(j + 1, n)] if keep_strings else '""',
+                    lineno))
                 i = j + 1
                 continue
             if c == "'" and not (tokens and tokens[-1].kind in ("num",)):

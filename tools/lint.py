@@ -58,8 +58,11 @@ unguarded-apply  A direct `db.ApplyConfig(...)` / `db->ApplyConfig(...)`
 
 The determinism-contract rules (nondet-iteration, nondet-source,
 float-contract, padding-serialize, pointer-order) live in the token/scope-
-aware sibling tools/analyze.py; both tools share the suppression language
-below and `--report-suppressions` audits the annotations of both.
+aware sibling tools/analyze.py, and the wire-schema rules (schema-asymmetry,
+schema-unpaired, raw-schema, schema-unextractable) in tools/schema.py. The
+first two tools share the suppression language below; schema.py uses the
+same grammar under its own `schema:` marker. `--report-suppressions` audits
+the annotations of all three.
 
 Suppressions
 ------------
@@ -78,7 +81,8 @@ Modes
                         GitHub annotations); --include-suppressed adds the
                         suppressed ones, marked
 --report-suppressions   the suppression-debt gate: list every allow()/
-                        allow-file() across this tool AND tools/analyze.py
+                        allow-file() across this tool, tools/analyze.py AND
+                        tools/schema.py
                         with its reason, fail on bare suppressions, unknown
                         rule names, and stale suppressions (the annotation
                         no longer suppresses any finding), and print a
@@ -98,6 +102,7 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent))
 import analyze  # noqa: E402  (sibling module: shared suppression framework)
+import schema  # noqa: E402  (sibling: wire-schema gate, own allow() grammar)
 from analyze import (  # noqa: E402
     AnalysisResult, Finding, SuppressionIndex, scan_annotations)
 
@@ -527,27 +532,28 @@ def lint_tree(root: Path,
 
 
 def report_suppressions(root: Path) -> int:
-    """The suppression-debt gate: every annotation across lint.py AND
-    analyze.py must carry a reason, name only existing rules, and still
-    suppress at least one finding per named rule. Prints the full debt
-    ledger plus a trend line, exits non-zero on any debt violation."""
+    """The suppression-debt gate: every annotation across lint.py,
+    analyze.py AND schema.py must carry a reason, name only existing rules,
+    and still suppress at least one finding per named rule. Prints the full
+    debt ledger plus a trend line, exits non-zero on any debt violation."""
     lint_result, _ = lint_tree(root)
     analyze_result = analyze.analyze_tree(root)
+    schema_result = schema.scan_tree(root)
 
-    known_rules = LINT_RULES | analyze.RULES
+    known_rules = LINT_RULES | analyze.RULES | schema.RULES
 
     # Live (annotation, rule) pairs: an annotation that actually discharged
-    # a finding in either tool.
+    # a finding in one of the tools.
     live: set[tuple[Path, int, str]] = set()
-    for result in (lint_result, analyze_result):
+    for result in (lint_result, analyze_result, schema_result):
         for f in result.findings:
             if f.suppressed and f.suppressor is not None:
                 live.add((f.suppressor.path, f.suppressor.line, f.rule))
 
-    # Both tools scan overlapping files; dedupe annotations by position.
+    # The tools scan overlapping files; dedupe annotations by position.
     seen: set[tuple[Path, int]] = set()
     annotations = []
-    for result in (lint_result, analyze_result):
+    for result in (lint_result, analyze_result, schema_result):
         for ann in result.annotations:
             key = (ann.path, ann.line)
             if key not in seen:

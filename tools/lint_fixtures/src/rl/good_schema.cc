@@ -1,0 +1,51 @@
+// Clean twin of bad_schema.cc: the same shapes, each discharged with a
+// reasoned `schema: allow(...)` annotation. lint_selftest.py proves the
+// suppressions are honored (zero active findings, each visible under
+// --include-suppressed). Never compiled — scanned only.
+#include <cstdint>
+#include <string>
+
+namespace cdbtune::rl {
+
+struct PackedState {
+  double gain;
+  double bias;
+};
+
+void SaveCounterBinary(persist::Encoder& enc, const PackedState& s) {
+  enc.WriteDouble(s.gain);
+  // schema: allow(schema-asymmetry) — v1 files wrote i64; the reader widens
+  // to u64 on purpose and rejects negatives itself (fixture).
+  enc.WriteI64(ticks_);
+  // schema: allow(raw-schema) — PackedState is static_asserted to be two
+  // packed doubles with no padding; raw append is the documented fast path
+  // (fixture).
+  enc.AppendRaw(&s, sizeof(s));
+}
+
+util::Status LoadCounterBinary(persist::Decoder& dec, PackedState* s) {
+  uint64_t ticks = 0;
+  if (!dec.ReadDouble(&s->gain) || !dec.ReadU64(&ticks)) return dec.status();
+  return util::Status::Ok();
+}
+
+// schema: allow(schema-unpaired) — the decoder lives in a sibling repo that
+// consumes this export feed; symmetry is covered by its conformance suite
+// (fixture).
+void SaveOrphanBinary(persist::Encoder& enc) {
+  enc.WriteU32(7);
+}
+
+void SaveDynamicBinary(persist::Encoder& enc, const PackedState& s) {
+  enc.WriteDouble(s.bias);
+  // schema: allow(schema-unextractable) — FlushMystery appends nothing; it
+  // only pokes instrumentation counters (fixture).
+  enc.FlushMystery(s);
+}
+
+util::Status LoadDynamicBinary(persist::Decoder& dec, PackedState* s) {
+  if (!dec.ReadDouble(&s->bias)) return dec.status();
+  return util::Status::Ok();
+}
+
+}  // namespace cdbtune::rl

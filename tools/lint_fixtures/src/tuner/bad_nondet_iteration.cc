@@ -34,9 +34,9 @@ std::vector<int> LiveIdList() {
 
 // Checkpoint-reachable sink: hash order becomes checkpoint bytes, which
 // breaks bitwise resume (DESIGN.md §9). The acceptance-criteria case.
-void SerializeRewards(ChunkWriter* writer) {
+void SerializeRewards(persist::Sink* sink) {
   for (const auto& [name, value] : rewards) {
-    persist::AppendField(writer, name, value);
+    persist::AppendField(sink, name, value);
   }
 }
 

@@ -13,8 +13,10 @@
 #   SKIP_TIDY=1 tools/run_checks.sh     # skip the clang-tidy leg
 #
 # The lint leg runs the regex linter (tools/lint.py), the token/scope-aware
-# determinism analyzer (tools/analyze.py), their fixture self-test, and the
-# suppression-debt gate (lint.py --report-suppressions). The clang-tidy leg
+# determinism analyzer (tools/analyze.py), the wire-schema drift gate
+# (tools/schema.py --check vs the committed SCHEMA.lock/WIRE.lock), the
+# fixture self-test, and the suppression-debt gate
+# (lint.py --report-suppressions). The clang-tidy leg
 # runs on full (no-argument) invocations when clang-tidy is on PATH; like
 # the -Wthread-safety leg it is otherwise CI-enforced
 # (.github/workflows/checks.yml, job `clang-tidy`).
@@ -59,6 +61,7 @@ if [[ "${SKIP_LINT:-0}" != "1" ]]; then
   echo "==== lint ===="
   if python3 tools/lint.py &&
      python3 tools/analyze.py &&
+     python3 tools/schema.py --check &&
      python3 tools/lint_selftest.py &&
      python3 tools/lint.py --report-suppressions; then
     echo "lint: OK"
